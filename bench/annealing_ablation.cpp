@@ -1,0 +1,58 @@
+// Extension ablation: can a joint-search heuristic (simulated annealing
+// over the full schedule, capacity-aware) improve on GOMCDS where GOMCDS
+// is only greedy — i.e. across data competing for memory slots? Also
+// reports wall time: the DP is orders of magnitude cheaper.
+
+#include <chrono>
+#include <iostream>
+
+#include "core/annealing.hpp"
+#include "core/pipeline.hpp"
+#include "kernels/benchmarks.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace pimsched;
+  using Clock = std::chrono::steady_clock;
+  const Grid grid(4, 4);
+  const int n = 16;
+
+  std::cout << "Annealing ablation — GOMCDS vs GOMCDS+SA (" << n << "x"
+            << n << ", per-step windows, paper capacity)\n\n";
+  TextTable table({"B.", "GOMCDS", "GOMCDS ms", "+SA", "SA ms",
+                   "SA gain %"});
+  for (const PaperBenchmark b : allPaperBenchmarks()) {
+    const ReferenceTrace trace = makePaperBenchmark(b, grid, n);
+    PipelineConfig cfg;
+    cfg.numWindows = static_cast<int>(trace.numSteps());
+    const Experiment exp(trace, grid, cfg);
+    const SchedulerOptions opts{exp.capacity(), DataOrder::kByWeightDesc};
+
+    const auto t0 = Clock::now();
+    const DataSchedule go = exp.schedule(Method::kGomcds);
+    const auto t1 = Clock::now();
+    const Cost goCost =
+        evaluateSchedule(go, exp.refs(), exp.costModel()).aggregate.total();
+
+    AnnealParams params;
+    params.iterations = 300'000;
+    const DataSchedule sa =
+        scheduleAnnealed(exp.refs(), exp.costModel(), go, opts, params);
+    const auto t2 = Clock::now();
+    const Cost saCost =
+        evaluateSchedule(sa, exp.refs(), exp.costModel()).aggregate.total();
+
+    const auto ms = [](auto d) {
+      return std::chrono::duration<double, std::milli>(d).count();
+    };
+    table.addRow({toString(b), std::to_string(goCost),
+                  formatFixed(ms(t1 - t0), 1), std::to_string(saCost),
+                  formatFixed(ms(t2 - t1), 1),
+                  formatFixed(improvementPct(goCost, saCost), 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\n(Positive SA gain means the per-datum DP left joint "
+               "capacity gains on the table; near-zero confirms GOMCDS is "
+               "already tight.)\n";
+  return 0;
+}

@@ -1,0 +1,95 @@
+#pragma once
+
+// Shared plumbing for the paper-table harnesses: builds the benchmark x
+// size grid of experiments the paper's evaluation section uses (5
+// benchmarks x {8x8, 16x16, 32x32} on a 4x4 PIM array, per-processor
+// memory = twice the minimum) and formats rows in the paper's layout
+// (communication cost + % improvement over the straight-forward row-wise
+// distribution).
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "kernels/benchmarks.hpp"
+#include "report/stats.hpp"
+#include "report/table.hpp"
+
+namespace pimsched::benchtool {
+
+inline const std::vector<int>& paperSizes() {
+  static const std::vector<int> sizes = {8, 16, 32};
+  return sizes;
+}
+
+/// One experiment = one table row.
+struct Row {
+  std::string benchmark;
+  int n = 0;
+  Cost sf = 0;
+  std::vector<Cost> costs;  ///< per method, same order as the header
+};
+
+/// Runs `methods` on every (benchmark, size) pair. `perStepWindows` makes
+/// every parallel execution step its own window (the regime where run-time
+/// data movement and Algorithm 3 matter most, cf. paper §4); otherwise the
+/// trace is split into ~8 windows.
+inline std::vector<Row> runPaperGrid(const std::vector<Method>& methods,
+                                     bool perStepWindows) {
+  const Grid grid(4, 4);
+  std::vector<Row> rows;
+  for (const PaperBenchmark b : allPaperBenchmarks()) {
+    for (const int n : paperSizes()) {
+      const ReferenceTrace trace = makePaperBenchmark(b, grid, n);
+      PipelineConfig cfg;
+      cfg.numWindows = perStepWindows
+                           ? static_cast<int>(trace.numSteps())
+                           : 8;
+      const Experiment exp(trace, grid, cfg);
+      Row row;
+      row.benchmark = toString(b);
+      row.n = n;
+      row.sf = exp.evaluate(Method::kRowWise).aggregate.total();
+      for (const Method m : methods) {
+        row.costs.push_back(exp.evaluate(m).aggregate.total());
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
+/// Prints the paper-style table: B. | Size | S.F. | per-method Comm. | %.
+inline void printPaperTable(const std::vector<Row>& rows,
+                            const std::vector<std::string>& methodNames,
+                            std::ostream& os) {
+  std::vector<std::string> header = {"B.", "Size", "S.F."};
+  for (const std::string& m : methodNames) {
+    header.push_back(m + " Comm.");
+    header.push_back(m + " %");
+  }
+  TextTable table(header);
+  std::vector<std::vector<double>> pctPerMethod(methodNames.size());
+  for (const Row& r : rows) {
+    std::vector<std::string> cells = {
+        r.benchmark, std::to_string(r.n) + "x" + std::to_string(r.n),
+        std::to_string(r.sf)};
+    for (std::size_t i = 0; i < r.costs.size(); ++i) {
+      const double pct = improvementPct(r.sf, r.costs[i]);
+      pctPerMethod[i].push_back(pct);
+      cells.push_back(std::to_string(r.costs[i]));
+      cells.push_back(formatFixed(pct, 1));
+    }
+    table.addRow(std::move(cells));
+  }
+  table.addRule();
+  std::vector<std::string> avg = {"avg", "", ""};
+  for (const auto& pcts : pctPerMethod) {
+    avg.emplace_back("");
+    avg.push_back(formatFixed(mean(pcts), 1));
+  }
+  table.addRow(std::move(avg));
+  table.print(os);
+}
+
+}  // namespace pimsched::benchtool

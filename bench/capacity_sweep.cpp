@@ -1,0 +1,53 @@
+// Memory-capacity sweep: the paper fixes "the memory size of processor is
+// twice more than the minimum"; this bench shows what that choice buys.
+// Sweeps per-processor capacity from the bare minimum to 4x (and
+// unlimited) and reports each scheme's cost — tight memory forces the
+// processor-list fallback and erodes the schedulers' advantage.
+
+#include <iostream>
+
+#include "core/pipeline.hpp"
+#include "kernels/benchmarks.hpp"
+#include "pim/memory.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace pimsched;
+  const Grid grid(4, 4);
+  const int n = 16;
+  const ReferenceTrace trace =
+      makePaperBenchmark(PaperBenchmark::kLuCode, grid, n);
+  const std::int64_t minimum =
+      (static_cast<std::int64_t>(trace.numData()) + grid.size() - 1) /
+      grid.size();
+
+  std::cout << "Capacity sweep — benchmark 3 (LU+CODE) " << n << "x" << n
+            << " on 4x4, per-step windows\n"
+            << "minimum slots/processor = " << minimum << "\n\n";
+  TextTable table({"capacity", "SCDS", "LOMCDS", "LOMCDS+grp", "GOMCDS"});
+  const auto runRow = [&](const std::string& label, std::int64_t cap) {
+    PipelineConfig cfg;
+    cfg.numWindows = static_cast<int>(trace.numSteps());
+    cfg.capacity = cap;
+    const Experiment exp(trace, grid, cfg);
+    table.addRow(
+        {label,
+         std::to_string(exp.evaluate(Method::kScds).aggregate.total()),
+         std::to_string(exp.evaluate(Method::kLomcds).aggregate.total()),
+         std::to_string(
+             exp.evaluate(Method::kGroupedLomcds).aggregate.total()),
+         std::to_string(exp.evaluate(Method::kGomcds).aggregate.total())});
+  };
+  runRow("1.0x min", minimum);
+  runRow("1.25x min", (5 * minimum) / 4);
+  runRow("1.5x min", (3 * minimum) / 2);
+  runRow("2x min (paper)", 2 * minimum);
+  runRow("4x min", 4 * minimum);
+  runRow("unlimited", PipelineConfig::kUnlimited);
+  table.print(std::cout);
+  std::cout << "\n(At exactly the minimum every processor is always full — "
+               "all schemes converge to whatever fits; the paper's 2x "
+               "leaves enough slack that the schedulers recover nearly "
+               "their unconstrained quality.)\n";
+  return 0;
+}

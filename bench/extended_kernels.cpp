@@ -1,0 +1,116 @@
+// Extension A5: the schedulers on kernels beyond the paper's benchmark set
+// (Cholesky, Floyd-Warshall, Jacobi stencil, transpose) and across the
+// iteration-partition choices the paper leaves unspecified.
+
+#include <functional>
+#include <iostream>
+
+#include "core/pipeline.hpp"
+#include "kernels/extra_kernels.hpp"
+#include "kernels/lu.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace pimsched;
+
+ReferenceTrace build(
+    const Grid& grid, int n, PartitionKind part,
+    const std::function<void(TraceBuilder&, const IterationMap&)>& emit) {
+  TraceBuilder tb;
+  const IterationMap map(grid, n, n, part);
+  emit(tb, map);
+  return std::move(tb).build();
+}
+
+void runRow(TextTable& table, const std::string& name,
+            const ReferenceTrace& trace, const Grid& grid) {
+  PipelineConfig cfg;
+  cfg.numWindows = static_cast<int>(trace.numSteps());
+  const Experiment exp(trace, grid, cfg);
+  table.addRow(
+      {name,
+       std::to_string(exp.evaluate(Method::kRowWise).aggregate.total()),
+       std::to_string(exp.evaluate(Method::kScds).aggregate.total()),
+       std::to_string(exp.evaluate(Method::kLomcds).aggregate.total()),
+       std::to_string(
+           exp.evaluate(Method::kGroupedLomcds).aggregate.total()),
+       std::to_string(exp.evaluate(Method::kGomcds).aggregate.total())});
+}
+
+}  // namespace
+
+int main() {
+  const Grid grid(4, 4);
+  const int n = 16;
+
+  std::cout << "Extended kernels — " << n << "x" << n
+            << " on 4x4, per-step windows, paper capacity, block-2d "
+               "iteration partition\n\n";
+  TextTable table({"kernel", "S.F.", "SCDS", "LOMCDS", "LOMCDS+grp",
+                   "GOMCDS"});
+  runRow(table, "cholesky",
+         build(grid, n, PartitionKind::kBlock2D,
+               [&](TraceBuilder& tb, const IterationMap& m) {
+                 emitCholesky(tb, m, n);
+               }),
+         grid);
+  runRow(table, "floyd-warshall",
+         build(grid, n, PartitionKind::kBlock2D,
+               [&](TraceBuilder& tb, const IterationMap& m) {
+                 emitFloydWarshall(tb, m, n);
+               }),
+         grid);
+  runRow(table, "jacobi-2d (x16)",
+         build(grid, n, PartitionKind::kBlock2D,
+               [&](TraceBuilder& tb, const IterationMap& m) {
+                 emitJacobi2D(tb, m, n, 16);
+               }),
+         grid);
+  runRow(table, "transpose",
+         build(grid, n, PartitionKind::kBlock2D,
+               [&](TraceBuilder& tb, const IterationMap& m) {
+                 emitTranspose(tb, m, n);
+               }),
+         grid);
+  runRow(table, "spmv (x16)",
+         build(grid, n, PartitionKind::kBlock2D,
+               [&](TraceBuilder& tb, const IterationMap& m) {
+                 emitSpmv(tb, m, n, 16);
+               }),
+         grid);
+  runRow(table, "wavefront (x4)",
+         build(grid, n, PartitionKind::kBlock2D,
+               [&](TraceBuilder& tb, const IterationMap& m) {
+                 emitWavefront(tb, m, n, 4);
+               }),
+         grid);
+  runRow(table, "banded-elim b=3",
+         build(grid, n, PartitionKind::kBlock2D,
+               [&](TraceBuilder& tb, const IterationMap& m) {
+                 emitBandedElimination(tb, m, n, 3);
+               }),
+         grid);
+  table.print(std::cout);
+
+  std::cout << "\nIteration-partition sensitivity (LU " << n << "x" << n
+            << ", GOMCDS):\n\n";
+  TextTable parts({"partition", "S.F.", "GOMCDS", "improvement %"});
+  for (const PartitionKind kind :
+       {PartitionKind::kRowBlock, PartitionKind::kColBlock,
+        PartitionKind::kBlock2D, PartitionKind::kCyclic2D}) {
+    const ReferenceTrace trace =
+        build(grid, n, kind, [&](TraceBuilder& tb, const IterationMap& m) {
+          emitLu(tb, m, n);
+        });
+    PipelineConfig cfg;
+    cfg.numWindows = static_cast<int>(trace.numSteps());
+    const Experiment exp(trace, grid, cfg);
+    const Cost sf = exp.evaluate(Method::kRowWise).aggregate.total();
+    const Cost go = exp.evaluate(Method::kGomcds).aggregate.total();
+    parts.addRow({toString(kind), std::to_string(sf), std::to_string(go),
+                  formatFixed(improvementPct(sf, go), 1)});
+  }
+  parts.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Array-size scaling — the PetaFlop-project motivation: PIM arrays were
+// meant to grow large, and the cost of a bad data placement grows with
+// the mesh diameter. Fixes the benchmark (LU + CODE, 32x32 data) and
+// sweeps the processor array from 2x2 to 8x8.
+
+#include <iostream>
+
+#include "core/pipeline.hpp"
+#include "kernels/benchmarks.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace pimsched;
+  const int n = 32;
+
+  std::cout << "Grid scaling — benchmark 3 (LU+CODE) with " << n << "x"
+            << n << " data, per-step windows, paper capacity\n\n";
+  TextTable table({"grid", "S.F.", "SCDS", "GOMCDS", "GOMCDS %",
+                   "datum slots/proc"});
+  for (const int side : {2, 3, 4, 6, 8}) {
+    const Grid grid(side, side);
+    const ReferenceTrace trace =
+        makePaperBenchmark(PaperBenchmark::kLuCode, grid, n);
+    PipelineConfig cfg;
+    cfg.numWindows = static_cast<int>(trace.numSteps());
+    const Experiment exp(trace, grid, cfg);
+    const Cost sf = exp.evaluate(Method::kRowWise).aggregate.total();
+    const Cost sc = exp.evaluate(Method::kScds).aggregate.total();
+    const Cost go = exp.evaluate(Method::kGomcds).aggregate.total();
+    table.addRow({std::to_string(side) + "x" + std::to_string(side),
+                  std::to_string(sf), std::to_string(sc),
+                  std::to_string(go),
+                  formatFixed(improvementPct(sf, go), 1),
+                  std::to_string(exp.capacity())});
+  }
+  table.print(std::cout);
+  std::cout << "\n(Bigger arrays -> longer average distances -> more to "
+               "win: data scheduling matters more exactly where the "
+               "PetaFlop design point lives.)\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Extension ablation: how much of GOMCDS's advantage survives when the
+// scheduler only sees a bounded number of future windows? GOMCDS needs
+// the entire window sequence in advance; a run-time system has a finite
+// horizon. Sweeps the rolling-horizon online scheduler's lookahead.
+
+#include <iostream>
+
+#include "core/evaluator.hpp"
+#include "core/online.hpp"
+#include "core/pipeline.hpp"
+#include "kernels/benchmarks.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace pimsched;
+  const Grid grid(4, 4);
+  const int n = 16;
+
+  std::cout << "Lookahead sweep — online rolling-horizon scheduling, "
+            << n << "x" << n
+            << " on 4x4, per-step windows, paper capacity\n\n";
+  TextTable table({"B.", "LOMCDS", "L=0", "L=1", "L=2", "L=4", "L=8",
+                   "GOMCDS (full)"});
+  for (const PaperBenchmark b : allPaperBenchmarks()) {
+    const ReferenceTrace trace = makePaperBenchmark(b, grid, n);
+    PipelineConfig cfg;
+    cfg.numWindows = static_cast<int>(trace.numSteps());
+    const Experiment exp(trace, grid, cfg);
+
+    std::vector<std::string> cells = {
+        toString(b),
+        std::to_string(exp.evaluate(Method::kLomcds).aggregate.total())};
+    for (const int lookahead : {0, 1, 2, 4, 8}) {
+      OnlineOptions opts;
+      opts.lookahead = lookahead;
+      opts.capacity = exp.capacity();
+      opts.order = DataOrder::kByWeightDesc;
+      const DataSchedule s =
+          scheduleOnline(exp.refs(), exp.costModel(), opts);
+      cells.push_back(std::to_string(
+          evaluateSchedule(s, exp.refs(), exp.costModel())
+              .aggregate.total()));
+    }
+    cells.push_back(
+        std::to_string(exp.evaluate(Method::kGomcds).aggregate.total()));
+    table.addRow(std::move(cells));
+  }
+  table.print(std::cout);
+  std::cout << "\n(L=0 is a movement-aware greedy — already far better "
+               "than movement-blind LOMCDS; a handful of windows of "
+               "lookahead recovers nearly all of GOMCDS.)\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Extension: stage-1 (iteration partition) optimisation by processor
+// re-labelling. The paper takes the iteration partition as given; this
+// bench shows how much a bad labelling costs, how much the swap-based
+// remapper recovers, and that data scheduling (stage 2) and remapping
+// (stage 1) compose.
+
+#include <iostream>
+
+#include "core/evaluator.hpp"
+#include "core/gomcds.hpp"
+#include "core/placement_opt.hpp"
+#include "kernels/benchmarks.hpp"
+#include "report/table.hpp"
+#include "trace/remap.hpp"
+
+int main() {
+  using namespace pimsched;
+  const Grid grid(4, 4);
+  const int n = 16;
+  const CostModel model(grid);
+
+  std::cout << "Partition remapping — scramble the processor labels of a "
+               "block-2d partition, then repair by swap search ("
+            << n << "x" << n << ", GOMCDS costs)\n\n";
+
+  // A deliberately bad relabelling applied to every benchmark.
+  std::vector<ProcId> scramble(static_cast<std::size_t>(grid.size()));
+  for (ProcId p = 0; p < grid.size(); ++p) {
+    scramble[static_cast<std::size_t>(p)] =
+        static_cast<ProcId>((p * 7 + 3) % grid.size());
+  }
+
+  TextTable table({"B.", "good layout", "scrambled", "remapped",
+                   "damage recovered %", "swaps"});
+  for (const PaperBenchmark b : allPaperBenchmarks()) {
+    const ReferenceTrace good =
+        makePaperBenchmark(b, grid, n, PartitionKind::kBlock2D);
+    const ReferenceTrace bad = applyProcPermutation(good, scramble);
+    const WindowPartition wp = WindowPartition::perStep(good.numSteps());
+
+    const auto cost = [&](const ReferenceTrace& trace) {
+      const WindowedRefs refs(trace, wp, grid);
+      return evaluateSchedule(scheduleGomcds(refs, model), refs, model)
+          .aggregate.total();
+    };
+    const Cost goodCost = cost(good);
+    const Cost badCost = cost(bad);
+
+    const WindowedRefs badRefs(bad, wp, grid);
+    const PlacementOptResult opt = optimizeProcPlacement(badRefs, model);
+    const Cost repairedCost = cost(applyProcPermutation(bad, opt.perm));
+
+    const double recovered =
+        badCost == goodCost
+            ? 100.0
+            : 100.0 * static_cast<double>(badCost - repairedCost) /
+                  static_cast<double>(badCost - goodCost);
+    table.addRow({toString(b), std::to_string(goodCost),
+                  std::to_string(badCost), std::to_string(repairedCost),
+                  formatFixed(recovered, 1),
+                  std::to_string(opt.swapsApplied)});
+  }
+  table.print(std::cout);
+  std::cout << "\n(Data scheduling cannot fully compensate for a bad "
+               "iteration partition — the two stages compose, which is why "
+               "the paper treats partitioning as its own prior stage.)\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Extension ablation: static replication (multi-copy, no movement) vs the
+// paper's single-copy schemes. The paper fixes one copy per datum; this
+// quantifies what that assumption costs for read-dominated workloads and
+// where GOMCDS's movement still wins (write-heavy / drifting patterns).
+
+#include <iostream>
+
+#include "core/pipeline.hpp"
+#include "core/replication.hpp"
+#include "kernels/benchmarks.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace pimsched;
+  const Grid grid(4, 4);
+  const int n = 16;
+
+  std::cout << "Replication ablation — " << n << "x" << n
+            << " on 4x4 (unlimited memory so the copy count is the only "
+               "variable)\n\n";
+  TextTable table({"B.", "SCDS(1 copy)", "2 copies", "4 copies", "8 copies",
+                   "GOMCDS(1 copy,moving)"});
+  for (const PaperBenchmark b : allPaperBenchmarks()) {
+    const ReferenceTrace trace = makePaperBenchmark(b, grid, n);
+    PipelineConfig cfg;
+    cfg.numWindows = static_cast<int>(trace.numSteps());
+    cfg.capacity = PipelineConfig::kUnlimited;
+    const Experiment exp(trace, grid, cfg);
+
+    std::vector<std::string> cells = {toString(b)};
+    cells.push_back(
+        std::to_string(exp.evaluate(Method::kScds).aggregate.total()));
+    for (const int k : {2, 4, 8}) {
+      ReplicationOptions opts;
+      opts.maxReplicasPerDatum = k;
+      const ReplicatedSchedule rs =
+          scheduleReplicated(exp.refs(), exp.costModel(), opts);
+      cells.push_back(std::to_string(
+          evaluateReplicated(rs, exp.refs(), exp.costModel())));
+    }
+    cells.push_back(
+        std::to_string(exp.evaluate(Method::kGomcds).aggregate.total()));
+    table.addRow(std::move(cells));
+  }
+  table.print(std::cout);
+  std::cout << "\n(Replication models read-only sharing: coherence traffic "
+               "for written data is not charged, so these numbers are a "
+               "lower bound for multi-copy schemes — see DESIGN.md.)\n";
+  return 0;
+}

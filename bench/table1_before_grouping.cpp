@@ -1,0 +1,24 @@
+// Regenerates the paper's Table 1: total communication cost of SCDS,
+// LOMCDS and GOMCDS (vs the straight-forward row-wise distribution) for
+// the five benchmarks at 8x8 / 16x16 / 32x32 on a 4x4 PIM array, BEFORE
+// execution-window grouping. Absolute values differ from the (illegible)
+// originals; the shape to check is: every scheme beats S.F. substantially,
+// and GOMCDS >= LOMCDS >= SCDS in average improvement.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace pimsched;
+  using namespace pimsched::benchtool;
+
+  std::cout << "Table 1 — total communication cost before grouping\n"
+            << "(4x4 PIM array, per-proc memory = 2x minimum, one window "
+               "per execution step)\n\n";
+  const std::vector<Method> methods = {Method::kScds, Method::kLomcds,
+                                       Method::kGomcds};
+  const std::vector<Row> rows = runPaperGrid(methods, /*perStepWindows=*/true);
+  printPaperTable(rows, {"SCDS", "LOMCDS", "GOMCDS"}, std::cout);
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Workload characterization: the reference-string metrics that explain the
+// main tables. Ties the paper's qualitative remark — movement helps most
+// on "benchmarks with complicate data reference patterns" — to measurable
+// quantities: center drift predicts the LOMCDS/GOMCDS gap over SCDS.
+
+#include <iostream>
+
+#include "core/pipeline.hpp"
+#include "cost/workload_stats.hpp"
+#include "kernels/benchmarks.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace pimsched;
+  const Grid grid(4, 4);
+  const int n = 16;
+
+  std::cout << "Workload characterization — " << n << "x" << n
+            << " on 4x4, per-step windows\n\n";
+  TextTable table({"B.", "volume", "procs/win", "drift", "top10% share",
+                   "SCDS->GOMCDS gain %"});
+  for (const PaperBenchmark b : allPaperBenchmarks()) {
+    const ReferenceTrace trace = makePaperBenchmark(b, grid, n);
+    PipelineConfig cfg;
+    cfg.numWindows = static_cast<int>(trace.numSteps());
+    const Experiment exp(trace, grid, cfg);
+    const TraceStats stats = computeTraceStats(exp.refs(), exp.costModel());
+    const Cost scds = exp.evaluate(Method::kScds).aggregate.total();
+    const Cost gomcds = exp.evaluate(Method::kGomcds).aggregate.total();
+    table.addRow({toString(b), std::to_string(stats.totalWeight),
+                  formatFixed(stats.meanProcsPerWindow, 2),
+                  formatFixed(stats.meanCenterDrift, 2),
+                  formatFixed(stats.topDecileWeightShare, 2),
+                  formatFixed(improvementPct(scds, gomcds), 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\n(Drift measures how far the per-window optimum wanders — "
+               "what LOMCDS chases and GOMCDS exploits judiciously. Note "
+               "benchmark 5: its drift is highest but the time-symmetric "
+               "reverse phase makes one static center unusually good, so "
+               "the SCDS->GOMCDS gap is small even though LOMCDS thrashes "
+               "badly there — gains depend on drift *and* asymmetry.)\n";
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Scheduling a user-supplied workload: builds a reference trace by hand
+// (the same thing a compiler pass or profiler would emit), round-trips it
+// through the text serialisation format, and schedules it. Shows the
+// lowest-level API — no kernel generators involved.
+//
+// The workload: a two-phase pipeline where a shared lookup table is read
+// by the left half of the machine in phase 1 and by the right half in
+// phase 2 — the textbook case where moving the data mid-run wins.
+
+#include <iostream>
+#include <sstream>
+
+#include "core/evaluator.hpp"
+#include "core/gomcds.hpp"
+#include "core/scds.hpp"
+#include "trace/trace_io.hpp"
+#include "trace/windowed_refs.hpp"
+
+int main() {
+  using namespace pimsched;
+  const Grid grid(4, 4);
+
+  // One 2x4 "table" array: 8 data.
+  DataSpace space;
+  const int table = space.addArray("table", 2, 4);
+
+  ReferenceTrace trace(space);
+  // Phase 1 (steps 0-3): processors in columns 0-1 read the whole table.
+  for (StepId s = 0; s < 4; ++s) {
+    for (int r = 0; r < 4; ++r) {
+      for (int c = 0; c < 2; ++c) {
+        for (DataId d = 0; d < space.numData(); ++d) {
+          trace.add(s, grid.id(r, c), d, 1);
+        }
+      }
+    }
+  }
+  // Phase 2 (steps 4-7): columns 2-3 read it.
+  for (StepId s = 4; s < 8; ++s) {
+    for (int r = 0; r < 4; ++r) {
+      for (int c = 2; c < 4; ++c) {
+        for (DataId d = 0; d < space.numData(); ++d) {
+          trace.add(s, grid.id(r, c), d, 1);
+        }
+      }
+    }
+  }
+  trace.finalize();
+
+  // Persist + reload through the text format (what an external tool would
+  // hand us).
+  std::stringstream buffer;
+  saveTrace(trace, buffer);
+  const ReferenceTrace loaded = loadTrace(buffer);
+  std::cout << "trace round-tripped: " << loaded.accesses().size()
+            << " aggregated accesses, volume " << loaded.totalWeight()
+            << "\n\n";
+
+  // Two windows: one per phase.
+  const WindowedRefs refs(
+      loaded, WindowPartition::fixedSize(loaded.numSteps(), 4), grid);
+  const CostModel model(grid);
+
+  const DataSchedule single = scheduleScds(refs, model);
+  const DataSchedule moving = scheduleGomcds(refs, model);
+  const CostBreakdown singleCost =
+      evaluateSchedule(single, refs, model).aggregate;
+  const CostBreakdown movingCost =
+      evaluateSchedule(moving, refs, model).aggregate;
+
+  std::cout << "single-center (SCDS):  serve " << singleCost.serve
+            << " + move " << singleCost.move << " = "
+            << singleCost.total() << '\n';
+  std::cout << "multi-center (GOMCDS): serve " << movingCost.serve
+            << " + move " << movingCost.move << " = "
+            << movingCost.total() << "\n\n";
+
+  std::cout << "table[0][0] placement:\n";
+  const auto show = [&](const char* name, const DataSchedule& s) {
+    const Coord w0 = grid.coord(s.center(space.id(table, 0, 0), 0));
+    const Coord w1 = grid.coord(s.center(space.id(table, 0, 0), 1));
+    std::cout << "  " << name << ": phase1 (" << w0.row << "," << w0.col
+              << "), phase2 (" << w1.row << "," << w1.col << ")\n";
+  };
+  show("SCDS  ", single);
+  show("GOMCDS", moving);
+  std::cout << "\nGOMCDS parks the table among its phase-1 readers, then "
+               "migrates it to the phase-2 side — the paper's data "
+               "movement in action.\n";
+  return 0;
+}

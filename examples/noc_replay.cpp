@@ -1,0 +1,71 @@
+// Beyond the paper's analytic metric: replay schedules through the
+// discrete-event NoC simulator to see contention. The analytic model the
+// paper optimises counts volume x distance; the simulator additionally
+// serialises transfers on shared mesh links, exposing makespan and hot
+// links. Good schedules win on both.
+
+#include <iostream>
+
+#include "core/pipeline.hpp"
+#include "kernels/benchmarks.hpp"
+#include "report/heatmap.hpp"
+#include "report/table.hpp"
+#include "sim/replay.hpp"
+
+int main() {
+  using namespace pimsched;
+  const Grid grid(4, 4);
+  const ReferenceTrace trace =
+      makePaperBenchmark(PaperBenchmark::kMatCode, grid, 16);
+  PipelineConfig cfg;
+  cfg.numWindows = static_cast<int>(trace.numSteps());
+  const Experiment exp(trace, grid, cfg);
+
+  std::cout << "NoC replay of benchmark 4 (matrix square + CODE), 16x16 "
+               "on 4x4\n\n";
+  TextTable table({"method", "analytic cost", "sim makespan",
+                   "busiest link", "avg msg latency"});
+  for (const Method m : {Method::kRowWise, Method::kScds, Method::kLomcds,
+                         Method::kGomcds}) {
+    const DataSchedule s = exp.schedule(m);
+    const Cost analytic =
+        evaluateSchedule(s, exp.refs(), exp.costModel()).aggregate.total();
+    const ReplayReport r = replaySchedule(s, exp.refs(), exp.costModel());
+    table.addRow({toString(m), std::to_string(analytic),
+                  std::to_string(r.total.makespan),
+                  std::to_string(r.total.maxLinkLoad),
+                  formatFixed(r.total.avgLatency, 1)});
+  }
+  table.print(std::cout);
+
+  // Drill into the per-window profile of the winning schedule.
+  const ReplayReport best = replaySchedule(exp.schedule(Method::kGomcds),
+                                           exp.refs(), exp.costModel());
+  std::int64_t worstWindow = 0;
+  std::size_t worstIdx = 0;
+  for (std::size_t w = 0; w < best.perWindow.size(); ++w) {
+    if (best.perWindow[w].makespan > worstWindow) {
+      worstWindow = best.perWindow[w].makespan;
+      worstIdx = w;
+    }
+  }
+  std::cout << "\nGOMCDS worst window: #" << worstIdx << " (makespan "
+            << worstWindow << " cycles, "
+            << best.perWindow[worstIdx].numMessages << " messages)\n";
+
+  // Where does that window's traffic flow? Router-traffic heatmaps
+  // (volume routed through each processor, 0-9 normalised) for the
+  // straight-forward layout vs GOMCDS in the same window.
+  const NocSimulator sim(grid);
+  const auto heat = [&](Method m, const std::string& title) {
+    const DataSchedule s = exp.schedule(m);
+    const auto traffic = sim.procTraffic(windowMessages(
+        s, exp.refs(), exp.costModel(), static_cast<WindowId>(worstIdx)));
+    std::vector<double> values(traffic.begin(), traffic.end());
+    std::cout << '\n';
+    renderHeatmap(std::cout, values, grid.rows(), grid.cols(), title);
+  };
+  heat(Method::kRowWise, "router traffic, S.F. layout:");
+  heat(Method::kGomcds, "router traffic, GOMCDS:");
+  return 0;
+}

@@ -1,0 +1,182 @@
+// pimsched_cli — schedule an externally produced trace file from the
+// command line. This is the tool a downstream user would wire behind a
+// compiler pass or profiler:
+//
+//   pimsched_cli TRACE_FILE [options]
+//     --grid RxC          processor array shape        (default 4x4)
+//     --windows N         execution windows            (default: per step)
+//     --adaptive T        adaptive windows, drift threshold T hops
+//     --method NAME       rowwise|colwise|block|cyclic|random|scds|
+//                         lomcds|gomcds|grouped|groupedgomcds
+//                                                      (default gomcds)
+//     --capacity N|paper|unlimited                     (default paper)
+//     --lookahead L       online rolling-horizon scheduler with L windows
+//                         of future knowledge (overrides --method)
+//     --placement         dump the per-(datum,window) centers
+//     --export FILE       write the schedule in the pimsched v1 format
+//     --csv               machine-readable summary line
+//
+// Exit code 0 on success; 2 on bad usage.
+
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "core/adaptive_window.hpp"
+#include "core/online.hpp"
+#include "core/schedule_io.hpp"
+#include "core/pipeline.hpp"
+#include "trace/trace_io.hpp"
+
+namespace {
+
+using namespace pimsched;
+
+[[noreturn]] void usage(const char* msg) {
+  if (std::strlen(msg) > 0) std::cerr << "error: " << msg << "\n\n";
+  std::cerr << "usage: pimsched_cli TRACE_FILE [--grid RxC] [--windows N]\n"
+               "       [--adaptive T] [--method NAME] [--capacity N|paper|"
+               "unlimited]\n"
+               "       [--lookahead L] [--placement] [--export FILE] "
+               "[--csv]\n";
+  std::exit(2);
+}
+
+std::optional<Method> parseMethod(const std::string& name) {
+  if (name == "rowwise") return Method::kRowWise;
+  if (name == "colwise") return Method::kColWise;
+  if (name == "block") return Method::kBlock2D;
+  if (name == "cyclic") return Method::kCyclic2D;
+  if (name == "random") return Method::kRandom;
+  if (name == "scds") return Method::kScds;
+  if (name == "lomcds") return Method::kLomcds;
+  if (name == "gomcds") return Method::kGomcds;
+  if (name == "grouped") return Method::kGroupedLomcds;
+  if (name == "groupedgomcds") return Method::kGroupedGomcds;
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage("missing trace file");
+  const std::string path = argv[1];
+
+  int gridRows = 4, gridCols = 4;
+  int windows = -1;  // -1: per step
+  double adaptive = -1.0;
+  Method method = Method::kGomcds;
+  std::int64_t capacity = PipelineConfig::kPaperCapacity;
+  bool dumpPlacement = false;
+  bool csv = false;
+  int lookahead = -1;  // -1: use --method
+  std::string exportPath;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--grid") {
+      const std::string v = value();
+      const auto x = v.find('x');
+      if (x == std::string::npos) usage("--grid expects RxC");
+      gridRows = std::stoi(v.substr(0, x));
+      gridCols = std::stoi(v.substr(x + 1));
+    } else if (arg == "--windows") {
+      windows = std::stoi(value());
+    } else if (arg == "--adaptive") {
+      adaptive = std::stod(value());
+    } else if (arg == "--method") {
+      const auto m = parseMethod(value());
+      if (!m.has_value()) usage("unknown method");
+      method = *m;
+    } else if (arg == "--capacity") {
+      const std::string v = value();
+      if (v == "paper") capacity = PipelineConfig::kPaperCapacity;
+      else if (v == "unlimited") capacity = PipelineConfig::kUnlimited;
+      else capacity = std::stoll(v);
+    } else if (arg == "--placement") {
+      dumpPlacement = true;
+    } else if (arg == "--export") {
+      exportPath = value();
+    } else if (arg == "--lookahead") {
+      lookahead = std::stoi(value());
+    } else if (arg == "--csv") {
+      csv = true;
+    } else {
+      usage(("unknown option " + arg).c_str());
+    }
+  }
+
+  try {
+    const ReferenceTrace trace = loadTraceFile(path);
+    const Grid grid(gridRows, gridCols);
+
+    // Windowing: explicit count, adaptive, or one window per step.
+    WindowPartition partition = WindowPartition::perStep(trace.numSteps());
+    if (adaptive >= 0.0) {
+      AdaptiveWindowOptions opts;
+      opts.driftThreshold = adaptive;
+      partition = adaptiveWindows(trace, grid, opts);
+    } else if (windows > 0) {
+      partition = WindowPartition::evenCount(trace.numSteps(), windows);
+    }
+
+    PipelineConfig cfg;
+    cfg.explicitWindows = partition;
+    cfg.capacity = capacity;
+    const Experiment exp(trace, grid, cfg);
+    const std::int64_t cap = exp.capacity();
+    const std::string methodName =
+        lookahead >= 0 ? "online L=" + std::to_string(lookahead)
+                       : toString(method);
+    const DataSchedule schedule = [&] {
+      if (lookahead < 0) return exp.schedule(method);
+      OnlineOptions online;
+      online.lookahead = lookahead;
+      online.capacity = cap;
+      online.order = DataOrder::kByWeightDesc;
+      return scheduleOnline(exp.refs(), exp.costModel(), online);
+    }();
+    const EvalResult result =
+        evaluateSchedule(schedule, exp.refs(), exp.costModel());
+
+    if (csv) {
+      std::cout << "method,windows,capacity,serve,move,total\n"
+                << methodName << ',' << exp.refs().numWindows() << ','
+                << cap << ',' << result.aggregate.serve << ','
+                << result.aggregate.move << ','
+                << result.aggregate.total() << '\n';
+    } else {
+      std::cout << "trace   : " << path << " (" << trace.numData()
+                << " data, " << trace.numSteps() << " steps)\n"
+                << "grid    : " << gridRows << "x" << gridCols
+                << ", capacity " << cap << "\n"
+                << "windows : " << exp.refs().numWindows() << "\n"
+                << "method  : " << methodName << "\n"
+                << "serve   : " << result.aggregate.serve << "\n"
+                << "move    : " << result.aggregate.move << "\n"
+                << "total   : " << result.aggregate.total() << "\n";
+    }
+    if (!exportPath.empty()) {
+      saveScheduleFile(schedule, exportPath);
+      if (!csv) std::cout << "exported : " << exportPath << "\n";
+    }
+    if (dumpPlacement) {
+      for (DataId d = 0; d < exp.refs().numData(); ++d) {
+        std::cout << "data " << d << ':';
+        for (WindowId w = 0; w < exp.refs().numWindows(); ++w) {
+          std::cout << ' ' << schedule.center(d, w);
+        }
+        std::cout << '\n';
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

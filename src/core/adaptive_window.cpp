@@ -1,0 +1,78 @@
+#include "core/adaptive_window.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+namespace pimsched {
+
+namespace {
+
+struct Centroid {
+  double row = 0.0;
+  double col = 0.0;
+  double weight = 0.0;
+
+  void add(const Coord& c, Cost w) {
+    const double dw = static_cast<double>(w);
+    row += c.row * dw;
+    col += c.col * dw;
+    weight += dw;
+  }
+
+  [[nodiscard]] double distanceTo(const Centroid& o) const {
+    if (weight == 0.0 || o.weight == 0.0) return 0.0;
+    return std::abs(row / weight - o.row / o.weight) +
+           std::abs(col / weight - o.col / o.weight);
+  }
+
+  void merge(const Centroid& o) {
+    row += o.row;
+    col += o.col;
+    weight += o.weight;
+  }
+};
+
+}  // namespace
+
+WindowPartition adaptiveWindows(const ReferenceTrace& trace, const Grid& grid,
+                                const AdaptiveWindowOptions& options) {
+  if (!trace.finalized()) {
+    throw std::invalid_argument("adaptiveWindows: trace must be finalized");
+  }
+  if (options.driftThreshold < 0.0) {
+    throw std::invalid_argument("adaptiveWindows: negative threshold");
+  }
+  const StepId steps = trace.numSteps();
+  if (steps == 0) return WindowPartition({}, 0);
+
+  // Per-step reference centroids.
+  std::vector<Centroid> perStep(static_cast<std::size_t>(steps));
+  for (const Access& a : trace.accesses()) {
+    perStep[static_cast<std::size_t>(a.step)].add(grid.coord(a.proc),
+                                                  a.weight);
+  }
+
+  std::vector<StepId> starts = {0};
+  Centroid window = perStep[0];
+  StepId windowLen = 1;
+  for (StepId s = 1; s < steps; ++s) {
+    const bool tooLong =
+        options.maxWindowSteps > 0 && windowLen >= options.maxWindowSteps;
+    const bool drifted =
+        perStep[static_cast<std::size_t>(s)].distanceTo(window) >
+        options.driftThreshold;
+    if (tooLong || drifted) {
+      starts.push_back(s);
+      window = perStep[static_cast<std::size_t>(s)];
+      windowLen = 1;
+    } else {
+      window.merge(perStep[static_cast<std::size_t>(s)]);
+      ++windowLen;
+    }
+  }
+  return WindowPartition(std::move(starts), steps);
+}
+
+}  // namespace pimsched

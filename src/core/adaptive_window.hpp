@@ -1,0 +1,28 @@
+#pragma once
+
+#include "pim/grid.hpp"
+#include "trace/trace.hpp"
+#include "trace/window.hpp"
+
+namespace pimsched {
+
+/// Extension of the paper's §4: instead of fixing the execution-window
+/// size up front and repairing it per datum with Algorithm 3, derive the
+/// window boundaries from the trace itself. The heuristic watches the
+/// weighted centroid of each step's references and cuts a window whenever
+/// the centroid has drifted more than `driftThreshold` hops from the
+/// current window's running centroid — i.e. windows end where the
+/// communication pattern moves.
+struct AdaptiveWindowOptions {
+  /// Manhattan distance the step centroid may stray from the window
+  /// centroid before a cut (in hops).
+  double driftThreshold = 1.0;
+  /// Upper bound on steps per window (0 = unbounded).
+  StepId maxWindowSteps = 0;
+};
+
+[[nodiscard]] WindowPartition adaptiveWindows(
+    const ReferenceTrace& trace, const Grid& grid,
+    const AdaptiveWindowOptions& options = {});
+
+}  // namespace pimsched

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/schedule.hpp"
+#include "core/scheduler_options.hpp"
+#include "cost/cost_model.hpp"
+#include "trace/windowed_refs.hpp"
+
+namespace pimsched {
+
+/// Simulated-annealing data scheduler — an ablation baseline the paper
+/// does not consider. Unlike GOMCDS (per-datum optimal, but greedy across
+/// data when capacity binds), annealing searches the joint schedule space:
+/// a move re-homes one (datum, window) cell, respecting capacity, and is
+/// accepted by the Metropolis rule on the exact incremental cost (serving
+/// delta plus the two affected movement edges). Deterministic for a fixed
+/// seed; returns the best schedule visited.
+struct AnnealParams {
+  std::int64_t iterations = 200'000;
+  double initialTemperature = 32.0;
+  double coolingFactor = 0.9995;  ///< applied every `stepsPerCooling` moves
+  int stepsPerCooling = 64;
+  std::uint64_t seed = 0xC0FFEE;
+};
+
+/// Starts from `initial` (commonly the GOMCDS schedule) and anneals. The
+/// initial schedule must be complete and respect `options.capacity`.
+[[nodiscard]] DataSchedule scheduleAnnealed(const WindowedRefs& refs,
+                                            const CostModel& model,
+                                            const DataSchedule& initial,
+                                            const SchedulerOptions& options = {},
+                                            const AnnealParams& params = {});
+
+}  // namespace pimsched

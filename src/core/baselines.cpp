@@ -1,0 +1,106 @@
+#include "core/baselines.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace pimsched {
+
+std::string toString(BaselineKind kind) {
+  switch (kind) {
+    case BaselineKind::kRowWise: return "row-wise";
+    case BaselineKind::kColWise: return "col-wise";
+    case BaselineKind::kBlock2D: return "block-2d";
+    case BaselineKind::kCyclic2D: return "cyclic-2d";
+    case BaselineKind::kRandom: return "random";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Assigns data, enumerated in `order`, to processors in row-major grid
+/// order in contiguous chunks of ceil(D / m).
+void assignChunked(DataSchedule& schedule, const std::vector<DataId>& order,
+                   const Grid& grid) {
+  const std::int64_t total = static_cast<std::int64_t>(order.size());
+  const std::int64_t chunk = (total + grid.size() - 1) / grid.size();
+  for (std::int64_t k = 0; k < total; ++k) {
+    const auto p = static_cast<ProcId>(
+        std::min<std::int64_t>(k / chunk, grid.size() - 1));
+    schedule.setStatic(order[static_cast<std::size_t>(k)], p);
+  }
+}
+
+}  // namespace
+
+DataSchedule baselineSchedule(BaselineKind kind, const DataSpace& space,
+                              const Grid& grid, int numWindows,
+                              std::uint64_t seed) {
+  DataSchedule schedule(space.numData(), numWindows);
+  switch (kind) {
+    case BaselineKind::kRowWise: {
+      // DataIds are already row-major per array, arrays concatenated.
+      std::vector<DataId> order(static_cast<std::size_t>(space.numData()));
+      std::iota(order.begin(), order.end(), 0);
+      assignChunked(schedule, order, grid);
+      break;
+    }
+    case BaselineKind::kColWise: {
+      std::vector<DataId> order;
+      order.reserve(static_cast<std::size_t>(space.numData()));
+      for (int a = 0; a < space.numArrays(); ++a) {
+        const auto& info = space.arrays()[static_cast<std::size_t>(a)];
+        for (int j = 0; j < info.cols; ++j) {
+          for (int i = 0; i < info.rows; ++i) {
+            order.push_back(space.id(a, i, j));
+          }
+        }
+      }
+      assignChunked(schedule, order, grid);
+      break;
+    }
+    case BaselineKind::kBlock2D: {
+      for (DataId d = 0; d < space.numData(); ++d) {
+        const ElementRef e = space.element(d);
+        const auto& info =
+            space.arrays()[static_cast<std::size_t>(e.array)];
+        const int r = static_cast<int>(
+            (static_cast<std::int64_t>(e.row) * grid.rows()) / info.rows);
+        const int c = static_cast<int>(
+            (static_cast<std::int64_t>(e.col) * grid.cols()) / info.cols);
+        schedule.setStatic(d, grid.id(r, c));
+      }
+      break;
+    }
+    case BaselineKind::kCyclic2D: {
+      for (DataId d = 0; d < space.numData(); ++d) {
+        const ElementRef e = space.element(d);
+        schedule.setStatic(
+            d, grid.id(e.row % grid.rows(), e.col % grid.cols()));
+      }
+      break;
+    }
+    case BaselineKind::kRandom: {
+      // Seeded Fisher-Yates over data ids, then chunked: uniform but
+      // balanced, so it respects the paper's capacity.
+      std::vector<DataId> order(static_cast<std::size_t>(space.numData()));
+      std::iota(order.begin(), order.end(), 0);
+      std::uint64_t state = seed;
+      const auto next = [&state] {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        return state >> 33;
+      };
+      for (std::size_t k = order.size(); k > 1; --k) {
+        std::swap(order[k - 1], order[static_cast<std::size_t>(
+                                    next() % k)]);
+      }
+      assignChunked(schedule, order, grid);
+      break;
+    }
+  }
+  return schedule;
+}
+
+}  // namespace pimsched

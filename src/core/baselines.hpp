@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/schedule.hpp"
+#include "pim/grid.hpp"
+#include "trace/data_space.hpp"
+
+namespace pimsched {
+
+/// The "straight-forward" static data distributions the paper compares
+/// against. All are static (no run-time movement) and fill processors with
+/// exactly ceil(numData / numProcs) data, so they satisfy any capacity >=
+/// the minimum by construction.
+enum class BaselineKind {
+  kRowWise,     ///< the paper's S.F. column: row-major order, block chunks
+  kColWise,     ///< column-major order (per array), block chunks
+  kBlock2D,     ///< element (i,j) -> the grid block containing (i,j)
+  kCyclic2D,    ///< element (i,j) -> (i mod gridRows, j mod gridCols)
+  kRandom,      ///< seeded uniform placement balanced to the minimum
+};
+
+[[nodiscard]] std::string toString(BaselineKind kind);
+
+/// Builds a static baseline schedule over `numWindows` windows.
+[[nodiscard]] DataSchedule baselineSchedule(BaselineKind kind,
+                                            const DataSpace& space,
+                                            const Grid& grid, int numWindows,
+                                            std::uint64_t seed = 1);
+
+}  // namespace pimsched

@@ -1,0 +1,20 @@
+#include "core/data_order.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace pimsched {
+
+std::vector<DataId> dataVisitOrder(const WindowedRefs& refs,
+                                   DataOrder order) {
+  std::vector<DataId> out(static_cast<std::size_t>(refs.numData()));
+  std::iota(out.begin(), out.end(), 0);
+  if (order == DataOrder::kByWeightDesc) {
+    std::stable_sort(out.begin(), out.end(), [&refs](DataId a, DataId b) {
+      return refs.dataWeight(a) > refs.dataWeight(b);
+    });
+  }
+  return out;
+}
+
+}  // namespace pimsched

@@ -1,0 +1,16 @@
+#pragma once
+
+#include <vector>
+
+#include "core/scheduler_options.hpp"
+#include "trace/windowed_refs.hpp"
+
+namespace pimsched {
+
+/// The sequence in which a scheduler visits data when claiming capacity
+/// slots: plain id order, or descending total reference weight (heavier
+/// data claim their optimal centers first), ties toward smaller id.
+[[nodiscard]] std::vector<DataId> dataVisitOrder(const WindowedRefs& refs,
+                                                 DataOrder order);
+
+}  // namespace pimsched

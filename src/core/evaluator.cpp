@@ -1,0 +1,38 @@
+#include "core/evaluator.hpp"
+
+#include <stdexcept>
+
+namespace pimsched {
+
+CostBreakdown evaluateDatum(const DataSchedule& schedule,
+                            const WindowedRefs& refs, const CostModel& model,
+                            DataId d) {
+  CostBreakdown out;
+  for (WindowId w = 0; w < refs.numWindows(); ++w) {
+    const ProcId c = schedule.center(d, w);
+    if (c == kNoProc) {
+      throw std::invalid_argument("evaluateDatum: incomplete schedule");
+    }
+    out.serve += model.serveCost(refs.refs(d, w), c);
+    if (w > 0) out.move += model.moveCost(schedule.center(d, w - 1), c);
+  }
+  return out;
+}
+
+EvalResult evaluateSchedule(const DataSchedule& schedule,
+                            const WindowedRefs& refs,
+                            const CostModel& model) {
+  if (schedule.numData() != refs.numData() ||
+      schedule.numWindows() != refs.numWindows()) {
+    throw std::invalid_argument("evaluateSchedule: shape mismatch");
+  }
+  EvalResult result;
+  result.perData.reserve(static_cast<std::size_t>(refs.numData()));
+  for (DataId d = 0; d < refs.numData(); ++d) {
+    result.perData.push_back(evaluateDatum(schedule, refs, model, d));
+    result.aggregate += result.perData.back();
+  }
+  return result;
+}
+
+}  // namespace pimsched

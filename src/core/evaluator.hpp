@@ -1,0 +1,45 @@
+#pragma once
+
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "cost/cost_model.hpp"
+#include "trace/windowed_refs.hpp"
+
+namespace pimsched {
+
+/// Communication cost split into reference traffic and data movement.
+struct CostBreakdown {
+  Cost serve = 0;  ///< references served from centers
+  Cost move = 0;   ///< datum migrations between window centers
+
+  [[nodiscard]] Cost total() const { return serve + move; }
+
+  CostBreakdown& operator+=(const CostBreakdown& o) {
+    serve += o.serve;
+    move += o.move;
+    return *this;
+  }
+};
+
+/// Total + per-datum communication cost of a schedule. This is the paper's
+/// evaluation metric: "the total communication cost for an application is
+/// the summation of the total communication cost of every processor".
+struct EvalResult {
+  CostBreakdown aggregate;
+  std::vector<CostBreakdown> perData;
+};
+
+/// Cost of one datum's center sequence (serve over all windows + movement
+/// between consecutive centers; the initial load is not charged).
+[[nodiscard]] CostBreakdown evaluateDatum(const DataSchedule& schedule,
+                                          const WindowedRefs& refs,
+                                          const CostModel& model, DataId d);
+
+/// Cost of the whole schedule. The schedule must be complete and match the
+/// refs' (numData, numWindows) shape.
+[[nodiscard]] EvalResult evaluateSchedule(const DataSchedule& schedule,
+                                          const WindowedRefs& refs,
+                                          const CostModel& model);
+
+}  // namespace pimsched

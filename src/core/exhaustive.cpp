@@ -1,0 +1,68 @@
+#include "core/exhaustive.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "cost/center_costs.hpp"
+
+namespace pimsched {
+
+DataSchedule scheduleExhaustive(const WindowedRefs& refs,
+                                const CostModel& model,
+                                std::uint64_t maxCombinations) {
+  const int W = refs.numWindows();
+  const int m = refs.numProcs();
+
+  std::uint64_t combos = 1;
+  for (int w = 0; w < W; ++w) {
+    combos *= static_cast<std::uint64_t>(m);
+    if (combos > maxCombinations) {
+      throw std::invalid_argument(
+          "scheduleExhaustive: instance too large to enumerate");
+    }
+  }
+
+  DataSchedule schedule(refs.numData(), W);
+  std::vector<ProcId> seq(static_cast<std::size_t>(W), 0);
+  for (DataId d = 0; d < refs.numData(); ++d) {
+    // Precompute serving costs once per datum.
+    std::vector<std::vector<Cost>> serve(static_cast<std::size_t>(W));
+    for (WindowId w = 0; w < W; ++w) {
+      serve[static_cast<std::size_t>(w)] =
+          centerCosts(model, refs.refs(d, w));
+    }
+
+    Cost best = kInfiniteCost;
+    std::vector<ProcId> bestSeq;
+    std::fill(seq.begin(), seq.end(), 0);
+    while (true) {
+      Cost total = 0;
+      for (WindowId w = 0; w < W; ++w) {
+        total += serve[static_cast<std::size_t>(w)]
+                      [static_cast<std::size_t>(seq[static_cast<std::size_t>(w)])];
+        if (w > 0) {
+          total += model.moveCost(seq[static_cast<std::size_t>(w - 1)],
+                                  seq[static_cast<std::size_t>(w)]);
+        }
+      }
+      if (total < best) {
+        best = total;
+        bestSeq = seq;
+      }
+      // Odometer increment.
+      int w = W - 1;
+      while (w >= 0 && ++seq[static_cast<std::size_t>(w)] == m) {
+        seq[static_cast<std::size_t>(w)] = 0;
+        --w;
+      }
+      if (w < 0) break;
+    }
+    for (WindowId w = 0; w < W; ++w) {
+      schedule.setCenter(d, w, bestSeq[static_cast<std::size_t>(w)]);
+    }
+  }
+  return schedule;
+}
+
+}  // namespace pimsched

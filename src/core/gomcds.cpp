@@ -1,0 +1,111 @@
+#include "core/gomcds.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/data_order.hpp"
+#include "cost/center_costs.hpp"
+#include "graph/layered_dag.hpp"
+#include "pim/memory.hpp"
+
+namespace pimsched {
+
+DataSchedule scheduleGomcds(const WindowedRefs& refs, const CostModel& model,
+                            const SchedulerOptions& options,
+                            GomcdsEngine engine) {
+  DataSchedule schedule(refs.numData(), refs.numWindows());
+  const Grid& grid = model.grid();
+  const int W = refs.numWindows();
+  const Cost beta = model.params().hopCost * model.params().moveVolume;
+
+  std::vector<OccupancyMap> occupancy(
+      static_cast<std::size_t>(W), OccupancyMap(grid, options.capacity));
+
+  for (const DataId d : dataVisitOrder(refs, options.order)) {
+    // Serving cost of every (window, processor) node of the cost-graph.
+    std::vector<std::vector<Cost>> serve(static_cast<std::size_t>(W));
+    for (WindowId w = 0; w < W; ++w) {
+      serve[static_cast<std::size_t>(w)] =
+          centerCosts(model, refs.refs(d, w));
+    }
+    const auto nodeCost = [&](int w, int p) -> Cost {
+      if (!occupancy[static_cast<std::size_t>(w)].hasRoom(
+              static_cast<ProcId>(p))) {
+        return kInfiniteCost;
+      }
+      return serve[static_cast<std::size_t>(w)][static_cast<std::size_t>(p)];
+    };
+
+    LayeredPath path;
+    if (engine == GomcdsEngine::kChamfer) {
+      path = LayeredDagSolver::solveManhattan(grid, W, nodeCost, beta);
+    } else {
+      const auto trans = [&](int q, int p) -> Cost {
+        return beta * grid.manhattan(static_cast<ProcId>(q),
+                                     static_cast<ProcId>(p));
+      };
+      path = LayeredDagSolver::solve(W, grid.size(), nodeCost, trans);
+    }
+    if (!path.feasible()) {
+      throw std::runtime_error(
+          "scheduleGomcds: capacity infeasible (no placement path)");
+    }
+    for (WindowId w = 0; w < W; ++w) {
+      const auto p = static_cast<ProcId>(path.nodes[static_cast<std::size_t>(w)]);
+      occupancy[static_cast<std::size_t>(w)].tryPlace(p);
+      schedule.setCenter(d, w, p);
+    }
+  }
+  return schedule;
+}
+
+DataSchedule scheduleGomcdsParallel(const WindowedRefs& refs,
+                                    const CostModel& model,
+                                    unsigned threads) {
+  const Grid& grid = model.grid();
+  const int W = refs.numWindows();
+  const Cost beta = model.params().hopCost * model.params().moveVolume;
+  DataSchedule schedule(refs.numData(), W);
+
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = std::min<unsigned>(
+      threads, static_cast<unsigned>(std::max<DataId>(refs.numData(), 1)));
+
+  // Atomic work-stealing index: data are independent without capacity, so
+  // workers write disjoint rows of the schedule.
+  std::atomic<DataId> next{0};
+  const auto worker = [&] {
+    std::vector<std::vector<Cost>> serve(static_cast<std::size_t>(W));
+    while (true) {
+      const DataId d = next.fetch_add(1, std::memory_order_relaxed);
+      if (d >= refs.numData()) break;
+      for (WindowId w = 0; w < W; ++w) {
+        serve[static_cast<std::size_t>(w)] =
+            centerCosts(model, refs.refs(d, w));
+      }
+      const auto nodeCost = [&serve](int w, int p) -> Cost {
+        return serve[static_cast<std::size_t>(w)]
+                    [static_cast<std::size_t>(p)];
+      };
+      const LayeredPath path =
+          LayeredDagSolver::solveManhattan(grid, W, nodeCost, beta);
+      for (WindowId w = 0; w < W; ++w) {
+        schedule.setCenter(
+            d, w,
+            static_cast<ProcId>(path.nodes[static_cast<std::size_t>(w)]));
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return schedule;
+}
+
+}  // namespace pimsched

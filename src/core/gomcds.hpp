@@ -1,0 +1,42 @@
+#pragma once
+
+#include "core/schedule.hpp"
+#include "core/scheduler_options.hpp"
+#include "cost/cost_model.hpp"
+#include "trace/windowed_refs.hpp"
+
+namespace pimsched {
+
+/// Which engine solves the per-datum shortest-path problem. Both produce
+/// identical schedules; kChamfer exploits the Manhattan structure of the
+/// movement cost to relax each layer in O(numProcs) instead of
+/// O(numProcs^2). kNaive exists for the A2 ablation and as the literal
+/// reading of the paper's cost-graph.
+enum class GomcdsEngine { kChamfer, kNaive };
+
+/// Global-Optimal Multiple-Center Data Scheduling (paper Algorithm 2): for
+/// each datum, build the layered cost-graph — one node per (execution
+/// window, processor), edge weight = movement cost between the processors
+/// plus the serving cost of the next window — and take the shortest
+/// source-to-destination path as the center sequence. Without capacity
+/// pressure this minimises each datum's total (serving + movement) cost
+/// exactly.
+///
+/// Capacity is handled in the spirit of the paper's processor list: data
+/// are scheduled sequentially and a (window, processor) slot that is full
+/// becomes a forbidden node for later data.
+[[nodiscard]] DataSchedule scheduleGomcds(
+    const WindowedRefs& refs, const CostModel& model,
+    const SchedulerOptions& options = {},
+    GomcdsEngine engine = GomcdsEngine::kChamfer);
+
+/// Multi-threaded GOMCDS for the uncapacitated case: each datum's
+/// shortest-path problem is independent, so the data are striped across
+/// `threads` worker threads (0 = hardware concurrency). Bit-identical to
+/// scheduleGomcds with unlimited capacity. Capacity-constrained scheduling
+/// is inherently sequential (slot claims order the data) and is rejected.
+[[nodiscard]] DataSchedule scheduleGomcdsParallel(const WindowedRefs& refs,
+                                                  const CostModel& model,
+                                                  unsigned threads = 0);
+
+}  // namespace pimsched

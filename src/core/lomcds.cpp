@@ -1,0 +1,48 @@
+#include "core/lomcds.hpp"
+
+#include <stdexcept>
+
+#include "core/data_order.hpp"
+#include "cost/center_costs.hpp"
+#include "cost/center_list.hpp"
+#include "pim/memory.hpp"
+
+namespace pimsched {
+
+DataSchedule scheduleLomcds(const WindowedRefs& refs, const CostModel& model,
+                            const SchedulerOptions& options) {
+  DataSchedule schedule(refs.numData(), refs.numWindows());
+  const Grid& grid = model.grid();
+  const std::vector<DataId> order = dataVisitOrder(refs, options.order);
+
+  for (WindowId w = 0; w < refs.numWindows(); ++w) {
+    OccupancyMap occupancy(grid, options.capacity);
+    for (const DataId d : order) {
+      const std::span<const ProcWeight> rs = refs.refs(d, w);
+      std::vector<Cost> costs;
+      if (!rs.empty()) {
+        costs = centerCosts(model, rs);
+      } else if (w > 0) {
+        // Unreferenced: prefer staying put; otherwise the cheapest move.
+        const ProcId prev = schedule.center(d, w - 1);
+        costs.resize(static_cast<std::size_t>(grid.size()));
+        for (ProcId p = 0; p < grid.size(); ++p) {
+          costs[static_cast<std::size_t>(p)] = model.moveCost(prev, p);
+        }
+      } else {
+        costs.assign(static_cast<std::size_t>(grid.size()), 0);
+      }
+      const CenterList list(costs);
+      const ProcId p = list.firstAvailable(occupancy);
+      if (p == kNoProc) {
+        throw std::runtime_error(
+            "scheduleLomcds: capacity infeasible (all processors full)");
+      }
+      occupancy.tryPlace(p);
+      schedule.setCenter(d, w, p);
+    }
+  }
+  return schedule;
+}
+
+}  // namespace pimsched

@@ -1,0 +1,23 @@
+#pragma once
+
+#include "core/schedule.hpp"
+#include "core/scheduler_options.hpp"
+#include "cost/cost_model.hpp"
+#include "trace/windowed_refs.hpp"
+
+namespace pimsched {
+
+/// Local-Optimal Multiple-Center Data Scheduling (paper §3.2.1): Algorithm 1
+/// is applied to every execution window independently, so each datum sits at
+/// the locally optimal center of each window and migrates between windows at
+/// run time. The movement cost is *not* part of the optimisation (that is
+/// GOMCDS's refinement) but is charged by the evaluator.
+///
+/// A datum that is unreferenced in a window stays where it was (movement
+/// would only cost); if its previous center has no free slot in this window
+/// it falls back to the nearest processor with room.
+[[nodiscard]] DataSchedule scheduleLomcds(
+    const WindowedRefs& refs, const CostModel& model,
+    const SchedulerOptions& options = {});
+
+}  // namespace pimsched

@@ -1,0 +1,74 @@
+#include "core/online.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "core/data_order.hpp"
+#include "cost/center_costs.hpp"
+#include "graph/layered_dag.hpp"
+#include "pim/memory.hpp"
+
+namespace pimsched {
+
+DataSchedule scheduleOnline(const WindowedRefs& refs, const CostModel& model,
+                            const OnlineOptions& options) {
+  if (options.lookahead < 0) {
+    throw std::invalid_argument("scheduleOnline: negative lookahead");
+  }
+  const Grid& grid = model.grid();
+  const int W = refs.numWindows();
+  const Cost beta = model.params().hopCost * model.params().moveVolume;
+  DataSchedule schedule(refs.numData(), W);
+
+  std::vector<OccupancyMap> occupancy(
+      static_cast<std::size_t>(W), OccupancyMap(grid, options.capacity));
+
+  for (const DataId d : dataVisitOrder(refs, options.order)) {
+    // Serving costs per window are reused across horizons.
+    std::vector<std::vector<Cost>> serve(static_cast<std::size_t>(W));
+    for (WindowId w = 0; w < W; ++w) {
+      serve[static_cast<std::size_t>(w)] =
+          centerCosts(model, refs.refs(d, w));
+    }
+
+    ProcId prev = kNoProc;
+    for (WindowId w = 0; w < W; ++w) {
+      const int horizon =
+          std::min<int>(W - w, options.lookahead + 1);
+      // Layer l of the horizon DP is window w + l; the committed previous
+      // center enters as a movement term on layer 0. Capacity: only the
+      // window being committed must have room — future windows' slots are
+      // not reserved (they will be re-checked when committed), matching
+      // an online system that cannot reserve the future.
+      const auto nodeCost = [&](int l, int p) -> Cost {
+        const WindowId win = w + static_cast<WindowId>(l);
+        Cost c = serve[static_cast<std::size_t>(win)]
+                      [static_cast<std::size_t>(p)];
+        if (l == 0) {
+          if (!occupancy[static_cast<std::size_t>(win)].hasRoom(
+                  static_cast<ProcId>(p))) {
+            return kInfiniteCost;
+          }
+          if (prev != kNoProc) {
+            c = satAdd(c, model.moveCost(prev, static_cast<ProcId>(p)));
+          }
+        }
+        return c;
+      };
+      const LayeredPath path =
+          LayeredDagSolver::solveManhattan(grid, horizon, nodeCost, beta);
+      if (!path.feasible()) {
+        throw std::runtime_error(
+            "scheduleOnline: capacity infeasible (window full)");
+      }
+      const auto chosen = static_cast<ProcId>(path.nodes[0]);
+      occupancy[static_cast<std::size_t>(w)].tryPlace(chosen);
+      schedule.setCenter(d, w, chosen);
+      prev = chosen;
+    }
+  }
+  return schedule;
+}
+
+}  // namespace pimsched

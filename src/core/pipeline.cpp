@@ -1,0 +1,97 @@
+#include "core/pipeline.hpp"
+
+#include <stdexcept>
+
+#include "pim/memory.hpp"
+
+namespace pimsched {
+
+std::string toString(Method m) {
+  switch (m) {
+    case Method::kRowWise: return "S.F.(row-wise)";
+    case Method::kColWise: return "col-wise";
+    case Method::kBlock2D: return "block-2d";
+    case Method::kCyclic2D: return "cyclic-2d";
+    case Method::kRandom: return "random";
+    case Method::kScds: return "SCDS";
+    case Method::kLomcds: return "LOMCDS";
+    case Method::kGomcds: return "GOMCDS";
+    case Method::kGroupedLomcds: return "LOMCDS+group";
+    case Method::kGroupedGomcds: return "GOMCDS+group";
+    case Method::kGroupedOptimal: return "LOMCDS+group*";
+  }
+  return "unknown";
+}
+
+Experiment::Experiment(const ReferenceTrace& trace, const Grid& grid,
+                       PipelineConfig config)
+    : space_(&trace.dataSpace()),
+      grid_(&grid),
+      config_(config),
+      windows_(config.explicitWindows.has_value()
+                   ? *config.explicitWindows
+                   : WindowPartition::evenCount(trace.numSteps(),
+                                                config.numWindows)),
+      refs_(trace, windows_, grid),
+      model_(grid, config.costParams),
+      capacity_(config.capacity) {
+  if (trace.numSteps() == 0) {
+    throw std::invalid_argument(
+        "Experiment: trace has no steps (nothing to schedule)");
+  }
+  if (capacity_ == PipelineConfig::kPaperCapacity) {
+    capacity_ = paperCapacity(grid, trace.numData());
+  } else if (capacity_ == PipelineConfig::kUnlimited) {
+    capacity_ = -1;
+  } else if (capacity_ < 0) {
+    throw std::invalid_argument("Experiment: invalid capacity sentinel");
+  }
+}
+
+DataSchedule Experiment::schedule(Method m) const {
+  const SchedulerOptions opts{capacity_, config_.order};
+  switch (m) {
+    case Method::kRowWise:
+      return baselineSchedule(BaselineKind::kRowWise, *space_, *grid_,
+                              refs_.numWindows());
+    case Method::kColWise:
+      return baselineSchedule(BaselineKind::kColWise, *space_, *grid_,
+                              refs_.numWindows());
+    case Method::kBlock2D:
+      return baselineSchedule(BaselineKind::kBlock2D, *space_, *grid_,
+                              refs_.numWindows());
+    case Method::kCyclic2D:
+      return baselineSchedule(BaselineKind::kCyclic2D, *space_, *grid_,
+                              refs_.numWindows());
+    case Method::kRandom:
+      return baselineSchedule(BaselineKind::kRandom, *space_, *grid_,
+                              refs_.numWindows());
+    case Method::kScds:
+      return scheduleScds(refs_, model_, opts);
+    case Method::kLomcds:
+      return scheduleLomcds(refs_, model_, opts);
+    case Method::kGomcds:
+      return scheduleGomcds(refs_, model_, opts);
+    case Method::kGroupedLomcds:
+      return scheduleGroupedLomcds(refs_, model_, opts,
+                                   GroupingMethod::kGreedy);
+    case Method::kGroupedGomcds:
+      return scheduleGroupedGomcds(refs_, model_, opts);
+    case Method::kGroupedOptimal:
+      return scheduleGroupedLomcds(refs_, model_, opts,
+                                   GroupingMethod::kOptimalDp);
+  }
+  throw std::invalid_argument("Experiment::schedule: unknown method");
+}
+
+EvalResult Experiment::evaluate(Method m) const {
+  return evaluateSchedule(schedule(m), refs_, model_);
+}
+
+double improvementPct(Cost base, Cost cost) {
+  if (base == 0) return 0.0;
+  return 100.0 * static_cast<double>(base - cost) /
+         static_cast<double>(base);
+}
+
+}  // namespace pimsched

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/baselines.hpp"
+#include "core/evaluator.hpp"
+#include "core/gomcds.hpp"
+#include "core/grouping.hpp"
+#include "core/lomcds.hpp"
+#include "core/scds.hpp"
+#include "trace/window.hpp"
+
+namespace pimsched {
+
+/// Every scheduling method the experiments compare.
+enum class Method {
+  kRowWise,         ///< the paper's "straight-forward" S.F. column
+  kColWise,
+  kBlock2D,
+  kCyclic2D,
+  kRandom,
+  kScds,
+  kLomcds,
+  kGomcds,
+  kGroupedLomcds,   ///< Algorithm 3 (greedy) on LOMCDS centers — Table 2
+  kGroupedGomcds,   ///< Algorithm 3 groups + GOMCDS DP over groups — Table 2's GOMCDS column
+  kGroupedOptimal,  ///< optimal-DP grouping ablation
+};
+
+[[nodiscard]] std::string toString(Method m);
+
+/// Knobs of one experiment run.
+struct PipelineConfig {
+  /// Number of execution windows the step sequence is split into
+  /// (WindowPartition::evenCount); clamped to the step count. Ignored
+  /// when explicitWindows is set.
+  int numWindows = 8;
+
+  /// Use these window boundaries verbatim (e.g. from adaptiveWindows)
+  /// instead of an even split.
+  std::optional<WindowPartition> explicitWindows;
+
+  /// Per-processor capacity: kPaperCapacity applies the paper's "twice the
+  /// minimum" rule, kUnlimited disables the constraint, any value >= 0 is
+  /// used verbatim.
+  static constexpr std::int64_t kPaperCapacity = -2;
+  static constexpr std::int64_t kUnlimited = -1;
+  std::int64_t capacity = kPaperCapacity;
+
+  CostParams costParams = {};
+
+  /// Data are scheduled heaviest-first by default: the paper's Algorithm 1
+  /// visits "each data i" in an unspecified order, and letting data with
+  /// the most reference traffic claim their optimal centers first is the
+  /// natural processor-list behaviour under memory contention (ablated in
+  /// bench/grouping_ablation).
+  DataOrder order = DataOrder::kByWeightDesc;
+};
+
+/// Binds a trace to a grid + config and runs any Method on it. Windowing,
+/// reference aggregation and capacity resolution happen once in the
+/// constructor; schedules and costs are computed per call.
+class Experiment {
+ public:
+  Experiment(const ReferenceTrace& trace, const Grid& grid,
+             PipelineConfig config = {});
+
+  [[nodiscard]] const Grid& grid() const { return *grid_; }
+  [[nodiscard]] const WindowedRefs& refs() const { return refs_; }
+  [[nodiscard]] const WindowPartition& windows() const { return windows_; }
+  [[nodiscard]] const CostModel& costModel() const { return model_; }
+  [[nodiscard]] const DataSpace& dataSpace() const { return *space_; }
+  /// Resolved per-processor capacity (>= 0, or -1 for unlimited).
+  [[nodiscard]] std::int64_t capacity() const { return capacity_; }
+
+  /// Builds the schedule a method produces.
+  [[nodiscard]] DataSchedule schedule(Method m) const;
+
+  /// Schedule + evaluation in one step.
+  [[nodiscard]] EvalResult evaluate(Method m) const;
+
+ private:
+  const DataSpace* space_;
+  const Grid* grid_;
+  PipelineConfig config_;
+  WindowPartition windows_;
+  WindowedRefs refs_;
+  CostModel model_;
+  std::int64_t capacity_;
+};
+
+/// Percentage improvement of `cost` over `base` (the paper's "%"
+/// columns): 100 * (base - cost) / base. Returns 0 when base is 0.
+[[nodiscard]] double improvementPct(Cost base, Cost cost);
+
+}  // namespace pimsched

@@ -1,0 +1,116 @@
+#include "core/placement_opt.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "cost/center_costs.hpp"
+
+namespace pimsched {
+
+namespace {
+
+/// One (datum, window) reference string in logical processor ids.
+struct Cell {
+  std::vector<ProcWeight> refs;
+  Cost cost = 0;
+};
+
+Cost cellCost(const CostModel& model, const Cell& cell,
+              const std::vector<ProcId>& perm) {
+  std::vector<ProcWeight> mapped;
+  mapped.reserve(cell.refs.size());
+  for (const ProcWeight& pw : cell.refs) {
+    mapped.push_back(
+        ProcWeight{perm[static_cast<std::size_t>(pw.proc)], pw.weight});
+  }
+  return bestCenter(model, mapped).cost;
+}
+
+}  // namespace
+
+PlacementOptResult optimizeProcPlacement(const WindowedRefs& refs,
+                                         const CostModel& model,
+                                         const PlacementOptOptions& options) {
+  const int m = refs.numProcs();
+  PlacementOptResult result;
+  result.perm.resize(static_cast<std::size_t>(m));
+  std::iota(result.perm.begin(), result.perm.end(), 0);
+
+  // Materialise the non-empty cells and a proc -> cells index.
+  std::vector<Cell> cells;
+  std::vector<std::vector<int>> touching(static_cast<std::size_t>(m));
+  for (DataId d = 0; d < refs.numData(); ++d) {
+    for (WindowId w = 0; w < refs.numWindows(); ++w) {
+      const auto rs = refs.refs(d, w);
+      if (rs.empty()) continue;
+      Cell cell;
+      cell.refs.assign(rs.begin(), rs.end());
+      const int idx = static_cast<int>(cells.size());
+      for (const ProcWeight& pw : cell.refs) {
+        touching[static_cast<std::size_t>(pw.proc)].push_back(idx);
+      }
+      cells.push_back(std::move(cell));
+    }
+  }
+
+  Cost total = 0;
+  for (Cell& cell : cells) {
+    cell.cost = cellCost(model, cell, result.perm);
+    total += cell.cost;
+  }
+  result.before = total;
+
+  std::vector<int> stamp(cells.size(), -1);
+  int stampGen = 0;
+  std::vector<int> affected;
+  std::vector<Cost> savedCosts;
+
+  for (int sweep = 0; sweep < options.maxSweeps; ++sweep) {
+    bool improved = false;
+    for (ProcId a = 0; a < m; ++a) {
+      for (ProcId b = a + 1; b < m; ++b) {
+        // Gather the cells touching either logical processor, once.
+        ++stampGen;
+        affected.clear();
+        for (const ProcId p : {a, b}) {
+          for (const int idx : touching[static_cast<std::size_t>(p)]) {
+            if (stamp[static_cast<std::size_t>(idx)] != stampGen) {
+              stamp[static_cast<std::size_t>(idx)] = stampGen;
+              affected.push_back(idx);
+            }
+          }
+        }
+        if (affected.empty()) continue;
+
+        std::swap(result.perm[static_cast<std::size_t>(a)],
+                  result.perm[static_cast<std::size_t>(b)]);
+        Cost delta = 0;
+        savedCosts.clear();
+        for (const int idx : affected) {
+          const Cost fresh =
+              cellCost(model, cells[static_cast<std::size_t>(idx)],
+                       result.perm);
+          savedCosts.push_back(fresh);
+          delta += fresh - cells[static_cast<std::size_t>(idx)].cost;
+        }
+        if (delta < 0) {
+          for (std::size_t i = 0; i < affected.size(); ++i) {
+            cells[static_cast<std::size_t>(affected[i])].cost =
+                savedCosts[i];
+          }
+          total += delta;
+          ++result.swapsApplied;
+          improved = true;
+        } else {
+          std::swap(result.perm[static_cast<std::size_t>(a)],
+                    result.perm[static_cast<std::size_t>(b)]);
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  result.after = total;
+  return result;
+}
+
+}  // namespace pimsched

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <vector>
+
+#include "cost/cost_model.hpp"
+#include "trace/windowed_refs.hpp"
+
+namespace pimsched {
+
+/// Stage-1 optimisation: improve the *iteration partition* by re-labelling
+/// which physical processor executes each logical partition cell. The work
+/// decomposition is untouched — only the mapping onto the mesh changes, so
+/// spatially-close communication partners end up physically close.
+///
+/// Objective: sum over every (datum, window) cell of the reference
+/// string's minimal serving cost (its dispersion around the weighted
+/// median) — a scheduler-independent lower-bound proxy for what any data
+/// scheduling can achieve afterwards.
+///
+/// Search: deterministic first-improvement pairwise-swap local search with
+/// incremental re-evaluation (only the (datum, window) cells touching a
+/// swapped processor are recosted).
+struct PlacementOptResult {
+  std::vector<ProcId> perm;  ///< logical proc -> physical proc
+  Cost before = 0;           ///< objective of the identity mapping
+  Cost after = 0;            ///< objective of perm
+  int swapsApplied = 0;
+};
+
+struct PlacementOptOptions {
+  /// Maximum full sweeps over all processor pairs.
+  int maxSweeps = 8;
+};
+
+[[nodiscard]] PlacementOptResult optimizeProcPlacement(
+    const WindowedRefs& refs, const CostModel& model,
+    const PlacementOptOptions& options = {});
+
+}  // namespace pimsched

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/scheduler_options.hpp"
+#include "cost/cost_model.hpp"
+#include "trace/windowed_refs.hpp"
+
+namespace pimsched {
+
+/// Extension beyond the paper: the paper fixes "one copy of data is
+/// allowed in a system"; this module lifts that restriction for read-only
+/// data by placing k static replicas per datum (weighted k-median over the
+/// merged reference string) and serving every reference from the nearest
+/// replica. No run-time movement — the replication analogue of SCDS.
+///
+/// The model treats all references as reads; for data that are written the
+/// coherence traffic of a multi-copy scheme is not modelled (documented
+/// future work, matching the paper's single-copy assumption).
+class ReplicatedSchedule {
+ public:
+  ReplicatedSchedule(DataId numData) : replicas_(static_cast<std::size_t>(numData)) {}
+
+  [[nodiscard]] DataId numData() const {
+    return static_cast<DataId>(replicas_.size());
+  }
+  [[nodiscard]] std::span<const ProcId> replicas(DataId d) const {
+    return replicas_[static_cast<std::size_t>(d)];
+  }
+  void setReplicas(DataId d, std::vector<ProcId> procs) {
+    replicas_[static_cast<std::size_t>(d)] = std::move(procs);
+  }
+
+  /// Total replicas across all data (memory footprint in slots).
+  [[nodiscard]] std::int64_t totalReplicas() const;
+
+ private:
+  std::vector<std::vector<ProcId>> replicas_;
+};
+
+struct ReplicationOptions {
+  /// Hard cap on replicas per datum.
+  int maxReplicasPerDatum = 4;
+  /// A replica is only added while it reduces the serving cost by at least
+  /// this much (models the storage/update cost of keeping an extra copy).
+  Cost minGainPerReplica = 1;
+  /// Per-processor slot capacity across all replicas; < 0 unlimited.
+  std::int64_t capacity = -1;
+  DataOrder order = DataOrder::kByWeightDesc;
+};
+
+/// Greedy replicated placement: per datum (heaviest first), grow the
+/// replica set with kMedian while the marginal gain clears
+/// minGainPerReplica and capacity slots remain.
+[[nodiscard]] ReplicatedSchedule scheduleReplicated(
+    const WindowedRefs& refs, const CostModel& model,
+    const ReplicationOptions& options = {});
+
+/// Serving cost of a replicated schedule (nearest replica per reference,
+/// summed over windows; replicas are static so there is no movement term).
+[[nodiscard]] Cost evaluateReplicated(const ReplicatedSchedule& schedule,
+                                      const WindowedRefs& refs,
+                                      const CostModel& model);
+
+}  // namespace pimsched

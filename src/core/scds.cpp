@@ -1,0 +1,35 @@
+#include "core/scds.hpp"
+
+#include <stdexcept>
+
+#include "core/data_order.hpp"
+#include "cost/center_costs.hpp"
+#include "cost/center_list.hpp"
+#include "pim/memory.hpp"
+
+namespace pimsched {
+
+DataSchedule scheduleScds(const WindowedRefs& refs, const CostModel& model,
+                          const SchedulerOptions& options) {
+  DataSchedule schedule(refs.numData(), refs.numWindows());
+  // A static placement occupies its slot for the whole run, so a single
+  // occupancy map covers every window.
+  OccupancyMap occupancy(model.grid(), options.capacity);
+
+  for (const DataId d : dataVisitOrder(refs, options.order)) {
+    const std::vector<ProcWeight> merged =
+        refs.mergedRefs(d, 0, refs.numWindows());
+    const std::vector<Cost> costs = centerCosts(model, merged);
+    const CenterList list(costs);
+    const ProcId p = list.firstAvailable(occupancy);
+    if (p == kNoProc) {
+      throw std::runtime_error(
+          "scheduleScds: capacity infeasible (all processors full)");
+    }
+    occupancy.tryPlace(p);
+    schedule.setStatic(d, p);
+  }
+  return schedule;
+}
+
+}  // namespace pimsched

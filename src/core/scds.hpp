@@ -1,0 +1,22 @@
+#pragma once
+
+#include "core/schedule.hpp"
+#include "core/scheduler_options.hpp"
+#include "cost/cost_model.hpp"
+#include "trace/windowed_refs.hpp"
+
+namespace pimsched {
+
+/// Single-Center Data Scheduling (paper Algorithm 1): every datum gets one
+/// center for the whole execution. All execution windows are merged, the
+/// serving cost of every candidate processor is computed, and the datum is
+/// assigned to the first processor of the ascending-cost processor list
+/// that still has a free memory slot.
+///
+/// Throws std::runtime_error if the capacity is infeasible
+/// (numData > capacity * numProcs).
+[[nodiscard]] DataSchedule scheduleScds(const WindowedRefs& refs,
+                                        const CostModel& model,
+                                        const SchedulerOptions& options = {});
+
+}  // namespace pimsched

@@ -1,0 +1,56 @@
+#include "core/schedule.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pimsched {
+
+DataSchedule::DataSchedule(DataId numData, int numWindows)
+    : numData_(numData), numWindows_(numWindows) {
+  if (numData < 0 || numWindows < 1) {
+    throw std::invalid_argument(
+        "DataSchedule: need numData >= 0 and numWindows >= 1");
+  }
+  centers_.assign(static_cast<std::size_t>(numData) *
+                      static_cast<std::size_t>(numWindows),
+                  kNoProc);
+}
+
+void DataSchedule::setStatic(DataId d, ProcId p) {
+  for (WindowId w = 0; w < numWindows_; ++w) setCenter(d, w, p);
+}
+
+bool DataSchedule::complete() const {
+  return std::none_of(centers_.begin(), centers_.end(),
+                      [](ProcId p) { return p == kNoProc; });
+}
+
+bool DataSchedule::isStatic() const {
+  for (DataId d = 0; d < numData_; ++d) {
+    for (WindowId w = 1; w < numWindows_; ++w) {
+      if (center(d, w) != center(d, 0)) return false;
+    }
+  }
+  return true;
+}
+
+std::int64_t DataSchedule::maxOccupancy(const Grid& grid) const {
+  std::int64_t worst = 0;
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(grid.size()));
+  for (WindowId w = 0; w < numWindows_; ++w) {
+    std::fill(counts.begin(), counts.end(), 0);
+    for (DataId d = 0; d < numData_; ++d) {
+      const ProcId p = center(d, w);
+      if (p == kNoProc) continue;
+      worst = std::max(worst, ++counts[static_cast<std::size_t>(p)]);
+    }
+  }
+  return worst;
+}
+
+bool DataSchedule::respectsCapacity(const Grid& grid,
+                                    std::int64_t capacity) const {
+  return capacity < 0 || maxOccupancy(grid) <= capacity;
+}
+
+}  // namespace pimsched

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <vector>
+
+#include "pim/grid.hpp"
+#include "pim/types.hpp"
+
+namespace pimsched {
+
+/// A complete data schedule: for every datum and every execution window, the
+/// processor (*center*) that stores the datum during that window. Static
+/// placements (baselines, SCDS) simply use the same center in every window.
+class DataSchedule {
+ public:
+  DataSchedule(DataId numData, int numWindows);
+
+  [[nodiscard]] DataId numData() const { return numData_; }
+  [[nodiscard]] int numWindows() const { return numWindows_; }
+
+  [[nodiscard]] ProcId center(DataId d, WindowId w) const {
+    return centers_[index(d, w)];
+  }
+  void setCenter(DataId d, WindowId w, ProcId p) { centers_[index(d, w)] = p; }
+
+  /// Assigns the same center in every window (a static placement).
+  void setStatic(DataId d, ProcId p);
+
+  /// True iff every (datum, window) cell has a valid center.
+  [[nodiscard]] bool complete() const;
+
+  /// True iff no datum ever migrates.
+  [[nodiscard]] bool isStatic() const;
+
+  /// Maximum number of data resident on any single processor in any window.
+  [[nodiscard]] std::int64_t maxOccupancy(const Grid& grid) const;
+
+  /// True iff maxOccupancy(grid) <= capacity (capacity < 0 = unlimited).
+  [[nodiscard]] bool respectsCapacity(const Grid& grid,
+                                      std::int64_t capacity) const;
+
+ private:
+  [[nodiscard]] std::size_t index(DataId d, WindowId w) const {
+    return static_cast<std::size_t>(d) * static_cast<std::size_t>(numWindows_) +
+           static_cast<std::size_t>(w);
+  }
+
+  DataId numData_;
+  int numWindows_;
+  std::vector<ProcId> centers_;
+};
+
+}  // namespace pimsched

@@ -1,0 +1,81 @@
+#include "core/schedule_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pimsched {
+
+namespace {
+constexpr const char* kMagic = "pimsched v1";
+}  // namespace
+
+void saveSchedule(const DataSchedule& schedule, std::ostream& os) {
+  os << kMagic << ' ' << schedule.numData() << ' ' << schedule.numWindows()
+     << '\n';
+  for (DataId d = 0; d < schedule.numData(); ++d) {
+    for (WindowId w = 0; w < schedule.numWindows(); ++w) {
+      if (w > 0) os << ' ';
+      os << schedule.center(d, w);
+    }
+    os << '\n';
+  }
+}
+
+void saveScheduleFile(const DataSchedule& schedule, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("saveScheduleFile: cannot open " + path);
+  saveSchedule(schedule, os);
+}
+
+DataSchedule loadSchedule(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    throw std::runtime_error("loadSchedule: empty input");
+  }
+  std::istringstream header(line);
+  std::string word1, word2;
+  DataId numData = 0;
+  int numWindows = 0;
+  if (!(header >> word1 >> word2 >> numData >> numWindows) ||
+      word1 != "pimsched" || word2 != "v1") {
+    throw std::runtime_error("loadSchedule: bad header");
+  }
+  DataSchedule schedule(numData, numWindows);
+  DataId d = 0;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (d >= numData) {
+      throw std::runtime_error("loadSchedule: more rows than data");
+    }
+    std::istringstream row(line);
+    for (WindowId w = 0; w < numWindows; ++w) {
+      ProcId p = kNoProc;
+      if (!(row >> p) || p < 0) {
+        throw std::runtime_error("loadSchedule: malformed row for datum " +
+                                 std::to_string(d));
+      }
+      schedule.setCenter(d, w, p);
+    }
+    ProcId extra;
+    if (row >> extra) {
+      throw std::runtime_error("loadSchedule: too many centers for datum " +
+                               std::to_string(d));
+    }
+    ++d;
+  }
+  if (d != numData) {
+    throw std::runtime_error("loadSchedule: expected " +
+                             std::to_string(numData) + " rows, got " +
+                             std::to_string(d));
+  }
+  return schedule;
+}
+
+DataSchedule loadScheduleFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("loadScheduleFile: cannot open " + path);
+  return loadSchedule(is);
+}
+
+}  // namespace pimsched

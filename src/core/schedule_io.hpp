@@ -1,0 +1,23 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/schedule.hpp"
+
+namespace pimsched {
+
+/// Text serialisation of a DataSchedule — the artifact a PIM runtime would
+/// consume to drive initial placement and per-window migrations. Format:
+///
+///   pimsched v1 <numData> <numWindows>
+///   <center(d,0)> <center(d,1)> ... <center(d,W-1)>     (one line per datum)
+///
+/// Blank lines and lines starting with '#' are ignored on load.
+void saveSchedule(const DataSchedule& schedule, std::ostream& os);
+void saveScheduleFile(const DataSchedule& schedule, const std::string& path);
+
+[[nodiscard]] DataSchedule loadSchedule(std::istream& is);
+[[nodiscard]] DataSchedule loadScheduleFile(const std::string& path);
+
+}  // namespace pimsched

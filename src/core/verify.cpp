@@ -1,0 +1,67 @@
+#include "core/verify.hpp"
+
+#include <stdexcept>
+
+namespace pimsched {
+
+VerifyReport verifySchedule(const DataSchedule& schedule, const Grid& grid,
+                            std::int64_t capacity) {
+  VerifyReport report;
+  std::vector<std::int64_t> occupancy(
+      static_cast<std::size_t>(grid.size()));
+
+  for (WindowId w = 0; w < schedule.numWindows(); ++w) {
+    std::fill(occupancy.begin(), occupancy.end(), 0);
+    for (DataId d = 0; d < schedule.numData(); ++d) {
+      const ProcId p = schedule.center(d, w);
+      if (p == kNoProc) {
+        report.issues.push_back(
+            {ScheduleIssue::Kind::kIncompleteCell, d, w, p,
+             "no center assigned"});
+        continue;
+      }
+      if (!grid.contains(p)) {
+        report.issues.push_back(
+            {ScheduleIssue::Kind::kInvalidProcessor, d, w, p,
+             "processor id outside the grid"});
+        continue;
+      }
+      ++occupancy[static_cast<std::size_t>(p)];
+    }
+    if (capacity >= 0) {
+      for (ProcId p = 0; p < grid.size(); ++p) {
+        if (occupancy[static_cast<std::size_t>(p)] > capacity) {
+          report.issues.push_back(
+              {ScheduleIssue::Kind::kCapacityExceeded, -1, w, p,
+               std::to_string(occupancy[static_cast<std::size_t>(p)]) +
+                   " data in " + std::to_string(capacity) + " slots"});
+        }
+      }
+    }
+  }
+  return report;
+}
+
+ScheduleDiff diffSchedules(const DataSchedule& a, const DataSchedule& b) {
+  if (a.numData() != b.numData() || a.numWindows() != b.numWindows()) {
+    throw std::invalid_argument("diffSchedules: shape mismatch");
+  }
+  ScheduleDiff diff;
+  for (DataId d = 0; d < a.numData(); ++d) {
+    bool affected = false;
+    for (WindowId w = 0; w < a.numWindows(); ++w) {
+      if (a.center(d, w) != b.center(d, w)) {
+        ++diff.differingCells;
+        affected = true;
+      }
+      if (w > 0) {
+        if (a.center(d, w) != a.center(d, w - 1)) ++diff.migrationsA;
+        if (b.center(d, w) != b.center(d, w - 1)) ++diff.migrationsB;
+      }
+    }
+    if (affected) ++diff.dataAffected;
+  }
+  return diff;
+}
+
+}  // namespace pimsched

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "cost/cost_model.hpp"
+#include "trace/windowed_refs.hpp"
+
+namespace pimsched {
+
+/// Structured schedule diagnostics — what a runtime or CI check would run
+/// on a schedule before deploying it. Collects every violation instead of
+/// failing on the first.
+struct ScheduleIssue {
+  enum class Kind {
+    kIncompleteCell,     ///< center unset for a (datum, window)
+    kInvalidProcessor,   ///< center outside the grid
+    kCapacityExceeded,   ///< a (window, processor) over its slot budget
+  };
+  Kind kind;
+  DataId data = -1;     ///< -1 when not datum-specific
+  WindowId window = -1;
+  ProcId proc = kNoProc;
+  std::string detail;
+};
+
+struct VerifyReport {
+  std::vector<ScheduleIssue> issues;
+  [[nodiscard]] bool ok() const { return issues.empty(); }
+};
+
+/// Checks shape, completeness, processor validity and per-window capacity
+/// (capacity < 0 = unlimited).
+[[nodiscard]] VerifyReport verifySchedule(const DataSchedule& schedule,
+                                          const Grid& grid,
+                                          std::int64_t capacity);
+
+/// Differences between two schedules over the same shape: how many
+/// (datum, window) cells differ and how the migration behaviour changes.
+struct ScheduleDiff {
+  std::int64_t differingCells = 0;
+  std::int64_t migrationsA = 0;  ///< center changes between windows in A
+  std::int64_t migrationsB = 0;
+  std::int64_t dataAffected = 0;  ///< data with at least one differing cell
+};
+
+[[nodiscard]] ScheduleDiff diffSchedules(const DataSchedule& a,
+                                         const DataSchedule& b);
+
+}  // namespace pimsched

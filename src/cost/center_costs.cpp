@@ -1,0 +1,73 @@
+#include "cost/center_costs.hpp"
+
+#include <algorithm>
+
+namespace pimsched {
+
+std::vector<Cost> bruteForceCenterCosts(const CostModel& model,
+                                        std::span<const ProcWeight> refs) {
+  const int m = model.grid().size();
+  std::vector<Cost> costs(static_cast<std::size_t>(m));
+  for (ProcId p = 0; p < m; ++p) {
+    costs[static_cast<std::size_t>(p)] = model.serveCost(refs, p);
+  }
+  return costs;
+}
+
+std::vector<Cost> axisCosts(std::span<const Cost> hist) {
+  const std::size_t n = hist.size();
+  std::vector<Cost> f(n, 0);
+  if (n == 0) return f;
+
+  // Left-to-right sweep: contribution of weights at positions <= x.
+  Cost weightBelow = 0;  // total weight at positions < x
+  Cost costBelow = 0;    // sum w_k * (x - k) over k < x
+  for (std::size_t x = 0; x < n; ++x) {
+    f[x] += costBelow;
+    weightBelow += hist[x];
+    costBelow += weightBelow;
+  }
+  // Right-to-left sweep: contribution of weights at positions > x.
+  Cost weightAbove = 0;
+  Cost costAbove = 0;
+  for (std::size_t xi = n; xi-- > 0;) {
+    f[xi] += costAbove;
+    weightAbove += hist[xi];
+    costAbove += weightAbove;
+  }
+  return f;
+}
+
+std::vector<Cost> separableCenterCosts(const CostModel& model,
+                                       std::span<const ProcWeight> refs) {
+  const Grid& grid = model.grid();
+  std::vector<Cost> rowHist(static_cast<std::size_t>(grid.rows()), 0);
+  std::vector<Cost> colHist(static_cast<std::size_t>(grid.cols()), 0);
+  for (const ProcWeight& pw : refs) {
+    const Coord c = grid.coord(pw.proc);
+    rowHist[static_cast<std::size_t>(c.row)] += pw.weight;
+    colHist[static_cast<std::size_t>(c.col)] += pw.weight;
+  }
+  const std::vector<Cost> fRow = axisCosts(rowHist);
+  const std::vector<Cost> fCol = axisCosts(colHist);
+
+  std::vector<Cost> costs(static_cast<std::size_t>(grid.size()));
+  const Cost hop = model.params().hopCost;
+  for (int r = 0; r < grid.rows(); ++r) {
+    for (int c = 0; c < grid.cols(); ++c) {
+      costs[static_cast<std::size_t>(grid.id(r, c))] =
+          hop * (fRow[static_cast<std::size_t>(r)] +
+                 fCol[static_cast<std::size_t>(c)]);
+    }
+  }
+  return costs;
+}
+
+BestCenter bestCenter(const CostModel& model,
+                      std::span<const ProcWeight> refs) {
+  const std::vector<Cost> costs = separableCenterCosts(model, refs);
+  const auto it = std::min_element(costs.begin(), costs.end());
+  return BestCenter{static_cast<ProcId>(it - costs.begin()), *it};
+}
+
+}  // namespace pimsched

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <span>
+
+#include "pim/grid.hpp"
+#include "pim/types.hpp"
+#include "trace/windowed_refs.hpp"
+
+namespace pimsched {
+
+/// Tunable constants of the paper's communication-cost metric.
+struct CostParams {
+  /// Cost of moving one data unit across one mesh link. The paper fixes the
+  /// distance between adjacent processors to 1.
+  Cost hopCost = 1;
+  /// Volume (data units) transferred when a datum migrates between the
+  /// centers of consecutive windows; one datum = one unit by default.
+  Cost moveVolume = 1;
+};
+
+/// Evaluates the paper's cost metric on a grid:
+///   serveCost = sum over references of weight * hopCost * manhattan,
+///   moveCost  = moveVolume * hopCost * manhattan(from, to).
+class CostModel {
+ public:
+  explicit CostModel(const Grid& grid, CostParams params = {})
+      : grid_(&grid), params_(params) {}
+
+  [[nodiscard]] const Grid& grid() const { return *grid_; }
+  [[nodiscard]] const CostParams& params() const { return params_; }
+
+  /// Cost of serving one window's reference string from `center`.
+  [[nodiscard]] Cost serveCost(std::span<const ProcWeight> refs,
+                               ProcId center) const {
+    Cost sum = 0;
+    for (const ProcWeight& pw : refs) {
+      sum += pw.weight * grid_->manhattan(center, pw.proc);
+    }
+    return sum * params_.hopCost;
+  }
+
+  /// Cost of migrating one datum from processor `from` to `to` between
+  /// consecutive windows.
+  [[nodiscard]] Cost moveCost(ProcId from, ProcId to) const {
+    return params_.moveVolume * params_.hopCost * grid_->manhattan(from, to);
+  }
+
+ private:
+  const Grid* grid_;
+  CostParams params_;
+};
+
+}  // namespace pimsched

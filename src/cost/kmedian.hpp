@@ -1,0 +1,33 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cost/cost_model.hpp"
+
+namespace pimsched {
+
+/// Weighted k-median on the processor grid: choose k centers minimising
+/// sum over references of weight * manhattan(nearest center, proc). This
+/// generalises the paper's center finding (k = 1) and underpins the
+/// replication extension in core/replication.hpp.
+///
+/// k = 1 is solved exactly (weighted median); k > 1 uses greedy insertion
+/// followed by first-improvement swap local search — the standard k-median
+/// heuristic, deterministic (ties toward smaller processor ids).
+struct KMedianResult {
+  std::vector<ProcId> centers;  ///< sorted ascending, size <= k
+  Cost cost = 0;                ///< serving cost from the nearest centers
+};
+
+[[nodiscard]] KMedianResult kMedian(const CostModel& model,
+                                    std::span<const ProcWeight> refs, int k);
+
+/// Serving cost of a reference string from a fixed center set (each
+/// reference served by its nearest center; empty set costs 0 only for an
+/// empty string and is otherwise invalid).
+[[nodiscard]] Cost nearestCenterCost(const CostModel& model,
+                                     std::span<const ProcWeight> refs,
+                                     std::span<const ProcId> centers);
+
+}  // namespace pimsched

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <iosfwd>
+
+#include "cost/cost_model.hpp"
+#include "trace/windowed_refs.hpp"
+
+namespace pimsched {
+
+/// Quantitative summary of a workload's reference behaviour — the
+/// properties that decide which scheduling scheme wins. The paper observes
+/// that "considering the data movement can be more effective especially
+/// for the benchmarks with complicate data reference patterns"; these
+/// metrics make "complicated" measurable.
+struct TraceStats {
+  DataId numData = 0;
+  int numWindows = 0;
+  Cost totalWeight = 0;
+
+  /// Fraction of data never referenced at all.
+  double unreferencedFraction = 0.0;
+
+  /// Mean number of distinct processors touching a datum within one
+  /// window, over non-empty (datum, window) cells. 1.0 = perfectly local.
+  double meanProcsPerWindow = 0.0;
+
+  /// Mean Manhattan distance between the local-optimal centers of
+  /// consecutive non-empty windows, weight-averaged over data. 0 = static
+  /// placement is already optimal; large = the hotspot drifts and
+  /// multiple-center scheduling pays off.
+  double meanCenterDrift = 0.0;
+
+  /// Weight share of the busiest decile of data (reference skew; 0.1 =
+  /// uniform, 1.0 = one-sided).
+  double topDecileWeightShare = 0.0;
+};
+
+[[nodiscard]] TraceStats computeTraceStats(const WindowedRefs& refs,
+                                           const CostModel& model);
+
+std::ostream& operator<<(std::ostream& os, const TraceStats& stats);
+
+}  // namespace pimsched

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "pim/types.hpp"
+
+namespace pimsched {
+
+/// A small edge-weighted directed graph with adjacency lists. Used to build
+/// the paper's explicit "cost-graph" (pseudo source, window x processor
+/// nodes, pseudo destination) and solve it by topological-order relaxation.
+class Digraph {
+ public:
+  explicit Digraph(int numNodes);
+
+  struct Edge {
+    int to = 0;
+    Cost weight = 0;
+  };
+
+  [[nodiscard]] int numNodes() const {
+    return static_cast<int>(adj_.size());
+  }
+  [[nodiscard]] int numEdges() const { return numEdges_; }
+
+  void addEdge(int from, int to, Cost weight);
+
+  [[nodiscard]] const std::vector<Edge>& edgesFrom(int node) const {
+    return adj_[static_cast<std::size_t>(node)];
+  }
+
+  /// Topological order, or nullopt if the graph has a cycle (Kahn).
+  [[nodiscard]] std::optional<std::vector<int>> topologicalOrder() const;
+
+ private:
+  std::vector<std::vector<Edge>> adj_;
+  int numEdges_ = 0;
+};
+
+/// Single-source shortest path on a DAG by relaxation in topological order.
+/// Weights may be negative (it is a DAG). dist is kInfiniteCost for
+/// unreachable nodes; parent reconstructs paths. Throws on cyclic input.
+struct DagShortestPaths {
+  std::vector<Cost> dist;
+  std::vector<int> parent;  ///< -1 for source / unreachable
+
+  /// The node sequence from `source` to `target` (inclusive); empty when
+  /// target is unreachable.
+  [[nodiscard]] std::vector<int> pathTo(int target) const;
+};
+
+[[nodiscard]] DagShortestPaths dagShortestPaths(const Digraph& g, int source);
+
+}  // namespace pimsched

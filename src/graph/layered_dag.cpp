@@ -1,0 +1,140 @@
+#include "graph/layered_dag.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pimsched {
+
+namespace {
+
+/// Backward path reconstruction shared by both solvers: given the dp tables
+/// (dp[w][p] = best cost of a prefix ending with node p in layer w), walk
+/// from the best final node to the front, picking at each step the smallest
+/// predecessor q that attains dp[w][p] == dp[w-1][q] + trans(q,p) +
+/// node(w,p).
+LayeredPath reconstruct(int numLayers, int numNodes,
+                        const std::vector<std::vector<Cost>>& dp,
+                        const LayeredDagSolver::NodeCostFn& nodeCost,
+                        const LayeredDagSolver::TransCostFn& transCost) {
+  LayeredPath out;
+  const std::vector<Cost>& last = dp[static_cast<std::size_t>(numLayers - 1)];
+  const auto best = std::min_element(last.begin(), last.end());
+  out.total = *best;
+  if (out.total >= kInfiniteCost) return out;
+
+  out.nodes.assign(static_cast<std::size_t>(numLayers), 0);
+  int cur = static_cast<int>(best - last.begin());
+  out.nodes[static_cast<std::size_t>(numLayers - 1)] = cur;
+  for (int w = numLayers - 1; w > 0; --w) {
+    const Cost target = dp[static_cast<std::size_t>(w)][static_cast<std::size_t>(cur)];
+    const Cost own = nodeCost(w, cur);
+    int prev = -1;
+    for (int q = 0; q < numNodes; ++q) {
+      const Cost cand = satAdd(
+          satAdd(dp[static_cast<std::size_t>(w - 1)][static_cast<std::size_t>(q)],
+                 transCost(q, cur)),
+          own);
+      if (cand == target) {
+        prev = q;
+        break;
+      }
+    }
+    if (prev < 0) {
+      throw std::logic_error("LayeredDagSolver: path reconstruction failed");
+    }
+    cur = prev;
+    out.nodes[static_cast<std::size_t>(w - 1)] = cur;
+  }
+  return out;
+}
+
+}  // namespace
+
+LayeredPath LayeredDagSolver::solve(int numLayers, int numNodes,
+                                    const NodeCostFn& nodeCost,
+                                    const TransCostFn& transCost) {
+  if (numLayers < 1 || numNodes < 1) {
+    throw std::invalid_argument("LayeredDagSolver: empty problem");
+  }
+  std::vector<std::vector<Cost>> dp(
+      static_cast<std::size_t>(numLayers),
+      std::vector<Cost>(static_cast<std::size_t>(numNodes), kInfiniteCost));
+  for (int p = 0; p < numNodes; ++p) {
+    dp[0][static_cast<std::size_t>(p)] = nodeCost(0, p);
+  }
+  for (int w = 1; w < numLayers; ++w) {
+    for (int p = 0; p < numNodes; ++p) {
+      const Cost own = nodeCost(w, p);
+      if (own >= kInfiniteCost) continue;
+      Cost best = kInfiniteCost;
+      for (int q = 0; q < numNodes; ++q) {
+        best = std::min(
+            best, satAdd(dp[static_cast<std::size_t>(w - 1)]
+                           [static_cast<std::size_t>(q)],
+                         transCost(q, p)));
+      }
+      dp[static_cast<std::size_t>(w)][static_cast<std::size_t>(p)] =
+          satAdd(best, own);
+    }
+  }
+  return reconstruct(numLayers, numNodes, dp, nodeCost, transCost);
+}
+
+std::vector<Cost> manhattanMinPlus(const Grid& grid,
+                                   const std::vector<Cost>& in, Cost beta) {
+  if (static_cast<int>(in.size()) != grid.size()) {
+    throw std::invalid_argument("manhattanMinPlus: size mismatch");
+  }
+  if (beta < 0) throw std::invalid_argument("manhattanMinPlus: beta < 0");
+  std::vector<Cost> h = in;
+  const int R = grid.rows();
+  const int C = grid.cols();
+  const auto at = [&](int r, int c) -> Cost& {
+    return h[static_cast<std::size_t>(grid.id(r, c))];
+  };
+  // Forward pass: values flow right and down.
+  for (int r = 0; r < R; ++r) {
+    for (int c = 0; c < C; ++c) {
+      if (c > 0) at(r, c) = std::min(at(r, c), satAdd(at(r, c - 1), beta));
+      if (r > 0) at(r, c) = std::min(at(r, c), satAdd(at(r - 1, c), beta));
+    }
+  }
+  // Backward pass: values flow left and up.
+  for (int r = R - 1; r >= 0; --r) {
+    for (int c = C - 1; c >= 0; --c) {
+      if (c + 1 < C) at(r, c) = std::min(at(r, c), satAdd(at(r, c + 1), beta));
+      if (r + 1 < R) at(r, c) = std::min(at(r, c), satAdd(at(r + 1, c), beta));
+    }
+  }
+  return h;
+}
+
+LayeredPath LayeredDagSolver::solveManhattan(const Grid& grid, int numLayers,
+                                             const NodeCostFn& nodeCost,
+                                             Cost beta) {
+  const int numNodes = grid.size();
+  if (numLayers < 1) {
+    throw std::invalid_argument("LayeredDagSolver: empty problem");
+  }
+  std::vector<std::vector<Cost>> dp(
+      static_cast<std::size_t>(numLayers),
+      std::vector<Cost>(static_cast<std::size_t>(numNodes), kInfiniteCost));
+  for (int p = 0; p < numNodes; ++p) {
+    dp[0][static_cast<std::size_t>(p)] = nodeCost(0, p);
+  }
+  for (int w = 1; w < numLayers; ++w) {
+    const std::vector<Cost> relaxed =
+        manhattanMinPlus(grid, dp[static_cast<std::size_t>(w - 1)], beta);
+    for (int p = 0; p < numNodes; ++p) {
+      dp[static_cast<std::size_t>(w)][static_cast<std::size_t>(p)] =
+          satAdd(relaxed[static_cast<std::size_t>(p)], nodeCost(w, p));
+    }
+  }
+  const auto transCost = [&grid, beta](int q, int p) -> Cost {
+    return beta * grid.manhattan(static_cast<ProcId>(q),
+                                 static_cast<ProcId>(p));
+  };
+  return reconstruct(numLayers, numNodes, dp, nodeCost, transCost);
+}
+
+}  // namespace pimsched

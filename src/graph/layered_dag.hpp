@@ -1,0 +1,60 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "pim/grid.hpp"
+#include "pim/types.hpp"
+
+namespace pimsched {
+
+/// Saturating add that keeps kInfiniteCost absorbing.
+[[nodiscard]] inline Cost satAdd(Cost a, Cost b) {
+  if (a >= kInfiniteCost || b >= kInfiniteCost) return kInfiniteCost;
+  return a + b;
+}
+
+/// A minimum-cost path through a layered DAG: one node per layer.
+struct LayeredPath {
+  std::vector<int> nodes;  ///< chosen node in each layer; empty if infeasible
+  Cost total = kInfiniteCost;
+
+  [[nodiscard]] bool feasible() const { return total < kInfiniteCost; }
+};
+
+/// Shortest path through a DAG of `numLayers` layers with `numNodes` nodes
+/// per layer — the structure of the paper's GOMCDS cost-graph (pseudo
+/// source/destination are implicit). The path cost is
+///   sum_w nodeCost(w, n_w) + sum_w transCost(n_{w-1}, n_w).
+///
+/// nodeCost may return kInfiniteCost to forbid a placement (used for
+/// capacity-exhausted processors). Ties break toward the smaller node id,
+/// resolved by a backward argmin reconstruction so that every solver
+/// produces the identical path.
+class LayeredDagSolver {
+ public:
+  using NodeCostFn = std::function<Cost(int layer, int node)>;
+  using TransCostFn = std::function<Cost(int prevNode, int node)>;
+
+  /// Generic O(numLayers * numNodes^2) relaxation — the literal cost-graph.
+  [[nodiscard]] static LayeredPath solve(int numLayers, int numNodes,
+                                         const NodeCostFn& nodeCost,
+                                         const TransCostFn& transCost);
+
+  /// Fast path for transition cost beta * manhattan(prev, node): each
+  /// min-plus step is a two-pass L1 distance transform over the grid,
+  /// giving O(numLayers * numNodes) total. Identical result (and path) to
+  /// solve() with that transition.
+  [[nodiscard]] static LayeredPath solveManhattan(const Grid& grid,
+                                                  int numLayers,
+                                                  const NodeCostFn& nodeCost,
+                                                  Cost beta);
+};
+
+/// The L1 (chamfer) min-plus convolution used by solveManhattan, exposed for
+/// testing: out[p] = min over q of in[q] + beta * manhattan(p, q).
+[[nodiscard]] std::vector<Cost> manhattanMinPlus(const Grid& grid,
+                                                 const std::vector<Cost>& in,
+                                                 Cost beta);
+
+}  // namespace pimsched

@@ -1,0 +1,77 @@
+#include "kernels/benchmarks.hpp"
+
+#include <stdexcept>
+
+#include "kernels/combinators.hpp"
+#include "kernels/irregular_code.hpp"
+#include "kernels/lu.hpp"
+#include "kernels/matmul.hpp"
+
+namespace pimsched {
+
+std::string toString(PaperBenchmark b) {
+  switch (b) {
+    case PaperBenchmark::kLu: return "1:lu";
+    case PaperBenchmark::kMatSquare: return "2:mat-square";
+    case PaperBenchmark::kLuCode: return "3:lu+code";
+    case PaperBenchmark::kMatCode: return "4:mat+code";
+    case PaperBenchmark::kCodeRev: return "5:code+rev";
+  }
+  return "unknown";
+}
+
+const std::vector<PaperBenchmark>& allPaperBenchmarks() {
+  static const std::vector<PaperBenchmark> all = {
+      PaperBenchmark::kLu, PaperBenchmark::kMatSquare,
+      PaperBenchmark::kLuCode, PaperBenchmark::kMatCode,
+      PaperBenchmark::kCodeRev};
+  return all;
+}
+
+namespace {
+
+ReferenceTrace luTrace(const Grid& grid, int n, PartitionKind part) {
+  TraceBuilder tb;
+  const IterationMap map(grid, n, n, part);
+  emitLu(tb, map, n);
+  return std::move(tb).build();
+}
+
+ReferenceTrace matTrace(const Grid& grid, int n, PartitionKind part) {
+  TraceBuilder tb;
+  const IterationMap map(grid, n, n, part);
+  emitMatSquare(tb, map, n);
+  return std::move(tb).build();
+}
+
+ReferenceTrace codeTrace(const Grid& grid, int n, PartitionKind part) {
+  TraceBuilder tb;
+  const IterationMap map(grid, n, n, part);
+  emitIrregularCode(tb, map, n);
+  return std::move(tb).build();
+}
+
+}  // namespace
+
+ReferenceTrace makePaperBenchmark(PaperBenchmark b, const Grid& grid, int n,
+                                  PartitionKind partition) {
+  switch (b) {
+    case PaperBenchmark::kLu:
+      return luTrace(grid, n, partition);
+    case PaperBenchmark::kMatSquare:
+      return matTrace(grid, n, partition);
+    case PaperBenchmark::kLuCode:
+      return concatTraces(luTrace(grid, n, partition),
+                          codeTrace(grid, n, partition));
+    case PaperBenchmark::kMatCode:
+      return concatTraces(matTrace(grid, n, partition),
+                          codeTrace(grid, n, partition));
+    case PaperBenchmark::kCodeRev: {
+      const ReferenceTrace code = codeTrace(grid, n, partition);
+      return concatTraces(code, reverseTrace(code));
+    }
+  }
+  throw std::invalid_argument("makePaperBenchmark: unknown benchmark");
+}
+
+}  // namespace pimsched

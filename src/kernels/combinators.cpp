@@ -1,0 +1,68 @@
+#include "kernels/combinators.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace pimsched {
+
+ReferenceTrace concatTraces(const ReferenceTrace& first,
+                            const ReferenceTrace& second) {
+  if (!first.finalized() || !second.finalized()) {
+    throw std::invalid_argument("concatTraces: traces must be finalized");
+  }
+
+  // Union of the two data spaces by array name.
+  DataSpace merged;
+  std::unordered_map<std::string, int> byName;
+  for (const auto& a : first.dataSpace().arrays()) {
+    byName[a.name] = merged.addArray(a.name, a.rows, a.cols);
+  }
+  for (const auto& a : second.dataSpace().arrays()) {
+    const auto it = byName.find(a.name);
+    if (it == byName.end()) {
+      byName[a.name] = merged.addArray(a.name, a.rows, a.cols);
+    } else {
+      const auto& existing =
+          merged.arrays()[static_cast<std::size_t>(it->second)];
+      if (existing.rows != a.rows || existing.cols != a.cols) {
+        throw std::invalid_argument("concatTraces: array '" + a.name +
+                                    "' has conflicting shapes");
+      }
+    }
+  }
+
+  const auto remap = [&merged, &byName](const DataSpace& from, DataId d) {
+    const ElementRef e = from.element(d);
+    const std::string& name =
+        from.arrays()[static_cast<std::size_t>(e.array)].name;
+    return merged.id(byName.at(name), e.row, e.col);
+  };
+
+  ReferenceTrace out(merged);
+  for (const Access& a : first.accesses()) {
+    out.add(a.step, a.proc, remap(first.dataSpace(), a.data), a.weight);
+  }
+  const StepId shift = first.numSteps();
+  for (const Access& a : second.accesses()) {
+    out.add(a.step + shift, a.proc, remap(second.dataSpace(), a.data),
+            a.weight);
+  }
+  out.finalize();
+  return out;
+}
+
+ReferenceTrace reverseTrace(const ReferenceTrace& trace) {
+  if (!trace.finalized()) {
+    throw std::invalid_argument("reverseTrace: trace must be finalized");
+  }
+  ReferenceTrace out(trace.dataSpace());
+  const StepId last = trace.numSteps() - 1;
+  for (const Access& a : trace.accesses()) {
+    out.add(last - a.step, a.proc, a.data, a.weight);
+  }
+  out.finalize();
+  return out;
+}
+
+}  // namespace pimsched

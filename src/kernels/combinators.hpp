@@ -1,0 +1,20 @@
+#pragma once
+
+#include "trace/trace.hpp"
+
+namespace pimsched {
+
+/// Sequential composition: the steps of `second` follow the steps of
+/// `first`. Arrays are unified by name (same-name arrays must have the same
+/// shape and become the same data); distinct arrays are concatenated. Used
+/// for the paper's benchmarks 3 (LU; CODE), 4 (matmul; CODE) and
+/// 5 (CODE; reverse(CODE)).
+[[nodiscard]] ReferenceTrace concatTraces(const ReferenceTrace& first,
+                                          const ReferenceTrace& second);
+
+/// Reverses the execution order of the steps ("the reverse execution order
+/// of the CODE"): step s becomes numSteps-1-s. Reference strings per step
+/// are preserved.
+[[nodiscard]] ReferenceTrace reverseTrace(const ReferenceTrace& trace);
+
+}  // namespace pimsched

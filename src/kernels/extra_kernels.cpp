@@ -1,0 +1,156 @@
+#include "kernels/extra_kernels.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace pimsched {
+
+void emitCholesky(TraceBuilder& tb, const IterationMap& map, int n) {
+  const int a = tb.array("A", n, n);
+  for (int k = 0; k < n; ++k) {
+    const StepId scale = tb.beginStep();
+    // Diagonal sqrt + column scaling L[i][k] = A[i][k] / sqrt(A[k][k]).
+    for (int i = k; i < n; ++i) {
+      const ProcId p = map.proc(i, k);
+      tb.access(scale, p, a, i, k, 2);
+      if (i != k) tb.access(scale, p, a, k, k, 1);
+    }
+    if (k + 1 >= n) continue;
+    const StepId update = tb.beginStep();
+    // Trailing update on the lower triangle only.
+    for (int i = k + 1; i < n; ++i) {
+      for (int j = k + 1; j <= i; ++j) {
+        const ProcId p = map.proc(i, j);
+        tb.access(update, p, a, i, j, 2);
+        tb.access(update, p, a, i, k, 1);
+        tb.access(update, p, a, j, k, 1);
+      }
+    }
+  }
+}
+
+void emitFloydWarshall(TraceBuilder& tb, const IterationMap& map, int n) {
+  const int d = tb.array("D", n, n);
+  for (int k = 0; k < n; ++k) {
+    const StepId step = tb.beginStep();
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        const ProcId p = map.proc(i, j);
+        tb.access(step, p, d, i, j, 2);
+        tb.access(step, p, d, i, k, 1);
+        tb.access(step, p, d, k, j, 1);
+      }
+    }
+  }
+}
+
+void emitJacobi2D(TraceBuilder& tb, const IterationMap& map, int n,
+                  int sweeps) {
+  const int u = tb.array("U", n, n);
+  const int v = tb.array("V", n, n);
+  for (int t = 0; t < sweeps; ++t) {
+    const StepId step = tb.beginStep();
+    const int src = (t % 2 == 0) ? u : v;
+    const int dst = (t % 2 == 0) ? v : u;
+    for (int i = 1; i + 1 < n; ++i) {
+      for (int j = 1; j + 1 < n; ++j) {
+        const ProcId p = map.proc(i, j);
+        tb.access(step, p, src, i, j, 1);
+        tb.access(step, p, src, i - 1, j, 1);
+        tb.access(step, p, src, i + 1, j, 1);
+        tb.access(step, p, src, i, j - 1, 1);
+        tb.access(step, p, src, i, j + 1, 1);
+        tb.access(step, p, dst, i, j, 2);
+      }
+    }
+  }
+}
+
+void emitTranspose(TraceBuilder& tb, const IterationMap& map, int n) {
+  const int a = tb.array("A", n, n);
+  const int b = tb.array("B", n, n);
+  for (int i = 0; i < n; ++i) {
+    const StepId step = tb.beginStep();
+    for (int j = 0; j < n; ++j) {
+      const ProcId p = map.proc(j, i);
+      tb.access(step, p, a, i, j, 1);
+      tb.access(step, p, b, j, i, 2);
+    }
+  }
+}
+
+void emitSpmv(TraceBuilder& tb, const IterationMap& map, int n,
+              int iterations, int nnzPerRow, std::uint64_t seed) {
+  const int x = tb.array("X", n, 1);
+  const int y = tb.array("Y", n, 1);
+
+  // Deterministic sparsity: per row, a short diagonal band plus far
+  // columns drawn once from an LCG (the same structure every sweep, like
+  // a real matrix).
+  std::uint64_t state = seed;
+  const auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  std::vector<std::vector<int>> cols(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    auto& row = cols[static_cast<std::size_t>(r)];
+    row.push_back(r);
+    if (r + 1 < n) row.push_back(r + 1);
+    for (int k = static_cast<int>(row.size()); k < nnzPerRow; ++k) {
+      row.push_back(static_cast<int>(next() % static_cast<std::uint64_t>(n)));
+    }
+  }
+
+  for (int it = 0; it < iterations; ++it) {
+    const StepId step = tb.beginStep();
+    for (int r = 0; r < n; ++r) {
+      // Row r is computed by the owner of Y[r] under the iteration map
+      // (using the row index on both axes keeps 1-D data on a 2-D map).
+      const ProcId p = map.proc(r % map.iterRows(), r % map.iterCols());
+      tb.access(step, p, y, r, 0, 2);
+      for (const int c : cols[static_cast<std::size_t>(r)]) {
+        tb.access(step, p, x, c, 0, 1);
+      }
+    }
+    // Pointer swap x <-> y is free; model the next sweep reading the new
+    // vector by swapping roles every iteration via the same arrays: the
+    // reference pattern is identical, which matches a stationary solver.
+  }
+}
+
+void emitWavefront(TraceBuilder& tb, const IterationMap& map, int n,
+                   int sweeps) {
+  const int u = tb.array("U", n, n);
+  for (int t = 0; t < sweeps; ++t) {
+    for (int d = 0; d < 2 * n - 1; ++d) {
+      const StepId step = tb.beginStep();
+      for (int i = std::max(0, d - n + 1); i <= std::min(d, n - 1); ++i) {
+        const int j = d - i;
+        const ProcId p = map.proc(i, j);
+        tb.access(step, p, u, i, j, 2);
+        if (i > 0) tb.access(step, p, u, i - 1, j, 1);
+        if (j > 0) tb.access(step, p, u, i, j - 1, 1);
+      }
+    }
+  }
+}
+
+void emitBandedElimination(TraceBuilder& tb, const IterationMap& map, int n,
+                           int band) {
+  const int b = tb.array("B", n, n);
+  for (int r = 0; r + 1 < n; ++r) {
+    const StepId step = tb.beginStep();
+    const int lastRow = std::min(n - 1, r + band);
+    const int lastCol = std::min(n - 1, r + band);
+    for (int i = r + 1; i <= lastRow; ++i) {
+      for (int j = r; j <= lastCol; ++j) {
+        const ProcId p = map.proc(i, j);
+        tb.access(step, p, b, i, j, 2);
+        tb.access(step, p, b, r, j, 1);  // pivot row
+      }
+    }
+  }
+}
+
+}  // namespace pimsched

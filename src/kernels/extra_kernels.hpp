@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+
+#include "kernels/iteration_map.hpp"
+#include "kernels/trace_builder.hpp"
+
+namespace pimsched {
+
+/// Kernels beyond the paper's benchmark set, used by the extended-evaluation
+/// bench (A5 in DESIGN.md) and the examples. All follow the owner-computes
+/// convention of emitLu/emitMatSquare: weight 1 per read, weight 2 per
+/// read-modify-write or write of the updated element.
+
+/// Right-looking Cholesky factorization (lower triangle) of n x n "A":
+/// two steps per pivot k (column scale, trailing symmetric update).
+void emitCholesky(TraceBuilder& tb, const IterationMap& map, int n);
+
+/// Floyd-Warshall all-pairs shortest paths on n x n "D": one step per
+/// intermediate vertex k; iteration (i, j) reads D[i][k], D[k][j] and
+/// read-modify-writes D[i][j].
+void emitFloydWarshall(TraceBuilder& tb, const IterationMap& map, int n);
+
+/// `sweeps` iterations of a 5-point Jacobi stencil alternating between
+/// n x n arrays "U" and "V": one step per sweep; iteration (i, j) reads the
+/// 4 neighbours + center of the source array and writes the destination.
+void emitJacobi2D(TraceBuilder& tb, const IterationMap& map, int n,
+                  int sweeps);
+
+/// Out-of-place transpose B = A^T, one step per source row i: iteration
+/// (j, i) (the owner of B[j][i]) reads A[i][j] and writes B[j][i].
+void emitTranspose(TraceBuilder& tb, const IterationMap& map, int n);
+
+/// `iterations` sweeps of y = M*x for a synthetic sparse n x n matrix with
+/// ~`nnzPerRow` entries per row (deterministic power-law-ish column
+/// pattern: a diagonal band plus LCG-drawn far columns). The matrix
+/// structure itself is not scheduled — only the n-element vectors "X" and
+/// "Y" (each stored as an n x 1 array), making the reference string sparse
+/// and irregular.
+void emitSpmv(TraceBuilder& tb, const IterationMap& map, int n,
+              int iterations, int nnzPerRow = 6,
+              std::uint64_t seed = 0x5eedULL);
+
+/// Gauss-Seidel wavefront over an n x n array "U": anti-diagonal d is one
+/// execution step; iteration (i, j) on the wavefront reads its west and
+/// north neighbours (already updated this sweep) and read-modify-writes
+/// U[i][j]. `sweeps` full passes.
+void emitWavefront(TraceBuilder& tb, const IterationMap& map, int n,
+                   int sweeps);
+
+/// Forward elimination on a banded n x n system "B" with semi-bandwidth
+/// `band`: one step per pivot row; row r updates rows r+1..r+band within
+/// the band.
+void emitBandedElimination(TraceBuilder& tb, const IterationMap& map, int n,
+                           int band);
+
+}  // namespace pimsched

@@ -1,0 +1,126 @@
+#include "kernels/irregular_code.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pimsched {
+
+namespace {
+
+/// Deterministic 64-bit LCG (Knuth constants); top bits are well mixed.
+class Lcg {
+ public:
+  explicit Lcg(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state_ >> 33;
+  }
+
+  /// Uniform in [0, bound).
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+  /// Triangular-ish offset in [-half, +half], peaked at 0.
+  int offset(int half) {
+    if (half <= 0) return 0;
+    const auto h = static_cast<std::uint64_t>(half);
+    const int a = static_cast<int>(below(h + 1));
+    const int b = static_cast<int>(below(h + 1));
+    return (a - b);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+int clampIdx(int v, int n) { return std::clamp(v, 0, n - 1); }
+
+}  // namespace
+
+void emitIrregularCodeVariant(TraceBuilder& tb, const IterationMap& map,
+                              int n, const IrregularCodeOptions& options) {
+  if (options.spreadDivisor < 1 || options.refsDivisor < 1) {
+    throw std::invalid_argument(
+        "emitIrregularCodeVariant: divisors must be >= 1");
+  }
+  const int a = tb.array("A", n, n);
+  Lcg rng(options.seed);
+  const int phases = n;
+  const int refsPerPhase = std::max(1, (n * n) / options.refsDivisor);
+  const int spread = std::max(1, n / options.spreadDivisor);
+
+  // Random-walk state (only used by kRandomWalk); a separate generator so
+  // the per-reference stream is identical across path kinds.
+  Lcg walkRng(options.seed ^ 0xABCDEF12345ULL);
+  int walkI = n / 2;
+  int walkJ = n / 2;
+
+  for (int t = 0; t < phases; ++t) {
+    const StepId step = tb.beginStep();
+    int hi = 0;
+    int hj = 0;
+    switch (options.path) {
+      case HotspotPath::kDiagonalSwing: {
+        // Wanders from the top-left to the bottom-right corner while the
+        // column component also oscillates, so consecutive windows see
+        // genuinely different reference centers.
+        hi = (phases > 1) ? (t * (n - 1)) / (phases - 1) : 0;
+        const int swing = (t % 4 < 2) ? t : (n - 1 - t % n);
+        hj = clampIdx((hi + swing) % n, n);
+        break;
+      }
+      case HotspotPath::kRandomWalk: {
+        walkI = clampIdx(walkI + walkRng.offset(std::max(1, n / 3)), n);
+        walkJ = clampIdx(walkJ + walkRng.offset(std::max(1, n / 3)), n);
+        hi = walkI;
+        hj = walkJ;
+        break;
+      }
+      case HotspotPath::kTwoPhase:
+        hi = (t < phases / 2) ? n / 4 : (3 * n) / 4;
+        hj = hi;
+        hi = clampIdx(hi, n);
+        hj = clampIdx(hj, n);
+        break;
+      case HotspotPath::kOrbit: {
+        // Walk the boundary: top edge, right edge, bottom, left.
+        const int perimeter = std::max(1, 4 * (n - 1));
+        const int pos = (t * perimeter) / phases;
+        if (pos < n - 1) {
+          hi = 0;
+          hj = pos;
+        } else if (pos < 2 * (n - 1)) {
+          hi = pos - (n - 1);
+          hj = n - 1;
+        } else if (pos < 3 * (n - 1)) {
+          hi = n - 1;
+          hj = 3 * (n - 1) - pos;
+        } else {
+          hi = perimeter - pos;
+          hj = 0;
+        }
+        break;
+      }
+    }
+
+    for (int s = 0; s < refsPerPhase; ++s) {
+      const int di = rng.offset(spread);
+      const int dj = rng.offset(spread);
+      const int ri = clampIdx(hi + di, n);
+      const int rj = clampIdx(hj + dj, n);
+      // Executing iteration point is jittered independently of the datum.
+      const int xi = clampIdx(hi + rng.offset(spread), n);
+      const int xj = clampIdx(hj + rng.offset(spread), n);
+      tb.access(step, map.proc(xi, xj), a, ri, rj, 1);
+    }
+  }
+}
+
+void emitIrregularCode(TraceBuilder& tb, const IterationMap& map, int n,
+                       std::uint64_t seed) {
+  IrregularCodeOptions options;
+  options.seed = seed;
+  emitIrregularCodeVariant(tb, map, n, options);
+}
+
+}  // namespace pimsched

@@ -1,0 +1,58 @@
+#include "kernels/iteration_map.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pimsched {
+
+std::string toString(PartitionKind kind) {
+  switch (kind) {
+    case PartitionKind::kRowBlock: return "row-block";
+    case PartitionKind::kColBlock: return "col-block";
+    case PartitionKind::kBlock2D: return "block-2d";
+    case PartitionKind::kCyclic2D: return "cyclic-2d";
+  }
+  return "unknown";
+}
+
+IterationMap::IterationMap(const Grid& grid, int iterRows, int iterCols,
+                           PartitionKind kind)
+    : grid_(&grid), iterRows_(iterRows), iterCols_(iterCols), kind_(kind) {
+  if (iterRows < 1 || iterCols < 1) {
+    throw std::invalid_argument("IterationMap: iteration space must be >= 1x1");
+  }
+  const std::int64_t total =
+      static_cast<std::int64_t>(iterRows) * iterCols;
+  chunk_ = (total + grid.size() - 1) / grid.size();
+}
+
+ProcId IterationMap::proc(int i, int j) const {
+  if (i < 0 || i >= iterRows_ || j < 0 || j >= iterCols_) {
+    throw std::out_of_range("IterationMap::proc: iteration out of range");
+  }
+  const Grid& g = *grid_;
+  switch (kind_) {
+    case PartitionKind::kRowBlock: {
+      const std::int64_t e = static_cast<std::int64_t>(i) * iterCols_ + j;
+      return static_cast<ProcId>(
+          std::min<std::int64_t>(e / chunk_, g.size() - 1));
+    }
+    case PartitionKind::kColBlock: {
+      const std::int64_t e = static_cast<std::int64_t>(j) * iterRows_ + i;
+      return static_cast<ProcId>(
+          std::min<std::int64_t>(e / chunk_, g.size() - 1));
+    }
+    case PartitionKind::kBlock2D: {
+      const int r = static_cast<int>(
+          (static_cast<std::int64_t>(i) * g.rows()) / iterRows_);
+      const int c = static_cast<int>(
+          (static_cast<std::int64_t>(j) * g.cols()) / iterCols_);
+      return g.id(r, c);
+    }
+    case PartitionKind::kCyclic2D:
+      return g.id(i % g.rows(), j % g.cols());
+  }
+  throw std::logic_error("IterationMap::proc: unknown kind");
+}
+
+}  // namespace pimsched

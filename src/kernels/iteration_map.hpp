@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+
+#include "pim/grid.hpp"
+
+namespace pimsched {
+
+/// How the (i, j) iteration space of a kernel is partitioned onto the
+/// processor grid. The paper assumes the "iteration partition" happened in a
+/// prior stage but never specifies it; these are the standard choices.
+enum class PartitionKind {
+  kRowBlock,   ///< row-major flattened iterations, contiguous chunks per proc
+  kColBlock,   ///< column-major flattened, contiguous chunks per proc
+  kBlock2D,    ///< 2-D contiguous blocks (default for experiments)
+  kCyclic2D,   ///< (i mod gridRows, j mod gridCols)
+};
+
+[[nodiscard]] std::string toString(PartitionKind kind);
+
+/// Maps iteration coordinates (i, j) of an iterRows x iterCols iteration
+/// space onto processors of a grid.
+class IterationMap {
+ public:
+  IterationMap(const Grid& grid, int iterRows, int iterCols,
+               PartitionKind kind);
+
+  [[nodiscard]] ProcId proc(int i, int j) const;
+
+  [[nodiscard]] PartitionKind kind() const { return kind_; }
+  [[nodiscard]] int iterRows() const { return iterRows_; }
+  [[nodiscard]] int iterCols() const { return iterCols_; }
+  [[nodiscard]] const Grid& grid() const { return *grid_; }
+
+ private:
+  const Grid* grid_;
+  int iterRows_;
+  int iterCols_;
+  PartitionKind kind_;
+  std::int64_t chunk_;  ///< flattened-block chunk size
+};
+
+}  // namespace pimsched

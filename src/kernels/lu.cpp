@@ -1,0 +1,26 @@
+#include "kernels/lu.hpp"
+
+namespace pimsched {
+
+void emitLu(TraceBuilder& tb, const IterationMap& map, int n) {
+  const int a = tb.array("A", n, n);
+  for (int k = 0; k + 1 < n; ++k) {
+    const StepId scale = tb.beginStep();
+    for (int i = k + 1; i < n; ++i) {
+      const ProcId p = map.proc(i, k);
+      tb.access(scale, p, a, i, k, 2);  // A[i][k] read-modify-write
+      tb.access(scale, p, a, k, k, 1);  // pivot read
+    }
+    const StepId update = tb.beginStep();
+    for (int i = k + 1; i < n; ++i) {
+      for (int j = k + 1; j < n; ++j) {
+        const ProcId p = map.proc(i, j);
+        tb.access(update, p, a, i, j, 2);  // A[i][j] read-modify-write
+        tb.access(update, p, a, i, k, 1);  // multiplier read
+        tb.access(update, p, a, k, j, 1);  // pivot-row read
+      }
+    }
+  }
+}
+
+}  // namespace pimsched

@@ -1,0 +1,20 @@
+#pragma once
+
+#include "kernels/iteration_map.hpp"
+#include "kernels/trace_builder.hpp"
+
+namespace pimsched {
+
+/// Symbolically executes right-looking LU factorization without pivoting on
+/// an n x n array "A" and records its data reference string (the paper's
+/// benchmark 1).
+///
+/// For each pivot k there are two parallel execution steps:
+///   * column scaling:   A[i][k] /= A[k][k]        for i in (k, n)
+///   * trailing update:  A[i][j] -= A[i][k]*A[k][j] for i, j in (k, n)
+/// Each iteration runs on the processor that owns the element it updates
+/// (owner-computes under `map`); a read counts weight 1 and a
+/// read-modify-write counts weight 2 (fetch + writeback).
+void emitLu(TraceBuilder& tb, const IterationMap& map, int n);
+
+}  // namespace pimsched

@@ -1,0 +1,21 @@
+#include "kernels/matmul.hpp"
+
+namespace pimsched {
+
+void emitMatSquare(TraceBuilder& tb, const IterationMap& map, int n) {
+  const int a = tb.array("A", n, n);
+  const int c = tb.array("C", n, n);
+  for (int k = 0; k < n; ++k) {
+    const StepId step = tb.beginStep();
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        const ProcId p = map.proc(i, j);
+        tb.access(step, p, a, i, k, 1);
+        tb.access(step, p, a, k, j, 1);
+        tb.access(step, p, c, i, j, 2);
+      }
+    }
+  }
+}
+
+}  // namespace pimsched

@@ -1,0 +1,15 @@
+#pragma once
+
+#include "kernels/iteration_map.hpp"
+#include "kernels/trace_builder.hpp"
+
+namespace pimsched {
+
+/// Symbolically executes the matrix square C = A * A on n x n arrays "A"
+/// and "C" (the paper's benchmark 2). The k loop is the step loop (one
+/// parallel rank-1 accumulation per step); iteration (i, j) runs on the
+/// owner of C[i][j] under `map`, reading A[i][k] and A[k][j] (weight 1
+/// each) and accumulating into C[i][j] (weight 2).
+void emitMatSquare(TraceBuilder& tb, const IterationMap& map, int n);
+
+}  // namespace pimsched

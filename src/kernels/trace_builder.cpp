@@ -1,0 +1,38 @@
+#include "kernels/trace_builder.hpp"
+
+#include <stdexcept>
+
+namespace pimsched {
+
+int TraceBuilder::array(const std::string& name, int rows, int cols) {
+  const auto& arrays = space_.arrays();
+  for (int a = 0; a < static_cast<int>(arrays.size()); ++a) {
+    if (arrays[static_cast<std::size_t>(a)].name == name) {
+      const auto& info = arrays[static_cast<std::size_t>(a)];
+      if (info.rows != rows || info.cols != cols) {
+        throw std::invalid_argument("TraceBuilder::array: '" + name +
+                                    "' re-declared with different shape");
+      }
+      return a;
+    }
+  }
+  return space_.addArray(name, rows, cols);
+}
+
+void TraceBuilder::access(StepId step, ProcId proc, int array, int row,
+                          int col, Cost weight) {
+  if (step < 0 || step >= nextStep_) {
+    throw std::invalid_argument(
+        "TraceBuilder::access: step not allocated via beginStep()");
+  }
+  raw_.push_back(Raw{step, proc, space_.id(array, row, col), weight});
+}
+
+ReferenceTrace TraceBuilder::build() && {
+  ReferenceTrace trace(std::move(space_));
+  for (const Raw& r : raw_) trace.add(r.step, r.proc, r.data, r.weight);
+  trace.finalize();
+  return trace;
+}
+
+}  // namespace pimsched

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace pimsched {
+
+/// Incrementally assembles a ReferenceTrace while a kernel is symbolically
+/// executed. Owns the DataSpace (arrays are registered by name and shared
+/// between kernels emitting into the same builder) and a running step
+/// counter so kernels can be concatenated.
+class TraceBuilder {
+ public:
+  TraceBuilder() = default;
+
+  /// Returns the array index for `name`, creating the array on first use.
+  /// Re-using a name with different dimensions is an error.
+  int array(const std::string& name, int rows, int cols);
+
+  /// DataId of element (row, col) of array index `a`.
+  [[nodiscard]] DataId id(int a, int row, int col) const {
+    return space_.id(a, row, col);
+  }
+
+  /// Records a reference at absolute step `step`.
+  void access(StepId step, ProcId proc, int array, int row, int col,
+              Cost weight = 1);
+
+  /// Allocates the next execution step and returns its id.
+  StepId beginStep() { return nextStep_++; }
+
+  /// First step id not yet allocated.
+  [[nodiscard]] StepId nextStep() const { return nextStep_; }
+
+  [[nodiscard]] const DataSpace& space() const { return space_; }
+
+  /// Finalizes and returns the trace. The builder is consumed.
+  [[nodiscard]] ReferenceTrace build() &&;
+
+ private:
+  struct Raw {
+    StepId step;
+    ProcId proc;
+    DataId data;
+    Cost weight;
+  };
+  DataSpace space_;
+  std::vector<Raw> raw_;
+  StepId nextStep_ = 0;
+};
+
+}  // namespace pimsched

@@ -1,0 +1,29 @@
+#include "pim/grid.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace pimsched {
+
+std::ostream& operator<<(std::ostream& os, const Coord& c) {
+  return os << '(' << c.row << ',' << c.col << ')';
+}
+
+Grid::Grid(int rows, int cols) : rows_(rows), cols_(cols) {
+  if (rows < 1 || cols < 1) {
+    throw std::invalid_argument("Grid dimensions must be >= 1");
+  }
+}
+
+std::vector<ProcId> Grid::neighbors(ProcId p) const {
+  const Coord c = coord(p);
+  std::vector<ProcId> out;
+  out.reserve(4);
+  if (c.row > 0) out.push_back(id(c.row - 1, c.col));
+  if (c.row + 1 < rows_) out.push_back(id(c.row + 1, c.col));
+  if (c.col > 0) out.push_back(id(c.row, c.col - 1));
+  if (c.col + 1 < cols_) out.push_back(id(c.row, c.col + 1));
+  return out;
+}
+
+}  // namespace pimsched

@@ -1,0 +1,31 @@
+#include "pim/memory.hpp"
+
+#include <cassert>
+
+namespace pimsched {
+
+OccupancyMap::OccupancyMap(const Grid& grid, std::int64_t capacityPerProc)
+    : capacity_(capacityPerProc),
+      used_(static_cast<std::size_t>(grid.size()), 0) {}
+
+bool OccupancyMap::tryPlace(ProcId p) {
+  if (!hasRoom(p)) return false;
+  ++used_[static_cast<std::size_t>(p)];
+  ++totalUsed_;
+  return true;
+}
+
+void OccupancyMap::release(ProcId p) {
+  auto& u = used_[static_cast<std::size_t>(p)];
+  assert(u > 0 && "release without matching tryPlace");
+  --u;
+  --totalUsed_;
+}
+
+std::int64_t paperCapacity(const Grid& grid, std::int64_t numData) {
+  const std::int64_t procs = grid.size();
+  const std::int64_t minimum = (numData + procs - 1) / procs;
+  return 2 * minimum;
+}
+
+}  // namespace pimsched

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pim/grid.hpp"
+#include "pim/types.hpp"
+
+namespace pimsched {
+
+/// Tracks how many data slots are in use on every processor, enforcing a
+/// uniform per-processor capacity. This realises the paper's memory
+/// constraint: "each processor in the processor array can hold a limited
+/// number of data", with the experiments using capacity = 2x the minimum.
+class OccupancyMap {
+ public:
+  /// capacityPerProc < 0 means unlimited.
+  OccupancyMap(const Grid& grid, std::int64_t capacityPerProc);
+
+  [[nodiscard]] std::int64_t capacity() const { return capacity_; }
+  [[nodiscard]] bool unlimited() const { return capacity_ < 0; }
+
+  /// Slots currently used on processor p.
+  [[nodiscard]] std::int64_t used(ProcId p) const {
+    return used_[static_cast<std::size_t>(p)];
+  }
+
+  /// True if processor p can accept one more datum.
+  [[nodiscard]] bool hasRoom(ProcId p) const {
+    return unlimited() || used(p) < capacity_;
+  }
+
+  /// Claims one slot on p. Returns false (and changes nothing) if full.
+  bool tryPlace(ProcId p);
+
+  /// Releases one slot on p. The slot must have been claimed.
+  void release(ProcId p);
+
+  /// Total slots claimed across all processors.
+  [[nodiscard]] std::int64_t totalUsed() const { return totalUsed_; }
+
+ private:
+  std::int64_t capacity_;
+  std::int64_t totalUsed_ = 0;
+  std::vector<std::int64_t> used_;
+};
+
+/// The experiment convention from the paper's evaluation: each processor's
+/// memory is twice the minimum needed, i.e. 2 * ceil(numData / numProcs).
+[[nodiscard]] std::int64_t paperCapacity(const Grid& grid,
+                                         std::int64_t numData);
+
+}  // namespace pimsched

@@ -1,0 +1,34 @@
+#include "pim/routing.hpp"
+
+namespace pimsched {
+
+std::vector<ProcId> xyRoute(const Grid& grid, ProcId src, ProcId dst) {
+  const Coord a = grid.coord(src);
+  const Coord b = grid.coord(dst);
+  std::vector<ProcId> path;
+  path.reserve(static_cast<std::size_t>(grid.manhattan(src, dst)) + 1);
+
+  Coord cur = a;
+  path.push_back(grid.id(cur));
+  while (cur.col != b.col) {
+    cur.col += (b.col > cur.col) ? 1 : -1;
+    path.push_back(grid.id(cur));
+  }
+  while (cur.row != b.row) {
+    cur.row += (b.row > cur.row) ? 1 : -1;
+    path.push_back(grid.id(cur));
+  }
+  return path;
+}
+
+std::vector<Link> xyLinks(const Grid& grid, ProcId src, ProcId dst) {
+  const std::vector<ProcId> path = xyRoute(grid, src, dst);
+  std::vector<Link> links;
+  links.reserve(path.size() - 1);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    links.push_back(Link{path[i], path[i + 1]});
+  }
+  return links;
+}
+
+}  // namespace pimsched

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <vector>
+
+#include "pim/grid.hpp"
+
+namespace pimsched {
+
+/// One directed hop between two adjacent processors.
+struct Link {
+  ProcId from = kNoProc;
+  ProcId to = kNoProc;
+
+  friend auto operator<=>(const Link&, const Link&) = default;
+};
+
+/// Enumerates the x-y (column first, then row) route from src to dst,
+/// including both endpoints. Deterministic; length = manhattan + 1.
+///
+/// The paper's PIM array "uses the x-y routing method to communicate
+/// between processors"; we route along the column axis first (the x axis of
+/// a (row, col) coordinate), then the row axis.
+[[nodiscard]] std::vector<ProcId> xyRoute(const Grid& grid, ProcId src,
+                                          ProcId dst);
+
+/// The directed links traversed by the x-y route from src to dst
+/// (empty when src == dst).
+[[nodiscard]] std::vector<Link> xyLinks(const Grid& grid, ProcId src,
+                                        ProcId dst);
+
+}  // namespace pimsched

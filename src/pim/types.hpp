@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+
+/// Fundamental identifier and cost types shared across the library.
+namespace pimsched {
+
+/// Flattened (row-major) index of a processor in the PIM grid.
+using ProcId = std::int32_t;
+
+/// Identifier of one datum (one array element) in a DataSpace.
+using DataId = std::int32_t;
+
+/// Index of one parallel execution step.
+using StepId = std::int32_t;
+
+/// Index of one execution window (a contiguous run of steps).
+using WindowId = std::int32_t;
+
+/// Communication cost / data volume. 64-bit: costs are sums of
+/// weight * distance over full traces and overflow 32 bits easily.
+using Cost = std::int64_t;
+
+/// Sentinel for "no processor".
+inline constexpr ProcId kNoProc = -1;
+
+/// Sentinel cost for unreachable / forbidden placements.
+inline constexpr Cost kInfiniteCost = INT64_MAX / 4;
+
+}  // namespace pimsched

@@ -1,0 +1,28 @@
+#include "report/csv.hpp"
+
+#include <ostream>
+
+namespace pimsched {
+
+std::string csvEscape(const std::string& field) {
+  const bool needsQuote =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needsQuote) return field;
+  std::string out = "\"";
+  for (const char ch : field) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) *os_ << ',';
+    *os_ << csvEscape(cells[i]);
+  }
+  *os_ << '\n';
+}
+
+}  // namespace pimsched

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pimsched {
+
+/// Streams rows as RFC-4180-ish CSV (fields containing comma, quote or
+/// newline are quoted; embedded quotes doubled). Used by the benches to
+/// optionally emit machine-readable results next to the text tables.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(&os) {}
+
+  void row(const std::vector<std::string>& cells);
+
+ private:
+  std::ostream* os_;
+};
+
+/// Quotes a single CSV field if needed.
+[[nodiscard]] std::string csvEscape(const std::string& field);
+
+}  // namespace pimsched

@@ -1,0 +1,44 @@
+#include "report/heatmap.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+namespace pimsched {
+
+std::vector<int> quantizeHeatmap(const std::vector<double>& values) {
+  double maxValue = 0.0;
+  for (const double v : values) maxValue = std::max(maxValue, v);
+  std::vector<int> out(values.size(), -1);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i] < 0.0) continue;  // keep 'no data' marker
+    out[i] = maxValue <= 0.0
+                 ? 0
+                 : static_cast<int>((values[i] / maxValue) * 9.0 + 0.5);
+  }
+  return out;
+}
+
+void renderHeatmap(std::ostream& os, const std::vector<double>& values,
+                   int rows, int cols, const std::string& title) {
+  if (static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols) !=
+      values.size()) {
+    throw std::invalid_argument("renderHeatmap: shape mismatch");
+  }
+  const std::vector<int> q = quantizeHeatmap(values);
+  if (!title.empty()) os << title << '\n';
+  for (int r = 0; r < rows; ++r) {
+    os << "  ";
+    for (int c = 0; c < cols; ++c) {
+      const int v = q[static_cast<std::size_t>(r * cols + c)];
+      if (v < 0) {
+        os << ". ";
+      } else {
+        os << v << ' ';
+      }
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace pimsched

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pimsched {
+
+/// Renders a rows x cols field of non-negative values as an ASCII heatmap
+/// (per-cell intensity on a 0-9 scale normalised to the maximum), used by
+/// the examples to show processor load and link pressure without any
+/// plotting dependency.
+///
+/// Values are row-major; a negative value renders as '.' (no data).
+void renderHeatmap(std::ostream& os, const std::vector<double>& values,
+                   int rows, int cols, const std::string& title = "");
+
+/// Scales `values` to 0-9 against their maximum (all zeros stay zeros).
+[[nodiscard]] std::vector<int> quantizeHeatmap(
+    const std::vector<double>& values);
+
+}  // namespace pimsched

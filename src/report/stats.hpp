@@ -1,0 +1,18 @@
+#pragma once
+
+#include <span>
+
+namespace pimsched {
+
+/// Arithmetic mean; 0 for an empty span.
+[[nodiscard]] double mean(std::span<const double> values);
+
+/// Geometric mean of positive values; 0 for an empty span. Throws on
+/// non-positive input.
+[[nodiscard]] double geomean(std::span<const double> values);
+
+/// Sample minimum / maximum; throw on empty input.
+[[nodiscard]] double minOf(std::span<const double> values);
+[[nodiscard]] double maxOf(std::span<const double> values);
+
+}  // namespace pimsched

@@ -1,0 +1,74 @@
+#include "report/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pimsched {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty()) {
+    throw std::invalid_argument("TextTable: header must not be empty");
+  }
+}
+
+void TextTable::addRow(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("TextTable: row width mismatch");
+  }
+  rows_.push_back(Row{std::move(row), false});
+}
+
+void TextTable::addRule() { rows_.push_back(Row{{}, true}); }
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const Row& r : rows_) {
+    if (r.rule) continue;
+    for (std::size_t c = 0; c < r.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], r.cells[c].size());
+    }
+  }
+
+  const auto printCells = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c == 0) {
+        os << std::left << std::setw(static_cast<int>(widths[c])) << cells[c];
+      } else {
+        os << "  " << std::right << std::setw(static_cast<int>(widths[c]))
+           << cells[c];
+      }
+    }
+    os << '\n';
+  };
+  const auto printRule = [&] {
+    std::size_t total = 0;
+    for (const std::size_t w : widths) total += w;
+    total += 2 * (widths.size() - 1);
+    os << std::string(total, '-') << '\n';
+  };
+
+  printCells(header_);
+  printRule();
+  for (const Row& r : rows_) {
+    if (r.rule) {
+      printRule();
+    } else {
+      printCells(r.cells);
+    }
+  }
+}
+
+std::string formatFixed(double value, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << value;
+  return ss.str();
+}
+
+}  // namespace pimsched

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pimsched {
+
+/// Minimal fixed-width text table used by the bench harnesses to print the
+/// paper's tables. Columns are right-aligned except the first.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void addRow(std::vector<std::string> row);
+  /// A horizontal separator line.
+  void addRule();
+
+  [[nodiscard]] std::size_t numRows() const { return rows_.size(); }
+
+  void print(std::ostream& os) const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+/// Formats a double with fixed precision (helper for % columns).
+[[nodiscard]] std::string formatFixed(double value, int precision = 1);
+
+}  // namespace pimsched

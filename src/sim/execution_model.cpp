@@ -1,0 +1,54 @@
+#include "sim/execution_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/replay.hpp"
+
+namespace pimsched {
+
+ExecutionReport estimateExecutionTime(const DataSchedule& schedule,
+                                      const WindowedRefs& refs,
+                                      const CostModel& model,
+                                      const ExecutionParams& params) {
+  if (schedule.numData() != refs.numData() ||
+      schedule.numWindows() != refs.numWindows()) {
+    throw std::invalid_argument("estimateExecutionTime: shape mismatch");
+  }
+  if (params.cyclesPerAccess < 0.0) {
+    throw std::invalid_argument(
+        "estimateExecutionTime: negative cyclesPerAccess");
+  }
+
+  const ReplayReport replay =
+      replaySchedule(schedule, refs, model, params.switching);
+
+  ExecutionReport report;
+  report.perWindow.reserve(static_cast<std::size_t>(refs.numWindows()));
+  std::vector<double> load(static_cast<std::size_t>(refs.numProcs()));
+
+  for (WindowId w = 0; w < refs.numWindows(); ++w) {
+    std::fill(load.begin(), load.end(), 0.0);
+    for (DataId d = 0; d < refs.numData(); ++d) {
+      for (const ProcWeight& pw : refs.refs(d, w)) {
+        load[static_cast<std::size_t>(pw.proc)] +=
+            static_cast<double>(pw.weight) * params.cyclesPerAccess;
+      }
+    }
+    const auto compute = static_cast<std::int64_t>(
+        std::llround(*std::max_element(load.begin(), load.end())));
+    const std::int64_t comm =
+        replay.perWindow[static_cast<std::size_t>(w)].makespan;
+    const std::int64_t windowTime = params.overlapComputeWithComm
+                                        ? std::max(compute, comm)
+                                        : compute + comm;
+    report.computeTime += compute;
+    report.commTime += comm;
+    report.totalTime += windowTime;
+    report.perWindow.push_back(windowTime);
+  }
+  return report;
+}
+
+}  // namespace pimsched

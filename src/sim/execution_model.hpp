@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "cost/cost_model.hpp"
+#include "sim/network.hpp"
+#include "trace/windowed_refs.hpp"
+
+namespace pimsched {
+
+/// Bulk-synchronous execution-time model: the paper's motivation is that
+/// "interprocessor communications ... lengthen the total execution time of
+/// an application". This model estimates that end-to-end time: each window
+/// computes (every processor executes its references) and communicates
+/// (the schedule's traffic is replayed through the NoC simulator); windows
+/// run back to back.
+struct ExecutionParams {
+  /// Compute cycles per unit of reference weight on the executing
+  /// processor (the trace's weights already count fetch + writeback).
+  double cyclesPerAccess = 1.0;
+  SwitchingMode switching = SwitchingMode::kStoreAndForward;
+  /// When true, a window takes max(compute, comm) — perfectly overlapped
+  /// prefetching; when false (default), compute + comm run back to back.
+  bool overlapComputeWithComm = false;
+};
+
+struct ExecutionReport {
+  std::int64_t totalTime = 0;
+  std::int64_t computeTime = 0;  ///< sum over windows of max-per-proc compute
+  std::int64_t commTime = 0;     ///< sum over windows of comm makespan
+  std::vector<std::int64_t> perWindow;
+};
+
+/// Estimates the total execution time of a schedule. Compute load per
+/// processor per window is the weight it references (independent of the
+/// schedule); communication is the replayed traffic of this schedule, so
+/// schedules differ exactly by their communication behaviour.
+[[nodiscard]] ExecutionReport estimateExecutionTime(
+    const DataSchedule& schedule, const WindowedRefs& refs,
+    const CostModel& model, const ExecutionParams& params = {});
+
+}  // namespace pimsched

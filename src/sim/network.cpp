@@ -1,0 +1,98 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pimsched {
+
+SimReport& SimReport::operator+=(const SimReport& o) {
+  // Latencies average over the combined message population.
+  const double lat = avgLatency * static_cast<double>(numMessages) +
+                     o.avgLatency * static_cast<double>(o.numMessages);
+  totalHopVolume += o.totalHopVolume;
+  makespan += o.makespan;  // windows execute back to back
+  maxLinkLoad = std::max(maxLinkLoad, o.maxLinkLoad);
+  numMessages += o.numMessages;
+  avgLatency = numMessages > 0 ? lat / static_cast<double>(numMessages) : 0.0;
+  return *this;
+}
+
+NocSimulator::NocSimulator(const Grid& grid, SwitchingMode mode)
+    : grid_(&grid), mode_(mode) {}
+
+std::size_t NocSimulator::linkIndex(const Link& link) const {
+  // 4 direction slots per processor: 0=N 1=S 2=W 3=E relative to `from`.
+  const Coord a = grid_->coord(link.from);
+  const Coord b = grid_->coord(link.to);
+  int dir = -1;
+  if (b.row == a.row - 1 && b.col == a.col) dir = 0;
+  else if (b.row == a.row + 1 && b.col == a.col) dir = 1;
+  else if (b.col == a.col - 1 && b.row == a.row) dir = 2;
+  else if (b.col == a.col + 1 && b.row == a.row) dir = 3;
+  if (dir < 0) throw std::invalid_argument("linkIndex: not a mesh link");
+  return static_cast<std::size_t>(link.from) * 4 +
+         static_cast<std::size_t>(dir);
+}
+
+std::vector<std::int64_t> NocSimulator::procTraffic(
+    std::span<const Message> messages) const {
+  std::vector<std::int64_t> traffic(static_cast<std::size_t>(grid_->size()),
+                                    0);
+  for (const Message& msg : messages) {
+    for (const ProcId p : xyRoute(*grid_, msg.src, msg.dst)) {
+      traffic[static_cast<std::size_t>(p)] += msg.volume;
+    }
+  }
+  return traffic;
+}
+
+SimReport NocSimulator::simulate(std::span<const Message> messages) const {
+  SimReport report;
+  std::vector<std::int64_t> freeAt(
+      static_cast<std::size_t>(grid_->size()) * 4, 0);
+  std::vector<std::int64_t> load(freeAt.size(), 0);
+
+  double latencySum = 0.0;
+  for (const Message& msg : messages) {
+    if (msg.volume <= 0) {
+      throw std::invalid_argument("NocSimulator: message volume must be > 0");
+    }
+    const std::vector<Link> links = xyLinks(*grid_, msg.src, msg.dst);
+    report.totalHopVolume += msg.volume * static_cast<Cost>(links.size());
+    std::int64_t arrival = 0;
+    if (mode_ == SwitchingMode::kStoreAndForward) {
+      std::int64_t t = 0;  // whole message per hop
+      for (const Link& link : links) {
+        const std::size_t li = linkIndex(link);
+        const std::int64_t start = std::max(t, freeAt[li]);
+        t = start + msg.volume;
+        freeAt[li] = t;
+        load[li] += msg.volume;
+      }
+      arrival = t;
+    } else {
+      // Cut-through: the head advances one link per cycle once the link
+      // is free; each link then streams the full volume.
+      std::int64_t head = 0;  // earliest cycle the head can use next link
+      for (const Link& link : links) {
+        const std::size_t li = linkIndex(link);
+        const std::int64_t start = std::max(head, freeAt[li]);
+        freeAt[li] = start + msg.volume;
+        load[li] += msg.volume;
+        head = start + 1;
+        arrival = start + msg.volume;
+      }
+    }
+    report.makespan = std::max(report.makespan, arrival);
+    latencySum += static_cast<double>(arrival);
+    ++report.numMessages;
+  }
+  report.maxLinkLoad = *std::max_element(load.begin(), load.end());
+  report.avgLatency =
+      report.numMessages > 0
+          ? latencySum / static_cast<double>(report.numMessages)
+          : 0.0;
+  return report;
+}
+
+}  // namespace pimsched

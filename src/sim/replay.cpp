@@ -1,0 +1,48 @@
+#include "sim/replay.hpp"
+
+#include <stdexcept>
+
+namespace pimsched {
+
+ReplayReport replaySchedule(const DataSchedule& schedule,
+                            const WindowedRefs& refs, const CostModel& model,
+                            SwitchingMode mode) {
+  if (schedule.numData() != refs.numData() ||
+      schedule.numWindows() != refs.numWindows()) {
+    throw std::invalid_argument("replaySchedule: shape mismatch");
+  }
+  const NocSimulator sim(model.grid(), mode);
+  ReplayReport report;
+  report.perWindow.reserve(static_cast<std::size_t>(refs.numWindows()));
+
+  for (WindowId w = 0; w < refs.numWindows(); ++w) {
+    report.perWindow.push_back(
+        sim.simulate(windowMessages(schedule, refs, model, w)));
+    report.total += report.perWindow.back();
+  }
+  return report;
+}
+
+std::vector<Message> windowMessages(const DataSchedule& schedule,
+                                    const WindowedRefs& refs,
+                                    const CostModel& model, WindowId w) {
+  std::vector<Message> messages;
+  for (DataId d = 0; d < refs.numData(); ++d) {
+    const ProcId center = schedule.center(d, w);
+    // Migration into this window happens before its references.
+    if (w > 0) {
+      const ProcId prev = schedule.center(d, w - 1);
+      if (prev != center && model.params().moveVolume > 0) {
+        messages.push_back(Message{prev, center, model.params().moveVolume});
+      }
+    }
+    for (const ProcWeight& pw : refs.refs(d, w)) {
+      if (pw.proc != center) {
+        messages.push_back(Message{center, pw.proc, pw.weight});
+      }
+    }
+  }
+  return messages;
+}
+
+}  // namespace pimsched

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "cost/cost_model.hpp"
+#include "sim/network.hpp"
+#include "trace/windowed_refs.hpp"
+
+namespace pimsched {
+
+/// Per-window simulation outcome plus the aggregate.
+struct ReplayReport {
+  SimReport total;
+  std::vector<SimReport> perWindow;
+};
+
+/// Materialises a schedule's traffic and replays it through the NoC
+/// simulator window by window:
+///  * every reference (d, w, proc, weight) with proc != center(d, w)
+///    becomes a message center -> proc of volume weight;
+///  * every center change between windows w and w+1 becomes a migration
+///    message of volume CostParams::moveVolume.
+/// total.totalHopVolume therefore equals the analytic evaluator's total
+/// cost exactly under the default hopCost = 1 (invariant 10 in DESIGN.md);
+/// for other hop costs it equals total / hopCost.
+[[nodiscard]] ReplayReport replaySchedule(
+    const DataSchedule& schedule, const WindowedRefs& refs,
+    const CostModel& model,
+    SwitchingMode mode = SwitchingMode::kStoreAndForward);
+
+/// The messages one window of a schedule injects (reference traffic plus
+/// the migrations arriving into this window) — the exact batch
+/// replaySchedule simulates, exposed for custom analyses (link heatmaps,
+/// alternative network models).
+[[nodiscard]] std::vector<Message> windowMessages(const DataSchedule& schedule,
+                                                  const WindowedRefs& refs,
+                                                  const CostModel& model,
+                                                  WindowId w);
+
+}  // namespace pimsched

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "pim/types.hpp"
+
+namespace pimsched {
+
+/// Location of a datum inside a named 2-D array.
+struct ElementRef {
+  int array = 0;  ///< index into DataSpace::arrays()
+  int row = 0;
+  int col = 0;
+
+  friend auto operator<=>(const ElementRef&, const ElementRef&) = default;
+};
+
+/// Describes the set of program arrays whose elements are the schedulable
+/// data. Every element of every array gets a dense DataId; multi-array
+/// programs (e.g. C = A*A with arrays A and C) simply concatenate ranges.
+class DataSpace {
+ public:
+  struct ArrayInfo {
+    std::string name;
+    int rows = 0;
+    int cols = 0;
+    DataId baseId = 0;  ///< id of element (0,0)
+  };
+
+  DataSpace() = default;
+
+  /// Registers a rows x cols array; returns its array index.
+  int addArray(std::string name, int rows, int cols);
+
+  [[nodiscard]] const std::vector<ArrayInfo>& arrays() const {
+    return arrays_;
+  }
+  [[nodiscard]] int numArrays() const {
+    return static_cast<int>(arrays_.size());
+  }
+
+  /// Total number of data (sum of array sizes).
+  [[nodiscard]] DataId numData() const { return nextId_; }
+
+  /// DataId of element (row, col) of array `a`.
+  [[nodiscard]] DataId id(int a, int row, int col) const {
+    const ArrayInfo& info = arrays_.at(static_cast<std::size_t>(a));
+    if (row < 0 || row >= info.rows || col < 0 || col >= info.cols) {
+      throw std::out_of_range("DataSpace::id: element out of range");
+    }
+    return info.baseId + static_cast<DataId>(row * info.cols + col);
+  }
+
+  /// Inverse of id().
+  [[nodiscard]] ElementRef element(DataId d) const;
+
+  /// Convenience: a DataSpace with a single n x n array named "A".
+  static DataSpace singleSquare(int n, std::string name = "A");
+
+ private:
+  std::vector<ArrayInfo> arrays_;
+  DataId nextId_ = 0;
+};
+
+}  // namespace pimsched

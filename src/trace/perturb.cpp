@@ -1,0 +1,37 @@
+#include "trace/perturb.hpp"
+
+#include <stdexcept>
+
+namespace pimsched {
+
+ReferenceTrace perturbTrace(const ReferenceTrace& trace, const Grid& grid,
+                            double fraction, std::uint64_t seed) {
+  if (!trace.finalized()) {
+    throw std::invalid_argument("perturbTrace: trace must be finalized");
+  }
+  if (fraction < 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("perturbTrace: fraction must be in [0, 1]");
+  }
+  std::uint64_t state = seed;
+  const auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  const auto chance = [&next](double p) {
+    return static_cast<double>(next() % 1'000'000) < p * 1'000'000.0;
+  };
+
+  ReferenceTrace out(trace.dataSpace());
+  for (const Access& a : trace.accesses()) {
+    ProcId proc = a.proc;
+    if (chance(fraction)) {
+      proc = static_cast<ProcId>(next() %
+                                 static_cast<std::uint64_t>(grid.size()));
+    }
+    out.add(a.step, proc, a.data, a.weight);
+  }
+  out.finalize();
+  return out;
+}
+
+}  // namespace pimsched

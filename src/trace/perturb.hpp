@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstdint>
+
+#include "pim/grid.hpp"
+#include "trace/trace.hpp"
+
+namespace pimsched {
+
+/// Workload drift model: a schedule is computed against a *profiled* trace
+/// but the production run differs. perturbTrace derives such a production
+/// trace by re-assigning a fraction of the access records to a uniformly
+/// random executing processor (deterministic for a fixed seed). Steps,
+/// data and weights are untouched, so schedules stay shape-compatible.
+///
+/// `fraction` in [0, 1]: expected share of access records perturbed.
+[[nodiscard]] ReferenceTrace perturbTrace(const ReferenceTrace& trace,
+                                          const Grid& grid, double fraction,
+                                          std::uint64_t seed = 42);
+
+}  // namespace pimsched

@@ -1,0 +1,41 @@
+#include "trace/remap.hpp"
+
+#include <stdexcept>
+
+namespace pimsched {
+
+bool isPermutation(const std::vector<ProcId>& perm) {
+  std::vector<bool> seen(perm.size(), false);
+  for (const ProcId p : perm) {
+    if (p < 0 || p >= static_cast<ProcId>(perm.size()) ||
+        seen[static_cast<std::size_t>(p)]) {
+      return false;
+    }
+    seen[static_cast<std::size_t>(p)] = true;
+  }
+  return true;
+}
+
+ReferenceTrace applyProcPermutation(const ReferenceTrace& trace,
+                                    const std::vector<ProcId>& perm) {
+  if (!trace.finalized()) {
+    throw std::invalid_argument("applyProcPermutation: trace not finalized");
+  }
+  if (!isPermutation(perm)) {
+    throw std::invalid_argument("applyProcPermutation: not a permutation");
+  }
+  ReferenceTrace out(trace.dataSpace());
+  for (const Access& a : trace.accesses()) {
+    if (a.proc >= static_cast<ProcId>(perm.size())) {
+      throw std::invalid_argument(
+          "applyProcPermutation: trace references a processor outside the "
+          "permutation");
+    }
+    out.add(a.step, perm[static_cast<std::size_t>(a.proc)], a.data,
+            a.weight);
+  }
+  out.finalize();
+  return out;
+}
+
+}  // namespace pimsched

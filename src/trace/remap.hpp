@@ -1,0 +1,21 @@
+#pragma once
+
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace pimsched {
+
+/// Re-labels the executing processors of a trace: access proc p becomes
+/// perm[p]. perm must be a permutation of 0..numProcs-1 covering every
+/// processor the trace references. Used to explore alternative iteration
+/// partitions without regenerating the kernel (the paper's stage-1
+/// "iteration partition" is exactly a choice of this labelling for a
+/// fixed work decomposition).
+[[nodiscard]] ReferenceTrace applyProcPermutation(
+    const ReferenceTrace& trace, const std::vector<ProcId>& perm);
+
+/// True iff perm is a permutation of 0..perm.size()-1.
+[[nodiscard]] bool isPermutation(const std::vector<ProcId>& perm);
+
+}  // namespace pimsched

@@ -1,0 +1,86 @@
+#include "trace/trace_io.hpp"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+namespace pimsched {
+
+namespace {
+constexpr const char* kMagic = "pimtrace v1";
+}  // namespace
+
+void saveTrace(const ReferenceTrace& trace, std::ostream& os) {
+  os << kMagic << '\n';
+  for (const DataSpace::ArrayInfo& a : trace.dataSpace().arrays()) {
+    os << "array " << a.name << ' ' << a.rows << ' ' << a.cols << '\n';
+  }
+  for (const Access& acc : trace.accesses()) {
+    os << "access " << acc.step << ' ' << acc.proc << ' ' << acc.data << ' '
+       << acc.weight << '\n';
+  }
+}
+
+void saveTraceFile(const ReferenceTrace& trace, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("saveTraceFile: cannot open " + path);
+  saveTrace(trace, os);
+}
+
+ReferenceTrace loadTrace(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != kMagic) {
+    throw std::runtime_error("loadTrace: missing 'pimtrace v1' header");
+  }
+
+  DataSpace ds;
+  std::optional<ReferenceTrace> trace;
+  int lineNo = 1;
+  while (std::getline(is, line)) {
+    ++lineNo;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    if (kind == "array") {
+      if (trace.has_value()) {
+        throw std::runtime_error(
+            "loadTrace: 'array' after first 'access' (line " +
+            std::to_string(lineNo) + ")");
+      }
+      std::string name;
+      int rows = 0, cols = 0;
+      if (!(ls >> name >> rows >> cols)) {
+        throw std::runtime_error("loadTrace: malformed array line " +
+                                 std::to_string(lineNo));
+      }
+      ds.addArray(name, rows, cols);
+    } else if (kind == "access") {
+      if (!trace.has_value()) trace.emplace(ds);
+      StepId step = 0;
+      ProcId proc = 0;
+      DataId data = 0;
+      Cost weight = 0;
+      if (!(ls >> step >> proc >> data >> weight)) {
+        throw std::runtime_error("loadTrace: malformed access line " +
+                                 std::to_string(lineNo));
+      }
+      trace->add(step, proc, data, weight);
+    } else {
+      throw std::runtime_error("loadTrace: unknown record '" + kind +
+                               "' at line " + std::to_string(lineNo));
+    }
+  }
+  if (!trace.has_value()) trace.emplace(ds);
+  trace->finalize();
+  return std::move(*trace);
+}
+
+ReferenceTrace loadTraceFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("loadTraceFile: cannot open " + path);
+  return loadTrace(is);
+}
+
+}  // namespace pimsched

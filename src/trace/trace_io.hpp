@@ -1,0 +1,24 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace pimsched {
+
+/// Text serialisation of a ReferenceTrace. Format (one record per line):
+///
+///   pimtrace v1
+///   array <name> <rows> <cols>        (one per array, in id order)
+///   access <step> <proc> <data> <weight>
+///
+/// Blank lines and lines starting with '#' are ignored. The loader
+/// finalizes the trace.
+void saveTrace(const ReferenceTrace& trace, std::ostream& os);
+void saveTraceFile(const ReferenceTrace& trace, const std::string& path);
+
+[[nodiscard]] ReferenceTrace loadTrace(std::istream& is);
+[[nodiscard]] ReferenceTrace loadTraceFile(const std::string& path);
+
+}  // namespace pimsched

@@ -1,0 +1,77 @@
+#include "trace/window.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pimsched {
+
+WindowPartition::WindowPartition(std::vector<StepId> starts, StepId numSteps)
+    : starts_(std::move(starts)), numSteps_(numSteps) {
+  if (numSteps_ < 0) {
+    throw std::invalid_argument("WindowPartition: numSteps must be >= 0");
+  }
+  if (numSteps_ == 0) {
+    if (!starts_.empty()) {
+      throw std::invalid_argument(
+          "WindowPartition: empty trace cannot have windows");
+    }
+    return;
+  }
+  if (starts_.empty() || starts_.front() != 0) {
+    throw std::invalid_argument("WindowPartition: first window must start at 0");
+  }
+  for (std::size_t i = 1; i < starts_.size(); ++i) {
+    if (starts_[i] <= starts_[i - 1]) {
+      throw std::invalid_argument(
+          "WindowPartition: starts must be strictly increasing");
+    }
+  }
+  if (starts_.back() >= numSteps_) {
+    throw std::invalid_argument(
+        "WindowPartition: last window start must precede numSteps");
+  }
+}
+
+WindowPartition WindowPartition::fixedSize(StepId numSteps, StepId windowSize) {
+  if (windowSize < 1) {
+    throw std::invalid_argument("WindowPartition: windowSize must be >= 1");
+  }
+  std::vector<StepId> starts;
+  for (StepId s = 0; s < numSteps; s += windowSize) starts.push_back(s);
+  return WindowPartition(std::move(starts), numSteps);
+}
+
+WindowPartition WindowPartition::evenCount(StepId numSteps, int count) {
+  if (count < 1) {
+    throw std::invalid_argument("WindowPartition: count must be >= 1");
+  }
+  count = std::min<int>(count, std::max<StepId>(numSteps, 1));
+  std::vector<StepId> starts;
+  starts.reserve(static_cast<std::size_t>(count));
+  for (int w = 0; w < count; ++w) {
+    const StepId s = static_cast<StepId>(
+        (static_cast<std::int64_t>(numSteps) * w) / count);
+    if (starts.empty() || s > starts.back()) starts.push_back(s);
+  }
+  if (numSteps == 0) starts.clear();
+  return WindowPartition(std::move(starts), numSteps);
+}
+
+WindowPartition WindowPartition::perStep(StepId numSteps) {
+  return fixedSize(numSteps, 1);
+}
+
+WindowPartition WindowPartition::whole(StepId numSteps) {
+  return numSteps == 0 ? WindowPartition({}, 0)
+                       : WindowPartition({0}, numSteps);
+}
+
+WindowId WindowPartition::windowOf(StepId step) const {
+  if (step < 0 || step >= numSteps_) {
+    throw std::out_of_range("WindowPartition::windowOf: step out of range");
+  }
+  const auto it = std::upper_bound(starts_.begin(), starts_.end(), step);
+  return static_cast<WindowId>(it - starts_.begin()) - 1;
+}
+
+}  // namespace pimsched

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <vector>
+
+#include "pim/types.hpp"
+
+namespace pimsched {
+
+/// Half-open range of execution steps [begin, end).
+struct StepRange {
+  StepId begin = 0;
+  StepId end = 0;
+
+  [[nodiscard]] StepId length() const { return end - begin; }
+  friend auto operator<=>(const StepRange&, const StepRange&) = default;
+};
+
+/// A partition of the steps 0..numSteps-1 into consecutive execution
+/// windows. The paper: "A sequence of parallel execution steps are grouped
+/// into an execution window."
+class WindowPartition {
+ public:
+  /// Builds from explicit window start steps. starts must begin with 0 and
+  /// be strictly increasing; numSteps closes the last window.
+  WindowPartition(std::vector<StepId> starts, StepId numSteps);
+
+  /// Equal-size windows of `windowSize` steps (last may be shorter).
+  static WindowPartition fixedSize(StepId numSteps, StepId windowSize);
+
+  /// Exactly `count` windows of near-equal size.
+  static WindowPartition evenCount(StepId numSteps, int count);
+
+  /// One window per step.
+  static WindowPartition perStep(StepId numSteps);
+
+  /// One window covering everything.
+  static WindowPartition whole(StepId numSteps);
+
+  [[nodiscard]] int numWindows() const {
+    return static_cast<int>(starts_.size());
+  }
+  [[nodiscard]] StepId numSteps() const { return numSteps_; }
+
+  [[nodiscard]] StepRange window(WindowId w) const {
+    const auto i = static_cast<std::size_t>(w);
+    const StepId end =
+        (i + 1 < starts_.size()) ? starts_[i + 1] : numSteps_;
+    return StepRange{starts_[i], end};
+  }
+
+  /// Window containing a given step (binary search).
+  [[nodiscard]] WindowId windowOf(StepId step) const;
+
+ private:
+  std::vector<StepId> starts_;
+  StepId numSteps_ = 0;
+};
+
+}  // namespace pimsched

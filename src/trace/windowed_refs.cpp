@@ -1,0 +1,103 @@
+#include "trace/windowed_refs.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pimsched {
+
+WindowedRefs::WindowedRefs(const ReferenceTrace& trace,
+                           const WindowPartition& windows, const Grid& grid)
+    : numData_(trace.numData()),
+      numWindows_(windows.numWindows()),
+      numProcs_(grid.size()) {
+  if (!trace.finalized()) {
+    throw std::invalid_argument("WindowedRefs: trace must be finalized");
+  }
+  if (windows.numSteps() != trace.numSteps()) {
+    throw std::invalid_argument(
+        "WindowedRefs: window partition does not match trace step count");
+  }
+
+  // Tag each access with its window, then bucket by (data, window, proc).
+  struct Tagged {
+    DataId data;
+    WindowId window;
+    ProcId proc;
+    Cost weight;
+  };
+  std::vector<Tagged> tagged;
+  tagged.reserve(trace.accesses().size());
+  for (const Access& a : trace.accesses()) {
+    if (a.proc >= numProcs_) {
+      throw std::invalid_argument(
+          "WindowedRefs: access references a processor outside the grid");
+    }
+    tagged.push_back(Tagged{a.data, windows.windowOf(a.step), a.proc,
+                            a.weight});
+  }
+  std::sort(tagged.begin(), tagged.end(),
+            [](const Tagged& a, const Tagged& b) {
+              if (a.data != b.data) return a.data < b.data;
+              if (a.window != b.window) return a.window < b.window;
+              return a.proc < b.proc;
+            });
+
+  const std::size_t numCells = static_cast<std::size_t>(numData_) *
+                               static_cast<std::size_t>(numWindows_);
+  offsets_.assign(numCells + 1, 0);
+  dataWeight_.assign(static_cast<std::size_t>(numData_), 0);
+  entries_.reserve(tagged.size());
+
+  std::size_t i = 0;
+  for (std::size_t cell = 0; cell < numCells; ++cell) {
+    offsets_[cell] = entries_.size();
+    const DataId d = static_cast<DataId>(cell / static_cast<std::size_t>(numWindows_));
+    const WindowId w = static_cast<WindowId>(cell % static_cast<std::size_t>(numWindows_));
+    while (i < tagged.size() && tagged[i].data == d &&
+           tagged[i].window == w) {
+      if (!entries_.empty() && entries_.size() > offsets_[cell] &&
+          entries_.back().proc == tagged[i].proc) {
+        entries_.back().weight += tagged[i].weight;
+      } else {
+        entries_.push_back(ProcWeight{tagged[i].proc, tagged[i].weight});
+      }
+      dataWeight_[static_cast<std::size_t>(d)] += tagged[i].weight;
+      ++i;
+    }
+  }
+  offsets_[numCells] = entries_.size();
+}
+
+Cost WindowedRefs::windowWeight(DataId d, WindowId w) const {
+  Cost sum = 0;
+  for (const ProcWeight& pw : refs(d, w)) sum += pw.weight;
+  return sum;
+}
+
+Cost WindowedRefs::dataWeight(DataId d) const {
+  return dataWeight_[static_cast<std::size_t>(d)];
+}
+
+std::vector<ProcWeight> WindowedRefs::mergedRefs(DataId d, WindowId wBegin,
+                                                 WindowId wEnd) const {
+  if (wBegin < 0 || wEnd > numWindows_ || wBegin >= wEnd) {
+    throw std::invalid_argument("WindowedRefs::mergedRefs: bad window range");
+  }
+  // k-way merge of sorted-by-proc lists via accumulation into a dense map;
+  // the processor count is small (a grid), so a dense array is cheapest.
+  std::vector<Cost> acc(static_cast<std::size_t>(numProcs_), 0);
+  for (WindowId w = wBegin; w < wEnd; ++w) {
+    for (const ProcWeight& pw : refs(d, w)) {
+      acc[static_cast<std::size_t>(pw.proc)] += pw.weight;
+    }
+  }
+  std::vector<ProcWeight> out;
+  for (ProcId p = 0; p < numProcs_; ++p) {
+    if (acc[static_cast<std::size_t>(p)] > 0) {
+      out.push_back(ProcWeight{p, acc[static_cast<std::size_t>(p)]});
+    }
+  }
+  return out;
+}
+
+}  // namespace pimsched

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "pim/grid.hpp"
+#include "pim/types.hpp"
+#include "trace/trace.hpp"
+#include "trace/window.hpp"
+
+namespace pimsched {
+
+/// One entry of a processor reference string: processor `proc` references
+/// the datum with aggregate volume `weight` inside one execution window.
+struct ProcWeight {
+  ProcId proc = 0;
+  Cost weight = 0;
+
+  friend auto operator<=>(const ProcWeight&, const ProcWeight&) = default;
+};
+
+/// The per-(datum, window) processor reference strings of an application —
+/// the direct input of every scheduling algorithm in the paper. Stored in a
+/// CSR layout: refs(d, w) is the sorted-by-proc list of (processor, weight)
+/// pairs for datum d in window w.
+class WindowedRefs {
+ public:
+  /// Aggregates a finalized trace under a window partition. The grid fixes
+  /// the processor-id range; every access must reference a valid processor.
+  WindowedRefs(const ReferenceTrace& trace, const WindowPartition& windows,
+               const Grid& grid);
+
+  [[nodiscard]] DataId numData() const { return numData_; }
+  [[nodiscard]] int numWindows() const { return numWindows_; }
+  [[nodiscard]] int numProcs() const { return numProcs_; }
+
+  /// Reference string of datum d in window w (sorted by proc, weights > 0).
+  [[nodiscard]] std::span<const ProcWeight> refs(DataId d, WindowId w) const {
+    const std::size_t cell = cellIndex(d, w);
+    return {entries_.data() + offsets_[cell],
+            offsets_[cell + 1] - offsets_[cell]};
+  }
+
+  /// Total reference volume of datum d in window w.
+  [[nodiscard]] Cost windowWeight(DataId d, WindowId w) const;
+
+  /// Total reference volume of datum d across all windows.
+  [[nodiscard]] Cost dataWeight(DataId d) const;
+
+  /// Merged reference string of datum d over windows [wBegin, wEnd)
+  /// (per-processor weights summed; sorted by proc). Used by SCDS (merge
+  /// everything) and by window grouping.
+  [[nodiscard]] std::vector<ProcWeight> mergedRefs(DataId d, WindowId wBegin,
+                                                   WindowId wEnd) const;
+
+  /// True if datum d is never referenced.
+  [[nodiscard]] bool unreferenced(DataId d) const {
+    return dataWeight(d) == 0;
+  }
+
+ private:
+  [[nodiscard]] std::size_t cellIndex(DataId d, WindowId w) const {
+    return static_cast<std::size_t>(d) * static_cast<std::size_t>(numWindows_) +
+           static_cast<std::size_t>(w);
+  }
+
+  DataId numData_ = 0;
+  int numWindows_ = 0;
+  int numProcs_ = 0;
+  std::vector<std::size_t> offsets_;  ///< numData*numWindows + 1 entries
+  std::vector<ProcWeight> entries_;
+  std::vector<Cost> dataWeight_;  ///< per-datum total volume
+};
+
+}  // namespace pimsched

@@ -1,0 +1,123 @@
+#include "core/adaptive_window.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "kernels/benchmarks.hpp"
+
+namespace pimsched {
+namespace {
+
+TEST(AdaptiveWindows, StaticPatternYieldsOneWindow) {
+  // Identical references every step: the centroid never moves.
+  const Grid g(4, 4);
+  ReferenceTrace t(DataSpace::singleSquare(2));
+  for (StepId s = 0; s < 10; ++s) {
+    t.add(s, g.id(1, 1), 0, 3);
+    t.add(s, g.id(2, 2), 1, 1);
+  }
+  t.finalize();
+  const WindowPartition wp = adaptiveWindows(t, g);
+  EXPECT_EQ(wp.numWindows(), 1);
+}
+
+TEST(AdaptiveWindows, CutsAtThePhaseChange) {
+  // 5 steps around (0,0), then 5 steps around (3,3): exactly one cut.
+  const Grid g(4, 4);
+  ReferenceTrace t(DataSpace::singleSquare(1));
+  for (StepId s = 0; s < 5; ++s) t.add(s, g.id(0, 0), 0, 4);
+  for (StepId s = 5; s < 10; ++s) t.add(s, g.id(3, 3), 0, 4);
+  t.finalize();
+  const WindowPartition wp = adaptiveWindows(t, g);
+  ASSERT_EQ(wp.numWindows(), 2);
+  EXPECT_EQ(wp.window(0), (StepRange{0, 5}));
+  EXPECT_EQ(wp.window(1), (StepRange{5, 10}));
+}
+
+TEST(AdaptiveWindows, ThresholdControlsSensitivity) {
+  // A slowly wandering centroid: a loose threshold keeps one window, a
+  // tight one cuts several.
+  const Grid g(1, 16);
+  ReferenceTrace t(DataSpace::singleSquare(1));
+  for (StepId s = 0; s < 16; ++s) t.add(s, static_cast<ProcId>(s), 0, 1);
+  t.finalize();
+
+  AdaptiveWindowOptions loose;
+  loose.driftThreshold = 100.0;
+  EXPECT_EQ(adaptiveWindows(t, g, loose).numWindows(), 1);
+
+  AdaptiveWindowOptions tight;
+  tight.driftThreshold = 0.5;
+  EXPECT_GT(adaptiveWindows(t, g, tight).numWindows(), 4);
+}
+
+TEST(AdaptiveWindows, MaxWindowStepsForcesCuts) {
+  const Grid g(2, 2);
+  ReferenceTrace t(DataSpace::singleSquare(1));
+  for (StepId s = 0; s < 9; ++s) t.add(s, 0, 0, 1);
+  t.finalize();
+  AdaptiveWindowOptions opts;
+  opts.maxWindowSteps = 3;
+  const WindowPartition wp = adaptiveWindows(t, g, opts);
+  EXPECT_EQ(wp.numWindows(), 3);
+}
+
+TEST(AdaptiveWindows, EmptyTrace) {
+  const Grid g(2, 2);
+  ReferenceTrace t(DataSpace::singleSquare(1));
+  t.finalize();
+  EXPECT_EQ(adaptiveWindows(t, g).numWindows(), 0);
+}
+
+TEST(AdaptiveWindows, RejectsBadInput) {
+  const Grid g(2, 2);
+  ReferenceTrace t(DataSpace::singleSquare(1));
+  t.add(0, 0, 0, 1);
+  EXPECT_THROW((void)adaptiveWindows(t, g), std::invalid_argument);
+  t.finalize();
+  AdaptiveWindowOptions opts;
+  opts.driftThreshold = -1.0;
+  EXPECT_THROW((void)adaptiveWindows(t, g, opts), std::invalid_argument);
+}
+
+TEST(AdaptiveWindows, PluggedIntoPipeline) {
+  const Grid g(4, 4);
+  const ReferenceTrace trace =
+      makePaperBenchmark(PaperBenchmark::kCodeRev, g, 8);
+  PipelineConfig cfg;
+  cfg.explicitWindows = adaptiveWindows(trace, g);
+  const Experiment exp(trace, g, cfg);
+  EXPECT_EQ(exp.refs().numWindows(), cfg.explicitWindows->numWindows());
+  // The full pipeline still works on adaptive boundaries.
+  const Cost total = exp.evaluate(Method::kGomcds).aggregate.total();
+  EXPECT_GT(total, 0);
+  EXPECT_LE(total, exp.evaluate(Method::kRowWise).aggregate.total());
+}
+
+TEST(AdaptiveWindows, CompetitiveWithPerStepWindowsOnDriftingTrace) {
+  // Adaptive boundaries should capture most of GOMCDS's gain with far
+  // fewer windows than per-step partitioning.
+  const Grid g(4, 4);
+  const ReferenceTrace trace =
+      makePaperBenchmark(PaperBenchmark::kLuCode, g, 16);
+
+  PipelineConfig perStep;
+  perStep.numWindows = static_cast<int>(trace.numSteps());
+  const Experiment fine(trace, g, perStep);
+
+  PipelineConfig adaptive;
+  adaptive.explicitWindows = adaptiveWindows(trace, g);
+  const Experiment coarse(trace, g, adaptive);
+
+  EXPECT_LT(coarse.refs().numWindows(), fine.refs().numWindows());
+  const Cost fineCost = fine.evaluate(Method::kGomcds).aggregate.total();
+  const Cost coarseCost =
+      coarse.evaluate(Method::kGomcds).aggregate.total();
+  // Coarser windows cannot beat finer ones for GOMCDS, but must stay
+  // within 25%.
+  EXPECT_GE(coarseCost, fineCost);
+  EXPECT_LE(coarseCost, fineCost + fineCost / 4);
+}
+
+}  // namespace
+}  // namespace pimsched

@@ -1,0 +1,104 @@
+#include "core/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pim/memory.hpp"
+
+namespace pimsched {
+namespace {
+
+TEST(Baselines, RowWiseChunksInIdOrder) {
+  const Grid g(4, 4);
+  const DataSpace ds = DataSpace::singleSquare(8);  // 64 data, 4 per proc
+  const DataSchedule s =
+      baselineSchedule(BaselineKind::kRowWise, ds, g, 2);
+  EXPECT_EQ(s.center(0, 0), 0);
+  EXPECT_EQ(s.center(3, 0), 0);
+  EXPECT_EQ(s.center(4, 0), 1);
+  EXPECT_EQ(s.center(63, 0), 15);
+  EXPECT_TRUE(s.isStatic());
+}
+
+TEST(Baselines, ColWiseChunksInColumnOrder) {
+  const Grid g(2, 2);
+  const DataSpace ds = DataSpace::singleSquare(4);  // 16 data, 4 per proc
+  const DataSchedule s =
+      baselineSchedule(BaselineKind::kColWise, ds, g, 1);
+  // First column of A = ids 0,4,8,12 -> proc 0.
+  EXPECT_EQ(s.center(0, 0), 0);
+  EXPECT_EQ(s.center(4, 0), 0);
+  EXPECT_EQ(s.center(8, 0), 0);
+  EXPECT_EQ(s.center(12, 0), 0);
+  EXPECT_EQ(s.center(1, 0), 1);
+}
+
+TEST(Baselines, Block2DMapsBlocksToProcs) {
+  const Grid g(2, 2);
+  const DataSpace ds = DataSpace::singleSquare(4);
+  const DataSchedule s =
+      baselineSchedule(BaselineKind::kBlock2D, ds, g, 1);
+  EXPECT_EQ(s.center(ds.id(0, 0, 0), 0), g.id(0, 0));
+  EXPECT_EQ(s.center(ds.id(0, 0, 3), 0), g.id(0, 1));
+  EXPECT_EQ(s.center(ds.id(0, 3, 0), 0), g.id(1, 0));
+  EXPECT_EQ(s.center(ds.id(0, 3, 3), 0), g.id(1, 1));
+}
+
+TEST(Baselines, Cyclic2DWraps) {
+  const Grid g(2, 2);
+  const DataSpace ds = DataSpace::singleSquare(4);
+  const DataSchedule s =
+      baselineSchedule(BaselineKind::kCyclic2D, ds, g, 1);
+  EXPECT_EQ(s.center(ds.id(0, 0, 0), 0), g.id(0, 0));
+  EXPECT_EQ(s.center(ds.id(0, 2, 2), 0), g.id(0, 0));
+  EXPECT_EQ(s.center(ds.id(0, 1, 3), 0), g.id(1, 1));
+}
+
+class BaselineProperties : public ::testing::TestWithParam<BaselineKind> {};
+
+TEST_P(BaselineProperties, StaticCompleteAndBalanced) {
+  const Grid g(4, 4);
+  DataSpace ds;
+  ds.addArray("A", 8, 8);
+  ds.addArray("C", 8, 8);
+  const DataSchedule s = baselineSchedule(GetParam(), ds, g, 4);
+  EXPECT_TRUE(s.complete());
+  EXPECT_TRUE(s.isStatic());
+  // The paper's capacity (2x the minimum) always holds for baselines.
+  EXPECT_TRUE(s.respectsCapacity(g, paperCapacity(g, ds.numData())));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, BaselineProperties,
+                         ::testing::Values(BaselineKind::kRowWise,
+                                           BaselineKind::kColWise,
+                                           BaselineKind::kBlock2D,
+                                           BaselineKind::kCyclic2D,
+                                           BaselineKind::kRandom));
+
+TEST(Baselines, RandomIsSeedDeterministic) {
+  const Grid g(4, 4);
+  const DataSpace ds = DataSpace::singleSquare(8);
+  const DataSchedule a =
+      baselineSchedule(BaselineKind::kRandom, ds, g, 1, 77);
+  const DataSchedule b =
+      baselineSchedule(BaselineKind::kRandom, ds, g, 1, 77);
+  const DataSchedule c =
+      baselineSchedule(BaselineKind::kRandom, ds, g, 1, 78);
+  bool same = true, sameAsC = true;
+  for (DataId d = 0; d < ds.numData(); ++d) {
+    same = same && a.center(d, 0) == b.center(d, 0);
+    sameAsC = sameAsC && a.center(d, 0) == c.center(d, 0);
+  }
+  EXPECT_TRUE(same);
+  EXPECT_FALSE(sameAsC);
+}
+
+TEST(Baselines, RandomIsPerfectlyBalanced) {
+  const Grid g(4, 4);
+  const DataSpace ds = DataSpace::singleSquare(8);  // 64 = 4 per proc
+  const DataSchedule s =
+      baselineSchedule(BaselineKind::kRandom, ds, g, 1, 5);
+  EXPECT_EQ(s.maxOccupancy(g), 4);
+}
+
+}  // namespace
+}  // namespace pimsched

@@ -1,0 +1,157 @@
+#include "cost/center_costs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "test_util.hpp"
+
+namespace pimsched {
+namespace {
+
+TEST(AxisCosts, HandComputed) {
+  // Weights 2 at 0, 1 at 3 on a 4-slot axis.
+  const std::vector<Cost> hist = {2, 0, 0, 1};
+  const std::vector<Cost> f = axisCosts(hist);
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_EQ(f[0], 3);   // 2*0 + 1*3
+  EXPECT_EQ(f[1], 4);   // 2*1 + 1*2
+  EXPECT_EQ(f[2], 5);
+  EXPECT_EQ(f[3], 6);
+}
+
+TEST(AxisCosts, EmptyAndSingle) {
+  EXPECT_TRUE(axisCosts({}).empty());
+  const std::vector<Cost> one = {5};
+  EXPECT_EQ(axisCosts(one)[0], 0);
+}
+
+TEST(AxisCosts, MinimumAtWeightedMedian) {
+  // Heavy weight at position 2 dominates.
+  const std::vector<Cost> hist = {1, 0, 10, 0, 1};
+  const std::vector<Cost> f = axisCosts(hist);
+  for (std::size_t x = 0; x < f.size(); ++x) {
+    EXPECT_GE(f[x], f[2]);
+  }
+}
+
+TEST(CenterCosts, SingleReferenceCostIsDistance) {
+  const Grid g(4, 4);
+  const CostModel model(g);
+  const std::vector<ProcWeight> refs = {{g.id(1, 2), 3}};
+  const std::vector<Cost> costs = separableCenterCosts(model, refs);
+  for (ProcId p = 0; p < g.size(); ++p) {
+    EXPECT_EQ(costs[static_cast<std::size_t>(p)],
+              3 * g.manhattan(p, g.id(1, 2)));
+  }
+}
+
+TEST(CenterCosts, EmptyRefsAreFreeEverywhere) {
+  const Grid g(3, 3);
+  const CostModel model(g);
+  for (const Cost c : separableCenterCosts(model, {})) EXPECT_EQ(c, 0);
+  const BestCenter best = bestCenter(model, {});
+  EXPECT_EQ(best.proc, 0);  // tie toward smallest id
+  EXPECT_EQ(best.cost, 0);
+}
+
+TEST(CenterCosts, HopCostScalesLinearly) {
+  const Grid g(4, 4);
+  const CostModel unit(g, CostParams{1, 1});
+  const CostModel triple(g, CostParams{3, 1});
+  const std::vector<ProcWeight> refs = {{0, 2}, {15, 1}, {5, 4}};
+  const auto a = separableCenterCosts(unit, refs);
+  const auto b = separableCenterCosts(triple, refs);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(b[i], 3 * a[i]);
+}
+
+// Property: the separable evaluation must match the brute-force Algorithm 1
+// on every grid shape and any reference string.
+class CenterCostEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(CenterCostEquivalence, SeparableMatchesBruteForce) {
+  const auto [rows, cols, seed] = GetParam();
+  const Grid g(rows, cols);
+  const CostModel model(g);
+  testutil::Rng rng(static_cast<std::uint64_t>(seed) * 7919 + 1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto refs =
+        testutil::randomRefs(rng, g, static_cast<int>(rng.below(30)) + 1);
+    const auto brute = bruteForceCenterCosts(model, refs);
+    const auto fast = separableCenterCosts(model, refs);
+    ASSERT_EQ(brute.size(), fast.size());
+    for (std::size_t p = 0; p < brute.size(); ++p) {
+      ASSERT_EQ(brute[p], fast[p]) << "grid " << rows << "x" << cols
+                                   << " proc " << p;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, CenterCostEquivalence,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(1, 8, 2),
+                      std::make_tuple(8, 1, 3), std::make_tuple(4, 4, 4),
+                      std::make_tuple(3, 5, 5), std::make_tuple(7, 2, 6),
+                      std::make_tuple(6, 6, 7)));
+
+TEST(BestCenter, TieBreaksTowardSmallerId) {
+  const Grid g(1, 3);
+  const CostModel model(g);
+  // Symmetric weights at both ends: positions 0..2 have costs 2,2,2.
+  const std::vector<ProcWeight> refs = {{0, 1}, {2, 1}};
+  const auto costs = separableCenterCosts(model, refs);
+  EXPECT_EQ(costs[0], 2);
+  EXPECT_EQ(costs[1], 2);
+  EXPECT_EQ(costs[2], 2);
+  EXPECT_EQ(bestCenter(model, refs).proc, 0);
+}
+
+TEST(BestCenter, MatchesExhaustiveArgmin) {
+  const Grid g(5, 4);
+  const CostModel model(g);
+  testutil::Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto refs = testutil::randomRefs(rng, g, 12);
+    const BestCenter best = bestCenter(model, refs);
+    const auto costs = bruteForceCenterCosts(model, refs);
+    for (ProcId p = 0; p < g.size(); ++p) {
+      EXPECT_LE(best.cost, costs[static_cast<std::size_t>(p)]);
+    }
+    EXPECT_EQ(best.cost, costs[static_cast<std::size_t>(best.proc)]);
+  }
+}
+
+TEST(BestCenter, CenterIsPerAxisWeightedMedian) {
+  // DESIGN.md invariant 2: the optimal center is a weighted median on each
+  // axis. With odd total weight the weighted median is unique.
+  const Grid g(5, 5);
+  const CostModel model(g);
+  testutil::Rng rng(123);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<ProcWeight> refs = testutil::randomRefs(rng, g, 9);
+    // Force odd total weight.
+    Cost total = 0;
+    for (const auto& pw : refs) total += pw.weight;
+    if (total % 2 == 0) refs.front().weight += 1;
+    total = 0;
+    for (const auto& pw : refs) total += pw.weight;
+
+    const BestCenter best = bestCenter(model, refs);
+    const Coord bc = g.coord(best.proc);
+
+    // Row axis: weight strictly below the median row < total/2 and weight
+    // strictly above < total/2 (equivalently cumulative crosses half).
+    Cost below = 0, above = 0;
+    for (const auto& pw : refs) {
+      const Coord c = g.coord(pw.proc);
+      if (c.row < bc.row) below += pw.weight;
+      if (c.row > bc.row) above += pw.weight;
+    }
+    EXPECT_LT(2 * below, total + 1);
+    EXPECT_LT(2 * above, total + 1);
+  }
+}
+
+}  // namespace
+}  // namespace pimsched

@@ -1,0 +1,110 @@
+#include "core/evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace pimsched {
+namespace {
+
+/// Two windows on a 1x4 row: datum 0 referenced at proc 0 (w=2) in window 0
+/// and proc 3 (w=1) in window 1.
+WindowedRefs tinyRefs(const Grid& grid) {
+  ReferenceTrace t(DataSpace::singleSquare(1));
+  t.add(0, 0, 0, 2);
+  t.add(1, 3, 0, 1);
+  t.finalize();
+  return WindowedRefs(t, WindowPartition::perStep(2), grid);
+}
+
+TEST(Evaluator, HandComputedStatic) {
+  const Grid g(1, 4);
+  const CostModel model(g);
+  const WindowedRefs refs = tinyRefs(g);
+  DataSchedule s(1, 2);
+  s.setStatic(0, 1);  // distance 1 to proc 0, distance 2 to proc 3
+  const CostBreakdown c = evaluateDatum(s, refs, model, 0);
+  EXPECT_EQ(c.serve, 2 * 1 + 1 * 2);
+  EXPECT_EQ(c.move, 0);
+  EXPECT_EQ(c.total(), 4);
+}
+
+TEST(Evaluator, HandComputedWithMovement) {
+  const Grid g(1, 4);
+  const CostModel model(g);
+  const WindowedRefs refs = tinyRefs(g);
+  DataSchedule s(1, 2);
+  s.setCenter(0, 0, 0);  // serve 0
+  s.setCenter(0, 1, 3);  // serve 0, move 3 hops
+  const CostBreakdown c = evaluateDatum(s, refs, model, 0);
+  EXPECT_EQ(c.serve, 0);
+  EXPECT_EQ(c.move, 3);
+  EXPECT_EQ(c.total(), 3);
+}
+
+TEST(Evaluator, MoveVolumeScalesMovement) {
+  const Grid g(1, 4);
+  const CostModel model(g, CostParams{1, 5});
+  const WindowedRefs refs = tinyRefs(g);
+  DataSchedule s(1, 2);
+  s.setCenter(0, 0, 0);
+  s.setCenter(0, 1, 3);
+  EXPECT_EQ(evaluateDatum(s, refs, model, 0).move, 15);
+}
+
+TEST(Evaluator, AggregateSumsPerData) {
+  const Grid g(2, 2);
+  testutil::Rng rng(21);
+  const ReferenceTrace t = testutil::randomTrace(rng, g, 3, 3, 8, 10);
+  const WindowedRefs refs(t, WindowPartition::fixedSize(8, 2), g);
+  const CostModel model(g);
+  DataSchedule s(refs.numData(), refs.numWindows());
+  for (DataId d = 0; d < refs.numData(); ++d) {
+    for (WindowId w = 0; w < refs.numWindows(); ++w) {
+      s.setCenter(d, w, static_cast<ProcId>((d + w) % g.size()));
+    }
+  }
+  const EvalResult r = evaluateSchedule(s, refs, model);
+  CostBreakdown sum;
+  for (const CostBreakdown& c : r.perData) sum += c;
+  EXPECT_EQ(sum.serve, r.aggregate.serve);
+  EXPECT_EQ(sum.move, r.aggregate.move);
+}
+
+TEST(Evaluator, IncompleteScheduleThrows) {
+  const Grid g(1, 4);
+  const CostModel model(g);
+  const WindowedRefs refs = tinyRefs(g);
+  const DataSchedule s(1, 2);  // centers unset
+  EXPECT_THROW((void)evaluateDatum(s, refs, model, 0),
+               std::invalid_argument);
+}
+
+TEST(Evaluator, ShapeMismatchThrows) {
+  const Grid g(1, 4);
+  const CostModel model(g);
+  const WindowedRefs refs = tinyRefs(g);
+  DataSchedule wrong(2, 2);
+  wrong.setStatic(0, 0);
+  wrong.setStatic(1, 0);
+  EXPECT_THROW(evaluateSchedule(wrong, refs, model), std::invalid_argument);
+}
+
+TEST(Evaluator, InitialPlacementIsFree) {
+  // A datum placed far from everything in window 0 but never referenced
+  // there pays nothing until it is referenced or moved.
+  const Grid g(1, 4);
+  const CostModel model(g);
+  ReferenceTrace t(DataSpace::singleSquare(1));
+  t.add(1, 0, 0, 1);  // only window 1 references it
+  t.finalize();
+  const WindowedRefs refs(t, WindowPartition::perStep(2), g);
+  DataSchedule s(1, 2);
+  s.setStatic(0, 3);
+  const CostBreakdown c = evaluateDatum(s, refs, model, 0);
+  EXPECT_EQ(c.move, 0);
+  EXPECT_EQ(c.serve, 3);  // window 1 reference from proc 3 to proc 0
+}
+
+}  // namespace
+}  // namespace pimsched

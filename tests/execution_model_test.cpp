@@ -1,0 +1,132 @@
+#include "sim/execution_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "core/scds.hpp"
+#include "kernels/benchmarks.hpp"
+#include "test_util.hpp"
+
+namespace pimsched {
+namespace {
+
+TEST(ExecutionModel, AllLocalScheduleIsComputeOnly) {
+  // Every datum placed exactly where it is referenced: zero comm time.
+  const Grid g(2, 2);
+  const CostModel model(g);
+  ReferenceTrace t(DataSpace::singleSquare(2));
+  for (StepId s = 0; s < 3; ++s) {
+    for (DataId d = 0; d < 4; ++d) t.add(s, static_cast<ProcId>(d), d, 2);
+  }
+  t.finalize();
+  const WindowedRefs refs(t, WindowPartition::perStep(3), g);
+  DataSchedule s(4, 3);
+  for (DataId d = 0; d < 4; ++d) s.setStatic(d, static_cast<ProcId>(d));
+
+  const ExecutionReport r = estimateExecutionTime(s, refs, model);
+  EXPECT_EQ(r.commTime, 0);
+  // Per window, every proc computes weight 2 -> max 2; 3 windows.
+  EXPECT_EQ(r.computeTime, 6);
+  EXPECT_EQ(r.totalTime, 6);
+}
+
+TEST(ExecutionModel, RemotePlacementAddsCommTime) {
+  const Grid g(1, 4);
+  const CostModel model(g);
+  ReferenceTrace t(DataSpace::singleSquare(1));
+  t.add(0, 0, 0, 4);
+  t.finalize();
+  const WindowedRefs refs(t, WindowPartition::whole(1), g);
+  DataSchedule s(1, 1);
+  s.setStatic(0, 3);  // 3 hops away
+
+  const ExecutionReport r = estimateExecutionTime(s, refs, model);
+  EXPECT_EQ(r.computeTime, 4);
+  EXPECT_EQ(r.commTime, 4 * 3);  // store-and-forward: volume x hops
+  EXPECT_EQ(r.totalTime, 4 + 12);
+}
+
+TEST(ExecutionModel, OverlapTakesMax) {
+  const Grid g(1, 4);
+  const CostModel model(g);
+  ReferenceTrace t(DataSpace::singleSquare(1));
+  t.add(0, 0, 0, 4);
+  t.finalize();
+  const WindowedRefs refs(t, WindowPartition::whole(1), g);
+  DataSchedule s(1, 1);
+  s.setStatic(0, 3);
+
+  ExecutionParams params;
+  params.overlapComputeWithComm = true;
+  const ExecutionReport r = estimateExecutionTime(s, refs, model, params);
+  EXPECT_EQ(r.totalTime, 12);  // max(4, 12)
+}
+
+TEST(ExecutionModel, CutThroughIsNeverSlower) {
+  const Grid g(4, 4);
+  const CostModel model(g);
+  testutil::Rng rng(141);
+  const ReferenceTrace t = testutil::randomTrace(rng, g, 4, 4, 12, 30);
+  const WindowedRefs refs(
+      t, WindowPartition::evenCount(t.numSteps(), 4), g);
+  const DataSchedule s = scheduleScds(refs, model);
+
+  ExecutionParams snf;
+  ExecutionParams ct;
+  ct.switching = SwitchingMode::kCutThrough;
+  EXPECT_LE(estimateExecutionTime(s, refs, model, ct).totalTime,
+            estimateExecutionTime(s, refs, model, snf).totalTime);
+}
+
+TEST(ExecutionModel, ComputeTimeIsScheduleIndependent) {
+  const Grid g(4, 4);
+  const ReferenceTrace trace =
+      makePaperBenchmark(PaperBenchmark::kLu, g, 8);
+  PipelineConfig cfg;
+  cfg.numWindows = static_cast<int>(trace.numSteps());
+  const Experiment exp(trace, g, cfg);
+  const ExecutionReport a = estimateExecutionTime(
+      exp.schedule(Method::kRowWise), exp.refs(), exp.costModel());
+  const ExecutionReport b = estimateExecutionTime(
+      exp.schedule(Method::kGomcds), exp.refs(), exp.costModel());
+  EXPECT_EQ(a.computeTime, b.computeTime);
+  EXPECT_LT(b.commTime, a.commTime);
+  EXPECT_LT(b.totalTime, a.totalTime);
+}
+
+TEST(ExecutionModel, PerWindowSumsToTotal) {
+  const Grid g(4, 4);
+  const ReferenceTrace trace =
+      makePaperBenchmark(PaperBenchmark::kMatSquare, g, 8);
+  PipelineConfig cfg;
+  cfg.numWindows = 4;
+  const Experiment exp(trace, g, cfg);
+  const ExecutionReport r = estimateExecutionTime(
+      exp.schedule(Method::kScds), exp.refs(), exp.costModel());
+  std::int64_t sum = 0;
+  for (const std::int64_t w : r.perWindow) sum += w;
+  EXPECT_EQ(sum, r.totalTime);
+  EXPECT_EQ(r.perWindow.size(), 4u);
+}
+
+TEST(ExecutionModel, RejectsBadInput) {
+  const Grid g(2, 2);
+  const CostModel model(g);
+  testutil::Rng rng(142);
+  const ReferenceTrace t = testutil::randomTrace(rng, g, 2, 2, 4, 8);
+  const WindowedRefs refs(
+      t, WindowPartition::evenCount(t.numSteps(), 2), g);
+  const DataSchedule wrong(refs.numData(), refs.numWindows() + 1);
+  EXPECT_THROW((void)estimateExecutionTime(wrong, refs, model),
+               std::invalid_argument);
+
+  DataSchedule ok(refs.numData(), refs.numWindows());
+  for (DataId d = 0; d < refs.numData(); ++d) ok.setStatic(d, 0);
+  ExecutionParams bad;
+  bad.cyclesPerAccess = -1.0;
+  EXPECT_THROW((void)estimateExecutionTime(ok, refs, model, bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pimsched

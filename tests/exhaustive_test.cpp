@@ -1,0 +1,63 @@
+#include "core/exhaustive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/evaluator.hpp"
+#include "test_util.hpp"
+
+namespace pimsched {
+namespace {
+
+TEST(Exhaustive, SolvesTrivialInstanceExactly) {
+  const Grid g(1, 3);
+  const CostModel model(g);
+  ReferenceTrace t(DataSpace::singleSquare(1));
+  t.add(0, 0, 0, 1);
+  t.add(1, 2, 0, 1);
+  t.finalize();
+  const WindowedRefs refs(t, WindowPartition::perStep(2), g);
+  const DataSchedule s = scheduleExhaustive(refs, model);
+  const Cost total = evaluateSchedule(s, refs, model).aggregate.total();
+  // Options: stay at 0 (0+2), stay at 2 (2+0), stay at 1 (1+1), move
+  // 0->2 (0+0+move 2). All cost 2.
+  EXPECT_EQ(total, 2);
+}
+
+TEST(Exhaustive, BeatsOrMatchesAnyFixedSchedule) {
+  const Grid g(2, 2);
+  const CostModel model(g);
+  testutil::Rng rng(101);
+  const ReferenceTrace t = testutil::randomTrace(rng, g, 2, 2, 6, 8);
+  const WindowedRefs refs(
+      t, WindowPartition::evenCount(t.numSteps(), 3), g);
+  const DataSchedule best = scheduleExhaustive(refs, model);
+  const EvalResult bestEval = evaluateSchedule(best, refs, model);
+  // Compare against a handful of arbitrary schedules.
+  for (int trial = 0; trial < 20; ++trial) {
+    DataSchedule other(refs.numData(), refs.numWindows());
+    for (DataId d = 0; d < refs.numData(); ++d) {
+      for (WindowId w = 0; w < refs.numWindows(); ++w) {
+        other.setCenter(
+            d, w,
+            static_cast<ProcId>(rng.below(
+                static_cast<std::uint64_t>(g.size()))));
+      }
+    }
+    const EvalResult otherEval = evaluateSchedule(other, refs, model);
+    EXPECT_LE(bestEval.aggregate.total(), otherEval.aggregate.total());
+  }
+}
+
+TEST(Exhaustive, RefusesHugeInstances) {
+  const Grid g(4, 4);
+  const CostModel model(g);
+  testutil::Rng rng(102);
+  const ReferenceTrace t = testutil::randomTrace(rng, g, 2, 2, 16, 8);
+  const WindowedRefs refs(t, WindowPartition::perStep(16), g);
+  // 16^16 sequences per datum: must refuse.
+  EXPECT_THROW((void)scheduleExhaustive(refs, model),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pimsched

@@ -1,0 +1,75 @@
+#include "pim/grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace pimsched {
+namespace {
+
+TEST(Grid, DimensionsAndSize) {
+  const Grid g(4, 4);
+  EXPECT_EQ(g.rows(), 4);
+  EXPECT_EQ(g.cols(), 4);
+  EXPECT_EQ(g.size(), 16);
+}
+
+TEST(Grid, RejectsDegenerateDimensions) {
+  EXPECT_THROW(Grid(0, 4), std::invalid_argument);
+  EXPECT_THROW(Grid(4, 0), std::invalid_argument);
+  EXPECT_THROW(Grid(-1, 3), std::invalid_argument);
+}
+
+TEST(Grid, IdCoordRoundTrip) {
+  const Grid g(3, 5);
+  for (ProcId p = 0; p < g.size(); ++p) {
+    EXPECT_EQ(g.id(g.coord(p)), p);
+  }
+}
+
+TEST(Grid, RowMajorLayout) {
+  const Grid g(4, 4);
+  EXPECT_EQ(g.id(0, 0), 0);
+  EXPECT_EQ(g.id(0, 3), 3);
+  EXPECT_EQ(g.id(1, 0), 4);
+  EXPECT_EQ(g.id(3, 3), 15);
+}
+
+TEST(Grid, ManhattanDistance) {
+  const Grid g(4, 4);
+  EXPECT_EQ(g.manhattan(g.id(0, 0), g.id(0, 0)), 0);
+  EXPECT_EQ(g.manhattan(g.id(0, 0), g.id(3, 3)), 6);
+  EXPECT_EQ(g.manhattan(g.id(1, 2), g.id(2, 0)), 3);
+  // Symmetry.
+  for (ProcId a = 0; a < g.size(); ++a) {
+    for (ProcId b = 0; b < g.size(); ++b) {
+      EXPECT_EQ(g.manhattan(a, b), g.manhattan(b, a));
+    }
+  }
+}
+
+TEST(Grid, NeighborsCornerEdgeInterior) {
+  const Grid g(4, 4);
+  EXPECT_EQ(g.neighbors(g.id(0, 0)).size(), 2u);   // corner
+  EXPECT_EQ(g.neighbors(g.id(0, 2)).size(), 3u);   // edge
+  EXPECT_EQ(g.neighbors(g.id(2, 2)).size(), 4u);   // interior
+}
+
+TEST(Grid, NeighborsAreAdjacent) {
+  const Grid g(5, 3);
+  for (ProcId p = 0; p < g.size(); ++p) {
+    for (const ProcId q : g.neighbors(p)) {
+      EXPECT_EQ(g.manhattan(p, q), 1);
+    }
+  }
+}
+
+TEST(Grid, SingleProcessorGrid) {
+  const Grid g(1, 1);
+  EXPECT_EQ(g.size(), 1);
+  EXPECT_TRUE(g.neighbors(0).empty());
+  EXPECT_EQ(g.manhattan(0, 0), 0);
+}
+
+}  // namespace
+}  // namespace pimsched

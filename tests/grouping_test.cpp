@@ -1,0 +1,349 @@
+#include "core/grouping.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/evaluator.hpp"
+#include "core/gomcds.hpp"
+#include "core/lomcds.hpp"
+#include "test_util.hpp"
+
+namespace pimsched {
+namespace {
+
+WindowedRefs refsFromTrace(const ReferenceTrace& t, const Grid& g,
+                           int windows) {
+  return WindowedRefs(t, WindowPartition::evenCount(t.numSteps(), windows),
+                      g);
+}
+
+TEST(WindowCostPrefix, SegmentsMatchMergedRefs) {
+  const Grid g(3, 3);
+  const CostModel model(g);
+  testutil::Rng rng(61);
+  const ReferenceTrace t = testutil::randomTrace(rng, g, 3, 3, 12, 15);
+  const WindowedRefs refs = refsFromTrace(t, g, 4);
+  for (DataId d = 0; d < refs.numData(); ++d) {
+    const WindowCostPrefix prefix(refs, d, model);
+    for (WindowId b = 0; b < refs.numWindows(); ++b) {
+      for (WindowId e = b + 1; e <= refs.numWindows(); ++e) {
+        const auto merged = refs.mergedRefs(d, b, e);
+        for (ProcId p = 0; p < g.size(); ++p) {
+          ASSERT_EQ(prefix.segment(b, e, p), model.serveCost(merged, p));
+        }
+      }
+    }
+  }
+}
+
+TEST(WindowCostPrefix, BestSegmentCenterIsArgmin) {
+  const Grid g(4, 4);
+  const CostModel model(g);
+  testutil::Rng rng(62);
+  const ReferenceTrace t = testutil::randomTrace(rng, g, 4, 4, 8, 20);
+  const WindowedRefs refs = refsFromTrace(t, g, 4);
+  const WindowCostPrefix prefix(refs, 0, model);
+  const BestCenter best = prefix.bestSegmentCenter(0, 4);
+  for (ProcId p = 0; p < g.size(); ++p) {
+    EXPECT_LE(best.cost, prefix.segment(0, 4, p));
+  }
+}
+
+TEST(Grouping, SingletonGroupingIsLomcds) {
+  const Grid g(3, 3);
+  const CostModel model(g);
+  testutil::Rng rng(63);
+  const ReferenceTrace t = testutil::randomTrace(rng, g, 3, 3, 9, 15);
+  const WindowedRefs refs = refsFromTrace(t, g, 3);
+  const WindowCostPrefix prefix(refs, 0, model);
+  const DataGrouping s = singletonGrouping(prefix);
+  EXPECT_EQ(s.numGroups(), 3);
+  for (WindowId w = 0; w < 3; ++w) {
+    EXPECT_EQ(s.starts[static_cast<std::size_t>(w)], w);
+    if (prefix.segmentWeight(w, w + 1) > 0) {
+      EXPECT_EQ(s.centers[static_cast<std::size_t>(w)],
+                prefix.bestSegmentCenter(w, w + 1).proc);
+    }
+  }
+}
+
+TEST(Grouping, GreedyNeverIncreasesCost) {
+  // DESIGN.md invariant 6 (first half): Algorithm 3's output costs no more
+  // than the LOMCDS singleton partition it starts from.
+  const Grid g(4, 4);
+  const CostModel model(g);
+  testutil::Rng rng(64);
+  for (int trial = 0; trial < 10; ++trial) {
+    const ReferenceTrace t = testutil::randomTrace(rng, g, 4, 4, 16, 20);
+    const WindowedRefs refs = refsFromTrace(t, g, 8);
+    for (DataId d = 0; d < refs.numData(); d += 3) {
+      const WindowCostPrefix prefix(refs, d, model);
+      const Cost before =
+          groupingCost(singletonGrouping(prefix), prefix, model);
+      const Cost after =
+          groupingCost(greedyGrouping(prefix, model), prefix, model);
+      EXPECT_LE(after, before);
+    }
+  }
+}
+
+TEST(Grouping, OptimalNeverWorseThanGreedy) {
+  const Grid g(4, 4);
+  const CostModel model(g);
+  testutil::Rng rng(65);
+  for (int trial = 0; trial < 10; ++trial) {
+    const ReferenceTrace t = testutil::randomTrace(rng, g, 3, 3, 16, 12);
+    const WindowedRefs refs = refsFromTrace(t, g, 8);
+    for (DataId d = 0; d < refs.numData(); d += 2) {
+      const WindowCostPrefix prefix(refs, d, model);
+      const Cost greedy =
+          groupingCost(greedyGrouping(prefix, model), prefix, model);
+      const Cost optimal =
+          groupingCost(optimalGrouping(prefix, model), prefix, model);
+      EXPECT_LE(optimal, greedy);
+    }
+  }
+}
+
+TEST(Grouping, OptimalMatchesExhaustivePartitionEnumeration) {
+  // Small W: enumerate all 2^(W-1) partitions directly.
+  const Grid g(2, 3);
+  const CostModel model(g);
+  testutil::Rng rng(66);
+  const int W = 5;
+  for (int trial = 0; trial < 10; ++trial) {
+    const ReferenceTrace t = testutil::randomTrace(rng, g, 2, 2, W, 8);
+    const WindowedRefs refs = refsFromTrace(t, g, W);
+    for (DataId d = 0; d < refs.numData(); ++d) {
+      const WindowCostPrefix prefix(refs, d, model);
+      Cost best = kInfiniteCost;
+      for (int mask = 0; mask < (1 << (W - 1)); ++mask) {
+        std::vector<WindowId> starts = {0};
+        for (int b = 0; b < W - 1; ++b) {
+          if (mask & (1 << b)) starts.push_back(b + 1);
+        }
+        DataGrouping cand;
+        cand.starts = starts;
+        for (std::size_t i = 0; i < starts.size(); ++i) {
+          const WindowId e = (i + 1 < starts.size())
+                                 ? starts[i + 1]
+                                 : static_cast<WindowId>(W);
+          cand.centers.push_back(
+              prefix.bestSegmentCenter(starts[i], e).proc);
+        }
+        best = std::min(best, groupingCost(cand, prefix, model));
+      }
+      const Cost viaDp =
+          groupingCost(optimalGrouping(prefix, model), prefix, model);
+      // The DP also optimises the center jointly with the grouping, so it
+      // can only be <= the best-centers-per-segment enumeration.
+      EXPECT_LE(viaDp, best);
+    }
+  }
+}
+
+TEST(Grouping, MergesIdenticalWindowsCompletely) {
+  // If every window references the same processors, one group is optimal.
+  const Grid g(4, 4);
+  const CostModel model(g);
+  ReferenceTrace t(DataSpace::singleSquare(1));
+  for (StepId s = 0; s < 6; ++s) t.add(s, g.id(1, 2), 0, 3);
+  t.finalize();
+  const WindowedRefs refs = refsFromTrace(t, g, 6);
+  const WindowCostPrefix prefix(refs, 0, model);
+  const DataGrouping grouped = greedyGrouping(prefix, model);
+  EXPECT_EQ(grouped.numGroups(), 1);
+  EXPECT_EQ(grouped.centers[0], g.id(1, 2));
+}
+
+TEST(Grouping, Theorem3TwoWindowMergeNeverHelps) {
+  // Paper Theorem 3: if p1 and p2 are the *closest pair* of local-optimal
+  // centers of two consecutive windows, merging the two windows cannot
+  // reduce the total communication cost. The premise matters: local optima
+  // form plateaus, and the theorem holds for the plateau points closest to
+  // each other (and unit movement volume, the paper's model).
+  const Grid g(4, 4);
+  const CostModel model(g);
+  testutil::Rng rng(67);
+
+  const auto argminSet = [](const std::vector<Cost>& costs) {
+    const Cost best = *std::min_element(costs.begin(), costs.end());
+    std::vector<ProcId> out;
+    for (ProcId p = 0; p < static_cast<ProcId>(costs.size()); ++p) {
+      if (costs[static_cast<std::size_t>(p)] == best) out.push_back(p);
+    }
+    return out;
+  };
+
+  for (int trial = 0; trial < 200; ++trial) {
+    const ReferenceTrace t = testutil::randomTrace(rng, g, 3, 3, 2, 10);
+    const WindowedRefs refs =
+        WindowedRefs(t, WindowPartition::perStep(2), g);
+    for (DataId d = 0; d < refs.numData(); ++d) {
+      if (refs.windowWeight(d, 0) == 0 || refs.windowWeight(d, 1) == 0) {
+        continue;  // theorem assumes both windows reference the datum
+      }
+      const WindowCostPrefix prefix(refs, d, model);
+      const std::vector<Cost> f0 = centerCosts(model, refs.refs(d, 0));
+      const std::vector<Cost> f1 = centerCosts(model, refs.refs(d, 1));
+      // Closest pair over the two argmin plateaus.
+      int bestDist = INT32_MAX;
+      for (const ProcId a : argminSet(f0)) {
+        for (const ProcId b : argminSet(f1)) {
+          bestDist = std::min(bestDist, g.manhattan(a, b));
+        }
+      }
+      const Cost split = f0[static_cast<std::size_t>(
+                              argminSet(f0).front())] +
+                         f1[static_cast<std::size_t>(
+                             argminSet(f1).front())] +
+                         model.params().moveVolume * bestDist;
+      const Cost merged = prefix.bestSegmentCenter(0, 2).cost;
+      EXPECT_GE(merged, split);
+    }
+  }
+}
+
+TEST(GroupedLomcds, ScheduleMatchesGroupingCost) {
+  const Grid g(4, 4);
+  const CostModel model(g);
+  testutil::Rng rng(68);
+  const ReferenceTrace t = testutil::randomTrace(rng, g, 4, 4, 16, 25);
+  const WindowedRefs refs = refsFromTrace(t, g, 8);
+  const DataSchedule s = scheduleGroupedLomcds(refs, model);
+  const EvalResult r = evaluateSchedule(s, refs, model);
+  Cost expect = 0;
+  for (DataId d = 0; d < refs.numData(); ++d) {
+    const WindowCostPrefix prefix(refs, d, model);
+    expect += groupingCost(greedyGrouping(prefix, model), prefix, model);
+  }
+  EXPECT_EQ(r.aggregate.total(), expect);
+}
+
+TEST(GroupedLomcds, GomcdsSubsumesGrouping) {
+  // DESIGN.md invariant 6 (second half): GOMCDS can always emulate any
+  // grouping by holding still, so its cost is <= grouped LOMCDS.
+  const Grid g(4, 4);
+  const CostModel model(g);
+  testutil::Rng rng(69);
+  for (int trial = 0; trial < 6; ++trial) {
+    const ReferenceTrace t = testutil::randomTrace(rng, g, 4, 4, 16, 25);
+    const WindowedRefs refs = refsFromTrace(t, g, 8);
+    const Cost grouped =
+        evaluateSchedule(scheduleGroupedLomcds(refs, model), refs, model)
+            .aggregate.total();
+    const Cost gomcds =
+        evaluateSchedule(scheduleGomcds(refs, model), refs, model)
+            .aggregate.total();
+    EXPECT_LE(gomcds, grouped);
+  }
+}
+
+TEST(GroupedLomcds, NeverWorseThanPlainLomcds) {
+  const Grid g(4, 4);
+  const CostModel model(g);
+  testutil::Rng rng(70);
+  for (int trial = 0; trial < 6; ++trial) {
+    const ReferenceTrace t = testutil::randomTrace(rng, g, 4, 4, 16, 25);
+    const WindowedRefs refs = refsFromTrace(t, g, 8);
+    const Cost grouped =
+        evaluateSchedule(scheduleGroupedLomcds(refs, model), refs, model)
+            .aggregate.total();
+    const Cost plain =
+        evaluateSchedule(scheduleLomcds(refs, model), refs, model)
+            .aggregate.total();
+    EXPECT_LE(grouped, plain);
+  }
+}
+
+TEST(GroupedLomcds, CapacityRespected) {
+  const Grid g(2, 2);
+  const CostModel model(g);
+  testutil::Rng rng(71);
+  const ReferenceTrace t = testutil::randomTrace(rng, g, 3, 3, 12, 20);
+  const WindowedRefs refs = refsFromTrace(t, g, 4);
+  SchedulerOptions opts;
+  opts.capacity = 3;
+  const DataSchedule s = scheduleGroupedLomcds(refs, model, opts);
+  EXPECT_TRUE(s.complete());
+  EXPECT_TRUE(s.respectsCapacity(g, 3));
+}
+
+TEST(GroupedGomcds, SandwichedBetweenGomcdsAndGroupedLomcds) {
+  // Uncapacitated: plain GOMCDS <= GOMCDS-over-groups <= LOMCDS-over-
+  // groups (the DP over the same groups includes the greedy center
+  // choice as one path).
+  const Grid g(4, 4);
+  const CostModel model(g);
+  testutil::Rng rng(73);
+  for (int trial = 0; trial < 6; ++trial) {
+    const ReferenceTrace t = testutil::randomTrace(rng, g, 4, 4, 16, 25);
+    const WindowedRefs refs = refsFromTrace(t, g, 8);
+    const Cost fine =
+        evaluateSchedule(scheduleGomcds(refs, model), refs, model)
+            .aggregate.total();
+    const Cost groupedDp =
+        evaluateSchedule(scheduleGroupedGomcds(refs, model), refs, model)
+            .aggregate.total();
+    const Cost groupedGreedy =
+        evaluateSchedule(scheduleGroupedLomcds(refs, model), refs, model)
+            .aggregate.total();
+    EXPECT_LE(fine, groupedDp);
+    EXPECT_LE(groupedDp, groupedGreedy);
+  }
+}
+
+TEST(GroupedGomcds, CapacityRespected) {
+  const Grid g(2, 2);
+  const CostModel model(g);
+  testutil::Rng rng(74);
+  const ReferenceTrace t = testutil::randomTrace(rng, g, 3, 3, 12, 20);
+  const WindowedRefs refs = refsFromTrace(t, g, 4);
+  SchedulerOptions opts;
+  opts.capacity = 3;
+  const DataSchedule s = scheduleGroupedGomcds(refs, model, opts);
+  EXPECT_TRUE(s.complete());
+  EXPECT_TRUE(s.respectsCapacity(g, 3));
+}
+
+TEST(GroupedGomcds, ConstantWithinGroups) {
+  // The schedule must be piecewise constant: center changes only at group
+  // boundaries, i.e. the number of distinct runs per datum is bounded by
+  // the grouping's group count.
+  const Grid g(4, 4);
+  const CostModel model(g);
+  testutil::Rng rng(75);
+  const ReferenceTrace t = testutil::randomTrace(rng, g, 3, 3, 16, 20);
+  const WindowedRefs refs = refsFromTrace(t, g, 8);
+  const DataSchedule s = scheduleGroupedGomcds(refs, model);
+  for (DataId d = 0; d < refs.numData(); ++d) {
+    const WindowCostPrefix prefix(refs, d, model);
+    const DataGrouping grouping = greedyGrouping(prefix, model);
+    int runs = 1;
+    for (WindowId w = 1; w < refs.numWindows(); ++w) {
+      if (s.center(d, w) != s.center(d, w - 1)) ++runs;
+    }
+    EXPECT_LE(runs, grouping.numGroups());
+  }
+}
+
+TEST(GroupedLomcds, OptimalDpVariantRuns) {
+  const Grid g(3, 3);
+  const CostModel model(g);
+  testutil::Rng rng(72);
+  const ReferenceTrace t = testutil::randomTrace(rng, g, 3, 3, 12, 15);
+  const WindowedRefs refs = refsFromTrace(t, g, 6);
+  const Cost greedy =
+      evaluateSchedule(scheduleGroupedLomcds(refs, model, {},
+                                             GroupingMethod::kGreedy),
+                       refs, model)
+          .aggregate.total();
+  const Cost optimal =
+      evaluateSchedule(scheduleGroupedLomcds(refs, model, {},
+                                             GroupingMethod::kOptimalDp),
+                       refs, model)
+          .aggregate.total();
+  EXPECT_LE(optimal, greedy);
+}
+
+}  // namespace
+}  // namespace pimsched

@@ -1,0 +1,88 @@
+#include "report/heatmap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/evaluator.hpp"
+#include "core/scds.hpp"
+#include "sim/replay.hpp"
+#include "test_util.hpp"
+
+namespace pimsched {
+namespace {
+
+TEST(Heatmap, QuantizesAgainstMax) {
+  const std::vector<double> v = {0.0, 4.5, 9.0};
+  const std::vector<int> q = quantizeHeatmap(v);
+  EXPECT_EQ(q, (std::vector<int>{0, 5, 9}));
+}
+
+TEST(Heatmap, AllZerosStayZero) {
+  const std::vector<double> v = {0.0, 0.0};
+  EXPECT_EQ(quantizeHeatmap(v), (std::vector<int>{0, 0}));
+}
+
+TEST(Heatmap, NegativeMeansNoData) {
+  const std::vector<double> v = {-1.0, 2.0};
+  const std::vector<int> q = quantizeHeatmap(v);
+  EXPECT_EQ(q[0], -1);
+  EXPECT_EQ(q[1], 9);
+}
+
+TEST(Heatmap, RendersGridWithTitle) {
+  std::ostringstream os;
+  renderHeatmap(os, {1.0, 2.0, 3.0, 4.0}, 2, 2, "t");
+  const std::string out = os.str();
+  EXPECT_EQ(out.substr(0, 2), "t\n");
+  EXPECT_NE(out.find("9"), std::string::npos);
+  // Two data rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+}
+
+TEST(Heatmap, RejectsShapeMismatch) {
+  std::ostringstream os;
+  EXPECT_THROW(renderHeatmap(os, {1.0, 2.0, 3.0}, 2, 2),
+               std::invalid_argument);
+}
+
+TEST(ProcTraffic, CountsEveryHopOfEveryMessage) {
+  const Grid g(1, 4);
+  const NocSimulator sim(g);
+  // One message 0 -> 3 of volume 2: passes procs 0,1,2,3.
+  const std::vector<Message> msgs = {{0, 3, 2}};
+  const auto traffic = sim.procTraffic(msgs);
+  EXPECT_EQ(traffic, (std::vector<std::int64_t>{2, 2, 2, 2}));
+}
+
+TEST(ProcTraffic, SelfMessagesCountOnce) {
+  const Grid g(2, 2);
+  const NocSimulator sim(g);
+  const std::vector<Message> msgs = {{1, 1, 5}};
+  const auto traffic = sim.procTraffic(msgs);
+  EXPECT_EQ(traffic[1], 5);
+  EXPECT_EQ(traffic[0] + traffic[2] + traffic[3], 0);
+}
+
+TEST(WindowMessages, MatchesReplayWindowByWindow) {
+  const Grid g(3, 3);
+  const CostModel model(g);
+  testutil::Rng rng(171);
+  const ReferenceTrace t = testutil::randomTrace(rng, g, 3, 3, 8, 20);
+  const WindowedRefs refs(
+      t, WindowPartition::evenCount(t.numSteps(), 4), g);
+  const DataSchedule s = scheduleScds(refs, model);
+  const ReplayReport r = replaySchedule(s, refs, model);
+  const NocSimulator sim(g);
+  for (WindowId w = 0; w < refs.numWindows(); ++w) {
+    const auto msgs = windowMessages(s, refs, model, w);
+    const SimReport direct = sim.simulate(msgs);
+    EXPECT_EQ(direct.totalHopVolume,
+              r.perWindow[static_cast<std::size_t>(w)].totalHopVolume);
+    EXPECT_EQ(direct.makespan,
+              r.perWindow[static_cast<std::size_t>(w)].makespan);
+  }
+}
+
+}  // namespace
+}  // namespace pimsched

@@ -1,0 +1,116 @@
+#include "kernels/irregular_code.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pimsched {
+namespace {
+
+constexpr int kN = 16;
+
+ReferenceTrace buildVariant(const Grid& g,
+                            const IrregularCodeOptions& options) {
+  TraceBuilder tb;
+  const IterationMap map(g, kN, kN, PartitionKind::kBlock2D);
+  emitIrregularCodeVariant(tb, map, kN, options);
+  return std::move(tb).build();
+}
+
+TEST(IrregularCodeVariant, DefaultOptionsMatchLegacyEntryPoint) {
+  const Grid g(4, 4);
+  TraceBuilder legacy;
+  const IterationMap map(g, kN, kN, PartitionKind::kBlock2D);
+  emitIrregularCode(legacy, map, kN);
+  const ReferenceTrace a = std::move(legacy).build();
+  const ReferenceTrace b = buildVariant(g, IrregularCodeOptions{});
+  ASSERT_EQ(a.accesses().size(), b.accesses().size());
+  for (std::size_t i = 0; i < a.accesses().size(); ++i) {
+    ASSERT_EQ(a.accesses()[i], b.accesses()[i]);
+  }
+}
+
+TEST(IrregularCodeVariant, PathsProduceDistinctTraces) {
+  const Grid g(4, 4);
+  const HotspotPath paths[] = {
+      HotspotPath::kDiagonalSwing, HotspotPath::kRandomWalk,
+      HotspotPath::kTwoPhase, HotspotPath::kOrbit};
+  std::vector<Cost> signatures;
+  for (const HotspotPath p : paths) {
+    IrregularCodeOptions opts;
+    opts.path = p;
+    const ReferenceTrace t = buildVariant(g, opts);
+    // Weighted first-moment of the referenced rows is a cheap signature.
+    Cost sig = 0;
+    for (const Access& a : t.accesses()) {
+      sig += a.weight * (t.dataSpace().element(a.data).row + 1) *
+             (a.step + 1);
+    }
+    signatures.push_back(sig);
+  }
+  for (std::size_t i = 0; i < signatures.size(); ++i) {
+    for (std::size_t j = i + 1; j < signatures.size(); ++j) {
+      EXPECT_NE(signatures[i], signatures[j]);
+    }
+  }
+}
+
+TEST(IrregularCodeVariant, SpreadDivisorControlsLocality) {
+  // Tighter clusters (bigger divisor) give lower dispersion around the
+  // per-step hotspot, hence fewer distinct data per step on average.
+  const Grid g(4, 4);
+  IrregularCodeOptions wide;
+  wide.spreadDivisor = 2;
+  IrregularCodeOptions tight;
+  tight.spreadDivisor = 8;
+  const ReferenceTrace a = buildVariant(g, wide);
+  const ReferenceTrace b = buildVariant(g, tight);
+  // Same volume; fewer merged records means more repeats on the same
+  // (step, proc, datum) triple, i.e. tighter clustering.
+  EXPECT_EQ(a.totalWeight(), b.totalWeight());
+  EXPECT_GT(a.accesses().size(), b.accesses().size());
+}
+
+TEST(IrregularCodeVariant, RefsDivisorControlsVolume) {
+  const Grid g(4, 4);
+  IrregularCodeOptions dense;
+  dense.refsDivisor = 2;
+  IrregularCodeOptions sparse;
+  sparse.refsDivisor = 8;
+  EXPECT_EQ(buildVariant(g, dense).totalWeight(),
+            4 * buildVariant(g, sparse).totalWeight());
+}
+
+TEST(IrregularCodeVariant, TwoPhaseJumpsOnce) {
+  const Grid g(4, 4);
+  IrregularCodeOptions opts;
+  opts.path = HotspotPath::kTwoPhase;
+  opts.spreadDivisor = 16;  // essentially a point hotspot
+  const ReferenceTrace t = buildVariant(g, opts);
+  // Mean referenced row in the first half must be well above (closer to
+  // n/4) the second half's (3n/4).
+  double first = 0, firstW = 0, second = 0, secondW = 0;
+  for (const Access& a : t.accesses()) {
+    const double row = t.dataSpace().element(a.data).row;
+    if (a.step < kN / 2) {
+      first += row * static_cast<double>(a.weight);
+      firstW += static_cast<double>(a.weight);
+    } else {
+      second += row * static_cast<double>(a.weight);
+      secondW += static_cast<double>(a.weight);
+    }
+  }
+  EXPECT_LT(first / firstW, kN / 2.0);
+  EXPECT_GT(second / secondW, kN / 2.0);
+}
+
+TEST(IrregularCodeVariant, RejectsBadDivisors) {
+  const Grid g(2, 2);
+  TraceBuilder tb;
+  const IterationMap map(g, 8, 8, PartitionKind::kBlock2D);
+  IrregularCodeOptions opts;
+  opts.spreadDivisor = 0;
+  EXPECT_THROW(emitIrregularCodeVariant(tb, map, 8, opts),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pimsched

@@ -1,0 +1,104 @@
+#include "kernels/iteration_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pimsched {
+namespace {
+
+TEST(IterationMap, Block2DCorners) {
+  const Grid g(4, 4);
+  const IterationMap map(g, 8, 8, PartitionKind::kBlock2D);
+  EXPECT_EQ(map.proc(0, 0), g.id(0, 0));
+  EXPECT_EQ(map.proc(7, 7), g.id(3, 3));
+  EXPECT_EQ(map.proc(0, 7), g.id(0, 3));
+  EXPECT_EQ(map.proc(1, 1), g.id(0, 0));  // within first 2x2 block
+  EXPECT_EQ(map.proc(2, 0), g.id(1, 0));
+}
+
+TEST(IterationMap, RowBlockIsContiguousInRowMajor) {
+  const Grid g(2, 2);
+  const IterationMap map(g, 4, 4, PartitionKind::kRowBlock);
+  // 16 iterations over 4 procs: chunks of 4 in row-major order.
+  EXPECT_EQ(map.proc(0, 0), 0);
+  EXPECT_EQ(map.proc(0, 3), 0);
+  EXPECT_EQ(map.proc(1, 0), 1);
+  EXPECT_EQ(map.proc(3, 3), 3);
+}
+
+TEST(IterationMap, ColBlockIsContiguousInColMajor) {
+  const Grid g(2, 2);
+  const IterationMap map(g, 4, 4, PartitionKind::kColBlock);
+  EXPECT_EQ(map.proc(0, 0), 0);
+  EXPECT_EQ(map.proc(3, 0), 0);
+  EXPECT_EQ(map.proc(0, 1), 1);
+  EXPECT_EQ(map.proc(3, 3), 3);
+}
+
+TEST(IterationMap, Cyclic2DWrapsBothAxes) {
+  const Grid g(2, 3);
+  const IterationMap map(g, 6, 6, PartitionKind::kCyclic2D);
+  EXPECT_EQ(map.proc(0, 0), g.id(0, 0));
+  EXPECT_EQ(map.proc(2, 3), g.id(0, 0));
+  EXPECT_EQ(map.proc(1, 4), g.id(1, 1));
+  EXPECT_EQ(map.proc(3, 5), g.id(1, 2));
+}
+
+class PartitionCoverage : public ::testing::TestWithParam<PartitionKind> {};
+
+TEST_P(PartitionCoverage, EveryIterationMapsToAValidProc) {
+  const Grid g(4, 4);
+  const IterationMap map(g, 8, 8, GetParam());
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      const ProcId p = map.proc(i, j);
+      EXPECT_TRUE(g.contains(p));
+    }
+  }
+}
+
+TEST_P(PartitionCoverage, LoadIsBalanced) {
+  // Iteration space divisible by the grid: every processor gets exactly
+  // total / procs iterations.
+  const Grid g(4, 4);
+  const IterationMap map(g, 8, 8, GetParam());
+  std::vector<int> count(static_cast<std::size_t>(g.size()), 0);
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      ++count[static_cast<std::size_t>(map.proc(i, j))];
+    }
+  }
+  for (const int c : count) EXPECT_EQ(c, 4);
+}
+
+TEST_P(PartitionCoverage, SmallerIterationSpaceThanGridStillValid) {
+  const Grid g(4, 4);
+  const IterationMap map(g, 2, 2, GetParam());
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      EXPECT_TRUE(g.contains(map.proc(i, j)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, PartitionCoverage,
+                         ::testing::Values(PartitionKind::kRowBlock,
+                                           PartitionKind::kColBlock,
+                                           PartitionKind::kBlock2D,
+                                           PartitionKind::kCyclic2D));
+
+TEST(IterationMap, RejectsOutOfRangeIteration) {
+  const Grid g(2, 2);
+  const IterationMap map(g, 4, 4, PartitionKind::kBlock2D);
+  EXPECT_THROW((void)map.proc(4, 0), std::out_of_range);
+  EXPECT_THROW((void)map.proc(0, -1), std::out_of_range);
+}
+
+TEST(IterationMap, ToStringNames) {
+  EXPECT_EQ(toString(PartitionKind::kRowBlock), "row-block");
+  EXPECT_EQ(toString(PartitionKind::kBlock2D), "block-2d");
+}
+
+}  // namespace
+}  // namespace pimsched

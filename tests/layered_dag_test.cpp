@@ -1,0 +1,162 @@
+#include "graph/layered_dag.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "test_util.hpp"
+
+namespace pimsched {
+namespace {
+
+TEST(SatAdd, Saturates) {
+  EXPECT_EQ(satAdd(1, 2), 3);
+  EXPECT_EQ(satAdd(kInfiniteCost, 1), kInfiniteCost);
+  EXPECT_EQ(satAdd(5, kInfiniteCost), kInfiniteCost);
+  EXPECT_EQ(satAdd(kInfiniteCost, kInfiniteCost), kInfiniteCost);
+}
+
+TEST(ManhattanMinPlus, ZeroBetaGivesGlobalMin) {
+  const Grid g(4, 5);
+  testutil::Rng rng(3);
+  std::vector<Cost> in;
+  for (int i = 0; i < g.size(); ++i) in.push_back(rng.range(0, 100));
+  const Cost globalMin = *std::min_element(in.begin(), in.end());
+  for (const Cost v : manhattanMinPlus(g, in, 0)) EXPECT_EQ(v, globalMin);
+}
+
+TEST(ManhattanMinPlus, MatchesBruteForce) {
+  testutil::Rng rng(17);
+  for (const auto& [rows, cols] : {std::pair{1, 1}, {1, 6}, {6, 1}, {4, 4},
+                                  {3, 7}, {5, 5}}) {
+    const Grid g(rows, cols);
+    for (const Cost beta : {Cost{0}, Cost{1}, Cost{3}}) {
+      std::vector<Cost> in;
+      for (int i = 0; i < g.size(); ++i) {
+        // Mix in a few forbidden nodes.
+        in.push_back(rng.below(5) == 0 ? kInfiniteCost : rng.range(0, 50));
+      }
+      const auto fast = manhattanMinPlus(g, in, beta);
+      for (ProcId p = 0; p < g.size(); ++p) {
+        Cost expect = kInfiniteCost;
+        for (ProcId q = 0; q < g.size(); ++q) {
+          expect = std::min(
+              expect,
+              satAdd(in[static_cast<std::size_t>(q)], beta * g.manhattan(p, q)));
+        }
+        ASSERT_EQ(fast[static_cast<std::size_t>(p)], expect)
+            << rows << "x" << cols << " beta " << beta << " p " << p;
+      }
+    }
+  }
+}
+
+TEST(ManhattanMinPlus, AllInfiniteStaysInfinite) {
+  const Grid g(3, 3);
+  const std::vector<Cost> in(9, kInfiniteCost);
+  for (const Cost v : manhattanMinPlus(g, in, 2)) {
+    EXPECT_EQ(v, kInfiniteCost);
+  }
+}
+
+TEST(LayeredDagSolver, SingleLayerPicksMinNode) {
+  const auto nodeCost = [](int, int n) -> Cost { return (n == 2) ? 1 : 5; };
+  const auto trans = [](int, int) -> Cost { return 0; };
+  const LayeredPath path = LayeredDagSolver::solve(1, 4, nodeCost, trans);
+  ASSERT_TRUE(path.feasible());
+  EXPECT_EQ(path.total, 1);
+  EXPECT_EQ(path.nodes, (std::vector<int>{2}));
+}
+
+TEST(LayeredDagSolver, TradesNodeCostAgainstTransition) {
+  // Two layers, two nodes. Node 0 is cheap in both layers, node 1 cheap in
+  // layer 1 only; transition cost 10 forbids switching.
+  const auto nodeCost = [](int layer, int n) -> Cost {
+    if (layer == 0) return n == 0 ? 0 : 4;
+    return n == 0 ? 3 : 0;
+  };
+  const auto trans = [](int a, int b) -> Cost { return a == b ? 0 : 10; };
+  const LayeredPath path = LayeredDagSolver::solve(2, 2, nodeCost, trans);
+  EXPECT_EQ(path.total, 3);  // stay at node 0: 0 + 3
+  EXPECT_EQ(path.nodes, (std::vector<int>{0, 0}));
+}
+
+TEST(LayeredDagSolver, SwitchesWhenWorthIt) {
+  const auto nodeCost = [](int layer, int n) -> Cost {
+    if (layer == 0) return n == 0 ? 0 : 100;
+    return n == 0 ? 100 : 0;
+  };
+  const auto trans = [](int a, int b) -> Cost { return a == b ? 0 : 1; };
+  const LayeredPath path = LayeredDagSolver::solve(2, 2, nodeCost, trans);
+  EXPECT_EQ(path.total, 1);
+  EXPECT_EQ(path.nodes, (std::vector<int>{0, 1}));
+}
+
+TEST(LayeredDagSolver, InfeasibleWhenLayerFullyForbidden) {
+  const auto nodeCost = [](int layer, int) -> Cost {
+    return layer == 1 ? kInfiniteCost : 0;
+  };
+  const auto trans = [](int, int) -> Cost { return 0; };
+  const LayeredPath path = LayeredDagSolver::solve(3, 2, nodeCost, trans);
+  EXPECT_FALSE(path.feasible());
+  EXPECT_TRUE(path.nodes.empty());
+}
+
+TEST(LayeredDagSolver, RoutesAroundForbiddenNodes) {
+  // Node 0 forbidden in layer 1 only; optimal path detours via node 1.
+  const auto nodeCost = [](int layer, int n) -> Cost {
+    if (layer == 1 && n == 0) return kInfiniteCost;
+    return n == 0 ? 0 : 2;
+  };
+  const auto trans = [](int a, int b) -> Cost { return a == b ? 0 : 1; };
+  const LayeredPath path = LayeredDagSolver::solve(3, 2, nodeCost, trans);
+  ASSERT_TRUE(path.feasible());
+  EXPECT_EQ(path.nodes, (std::vector<int>{0, 1, 0}));
+  EXPECT_EQ(path.total, 0 + 1 + 2 + 1 + 0);
+}
+
+// Property: the chamfer engine must agree with the literal cost-graph
+// relaxation — identical totals AND identical paths (shared tie-breaking).
+class EngineEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(EngineEquivalence, ChamferMatchesNaive) {
+  const auto [rows, cols, layers, seed] = GetParam();
+  const Grid g(rows, cols);
+  testutil::Rng rng(static_cast<std::uint64_t>(seed));
+  for (const Cost beta : {Cost{0}, Cost{1}, Cost{2}}) {
+    // Random node costs with some forbidden cells.
+    std::vector<std::vector<Cost>> costs(
+        static_cast<std::size_t>(layers),
+        std::vector<Cost>(static_cast<std::size_t>(g.size())));
+    for (auto& layer : costs) {
+      for (auto& c : layer) {
+        c = rng.below(6) == 0 ? kInfiniteCost : rng.range(0, 40);
+      }
+    }
+    const auto nodeCost = [&costs](int w, int p) -> Cost {
+      return costs[static_cast<std::size_t>(w)][static_cast<std::size_t>(p)];
+    };
+    const auto trans = [&g, beta](int a, int b) -> Cost {
+      return beta * g.manhattan(static_cast<ProcId>(a),
+                                static_cast<ProcId>(b));
+    };
+    const LayeredPath naive =
+        LayeredDagSolver::solve(layers, g.size(), nodeCost, trans);
+    const LayeredPath fast =
+        LayeredDagSolver::solveManhattan(g, layers, nodeCost, beta);
+    ASSERT_EQ(naive.total, fast.total);
+    ASSERT_EQ(naive.nodes, fast.nodes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomInstances, EngineEquivalence,
+    ::testing::Values(std::make_tuple(2, 2, 1, 1), std::make_tuple(2, 2, 4, 2),
+                      std::make_tuple(4, 4, 6, 3), std::make_tuple(1, 7, 5, 4),
+                      std::make_tuple(5, 1, 5, 5), std::make_tuple(3, 4, 8, 6),
+                      std::make_tuple(4, 4, 2, 7),
+                      std::make_tuple(6, 3, 10, 8)));
+
+}  // namespace
+}  // namespace pimsched

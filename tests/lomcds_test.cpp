@@ -1,0 +1,122 @@
+#include "core/lomcds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/evaluator.hpp"
+#include "core/scds.hpp"
+#include "cost/center_costs.hpp"
+#include "test_util.hpp"
+
+namespace pimsched {
+namespace {
+
+WindowedRefs refsFromTrace(const ReferenceTrace& t, const Grid& g,
+                           int windows) {
+  return WindowedRefs(t, WindowPartition::evenCount(t.numSteps(), windows),
+                      g);
+}
+
+TEST(Lomcds, PicksLocalOptimumPerWindow) {
+  const Grid g(4, 4);
+  const CostModel model(g);
+  ReferenceTrace t(DataSpace::singleSquare(1));
+  t.add(0, g.id(0, 0), 0, 5);
+  t.add(1, g.id(3, 3), 0, 5);
+  t.finalize();
+  const WindowedRefs refs = refsFromTrace(t, g, 2);
+  const DataSchedule s = scheduleLomcds(refs, model);
+  EXPECT_EQ(s.center(0, 0), g.id(0, 0));
+  EXPECT_EQ(s.center(0, 1), g.id(3, 3));
+}
+
+TEST(Lomcds, PerWindowServeCostIsMinimal) {
+  const Grid g(3, 3);
+  const CostModel model(g);
+  testutil::Rng rng(41);
+  const ReferenceTrace t = testutil::randomTrace(rng, g, 3, 3, 12, 18);
+  const WindowedRefs refs = refsFromTrace(t, g, 4);
+  const DataSchedule s = scheduleLomcds(refs, model);
+  for (DataId d = 0; d < refs.numData(); ++d) {
+    for (WindowId w = 0; w < refs.numWindows(); ++w) {
+      if (refs.refs(d, w).empty()) continue;
+      const BestCenter best = bestCenter(model, refs.refs(d, w));
+      EXPECT_EQ(model.serveCost(refs.refs(d, w), s.center(d, w)),
+                best.cost);
+    }
+  }
+}
+
+TEST(Lomcds, UnreferencedDatumStaysPut) {
+  const Grid g(4, 4);
+  const CostModel model(g);
+  ReferenceTrace t(DataSpace::singleSquare(1));
+  t.add(0, g.id(2, 2), 0, 3);
+  t.add(2, g.id(2, 2), 0, 3);  // window 1 (middle) has no references
+  t.finalize();
+  const WindowedRefs refs =
+      WindowedRefs(t, WindowPartition::perStep(3), g);
+  const DataSchedule s = scheduleLomcds(refs, model);
+  EXPECT_EQ(s.center(0, 1), s.center(0, 0));
+}
+
+TEST(Lomcds, ServeCostNeverWorseThanScds) {
+  // LOMCDS minimises each window independently, so its total *serving*
+  // cost is <= SCDS's (movement may make the total worse).
+  const Grid g(4, 4);
+  const CostModel model(g);
+  testutil::Rng rng(42);
+  for (int trial = 0; trial < 5; ++trial) {
+    const ReferenceTrace t = testutil::randomTrace(rng, g, 4, 4, 16, 30);
+    const WindowedRefs refs = refsFromTrace(t, g, 4);
+    const EvalResult lom =
+        evaluateSchedule(scheduleLomcds(refs, model), refs, model);
+    const EvalResult scds =
+        evaluateSchedule(scheduleScds(refs, model), refs, model);
+    EXPECT_LE(lom.aggregate.serve, scds.aggregate.serve);
+  }
+}
+
+TEST(Lomcds, CapacityRespectedPerWindow) {
+  const Grid g(2, 2);
+  const CostModel model(g);
+  testutil::Rng rng(43);
+  const ReferenceTrace t = testutil::randomTrace(rng, g, 3, 3, 8, 20);
+  const WindowedRefs refs = refsFromTrace(t, g, 4);
+  SchedulerOptions opts;
+  opts.capacity = 3;  // 9 data over 4 procs: min 3
+  const DataSchedule s = scheduleLomcds(refs, model, opts);
+  EXPECT_TRUE(s.complete());
+  EXPECT_TRUE(s.respectsCapacity(g, 3));
+}
+
+TEST(Lomcds, CapacityFallbackPicksNextBest) {
+  const Grid g(1, 3);
+  const CostModel model(g);
+  DataSpace ds;
+  ds.addArray("A", 1, 2);
+  ReferenceTrace t(ds);
+  t.add(0, 0, 0, 10);
+  t.add(0, 0, 1, 5);
+  t.finalize();
+  const WindowedRefs refs = refsFromTrace(t, g, 1);
+  SchedulerOptions opts;
+  opts.capacity = 1;
+  const DataSchedule s = scheduleLomcds(refs, model, opts);
+  EXPECT_EQ(s.center(0, 0), 0);  // datum 0 first in id order
+  EXPECT_EQ(s.center(1, 0), 1);  // next-cheapest slot
+}
+
+TEST(Lomcds, InfeasibleCapacityThrows) {
+  const Grid g(1, 2);
+  const CostModel model(g);
+  ReferenceTrace t(DataSpace::singleSquare(2));
+  t.add(0, 0, 0, 1);
+  t.finalize();
+  const WindowedRefs refs = refsFromTrace(t, g, 1);
+  SchedulerOptions opts;
+  opts.capacity = 1;  // 4 data, 2 slots
+  EXPECT_THROW(scheduleLomcds(refs, model, opts), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pimsched

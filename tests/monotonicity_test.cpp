@@ -1,0 +1,149 @@
+// Property tests for the paper's §4.1 structure results:
+//   Lemma 1  (1-D): between the closest pair of local-optimal centers of two
+//            windows, the serving cost of window 0 increases strictly
+//            monotonically along the axis from its center toward the other.
+//   Theorem 2 (2-D): the same along any shortest grid path between the two
+//            centers.
+// These underpin Theorem 3 (merging exactly two such windows never helps),
+// which is tested in grouping_test.cpp.
+
+#include <gtest/gtest.h>
+
+#include "cost/center_costs.hpp"
+#include "test_util.hpp"
+
+namespace pimsched {
+namespace {
+
+/// All local optima (argmin set) of a cost surface.
+std::vector<ProcId> argminSet(const std::vector<Cost>& costs) {
+  const Cost best = *std::min_element(costs.begin(), costs.end());
+  std::vector<ProcId> out;
+  for (ProcId p = 0; p < static_cast<ProcId>(costs.size()); ++p) {
+    if (costs[static_cast<std::size_t>(p)] == best) out.push_back(p);
+  }
+  return out;
+}
+
+/// The closest pair between two argmin sets (ties: smallest ids).
+std::pair<ProcId, ProcId> closestPair(const Grid& g,
+                                      const std::vector<ProcId>& a,
+                                      const std::vector<ProcId>& b) {
+  std::pair<ProcId, ProcId> best = {a.front(), b.front()};
+  int bestDist = g.manhattan(best.first, best.second);
+  for (const ProcId pa : a) {
+    for (const ProcId pb : b) {
+      const int d = g.manhattan(pa, pb);
+      if (d < bestDist) {
+        bestDist = d;
+        best = {pa, pb};
+      }
+    }
+  }
+  return best;
+}
+
+TEST(Lemma1, OneDimensionalMonotoneCostAwayFromCenter) {
+  // In 1-D the weighted-L1 cost is convex, so away from the argmin plateau
+  // it increases monotonically; strictly when total weight > 0.
+  const Grid g(1, 12);
+  const CostModel model(g);
+  testutil::Rng rng(81);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto refs = testutil::randomRefs(rng, g, 8);
+    if (refs.empty()) continue;
+    const auto costs = separableCenterCosts(model, refs);
+    const auto centers = argminSet(costs);
+    const ProcId lo = centers.front();
+    const ProcId hi = centers.back();
+    // Strictly increasing left of the plateau and right of it.
+    for (ProcId p = lo; p > 0; --p) {
+      EXPECT_GT(costs[static_cast<std::size_t>(p - 1)],
+                costs[static_cast<std::size_t>(p)]);
+    }
+    for (ProcId p = hi; p + 1 < g.size(); ++p) {
+      EXPECT_GT(costs[static_cast<std::size_t>(p + 1)],
+                costs[static_cast<std::size_t>(p)]);
+    }
+  }
+}
+
+TEST(Lemma1, CostIncreasesFromCenterTowardOtherWindowCenter) {
+  // The literal statement: walk from window T0's center toward window T1's
+  // center (closest pair); cost(D, T0, .) increases monotonically.
+  const Grid g(1, 16);
+  const CostModel model(g);
+  testutil::Rng rng(82);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto refs0 = testutil::randomRefs(rng, g, 6);
+    const auto refs1 = testutil::randomRefs(rng, g, 6);
+    if (refs0.empty() || refs1.empty()) continue;
+    const auto costs0 = separableCenterCosts(model, refs0);
+    const auto costs1 = separableCenterCosts(model, refs1);
+    const auto [c0, c1] = closestPair(g, argminSet(costs0), argminSet(costs1));
+    const int dir = (c1 > c0) ? 1 : (c1 < c0 ? -1 : 0);
+    Cost prev = costs0[static_cast<std::size_t>(c0)];
+    for (ProcId p = c0 + dir; dir != 0 && p != c1 + dir; p += dir) {
+      EXPECT_GT(costs0[static_cast<std::size_t>(p)], prev);
+      prev = costs0[static_cast<std::size_t>(p)];
+    }
+  }
+}
+
+TEST(Theorem2, TwoDimensionalMonotoneAlongShortestPath) {
+  // 2-D: cost separates into f_row + f_col; any monotone (staircase)
+  // shortest path from c0 toward c1 sees non-decreasing cost, strictly
+  // increasing once outside c0's argmin plateau. We verify on the
+  // dimension-ordered shortest path.
+  const Grid g(8, 8);
+  const CostModel model(g);
+  testutil::Rng rng(83);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto refs0 = testutil::randomRefs(rng, g, 10);
+    const auto refs1 = testutil::randomRefs(rng, g, 10);
+    if (refs0.empty() || refs1.empty()) continue;
+    const auto costs0 = separableCenterCosts(model, refs0);
+    const auto costs1 = separableCenterCosts(model, refs1);
+    const auto [c0, c1] = closestPair(g, argminSet(costs0), argminSet(costs1));
+
+    // Walk column-first then row-first (the x-y shortest path).
+    Coord cur = g.coord(c0);
+    const Coord dst = g.coord(c1);
+    Cost prev = costs0[static_cast<std::size_t>(c0)];
+    const auto stepCheck = [&](Coord next) {
+      const Cost c = costs0[static_cast<std::size_t>(g.id(next))];
+      EXPECT_GE(c, prev) << "cost dipped along shortest path";
+      prev = c;
+      cur = next;
+    };
+    while (cur.col != dst.col) {
+      stepCheck(Coord{cur.row, cur.col + (dst.col > cur.col ? 1 : -1)});
+    }
+    while (cur.row != dst.row) {
+      stepCheck(Coord{cur.row + (dst.row > cur.row ? 1 : -1), cur.col});
+    }
+    // Endpoint: strictly more expensive than c0 unless c1 is also optimal
+    // for window 0.
+    const Cost atC0 = costs0[static_cast<std::size_t>(c0)];
+    const Cost atC1 = costs0[static_cast<std::size_t>(c1)];
+    EXPECT_GE(atC1, atC0);
+  }
+}
+
+TEST(Theorem2, AxisCostsAreConvex) {
+  // Convexity of the per-axis cost (second difference >= 0) is the
+  // mechanism behind both monotonicity results.
+  testutil::Rng rng(84);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Cost> hist;
+    const int n = 3 + static_cast<int>(rng.below(12));
+    for (int i = 0; i < n; ++i) hist.push_back(rng.range(0, 6));
+    const auto f = axisCosts(hist);
+    for (std::size_t x = 1; x + 1 < f.size(); ++x) {
+      EXPECT_GE(f[x + 1] - f[x], f[x] - f[x - 1]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pimsched

@@ -1,0 +1,69 @@
+#include "core/gomcds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/evaluator.hpp"
+#include "test_util.hpp"
+
+namespace pimsched {
+namespace {
+
+WindowedRefs refsFromTrace(const ReferenceTrace& t, const Grid& g,
+                           int windows) {
+  return WindowedRefs(t, WindowPartition::evenCount(t.numSteps(), windows),
+                      g);
+}
+
+TEST(ParallelGomcds, BitIdenticalToSequential) {
+  const Grid g(4, 4);
+  const CostModel model(g);
+  testutil::Rng rng(191);
+  for (int trial = 0; trial < 4; ++trial) {
+    const ReferenceTrace t = testutil::randomTrace(rng, g, 5, 5, 16, 30);
+    const WindowedRefs refs = refsFromTrace(t, g, 8);
+    const DataSchedule seq = scheduleGomcds(refs, model);
+    for (const unsigned threads : {1u, 2u, 4u, 0u}) {
+      const DataSchedule par = scheduleGomcdsParallel(refs, model, threads);
+      for (DataId d = 0; d < refs.numData(); ++d) {
+        for (WindowId w = 0; w < refs.numWindows(); ++w) {
+          ASSERT_EQ(par.center(d, w), seq.center(d, w))
+              << "threads=" << threads;
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelGomcds, MoreThreadsThanDataIsFine) {
+  const Grid g(2, 2);
+  const CostModel model(g);
+  DataSpace ds;
+  ds.addArray("A", 1, 2);
+  ReferenceTrace t(ds);
+  t.add(0, 0, 0, 1);
+  t.add(0, 3, 1, 2);
+  t.finalize();
+  const WindowedRefs refs(t, WindowPartition::whole(1), g);
+  const DataSchedule s = scheduleGomcdsParallel(refs, model, 16);
+  EXPECT_TRUE(s.complete());
+  EXPECT_EQ(s.center(0, 0), 0);
+  EXPECT_EQ(s.center(1, 0), 3);
+}
+
+TEST(ParallelGomcds, CostEqualsSequentialOptimal) {
+  const Grid g(4, 4);
+  const CostModel model(g);
+  testutil::Rng rng(192);
+  const ReferenceTrace t = testutil::randomTrace(rng, g, 6, 6, 20, 40);
+  const WindowedRefs refs = refsFromTrace(t, g, 10);
+  const Cost seq =
+      evaluateSchedule(scheduleGomcds(refs, model), refs, model)
+          .aggregate.total();
+  const Cost par =
+      evaluateSchedule(scheduleGomcdsParallel(refs, model), refs, model)
+          .aggregate.total();
+  EXPECT_EQ(seq, par);
+}
+
+}  // namespace
+}  // namespace pimsched

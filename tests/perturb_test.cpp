@@ -1,0 +1,83 @@
+#include "trace/perturb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace pimsched {
+namespace {
+
+TEST(PerturbTrace, ZeroFractionIsIdentity) {
+  const Grid g(3, 3);
+  testutil::Rng rng(201);
+  const ReferenceTrace t = testutil::randomTrace(rng, g, 3, 3, 6, 15);
+  const ReferenceTrace p = perturbTrace(t, g, 0.0);
+  ASSERT_EQ(p.accesses().size(), t.accesses().size());
+  for (std::size_t i = 0; i < t.accesses().size(); ++i) {
+    EXPECT_EQ(p.accesses()[i], t.accesses()[i]);
+  }
+}
+
+TEST(PerturbTrace, PreservesVolumeStepsAndData) {
+  const Grid g(4, 4);
+  testutil::Rng rng(202);
+  const ReferenceTrace t = testutil::randomTrace(rng, g, 4, 4, 10, 30);
+  const ReferenceTrace p = perturbTrace(t, g, 0.5);
+  EXPECT_EQ(p.totalWeight(), t.totalWeight());
+  EXPECT_EQ(p.numSteps(), t.numSteps());
+  EXPECT_EQ(p.numData(), t.numData());
+}
+
+TEST(PerturbTrace, FullFractionChangesMostProcs) {
+  const Grid g(4, 4);
+  testutil::Rng rng(203);
+  const ReferenceTrace t = testutil::randomTrace(rng, g, 4, 4, 10, 40);
+  const ReferenceTrace p = perturbTrace(t, g, 1.0);
+  // With 16 processors a uniformly redrawn proc collides ~1/16 of the
+  // time; the weight distribution over procs must differ substantially.
+  std::vector<Cost> before(16, 0), after(16, 0);
+  for (const Access& a : t.accesses()) {
+    before[static_cast<std::size_t>(a.proc)] += a.weight;
+  }
+  for (const Access& a : p.accesses()) {
+    after[static_cast<std::size_t>(a.proc)] += a.weight;
+  }
+  Cost l1 = 0;
+  for (int i = 0; i < 16; ++i) l1 += std::abs(before[i] - after[i]);
+  EXPECT_GT(l1, 0);
+}
+
+TEST(PerturbTrace, DeterministicPerSeed) {
+  const Grid g(3, 3);
+  testutil::Rng rng(204);
+  const ReferenceTrace t = testutil::randomTrace(rng, g, 3, 3, 6, 20);
+  const ReferenceTrace a = perturbTrace(t, g, 0.3, 9);
+  const ReferenceTrace b = perturbTrace(t, g, 0.3, 9);
+  const ReferenceTrace c = perturbTrace(t, g, 0.3, 10);
+  ASSERT_EQ(a.accesses().size(), b.accesses().size());
+  bool sameAsB = true, sameAsC = a.accesses().size() == c.accesses().size();
+  for (std::size_t i = 0; i < a.accesses().size(); ++i) {
+    sameAsB = sameAsB && a.accesses()[i] == b.accesses()[i];
+    if (sameAsC && i < c.accesses().size()) {
+      sameAsC = a.accesses()[i] == c.accesses()[i];
+    }
+  }
+  EXPECT_TRUE(sameAsB);
+  EXPECT_FALSE(sameAsC);
+}
+
+TEST(PerturbTrace, RejectsBadInput) {
+  const Grid g(2, 2);
+  ReferenceTrace unfinalized(DataSpace::singleSquare(1));
+  unfinalized.add(0, 0, 0, 1);
+  EXPECT_THROW((void)perturbTrace(unfinalized, g, 0.1),
+               std::invalid_argument);
+  unfinalized.finalize();
+  EXPECT_THROW((void)perturbTrace(unfinalized, g, -0.1),
+               std::invalid_argument);
+  EXPECT_THROW((void)perturbTrace(unfinalized, g, 1.1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pimsched

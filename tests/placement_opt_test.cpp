@@ -1,0 +1,164 @@
+#include "core/placement_opt.hpp"
+
+#include "cost/center_costs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/evaluator.hpp"
+#include "core/gomcds.hpp"
+#include "kernels/benchmarks.hpp"
+#include "test_util.hpp"
+#include "trace/remap.hpp"
+
+namespace pimsched {
+namespace {
+
+TEST(Remap, IdentityIsNoOp) {
+  const Grid g(2, 2);
+  testutil::Rng rng(161);
+  const ReferenceTrace t = testutil::randomTrace(rng, g, 2, 2, 4, 10);
+  std::vector<ProcId> identity(static_cast<std::size_t>(g.size()));
+  std::iota(identity.begin(), identity.end(), 0);
+  const ReferenceTrace mapped = applyProcPermutation(t, identity);
+  ASSERT_EQ(mapped.accesses().size(), t.accesses().size());
+  for (std::size_t i = 0; i < t.accesses().size(); ++i) {
+    EXPECT_EQ(mapped.accesses()[i], t.accesses()[i]);
+  }
+}
+
+TEST(Remap, PermutationRelabelsProcs) {
+  const Grid g(1, 3);
+  DataSpace ds;
+  ds.addArray("A", 1, 1);
+  ReferenceTrace t(ds);
+  t.add(0, 0, 0, 2);
+  t.add(0, 2, 0, 1);
+  t.finalize();
+  const std::vector<ProcId> perm = {2, 0, 1};
+  const ReferenceTrace mapped = applyProcPermutation(t, perm);
+  ASSERT_EQ(mapped.accesses().size(), 2u);
+  EXPECT_EQ(mapped.accesses()[0].proc, 1);  // 2 -> 1
+  EXPECT_EQ(mapped.accesses()[1].proc, 2);  // 0 -> 2
+  EXPECT_EQ(mapped.totalWeight(), t.totalWeight());
+}
+
+TEST(Remap, RejectsNonPermutations) {
+  const Grid g(1, 2);
+  DataSpace ds;
+  ds.addArray("A", 1, 1);
+  ReferenceTrace t(ds);
+  t.add(0, 0, 0, 1);
+  t.finalize();
+  EXPECT_THROW((void)applyProcPermutation(t, {0, 0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)applyProcPermutation(t, {1, 2}),
+               std::invalid_argument);
+}
+
+TEST(Remap, IsPermutationChecks) {
+  EXPECT_TRUE(isPermutation({0}));
+  EXPECT_TRUE(isPermutation({2, 0, 1}));
+  EXPECT_FALSE(isPermutation({1, 1}));
+  EXPECT_FALSE(isPermutation({0, 2}));
+  EXPECT_TRUE(isPermutation({}));
+}
+
+TEST(PlacementOpt, NeverIncreasesObjective) {
+  const Grid g(4, 4);
+  const CostModel model(g);
+  testutil::Rng rng(162);
+  for (int trial = 0; trial < 5; ++trial) {
+    const ReferenceTrace t = testutil::randomTrace(rng, g, 4, 4, 12, 40);
+    const WindowedRefs refs(
+        t, WindowPartition::evenCount(t.numSteps(), 4), g);
+    const PlacementOptResult r = optimizeProcPlacement(refs, model);
+    EXPECT_LE(r.after, r.before);
+    EXPECT_TRUE(isPermutation(r.perm));
+  }
+}
+
+TEST(PlacementOpt, ObjectiveMatchesRemappedDispersion) {
+  // Applying the returned permutation to the trace must produce exactly
+  // the reported objective when re-measured from scratch.
+  const Grid g(3, 3);
+  const CostModel model(g);
+  testutil::Rng rng(163);
+  const ReferenceTrace t = testutil::randomTrace(rng, g, 3, 3, 9, 25);
+  const WindowPartition wp = WindowPartition::evenCount(t.numSteps(), 3);
+  const WindowedRefs refs(t, wp, g);
+  const PlacementOptResult r = optimizeProcPlacement(refs, model);
+
+  const ReferenceTrace mapped = applyProcPermutation(t, r.perm);
+  const WindowedRefs mappedRefs(mapped, wp, g);
+  Cost objective = 0;
+  for (DataId d = 0; d < mappedRefs.numData(); ++d) {
+    for (WindowId w = 0; w < mappedRefs.numWindows(); ++w) {
+      const auto rs = mappedRefs.refs(d, w);
+      if (!rs.empty()) objective += bestCenter(model, rs).cost;
+    }
+  }
+  EXPECT_EQ(objective, r.after);
+}
+
+TEST(PlacementOpt, RecoversAScrambledPartition) {
+  // Take a well-laid-out benchmark, scramble the processor labels with a
+  // fixed permutation, and check the optimizer wins back most of the
+  // scheduled cost.
+  const Grid g(4, 4);
+  const CostModel model(g);
+  const ReferenceTrace good =
+      makePaperBenchmark(PaperBenchmark::kMatSquare, g, 8,
+                         PartitionKind::kBlock2D);
+
+  // A deliberately bad relabelling: bit-reverse-ish shuffle.
+  std::vector<ProcId> scramble(static_cast<std::size_t>(g.size()));
+  for (ProcId p = 0; p < g.size(); ++p) {
+    scramble[static_cast<std::size_t>(p)] =
+        static_cast<ProcId>((p * 7 + 3) % g.size());
+  }
+  ASSERT_TRUE(isPermutation(scramble));
+  const ReferenceTrace bad = applyProcPermutation(good, scramble);
+
+  const WindowPartition wp = WindowPartition::perStep(good.numSteps());
+  const WindowedRefs goodRefs(good, wp, g);
+  const WindowedRefs badRefs(bad, wp, g);
+
+  const Cost goodCost =
+      evaluateSchedule(scheduleGomcds(goodRefs, model), goodRefs, model)
+          .aggregate.total();
+  const Cost badCost =
+      evaluateSchedule(scheduleGomcds(badRefs, model), badRefs, model)
+          .aggregate.total();
+  ASSERT_GT(badCost, goodCost);  // scrambling hurt
+
+  const PlacementOptResult r = optimizeProcPlacement(badRefs, model);
+  const ReferenceTrace repaired = applyProcPermutation(bad, r.perm);
+  const WindowedRefs repairedRefs(repaired, wp, g);
+  const Cost repairedCost =
+      evaluateSchedule(scheduleGomcds(repairedRefs, model), repairedRefs,
+                       model)
+          .aggregate.total();
+  // Recover at least half of the damage.
+  EXPECT_LE(repairedCost - goodCost, (badCost - goodCost) / 2);
+}
+
+TEST(PlacementOpt, StableOnAlreadyGoodLayout) {
+  // A perfectly local workload has objective 0 and must stay untouched.
+  const Grid g(2, 2);
+  const CostModel model(g);
+  ReferenceTrace t(DataSpace::singleSquare(2));
+  for (StepId s = 0; s < 3; ++s) {
+    for (DataId d = 0; d < 4; ++d) t.add(s, static_cast<ProcId>(d), d, 1);
+  }
+  t.finalize();
+  const WindowedRefs refs(t, WindowPartition::perStep(3), g);
+  const PlacementOptResult r = optimizeProcPlacement(refs, model);
+  EXPECT_EQ(r.before, 0);
+  EXPECT_EQ(r.after, 0);
+  EXPECT_EQ(r.swapsApplied, 0);
+}
+
+}  // namespace
+}  // namespace pimsched

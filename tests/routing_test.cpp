@@ -1,0 +1,70 @@
+#include "pim/routing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pimsched {
+namespace {
+
+TEST(XyRoute, SelfRouteIsSingleton) {
+  const Grid g(4, 4);
+  const auto path = xyRoute(g, 5, 5);
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0], 5);
+  EXPECT_TRUE(xyLinks(g, 5, 5).empty());
+}
+
+TEST(XyRoute, LengthIsManhattanPlusOne) {
+  const Grid g(5, 7);
+  for (ProcId a = 0; a < g.size(); a += 3) {
+    for (ProcId b = 0; b < g.size(); b += 2) {
+      const auto path = xyRoute(g, a, b);
+      EXPECT_EQ(static_cast<int>(path.size()), g.manhattan(a, b) + 1);
+      EXPECT_EQ(path.front(), a);
+      EXPECT_EQ(path.back(), b);
+    }
+  }
+}
+
+TEST(XyRoute, ConsecutiveHopsAreAdjacent) {
+  const Grid g(4, 6);
+  const auto path = xyRoute(g, g.id(0, 0), g.id(3, 5));
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    EXPECT_EQ(g.manhattan(path[i], path[i + 1]), 1);
+  }
+}
+
+TEST(XyRoute, ColumnAxisFirst) {
+  const Grid g(4, 4);
+  // From (0,0) to (2,3): expect to traverse columns first along row 0.
+  const auto path = xyRoute(g, g.id(0, 0), g.id(2, 3));
+  ASSERT_EQ(path.size(), 6u);
+  EXPECT_EQ(path[1], g.id(0, 1));
+  EXPECT_EQ(path[2], g.id(0, 2));
+  EXPECT_EQ(path[3], g.id(0, 3));
+  EXPECT_EQ(path[4], g.id(1, 3));
+  EXPECT_EQ(path[5], g.id(2, 3));
+}
+
+TEST(XyRoute, NegativeDirections) {
+  const Grid g(4, 4);
+  const auto path = xyRoute(g, g.id(3, 3), g.id(1, 0));
+  EXPECT_EQ(static_cast<int>(path.size()), g.manhattan(g.id(3, 3), g.id(1, 0)) + 1);
+  EXPECT_EQ(path[1], g.id(3, 2));  // column decreases first
+}
+
+TEST(XyLinks, CountEqualsManhattan) {
+  const Grid g(6, 6);
+  for (ProcId a = 0; a < g.size(); a += 5) {
+    for (ProcId b = 0; b < g.size(); b += 4) {
+      EXPECT_EQ(static_cast<int>(xyLinks(g, a, b).size()), g.manhattan(a, b));
+    }
+  }
+}
+
+TEST(XyRoute, RouteIsDeterministic) {
+  const Grid g(4, 4);
+  EXPECT_EQ(xyRoute(g, 1, 14), xyRoute(g, 1, 14));
+}
+
+}  // namespace
+}  // namespace pimsched

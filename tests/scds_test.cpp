@@ -1,0 +1,129 @@
+#include "core/scds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/evaluator.hpp"
+#include "cost/center_costs.hpp"
+#include "test_util.hpp"
+
+namespace pimsched {
+namespace {
+
+WindowedRefs refsFromTrace(const ReferenceTrace& t, const Grid& g,
+                           int windows) {
+  return WindowedRefs(t, WindowPartition::evenCount(t.numSteps(), windows),
+                      g);
+}
+
+TEST(Scds, PlacesDatumAtMergedOptimum) {
+  const Grid g(4, 4);
+  const CostModel model(g);
+  ReferenceTrace t(DataSpace::singleSquare(1));
+  t.add(0, g.id(0, 0), 0, 1);
+  t.add(1, g.id(0, 2), 0, 1);
+  t.add(2, g.id(2, 1), 0, 1);
+  t.finalize();
+  const WindowedRefs refs = refsFromTrace(t, g, 3);
+  const DataSchedule s = scheduleScds(refs, model);
+  // Unconstrained: the single center must equal bestCenter of the merged
+  // string.
+  const BestCenter best = bestCenter(model, refs.mergedRefs(0, 0, 3));
+  EXPECT_EQ(s.center(0, 0), best.proc);
+  EXPECT_TRUE(s.isStatic());
+}
+
+TEST(Scds, IsOptimalAmongStaticPlacements) {
+  const Grid g(3, 3);
+  const CostModel model(g);
+  testutil::Rng rng(31);
+  const ReferenceTrace t = testutil::randomTrace(rng, g, 3, 3, 10, 15);
+  const WindowedRefs refs = refsFromTrace(t, g, 5);
+  const DataSchedule s = scheduleScds(refs, model);
+  const EvalResult r = evaluateSchedule(s, refs, model);
+  // Per datum, no other static center is cheaper.
+  for (DataId d = 0; d < refs.numData(); ++d) {
+    for (ProcId p = 0; p < g.size(); ++p) {
+      DataSchedule alt = s;
+      alt.setStatic(d, p);
+      const CostBreakdown c = evaluateDatum(alt, refs, model, d);
+      EXPECT_GE(c.total(), r.perData[static_cast<std::size_t>(d)].total());
+    }
+  }
+}
+
+TEST(Scds, NoMovementEver) {
+  const Grid g(4, 4);
+  const CostModel model(g);
+  testutil::Rng rng(32);
+  const ReferenceTrace t = testutil::randomTrace(rng, g, 4, 4, 12, 20);
+  const WindowedRefs refs = refsFromTrace(t, g, 4);
+  const EvalResult r =
+      evaluateSchedule(scheduleScds(refs, model), refs, model);
+  EXPECT_EQ(r.aggregate.move, 0);
+}
+
+TEST(Scds, CapacityForcesFallback) {
+  const Grid g(1, 3);
+  const CostModel model(g);
+  // Three data all pulled toward proc 0.
+  DataSpace ds;
+  ds.addArray("A", 1, 3);
+  ReferenceTrace t(ds);
+  for (DataId d = 0; d < 3; ++d) t.add(0, 0, d, 10);
+  t.finalize();
+  const WindowedRefs refs = refsFromTrace(t, g, 1);
+  SchedulerOptions opts;
+  opts.capacity = 1;
+  const DataSchedule s = scheduleScds(refs, model, opts);
+  EXPECT_TRUE(s.respectsCapacity(g, 1));
+  // Id order: datum 0 gets proc 0, datum 1 falls back to proc 1, etc.
+  EXPECT_EQ(s.center(0, 0), 0);
+  EXPECT_EQ(s.center(1, 0), 1);
+  EXPECT_EQ(s.center(2, 0), 2);
+}
+
+TEST(Scds, WeightOrderGivesHeavyDataPriority) {
+  const Grid g(1, 2);
+  const CostModel model(g);
+  DataSpace ds;
+  ds.addArray("A", 1, 2);
+  ReferenceTrace t(ds);
+  t.add(0, 0, 0, 1);   // light datum wants proc 0
+  t.add(0, 0, 1, 10);  // heavy datum wants proc 0 too
+  t.finalize();
+  const WindowedRefs refs = refsFromTrace(t, g, 1);
+  SchedulerOptions opts;
+  opts.capacity = 1;
+  opts.order = DataOrder::kByWeightDesc;
+  const DataSchedule s = scheduleScds(refs, model, opts);
+  EXPECT_EQ(s.center(1, 0), 0);  // heavy datum won the contested slot
+  EXPECT_EQ(s.center(0, 0), 1);
+}
+
+TEST(Scds, InfeasibleCapacityThrows) {
+  const Grid g(1, 2);
+  const CostModel model(g);
+  ReferenceTrace t(DataSpace::singleSquare(2));  // 4 data, 2 slots
+  t.add(0, 0, 0, 1);
+  t.finalize();
+  const WindowedRefs refs = refsFromTrace(t, g, 1);
+  SchedulerOptions opts;
+  opts.capacity = 1;
+  EXPECT_THROW(scheduleScds(refs, model, opts), std::runtime_error);
+}
+
+TEST(Scds, RespectsPaperCapacityOnRealKernel) {
+  const Grid g(4, 4);
+  const CostModel model(g);
+  testutil::Rng rng(33);
+  const ReferenceTrace t = testutil::randomTrace(rng, g, 8, 8, 16, 64);
+  const WindowedRefs refs = refsFromTrace(t, g, 4);
+  SchedulerOptions opts;
+  opts.capacity = 8;  // 2x the 4-per-proc minimum
+  const DataSchedule s = scheduleScds(refs, model, opts);
+  EXPECT_TRUE(s.complete());
+  EXPECT_TRUE(s.respectsCapacity(g, 8));
+}
+
+}  // namespace
+}  // namespace pimsched

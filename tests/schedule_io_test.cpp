@@ -1,0 +1,80 @@
+#include "core/schedule_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pimsched {
+namespace {
+
+DataSchedule sample() {
+  DataSchedule s(3, 2);
+  s.setCenter(0, 0, 5);
+  s.setCenter(0, 1, 6);
+  s.setCenter(1, 0, 0);
+  s.setCenter(1, 1, 0);
+  s.setCenter(2, 0, 15);
+  s.setCenter(2, 1, 3);
+  return s;
+}
+
+TEST(ScheduleIo, RoundTrip) {
+  const DataSchedule original = sample();
+  std::stringstream ss;
+  saveSchedule(original, ss);
+  const DataSchedule loaded = loadSchedule(ss);
+  ASSERT_EQ(loaded.numData(), 3);
+  ASSERT_EQ(loaded.numWindows(), 2);
+  for (DataId d = 0; d < 3; ++d) {
+    for (WindowId w = 0; w < 2; ++w) {
+      EXPECT_EQ(loaded.center(d, w), original.center(d, w));
+    }
+  }
+}
+
+TEST(ScheduleIo, IgnoresCommentsAndBlankLines) {
+  std::stringstream ss(
+      "pimsched v1 1 2\n"
+      "# a comment\n"
+      "\n"
+      "4 7\n");
+  const DataSchedule s = loadSchedule(ss);
+  EXPECT_EQ(s.center(0, 0), 4);
+  EXPECT_EQ(s.center(0, 1), 7);
+}
+
+TEST(ScheduleIo, RejectsBadHeader) {
+  std::stringstream ss("bogus v1 1 1\n0\n");
+  EXPECT_THROW((void)loadSchedule(ss), std::runtime_error);
+  std::stringstream empty;
+  EXPECT_THROW((void)loadSchedule(empty), std::runtime_error);
+}
+
+TEST(ScheduleIo, RejectsRowCountMismatch) {
+  std::stringstream tooFew("pimsched v1 2 1\n0\n");
+  EXPECT_THROW((void)loadSchedule(tooFew), std::runtime_error);
+  std::stringstream tooMany("pimsched v1 1 1\n0\n1\n");
+  EXPECT_THROW((void)loadSchedule(tooMany), std::runtime_error);
+}
+
+TEST(ScheduleIo, RejectsMalformedRow) {
+  std::stringstream tooShort("pimsched v1 1 2\n0\n");
+  EXPECT_THROW((void)loadSchedule(tooShort), std::runtime_error);
+  std::stringstream tooLong("pimsched v1 1 2\n0 1 2\n");
+  EXPECT_THROW((void)loadSchedule(tooLong), std::runtime_error);
+  std::stringstream negative("pimsched v1 1 2\n0 -3\n");
+  EXPECT_THROW((void)loadSchedule(negative), std::runtime_error);
+}
+
+TEST(ScheduleIo, FileRoundTrip) {
+  const std::string path =
+      ::testing::TempDir() + "/pimsched_schedule_test.txt";
+  saveScheduleFile(sample(), path);
+  const DataSchedule loaded = loadScheduleFile(path);
+  EXPECT_EQ(loaded.center(2, 1), 3);
+  EXPECT_THROW((void)loadScheduleFile("/no/such/file"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pimsched

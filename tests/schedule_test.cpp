@@ -1,0 +1,63 @@
+#include "core/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pimsched {
+namespace {
+
+TEST(DataSchedule, StartsIncomplete) {
+  const DataSchedule s(3, 2);
+  EXPECT_FALSE(s.complete());
+  EXPECT_EQ(s.center(0, 0), kNoProc);
+}
+
+TEST(DataSchedule, SetStaticFillsAllWindows) {
+  DataSchedule s(2, 4);
+  s.setStatic(0, 5);
+  s.setStatic(1, 7);
+  EXPECT_TRUE(s.complete());
+  EXPECT_TRUE(s.isStatic());
+  for (WindowId w = 0; w < 4; ++w) {
+    EXPECT_EQ(s.center(0, w), 5);
+    EXPECT_EQ(s.center(1, w), 7);
+  }
+}
+
+TEST(DataSchedule, IsStaticDetectsMovement) {
+  DataSchedule s(1, 3);
+  s.setStatic(0, 2);
+  EXPECT_TRUE(s.isStatic());
+  s.setCenter(0, 1, 3);
+  EXPECT_FALSE(s.isStatic());
+}
+
+TEST(DataSchedule, MaxOccupancyPerWindow) {
+  const Grid g(2, 2);
+  DataSchedule s(3, 2);
+  // Window 0: data 0,1 on proc 0; window 1 spread out.
+  s.setCenter(0, 0, 0);
+  s.setCenter(1, 0, 0);
+  s.setCenter(2, 0, 1);
+  s.setCenter(0, 1, 0);
+  s.setCenter(1, 1, 1);
+  s.setCenter(2, 1, 2);
+  EXPECT_EQ(s.maxOccupancy(g), 2);
+  EXPECT_TRUE(s.respectsCapacity(g, 2));
+  EXPECT_FALSE(s.respectsCapacity(g, 1));
+  EXPECT_TRUE(s.respectsCapacity(g, -1));  // unlimited
+}
+
+TEST(DataSchedule, RejectsDegenerateShape) {
+  EXPECT_THROW(DataSchedule(-1, 2), std::invalid_argument);
+  EXPECT_THROW(DataSchedule(3, 0), std::invalid_argument);
+}
+
+TEST(DataSchedule, ZeroDataScheduleIsComplete) {
+  const Grid g(2, 2);
+  const DataSchedule s(0, 3);
+  EXPECT_TRUE(s.complete());
+  EXPECT_EQ(s.maxOccupancy(g), 0);
+}
+
+}  // namespace
+}  // namespace pimsched

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "core/evaluator.hpp"
+#include "core/gomcds.hpp"
+#include "core/pipeline.hpp"
+#include "core/scds.hpp"
+#include "kernels/benchmarks.hpp"
+#include "sim/replay.hpp"
+#include "test_util.hpp"
+
+namespace pimsched {
+namespace {
+
+TEST(NocSimulator, SingleMessageLatencyIsVolumeTimesHops) {
+  const Grid g(4, 4);
+  const NocSimulator sim(g);
+  const std::vector<Message> msgs = {{g.id(0, 0), g.id(2, 3), 4}};
+  const SimReport r = sim.simulate(msgs);
+  EXPECT_EQ(r.numMessages, 1);
+  EXPECT_EQ(r.totalHopVolume, 4 * 5);
+  // Store-and-forward: volume cycles per hop, 5 hops.
+  EXPECT_EQ(r.makespan, 4 * 5);
+  EXPECT_EQ(r.maxLinkLoad, 4);
+}
+
+TEST(NocSimulator, SelfMessageIsFree) {
+  const Grid g(2, 2);
+  const NocSimulator sim(g);
+  const std::vector<Message> msgs = {{0, 0, 10}};
+  const SimReport r = sim.simulate(msgs);
+  EXPECT_EQ(r.totalHopVolume, 0);
+  EXPECT_EQ(r.makespan, 0);
+}
+
+TEST(NocSimulator, ContentionSerialisesSharedLink) {
+  // Two messages over the same single link must serialise.
+  const Grid g(1, 2);
+  const NocSimulator sim(g);
+  const std::vector<Message> msgs = {{0, 1, 3}, {0, 1, 3}};
+  const SimReport r = sim.simulate(msgs);
+  EXPECT_EQ(r.totalHopVolume, 6);
+  EXPECT_EQ(r.makespan, 6);     // second waits for the first
+  EXPECT_EQ(r.maxLinkLoad, 6);
+}
+
+TEST(NocSimulator, DisjointPathsRunInParallel) {
+  const Grid g(2, 2);
+  const NocSimulator sim(g);
+  // (0,0)->(0,1) and (1,0)->(1,1) use different links.
+  const std::vector<Message> msgs = {{g.id(0, 0), g.id(0, 1), 5},
+                                     {g.id(1, 0), g.id(1, 1), 5}};
+  const SimReport r = sim.simulate(msgs);
+  EXPECT_EQ(r.makespan, 5);
+  EXPECT_EQ(r.maxLinkLoad, 5);
+}
+
+TEST(NocSimulator, RejectsNonPositiveVolume) {
+  const Grid g(2, 2);
+  const NocSimulator sim(g);
+  const std::vector<Message> msgs = {{0, 1, 0}};
+  EXPECT_THROW((void)sim.simulate(msgs), std::invalid_argument);
+}
+
+TEST(NocSimulator, EmptyBatch) {
+  const Grid g(2, 2);
+  const NocSimulator sim(g);
+  const SimReport r = sim.simulate({});
+  EXPECT_EQ(r.numMessages, 0);
+  EXPECT_EQ(r.makespan, 0);
+  EXPECT_EQ(r.avgLatency, 0.0);
+}
+
+TEST(SimReport, AggregationAveragesLatency) {
+  SimReport a;
+  a.numMessages = 2;
+  a.avgLatency = 4.0;
+  a.makespan = 10;
+  SimReport b;
+  b.numMessages = 2;
+  b.avgLatency = 8.0;
+  b.makespan = 5;
+  b.maxLinkLoad = 9;
+  a += b;
+  EXPECT_EQ(a.numMessages, 4);
+  EXPECT_DOUBLE_EQ(a.avgLatency, 6.0);
+  EXPECT_EQ(a.makespan, 15);  // windows run back to back
+  EXPECT_EQ(a.maxLinkLoad, 9);
+}
+
+TEST(Replay, TrafficEqualsAnalyticCost) {
+  // DESIGN.md invariant 10: the DES replay's hop-volume equals the
+  // analytic evaluator's total, schedule by schedule.
+  const Grid g(4, 4);
+  const CostModel model(g);
+  testutil::Rng rng(91);
+  const ReferenceTrace t = testutil::randomTrace(rng, g, 4, 4, 16, 30);
+  const WindowedRefs refs(
+      t, WindowPartition::evenCount(t.numSteps(), 4), g);
+  for (const auto makeSchedule :
+       {+[](const WindowedRefs& r, const CostModel& m) {
+          return scheduleScds(r, m);
+        },
+        +[](const WindowedRefs& r, const CostModel& m) {
+          return scheduleGomcds(r, m);
+        }}) {
+    const DataSchedule s = makeSchedule(refs, model);
+    const EvalResult analytic = evaluateSchedule(s, refs, model);
+    const ReplayReport replay = replaySchedule(s, refs, model);
+    EXPECT_EQ(replay.total.totalHopVolume, analytic.aggregate.total());
+  }
+}
+
+TEST(Replay, PerWindowBreakdownSumsToTotal) {
+  const Grid g(4, 4);
+  const CostModel model(g);
+  const ReferenceTrace t =
+      makePaperBenchmark(PaperBenchmark::kMatSquare, g, 8);
+  const Experiment exp(t, g);
+  const DataSchedule s = exp.schedule(Method::kGomcds);
+  const ReplayReport replay = replaySchedule(s, exp.refs(), exp.costModel());
+  Cost hopVolume = 0;
+  for (const SimReport& w : replay.perWindow) {
+    hopVolume += w.totalHopVolume;
+  }
+  EXPECT_EQ(hopVolume, replay.total.totalHopVolume);
+  EXPECT_EQ(static_cast<int>(replay.perWindow.size()),
+            exp.refs().numWindows());
+}
+
+TEST(Replay, BetterSchedulesAlsoWinUnderContention) {
+  // The analytic model ignores contention; check that on a real kernel
+  // the GOMCDS schedule still beats row-wise on simulated makespan.
+  const Grid g(4, 4);
+  const ReferenceTrace t = makePaperBenchmark(PaperBenchmark::kLu, g, 16);
+  const Experiment exp(t, g);
+  const ReplayReport sf = replaySchedule(exp.schedule(Method::kRowWise),
+                                         exp.refs(), exp.costModel());
+  const ReplayReport go = replaySchedule(exp.schedule(Method::kGomcds),
+                                         exp.refs(), exp.costModel());
+  EXPECT_LT(go.total.totalHopVolume, sf.total.totalHopVolume);
+  EXPECT_LT(go.total.makespan, sf.total.makespan);
+}
+
+TEST(CutThrough, UncontendedLatencyIsHopsPlusVolume) {
+  const Grid g(4, 4);
+  const NocSimulator sim(g, SwitchingMode::kCutThrough);
+  const std::vector<Message> msgs = {{g.id(0, 0), g.id(2, 3), 4}};
+  const SimReport r = sim.simulate(msgs);
+  // 5 hops, volume 4: head pipeline = hops + volume - 1 ... arrival is
+  // start of last link (4) + volume = 8.
+  EXPECT_EQ(r.makespan, 5 + 4 - 1);
+  EXPECT_EQ(r.totalHopVolume, 4 * 5);  // loads unchanged vs S&F
+  EXPECT_EQ(r.maxLinkLoad, 4);
+}
+
+TEST(CutThrough, NeverSlowerThanStoreAndForward) {
+  const Grid g(4, 4);
+  const CostModel model(g);
+  testutil::Rng rng(93);
+  const ReferenceTrace t = testutil::randomTrace(rng, g, 4, 4, 12, 30);
+  const WindowedRefs refs(
+      t, WindowPartition::evenCount(t.numSteps(), 4), g);
+  const DataSchedule s = scheduleScds(refs, model);
+  const ReplayReport snf =
+      replaySchedule(s, refs, model, SwitchingMode::kStoreAndForward);
+  const ReplayReport ct =
+      replaySchedule(s, refs, model, SwitchingMode::kCutThrough);
+  EXPECT_LE(ct.total.makespan, snf.total.makespan);
+  EXPECT_EQ(ct.total.totalHopVolume, snf.total.totalHopVolume);
+}
+
+TEST(CutThrough, SingleHopMatchesStoreAndForward) {
+  const Grid g(1, 2);
+  const NocSimulator ct(g, SwitchingMode::kCutThrough);
+  const NocSimulator snf(g, SwitchingMode::kStoreAndForward);
+  const std::vector<Message> msgs = {{0, 1, 7}};
+  EXPECT_EQ(ct.simulate(msgs).makespan, snf.simulate(msgs).makespan);
+}
+
+TEST(Replay, ShapeMismatchThrows) {
+  const Grid g(2, 2);
+  const CostModel model(g);
+  testutil::Rng rng(92);
+  const ReferenceTrace t = testutil::randomTrace(rng, g, 2, 2, 4, 8);
+  const WindowedRefs refs(
+      t, WindowPartition::evenCount(t.numSteps(), 2), g);
+  DataSchedule wrong(refs.numData(), refs.numWindows() + 1);
+  EXPECT_THROW((void)replaySchedule(wrong, refs, model),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pimsched

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cost/cost_model.hpp"
+#include "trace/trace.hpp"
+#include "trace/windowed_refs.hpp"
+
+namespace pimsched::testutil {
+
+/// Deterministic 64-bit LCG for property tests (no <random> so sequences
+/// are identical across standard libraries).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state_ >> 33;
+  }
+
+  /// Uniform in [0, bound).
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+  /// Uniform in [lo, hi].
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// A random reference string on a grid: `count` entries with weights in
+/// [1, maxWeight], duplicate processors merged.
+inline std::vector<ProcWeight> randomRefs(Rng& rng, const Grid& grid,
+                                          int count, Cost maxWeight = 5) {
+  std::vector<Cost> acc(static_cast<std::size_t>(grid.size()), 0);
+  for (int i = 0; i < count; ++i) {
+    acc[rng.below(static_cast<std::uint64_t>(grid.size()))] +=
+        rng.range(1, maxWeight);
+  }
+  std::vector<ProcWeight> refs;
+  for (ProcId p = 0; p < grid.size(); ++p) {
+    if (acc[static_cast<std::size_t>(p)] > 0) {
+      refs.push_back(ProcWeight{p, acc[static_cast<std::size_t>(p)]});
+    }
+  }
+  return refs;
+}
+
+/// A random finalized trace: numData data over numSteps steps; each step
+/// references a random subset.
+inline ReferenceTrace randomTrace(Rng& rng, const Grid& grid, int dataRows,
+                                  int dataCols, StepId numSteps,
+                                  int refsPerStep) {
+  ReferenceTrace trace(DataSpace::singleSquare(dataRows > dataCols ? dataRows
+                                                                   : dataRows,
+                                               "A"));
+  // DataSpace::singleSquare is square; rebuild properly for rectangles.
+  if (dataRows != dataCols) {
+    DataSpace ds;
+    ds.addArray("A", dataRows, dataCols);
+    trace = ReferenceTrace(ds);
+  }
+  const DataId numData = trace.dataSpace().numData();
+  for (StepId s = 0; s < numSteps; ++s) {
+    for (int r = 0; r < refsPerStep; ++r) {
+      trace.add(s,
+                static_cast<ProcId>(
+                    rng.below(static_cast<std::uint64_t>(grid.size()))),
+                static_cast<DataId>(
+                    rng.below(static_cast<std::uint64_t>(numData))),
+                rng.range(1, 4));
+    }
+  }
+  trace.finalize();
+  return trace;
+}
+
+}  // namespace pimsched::testutil

@@ -1,0 +1,101 @@
+#include "core/verify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/gomcds.hpp"
+#include "core/lomcds.hpp"
+#include "test_util.hpp"
+
+namespace pimsched {
+namespace {
+
+TEST(VerifySchedule, CleanScheduleHasNoIssues) {
+  const Grid g(2, 2);
+  DataSchedule s(2, 2);
+  s.setStatic(0, 0);
+  s.setStatic(1, 3);
+  const VerifyReport r = verifySchedule(s, g, 1);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(VerifySchedule, ReportsIncompleteCells) {
+  const Grid g(2, 2);
+  DataSchedule s(2, 2);
+  s.setStatic(0, 0);  // datum 1 unset
+  const VerifyReport r = verifySchedule(s, g, -1);
+  ASSERT_EQ(r.issues.size(), 2u);  // two windows of datum 1
+  EXPECT_EQ(r.issues[0].kind, ScheduleIssue::Kind::kIncompleteCell);
+  EXPECT_EQ(r.issues[0].data, 1);
+}
+
+TEST(VerifySchedule, ReportsInvalidProcessors) {
+  const Grid g(2, 2);
+  DataSchedule s(1, 1);
+  s.setCenter(0, 0, 99);
+  const VerifyReport r = verifySchedule(s, g, -1);
+  ASSERT_EQ(r.issues.size(), 1u);
+  EXPECT_EQ(r.issues[0].kind, ScheduleIssue::Kind::kInvalidProcessor);
+  EXPECT_EQ(r.issues[0].proc, 99);
+}
+
+TEST(VerifySchedule, ReportsCapacityViolationsPerWindow) {
+  const Grid g(2, 2);
+  DataSchedule s(3, 2);
+  // Window 0: all three on proc 1 (violates capacity 2); window 1 spread.
+  for (DataId d = 0; d < 3; ++d) s.setCenter(d, 0, 1);
+  s.setCenter(0, 1, 0);
+  s.setCenter(1, 1, 1);
+  s.setCenter(2, 1, 2);
+  const VerifyReport r = verifySchedule(s, g, 2);
+  ASSERT_EQ(r.issues.size(), 1u);
+  EXPECT_EQ(r.issues[0].kind, ScheduleIssue::Kind::kCapacityExceeded);
+  EXPECT_EQ(r.issues[0].window, 0);
+  EXPECT_EQ(r.issues[0].proc, 1);
+}
+
+TEST(VerifySchedule, SchedulersAlwaysVerifyClean) {
+  const Grid g(3, 3);
+  const CostModel model(g);
+  testutil::Rng rng(181);
+  const ReferenceTrace t = testutil::randomTrace(rng, g, 3, 3, 8, 20);
+  const WindowedRefs refs(
+      t, WindowPartition::evenCount(t.numSteps(), 4), g);
+  SchedulerOptions opts;
+  opts.capacity = 2;
+  EXPECT_TRUE(
+      verifySchedule(scheduleGomcds(refs, model, opts), g, 2).ok());
+  EXPECT_TRUE(
+      verifySchedule(scheduleLomcds(refs, model, opts), g, 2).ok());
+}
+
+TEST(DiffSchedules, IdenticalSchedulesDiffZero) {
+  DataSchedule a(2, 3);
+  a.setStatic(0, 1);
+  a.setStatic(1, 2);
+  const ScheduleDiff d = diffSchedules(a, a);
+  EXPECT_EQ(d.differingCells, 0);
+  EXPECT_EQ(d.dataAffected, 0);
+  EXPECT_EQ(d.migrationsA, d.migrationsB);
+}
+
+TEST(DiffSchedules, CountsCellsAndMigrations) {
+  DataSchedule a(2, 3);
+  a.setStatic(0, 1);
+  a.setStatic(1, 2);
+  DataSchedule b = a;
+  b.setCenter(0, 1, 5);  // one differing cell, adds 2 migrations to B
+  const ScheduleDiff d = diffSchedules(a, b);
+  EXPECT_EQ(d.differingCells, 1);
+  EXPECT_EQ(d.dataAffected, 1);
+  EXPECT_EQ(d.migrationsA, 0);
+  EXPECT_EQ(d.migrationsB, 2);
+}
+
+TEST(DiffSchedules, RejectsShapeMismatch) {
+  DataSchedule a(1, 2);
+  DataSchedule b(2, 2);
+  EXPECT_THROW((void)diffSchedules(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pimsched

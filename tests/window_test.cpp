@@ -1,0 +1,88 @@
+#include "trace/window.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace pimsched {
+namespace {
+
+TEST(WindowPartition, FixedSizeEvenSplit) {
+  const auto wp = WindowPartition::fixedSize(12, 3);
+  EXPECT_EQ(wp.numWindows(), 4);
+  EXPECT_EQ(wp.window(0), (StepRange{0, 3}));
+  EXPECT_EQ(wp.window(3), (StepRange{9, 12}));
+}
+
+TEST(WindowPartition, FixedSizeRaggedTail) {
+  const auto wp = WindowPartition::fixedSize(10, 4);
+  EXPECT_EQ(wp.numWindows(), 3);
+  EXPECT_EQ(wp.window(2), (StepRange{8, 10}));
+}
+
+TEST(WindowPartition, PerStepAndWhole) {
+  const auto per = WindowPartition::perStep(5);
+  EXPECT_EQ(per.numWindows(), 5);
+  EXPECT_EQ(per.window(4), (StepRange{4, 5}));
+
+  const auto whole = WindowPartition::whole(5);
+  EXPECT_EQ(whole.numWindows(), 1);
+  EXPECT_EQ(whole.window(0), (StepRange{0, 5}));
+}
+
+TEST(WindowPartition, EvenCountCoversAllSteps) {
+  for (StepId steps : {1, 2, 7, 8, 9, 100}) {
+    for (int count : {1, 2, 3, 8, 16}) {
+      const auto wp = WindowPartition::evenCount(steps, count);
+      // Windows tile [0, steps) without gaps.
+      StepId cursor = 0;
+      for (WindowId w = 0; w < wp.numWindows(); ++w) {
+        EXPECT_EQ(wp.window(w).begin, cursor);
+        EXPECT_GT(wp.window(w).length(), 0);
+        cursor = wp.window(w).end;
+      }
+      EXPECT_EQ(cursor, steps);
+      EXPECT_LE(wp.numWindows(), count);
+    }
+  }
+}
+
+TEST(WindowPartition, EvenCountClampsToSteps) {
+  const auto wp = WindowPartition::evenCount(3, 10);
+  EXPECT_EQ(wp.numWindows(), 3);
+}
+
+TEST(WindowPartition, WindowOfLocatesSteps) {
+  const auto wp = WindowPartition::fixedSize(10, 3);
+  EXPECT_EQ(wp.windowOf(0), 0);
+  EXPECT_EQ(wp.windowOf(2), 0);
+  EXPECT_EQ(wp.windowOf(3), 1);
+  EXPECT_EQ(wp.windowOf(9), 3);
+  EXPECT_THROW((void)wp.windowOf(10), std::out_of_range);
+  EXPECT_THROW((void)wp.windowOf(-1), std::out_of_range);
+}
+
+TEST(WindowPartition, RejectsMalformedStarts) {
+  EXPECT_THROW(WindowPartition({1, 2}, 5), std::invalid_argument);  // no 0
+  EXPECT_THROW(WindowPartition({0, 3, 3}, 5), std::invalid_argument);
+  EXPECT_THROW(WindowPartition({0, 6}, 5), std::invalid_argument);
+  EXPECT_THROW(WindowPartition({0}, 0), std::invalid_argument);
+}
+
+TEST(WindowPartition, EmptyTraceHasNoWindows) {
+  const auto wp = WindowPartition::whole(0);
+  EXPECT_EQ(wp.numWindows(), 0);
+  EXPECT_EQ(wp.numSteps(), 0);
+}
+
+TEST(WindowPartition, WindowOfMatchesRanges) {
+  const auto wp = WindowPartition::evenCount(23, 5);
+  for (StepId s = 0; s < 23; ++s) {
+    const WindowId w = wp.windowOf(s);
+    EXPECT_GE(s, wp.window(w).begin);
+    EXPECT_LT(s, wp.window(w).end);
+  }
+}
+
+}  // namespace
+}  // namespace pimsched

@@ -1,0 +1,124 @@
+#include "trace/windowed_refs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace pimsched {
+namespace {
+
+WindowedRefs makeRefs(const Grid& grid) {
+  ReferenceTrace t(DataSpace::singleSquare(2));  // 4 data
+  // datum 0: referenced in steps 0,1 (window 0) and step 2 (window 1)
+  t.add(0, 1, 0, 2);
+  t.add(1, 1, 0, 3);
+  t.add(1, 2, 0, 1);
+  t.add(2, 3, 0, 4);
+  // datum 3: only step 3 (window 1)
+  t.add(3, 0, 3, 1);
+  t.finalize();
+  return WindowedRefs(t, WindowPartition::fixedSize(4, 2), grid);
+}
+
+TEST(WindowedRefs, AggregatesPerWindowPerProc) {
+  const Grid grid(2, 2);
+  const WindowedRefs refs = makeRefs(grid);
+  EXPECT_EQ(refs.numData(), 4);
+  EXPECT_EQ(refs.numWindows(), 2);
+  EXPECT_EQ(refs.numProcs(), 4);
+
+  const auto w0 = refs.refs(0, 0);
+  ASSERT_EQ(w0.size(), 2u);
+  EXPECT_EQ(w0[0], (ProcWeight{1, 5}));  // steps 0+1 on proc 1 merged
+  EXPECT_EQ(w0[1], (ProcWeight{2, 1}));
+
+  const auto w1 = refs.refs(0, 1);
+  ASSERT_EQ(w1.size(), 1u);
+  EXPECT_EQ(w1[0], (ProcWeight{3, 4}));
+}
+
+TEST(WindowedRefs, UnreferencedDataHaveEmptyStrings) {
+  const Grid grid(2, 2);
+  const WindowedRefs refs = makeRefs(grid);
+  EXPECT_TRUE(refs.refs(1, 0).empty());
+  EXPECT_TRUE(refs.refs(1, 1).empty());
+  EXPECT_TRUE(refs.unreferenced(1));
+  EXPECT_FALSE(refs.unreferenced(0));
+}
+
+TEST(WindowedRefs, WeightAccounting) {
+  const Grid grid(2, 2);
+  const WindowedRefs refs = makeRefs(grid);
+  EXPECT_EQ(refs.windowWeight(0, 0), 6);
+  EXPECT_EQ(refs.windowWeight(0, 1), 4);
+  EXPECT_EQ(refs.dataWeight(0), 10);
+  EXPECT_EQ(refs.dataWeight(3), 1);
+}
+
+TEST(WindowedRefs, MergedRefsSumAcrossWindows) {
+  const Grid grid(2, 2);
+  const WindowedRefs refs = makeRefs(grid);
+  const auto merged = refs.mergedRefs(0, 0, 2);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0], (ProcWeight{1, 5}));
+  EXPECT_EQ(merged[1], (ProcWeight{2, 1}));
+  EXPECT_EQ(merged[2], (ProcWeight{3, 4}));
+}
+
+TEST(WindowedRefs, MergedRefsSingleWindowEqualsRefs) {
+  const Grid grid(3, 3);
+  testutil::Rng rng(7);
+  const ReferenceTrace t = testutil::randomTrace(rng, grid, 4, 4, 12, 20);
+  const WindowedRefs refs(t, WindowPartition::fixedSize(12, 3), grid);
+  for (DataId d = 0; d < refs.numData(); ++d) {
+    for (WindowId w = 0; w < refs.numWindows(); ++w) {
+      const auto merged = refs.mergedRefs(d, w, w + 1);
+      const auto direct = refs.refs(d, w);
+      ASSERT_EQ(merged.size(), direct.size());
+      for (std::size_t i = 0; i < merged.size(); ++i) {
+        EXPECT_EQ(merged[i], direct[i]);
+      }
+    }
+  }
+}
+
+TEST(WindowedRefs, TotalWeightConserved) {
+  const Grid grid(4, 4);
+  testutil::Rng rng(11);
+  const ReferenceTrace t = testutil::randomTrace(rng, grid, 6, 6, 20, 30);
+  const WindowedRefs refs(t, WindowPartition::evenCount(20, 5), grid);
+  Cost sum = 0;
+  for (DataId d = 0; d < refs.numData(); ++d) sum += refs.dataWeight(d);
+  EXPECT_EQ(sum, t.totalWeight());
+}
+
+TEST(WindowedRefs, RejectsMismatchedInputs) {
+  const Grid grid(2, 2);
+  ReferenceTrace t(DataSpace::singleSquare(2));
+  t.add(0, 0, 0, 1);
+  EXPECT_THROW(
+      WindowedRefs(t, WindowPartition::whole(1), grid),
+      std::invalid_argument);  // not finalized
+  t.finalize();
+  EXPECT_THROW(WindowedRefs(t, WindowPartition::whole(2), grid),
+               std::invalid_argument);  // wrong step count
+}
+
+TEST(WindowedRefs, RejectsProcOutsideGrid) {
+  const Grid grid(1, 2);
+  ReferenceTrace t(DataSpace::singleSquare(2));
+  t.add(0, 5, 0, 1);
+  t.finalize();
+  EXPECT_THROW(WindowedRefs(t, WindowPartition::whole(1), grid),
+               std::invalid_argument);
+}
+
+TEST(WindowedRefs, MergedRefsRejectsBadRange) {
+  const Grid grid(2, 2);
+  const WindowedRefs refs = makeRefs(grid);
+  EXPECT_THROW(refs.mergedRefs(0, 1, 1), std::invalid_argument);
+  EXPECT_THROW(refs.mergedRefs(0, 0, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pimsched
