@@ -12,6 +12,8 @@
 
 #include "core/pipeline.hpp"
 #include "kernels/benchmarks.hpp"
+#include "obs/obs.hpp"
+#include "report/obs_report.hpp"
 #include "report/stats.hpp"
 #include "report/table.hpp"
 
@@ -40,6 +42,7 @@ inline std::vector<Row> runPaperGrid(const std::vector<Method>& methods,
   std::vector<Row> rows;
   for (const PaperBenchmark b : allPaperBenchmarks()) {
     for (const int n : paperSizes()) {
+      PIMSCHED_SCOPED_TIMER("bench.experiment");
       const ReferenceTrace trace = makePaperBenchmark(b, grid, n);
       PipelineConfig cfg;
       cfg.numWindows = perStepWindows
@@ -90,6 +93,14 @@ inline void printPaperTable(const std::vector<Row>& rows,
   }
   table.addRow(std::move(avg));
   table.print(os);
+}
+
+/// Appends the obs counter/timer summary accumulated so far (serve-cost
+/// evaluations, solver runs, per-experiment timings, ...). Prints a
+/// placeholder line when nothing was recorded, e.g. under PIMSCHED_NO_OBS.
+inline void printObsSummary(std::ostream& os) {
+  os << '\n';
+  renderObsSummary(os);
 }
 
 }  // namespace pimsched::benchtool

@@ -1,0 +1,76 @@
+// Observability-overhead microbenchmarks (google-benchmark).
+//
+// Two layers of evidence that the obs macros stay out of the way:
+//  * BM_CounterAdd / BM_ScopedTimer price the primitives themselves
+//    (one relaxed atomic add; two steady_clock reads + a few atomics);
+//  * BM_GomcdsEndToEnd / BM_ReplayEndToEnd are the same hot paths
+//    micro_algorithms times — build once normally and once with
+//    -DPIMSCHED_NO_OBS=ON and compare (scripted recipe and measured
+//    numbers in docs/observability.md; acceptance bar is <2%).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "core/gomcds.hpp"
+#include "kernels/benchmarks.hpp"
+#include "obs/obs.hpp"
+#include "sim/replay.hpp"
+#include "trace/windowed_refs.hpp"
+
+namespace {
+
+using namespace pimsched;
+
+void BM_CounterAdd(benchmark::State& state) {
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    PIMSCHED_COUNTER_ADD("bench.obs.counter", 1);
+    benchmark::DoNotOptimize(++i);
+  }
+}
+BENCHMARK(BM_CounterAdd);
+
+void BM_ScopedTimer(benchmark::State& state) {
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    PIMSCHED_SCOPED_TIMER("bench.obs.timer");
+    benchmark::DoNotOptimize(++i);
+  }
+}
+BENCHMARK(BM_ScopedTimer);
+
+WindowedRefs benchRefs(const Grid& grid, int n) {
+  static const ReferenceTrace* trace = new ReferenceTrace(
+      makePaperBenchmark(PaperBenchmark::kLuCode, Grid(4, 4), n));
+  return WindowedRefs(
+      *trace,
+      WindowPartition::evenCount(trace->numSteps(),
+                                 static_cast<int>(trace->numSteps())),
+      grid);
+}
+
+void BM_GomcdsEndToEnd(benchmark::State& state) {
+  const Grid grid(4, 4);
+  const CostModel model(grid);
+  const WindowedRefs refs = benchRefs(grid, 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduleGomcds(refs, model));
+  }
+}
+BENCHMARK(BM_GomcdsEndToEnd);
+
+void BM_ReplayEndToEnd(benchmark::State& state) {
+  const Grid grid(4, 4);
+  const CostModel model(grid);
+  const WindowedRefs refs = benchRefs(grid, 16);
+  const DataSchedule schedule = scheduleGomcds(refs, model);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(replaySchedule(schedule, refs, model));
+  }
+}
+BENCHMARK(BM_ReplayEndToEnd);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -12,13 +12,20 @@
 //     --capacity N|paper|unlimited                     (default paper)
 //     --lookahead L       online rolling-horizon scheduler with L windows
 //                         of future knowledge (overrides --method)
+//     --import FILE       evaluate an existing schedule (pimsched v1;
+//                         processor ids validated against the grid)
+//                         instead of computing one
 //     --placement         dump the per-(datum,window) centers
 //     --export FILE       write the schedule in the pimsched v1 format
+//     --profile FILE      record counters/timers/trace events, replay the
+//                         schedule through the NoC simulator, print the
+//                         metrics summary and write chrome://tracing JSON
 //     --csv               machine-readable summary line
 //
 // Exit code 0 on success; 2 on bad usage.
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -27,6 +34,9 @@
 #include "core/online.hpp"
 #include "core/schedule_io.hpp"
 #include "core/pipeline.hpp"
+#include "obs/obs.hpp"
+#include "report/obs_report.hpp"
+#include "sim/replay.hpp"
 #include "trace/trace_io.hpp"
 
 namespace {
@@ -38,8 +48,9 @@ using namespace pimsched;
   std::cerr << "usage: pimsched_cli TRACE_FILE [--grid RxC] [--windows N]\n"
                "       [--adaptive T] [--method NAME] [--capacity N|paper|"
                "unlimited]\n"
-               "       [--lookahead L] [--placement] [--export FILE] "
-               "[--csv]\n";
+               "       [--lookahead L] [--import FILE] [--placement] "
+               "[--export FILE]\n"
+               "       [--profile FILE] [--csv]\n";
   std::exit(2);
 }
 
@@ -72,6 +83,8 @@ int main(int argc, char** argv) {
   bool csv = false;
   int lookahead = -1;  // -1: use --method
   std::string exportPath;
+  std::string importPath;
+  std::string profilePath;
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -102,6 +115,10 @@ int main(int argc, char** argv) {
       dumpPlacement = true;
     } else if (arg == "--export") {
       exportPath = value();
+    } else if (arg == "--import") {
+      importPath = value();
+    } else if (arg == "--profile") {
+      profilePath = value();
     } else if (arg == "--lookahead") {
       lookahead = std::stoi(value());
     } else if (arg == "--csv") {
@@ -112,6 +129,9 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (!profilePath.empty()) {
+      obs::Registry::instance().enableTracing(true);
+    }
     const ReferenceTrace trace = loadTraceFile(path);
     const Grid grid(gridRows, gridCols);
 
@@ -131,9 +151,15 @@ int main(int argc, char** argv) {
     const Experiment exp(trace, grid, cfg);
     const std::int64_t cap = exp.capacity();
     const std::string methodName =
-        lookahead >= 0 ? "online L=" + std::to_string(lookahead)
-                       : toString(method);
+        !importPath.empty() ? "import " + importPath
+        : lookahead >= 0    ? "online L=" + std::to_string(lookahead)
+                            : toString(method);
     const DataSchedule schedule = [&] {
+      if (!importPath.empty()) {
+        // The grid bound rejects schedules whose processor ids the chosen
+        // grid cannot hold (they would index out of bounds downstream).
+        return loadScheduleFile(importPath, static_cast<ProcId>(grid.size()));
+      }
       if (lookahead < 0) return exp.schedule(method);
       OnlineOptions online;
       online.lookahead = lookahead;
@@ -173,6 +199,26 @@ int main(int argc, char** argv) {
         }
         std::cout << '\n';
       }
+    }
+    if (!profilePath.empty()) {
+      // Replay through the NoC simulator so the profile covers the full
+      // pipeline: scheduler + solver + per-window network traffic.
+      const ReplayReport replay =
+          replaySchedule(schedule, exp.refs(), exp.costModel(),
+                         ReplayOptions{});
+      if (!csv) {
+        std::cout << "replay  : makespan " << replay.total.makespan
+                  << " cycles, " << replay.total.numMessages
+                  << " messages, max link load " << replay.total.maxLinkLoad
+                  << "\n\n";
+      }
+      renderObsSummary(std::cout);
+      std::ofstream os(profilePath);
+      if (!os) {
+        throw std::runtime_error("cannot open profile output " + profilePath);
+      }
+      obs::Registry::instance().writeChromeTrace(os);
+      if (!csv) std::cout << "profile : " << profilePath << "\n";
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/evaluator.hpp"
+#include "obs/obs.hpp"
 
 namespace pimsched {
 
@@ -66,6 +67,12 @@ DataSchedule scheduleAnnealed(const WindowedRefs& refs,
   Lcg rng(params.seed);
   double temperature = params.initialTemperature;
 
+  PIMSCHED_SCOPED_TIMER("sched.annealing");
+  // Buffered locally: one registry merge after the loop keeps the
+  // million-iteration hot path free of shared-cacheline traffic.
+  std::int64_t proposals = 0;
+  std::int64_t accepted = 0;
+
   for (std::int64_t it = 0; it < params.iterations; ++it) {
     const auto d = static_cast<DataId>(
         rng.next() % static_cast<std::uint64_t>(refs.numData()));
@@ -76,6 +83,7 @@ DataSchedule scheduleAnnealed(const WindowedRefs& refs,
     const ProcId old = current.center(d, w);
     if (p == old) continue;
     if (options.capacity >= 0 && occAt(w, p) >= options.capacity) continue;
+    ++proposals;
 
     // Incremental cost: serving of (d, w) plus the movement edges into and
     // out of window w.
@@ -95,6 +103,7 @@ DataSchedule scheduleAnnealed(const WindowedRefs& refs,
         rng.uniform() <
             std::exp(-static_cast<double>(delta) / temperature);
     if (accept) {
+      ++accepted;
       current.setCenter(d, w, p);
       --occAt(w, old);
       ++occAt(w, p);
@@ -108,6 +117,8 @@ DataSchedule scheduleAnnealed(const WindowedRefs& refs,
       temperature = std::max(1e-3, temperature * params.coolingFactor);
     }
   }
+  PIMSCHED_COUNTER_ADD("anneal.proposals", proposals);
+  PIMSCHED_COUNTER_ADD("anneal.accepted", accepted);
   return best;
 }
 

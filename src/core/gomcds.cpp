@@ -2,12 +2,14 @@
 
 #include <atomic>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/data_order.hpp"
 #include "cost/center_costs.hpp"
 #include "graph/layered_dag.hpp"
+#include "obs/obs.hpp"
 #include "pim/memory.hpp"
 
 namespace pimsched {
@@ -15,6 +17,7 @@ namespace pimsched {
 DataSchedule scheduleGomcds(const WindowedRefs& refs, const CostModel& model,
                             const SchedulerOptions& options,
                             GomcdsEngine engine) {
+  PIMSCHED_SCOPED_TIMER("sched.gomcds");
   DataSchedule schedule(refs.numData(), refs.numWindows());
   const Grid& grid = model.grid();
   const int W = refs.numWindows();
@@ -54,9 +57,22 @@ DataSchedule scheduleGomcds(const WindowedRefs& refs, const CostModel& model,
     }
     for (WindowId w = 0; w < W; ++w) {
       const auto p = static_cast<ProcId>(path.nodes[static_cast<std::size_t>(w)]);
-      occupancy[static_cast<std::size_t>(w)].tryPlace(p);
+      if (!occupancy[static_cast<std::size_t>(w)].tryPlace(p)) {
+        // nodeCost returned kInfiniteCost for full processors, so a path
+        // through one means the solver and the occupancy maps disagree —
+        // fail loudly instead of corrupting the capacity accounting.
+        throw std::logic_error(
+            "scheduleGomcds: solver placed datum " + std::to_string(d) +
+            " on full processor " + std::to_string(p) + " in window " +
+            std::to_string(w) + " (used " +
+            std::to_string(occupancy[static_cast<std::size_t>(w)].used(p)) +
+            "/" +
+            std::to_string(occupancy[static_cast<std::size_t>(w)].capacity()) +
+            ")");
+      }
       schedule.setCenter(d, w, p);
     }
+    PIMSCHED_COUNTER_ADD("sched.gomcds.data", 1);
   }
   return schedule;
 }
@@ -64,6 +80,7 @@ DataSchedule scheduleGomcds(const WindowedRefs& refs, const CostModel& model,
 DataSchedule scheduleGomcdsParallel(const WindowedRefs& refs,
                                     const CostModel& model,
                                     unsigned threads) {
+  PIMSCHED_SCOPED_TIMER("sched.gomcds_parallel");
   const Grid& grid = model.grid();
   const int W = refs.numWindows();
   const Cost beta = model.params().hopCost * model.params().moveVolume;
@@ -80,6 +97,9 @@ DataSchedule scheduleGomcdsParallel(const WindowedRefs& refs,
   std::atomic<DataId> next{0};
   const auto worker = [&] {
     std::vector<std::vector<Cost>> serve(static_cast<std::size_t>(W));
+    // Per-thread metric buffer: one atomic merge into the global registry
+    // when the worker drains, instead of contending per datum.
+    std::int64_t dataScheduled = 0;
     while (true) {
       const DataId d = next.fetch_add(1, std::memory_order_relaxed);
       if (d >= refs.numData()) break;
@@ -98,7 +118,9 @@ DataSchedule scheduleGomcdsParallel(const WindowedRefs& refs,
             d, w,
             static_cast<ProcId>(path.nodes[static_cast<std::size_t>(w)]));
       }
+      ++dataScheduled;
     }
+    PIMSCHED_COUNTER_ADD("sched.gomcds.data", dataScheduled);
   };
 
   std::vector<std::thread> pool;

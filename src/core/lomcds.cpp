@@ -1,20 +1,26 @@
 #include "core/lomcds.hpp"
 
 #include <stdexcept>
+#include <string>
 
 #include "core/data_order.hpp"
 #include "cost/center_costs.hpp"
 #include "cost/center_list.hpp"
+#include "obs/obs.hpp"
 #include "pim/memory.hpp"
 
 namespace pimsched {
 
 DataSchedule scheduleLomcds(const WindowedRefs& refs, const CostModel& model,
                             const SchedulerOptions& options) {
+  PIMSCHED_SCOPED_TIMER("sched.lomcds");
   DataSchedule schedule(refs.numData(), refs.numWindows());
   const Grid& grid = model.grid();
   const std::vector<DataId> order = dataVisitOrder(refs, options.order);
 
+  // Buffered locally and merged once on exit to keep the placement loop
+  // free of atomic traffic.
+  std::int64_t placements = 0;
   for (WindowId w = 0; w < refs.numWindows(); ++w) {
     OccupancyMap occupancy(grid, options.capacity);
     for (const DataId d : order) {
@@ -38,10 +44,20 @@ DataSchedule scheduleLomcds(const WindowedRefs& refs, const CostModel& model,
         throw std::runtime_error(
             "scheduleLomcds: capacity infeasible (all processors full)");
       }
-      occupancy.tryPlace(p);
+      if (!occupancy.tryPlace(p)) {
+        // firstAvailable only returns processors with room; a failure here
+        // means the occupancy accounting itself went wrong.
+        throw std::logic_error(
+            "scheduleLomcds: tryPlace failed for datum " + std::to_string(d) +
+            " window " + std::to_string(w) + " on processor " +
+            std::to_string(p) + " (used " + std::to_string(occupancy.used(p)) +
+            "/" + std::to_string(occupancy.capacity()) + ")");
+      }
       schedule.setCenter(d, w, p);
+      ++placements;
     }
   }
+  PIMSCHED_COUNTER_ADD("sched.lomcds.placements", placements);
   return schedule;
 }
 

@@ -1,21 +1,27 @@
 #include "core/scds.hpp"
 
 #include <stdexcept>
+#include <string>
 
 #include "core/data_order.hpp"
 #include "cost/center_costs.hpp"
 #include "cost/center_list.hpp"
+#include "obs/obs.hpp"
 #include "pim/memory.hpp"
 
 namespace pimsched {
 
 DataSchedule scheduleScds(const WindowedRefs& refs, const CostModel& model,
                           const SchedulerOptions& options) {
+  PIMSCHED_SCOPED_TIMER("sched.scds");
   DataSchedule schedule(refs.numData(), refs.numWindows());
   // A static placement occupies its slot for the whole run, so a single
   // occupancy map covers every window.
   OccupancyMap occupancy(model.grid(), options.capacity);
 
+  // Buffered locally and merged once on exit to keep the placement loop
+  // free of atomic traffic.
+  std::int64_t placements = 0;
   for (const DataId d : dataVisitOrder(refs, options.order)) {
     const std::vector<ProcWeight> merged =
         refs.mergedRefs(d, 0, refs.numWindows());
@@ -26,9 +32,19 @@ DataSchedule scheduleScds(const WindowedRefs& refs, const CostModel& model,
       throw std::runtime_error(
           "scheduleScds: capacity infeasible (all processors full)");
     }
-    occupancy.tryPlace(p);
+    if (!occupancy.tryPlace(p)) {
+      // firstAvailable only returns processors with room; a failure here
+      // means the occupancy accounting itself went wrong.
+      throw std::logic_error("scheduleScds: tryPlace failed for datum " +
+                             std::to_string(d) + " on processor " +
+                             std::to_string(p) + " (used " +
+                             std::to_string(occupancy.used(p)) + "/" +
+                             std::to_string(occupancy.capacity()) + ")");
+    }
     schedule.setStatic(d, p);
+    ++placements;
   }
+  PIMSCHED_COUNTER_ADD("sched.scds.placements", placements);
   return schedule;
 }
 

@@ -28,7 +28,7 @@ void saveScheduleFile(const DataSchedule& schedule, const std::string& path) {
   saveSchedule(schedule, os);
 }
 
-DataSchedule loadSchedule(std::istream& is) {
+DataSchedule loadSchedule(std::istream& is, ProcId numProcs) {
   std::string line;
   if (!std::getline(is, line)) {
     throw std::runtime_error("loadSchedule: empty input");
@@ -55,6 +55,13 @@ DataSchedule loadSchedule(std::istream& is) {
         throw std::runtime_error("loadSchedule: malformed row for datum " +
                                  std::to_string(d));
       }
+      if (numProcs >= 0 && p >= numProcs) {
+        throw std::runtime_error(
+            "loadSchedule: processor id " + std::to_string(p) +
+            " for datum " + std::to_string(d) + " window " +
+            std::to_string(w) + " is out of range (grid has " +
+            std::to_string(numProcs) + " processors)");
+      }
       schedule.setCenter(d, w, p);
     }
     ProcId extra;
@@ -72,10 +79,10 @@ DataSchedule loadSchedule(std::istream& is) {
   return schedule;
 }
 
-DataSchedule loadScheduleFile(const std::string& path) {
+DataSchedule loadScheduleFile(const std::string& path, ProcId numProcs) {
   std::ifstream is(path);
   if (!is) throw std::runtime_error("loadScheduleFile: cannot open " + path);
-  return loadSchedule(is);
+  return loadSchedule(is, numProcs);
 }
 
 }  // namespace pimsched

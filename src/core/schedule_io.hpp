@@ -17,7 +17,14 @@ namespace pimsched {
 void saveSchedule(const DataSchedule& schedule, std::ostream& os);
 void saveScheduleFile(const DataSchedule& schedule, const std::string& path);
 
-[[nodiscard]] DataSchedule loadSchedule(std::istream& is);
-[[nodiscard]] DataSchedule loadScheduleFile(const std::string& path);
+/// `numProcs`, when >= 0, bounds every center: a row naming a processor id
+/// >= numProcs is rejected (std::runtime_error) instead of flowing into
+/// Grid::coord / evaluateSchedule and indexing out of bounds later. Pass
+/// the consuming grid's size(); the default skips the check for callers
+/// that validate elsewhere.
+[[nodiscard]] DataSchedule loadSchedule(std::istream& is,
+                                        ProcId numProcs = kNoProc);
+[[nodiscard]] DataSchedule loadScheduleFile(const std::string& path,
+                                            ProcId numProcs = kNoProc);
 
 }  // namespace pimsched

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
+
 namespace pimsched {
 
 std::vector<Cost> bruteForceCenterCosts(const CostModel& model,
                                         std::span<const ProcWeight> refs) {
+  PIMSCHED_COUNTER_ADD("cost.center_evals", 1);
   const int m = model.grid().size();
   std::vector<Cost> costs(static_cast<std::size_t>(m));
   for (ProcId p = 0; p < m; ++p) {
@@ -40,6 +43,7 @@ std::vector<Cost> axisCosts(std::span<const Cost> hist) {
 
 std::vector<Cost> separableCenterCosts(const CostModel& model,
                                        std::span<const ProcWeight> refs) {
+  PIMSCHED_COUNTER_ADD("cost.center_evals", 1);
   const Grid& grid = model.grid();
   std::vector<Cost> rowHist(static_cast<std::size_t>(grid.rows()), 0);
   std::vector<Cost> colHist(static_cast<std::size_t>(grid.cols()), 0);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace pimsched {
 
 namespace {
@@ -56,6 +58,9 @@ LayeredPath LayeredDagSolver::solve(int numLayers, int numNodes,
   if (numLayers < 1 || numNodes < 1) {
     throw std::invalid_argument("LayeredDagSolver: empty problem");
   }
+  PIMSCHED_SCOPED_TIMER("solver.layered_dag");
+  PIMSCHED_COUNTER_ADD("solver.runs", 1);
+  PIMSCHED_COUNTER_ADD("solver.relaxed_layers", numLayers - 1);
   std::vector<std::vector<Cost>> dp(
       static_cast<std::size_t>(numLayers),
       std::vector<Cost>(static_cast<std::size_t>(numNodes), kInfiniteCost));
@@ -116,6 +121,9 @@ LayeredPath LayeredDagSolver::solveManhattan(const Grid& grid, int numLayers,
   if (numLayers < 1) {
     throw std::invalid_argument("LayeredDagSolver: empty problem");
   }
+  PIMSCHED_SCOPED_TIMER("solver.layered_dag");
+  PIMSCHED_COUNTER_ADD("solver.runs", 1);
+  PIMSCHED_COUNTER_ADD("solver.relaxed_layers", numLayers - 1);
   std::vector<std::vector<Cost>> dp(
       static_cast<std::size_t>(numLayers),
       std::vector<Cost>(static_cast<std::size_t>(numNodes), kInfiniteCost));

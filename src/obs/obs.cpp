@@ -1,0 +1,223 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <ostream>
+
+namespace pimsched::obs {
+
+std::int64_t nowNs() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point anchor = Clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              anchor)
+      .count();
+}
+
+int threadId() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void TimerStat::record(std::int64_t ns) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  totalNs_.fetch_add(ns, std::memory_order_relaxed);
+  std::int64_t prev = minNs_.load(std::memory_order_relaxed);
+  while (ns < prev &&
+         !minNs_.compare_exchange_weak(prev, ns, std::memory_order_relaxed)) {
+  }
+  prev = maxNs_.load(std::memory_order_relaxed);
+  while (ns > prev &&
+         !maxNs_.compare_exchange_weak(prev, ns, std::memory_order_relaxed)) {
+  }
+}
+
+void TimerStat::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  totalNs_.store(0, std::memory_order_relaxed);
+  minNs_.store(INT64_MAX, std::memory_order_relaxed);
+  maxNs_.store(0, std::memory_order_relaxed);
+}
+
+ScopedTimer::~ScopedTimer() {
+  const std::int64_t end = nowNs();
+  const std::int64_t dur = end - startNs_;
+  stat_->record(dur);
+  Registry& registry = Registry::instance();
+  if (registry.tracingEnabled()) {
+    registry.recordEvent(
+        TraceEvent{name_, 'X', startNs_, dur, threadId(), {}});
+  }
+}
+
+// Node-based maps keep metric addresses stable across insertions, which is
+// what lets the macros cache references in function-local statics.
+struct Registry::Impl {
+  mutable std::mutex metricsMutex;
+  std::map<std::string, Counter, std::less<>> counters;
+  std::map<std::string, TimerStat, std::less<>> timers;
+  mutable std::mutex eventsMutex;
+  std::vector<TraceEvent> events;
+};
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+Registry::Impl& Registry::impl() const {
+  static Impl impl;
+  return impl;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  Impl& i = impl();
+  const std::scoped_lock lock(i.metricsMutex);
+  const auto it = i.counters.find(name);
+  if (it != i.counters.end()) return it->second;
+  return i.counters.try_emplace(std::string(name)).first->second;
+}
+
+TimerStat& Registry::timer(std::string_view name) {
+  Impl& i = impl();
+  const std::scoped_lock lock(i.metricsMutex);
+  const auto it = i.timers.find(name);
+  if (it != i.timers.end()) return it->second;
+  return i.timers.try_emplace(std::string(name)).first->second;
+}
+
+std::int64_t Registry::counterValue(std::string_view name) const {
+  Impl& i = impl();
+  const std::scoped_lock lock(i.metricsMutex);
+  const auto it = i.counters.find(name);
+  return it == i.counters.end() ? 0 : it->second.value();
+}
+
+void Registry::enableTracing(bool on) {
+#ifdef PIMSCHED_NO_OBS
+  (void)on;  // the compile-time kill switch pins tracing off
+#else
+  tracing_.store(on, std::memory_order_relaxed);
+#endif
+}
+
+void Registry::recordEvent(TraceEvent event) {
+  if (!tracingEnabled()) return;
+  Impl& i = impl();
+  const std::scoped_lock lock(i.eventsMutex);
+  i.events.push_back(std::move(event));
+}
+
+void Registry::recordInstant(std::string name, std::string argsJson) {
+  recordEvent(TraceEvent{std::move(name), 'i', nowNs(), 0, threadId(),
+                         std::move(argsJson)});
+}
+
+std::vector<CounterSample> Registry::counterSamples() const {
+  Impl& i = impl();
+  const std::scoped_lock lock(i.metricsMutex);
+  std::vector<CounterSample> out;
+  out.reserve(i.counters.size());
+  for (const auto& [name, counter] : i.counters) {
+    out.push_back(CounterSample{name, counter.value()});
+  }
+  return out;
+}
+
+std::vector<TimerSample> Registry::timerSamples() const {
+  Impl& i = impl();
+  const std::scoped_lock lock(i.metricsMutex);
+  std::vector<TimerSample> out;
+  out.reserve(i.timers.size());
+  for (const auto& [name, timer] : i.timers) {
+    const std::int64_t count = timer.count();
+    out.push_back(TimerSample{name, count, timer.totalNs(),
+                              count > 0 ? timer.minNs() : 0, timer.maxNs()});
+  }
+  return out;
+}
+
+std::vector<TraceEvent> Registry::traceEvents() const {
+  Impl& i = impl();
+  const std::scoped_lock lock(i.eventsMutex);
+  return i.events;
+}
+
+std::string jsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xF];
+          out += hex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Nanoseconds as a chrome-trace microsecond timestamp ("123.456").
+void writeUs(std::ostream& os, std::int64_t ns) {
+  os << ns / 1000 << '.';
+  const int frac = static_cast<int>(ns % 1000);
+  os << static_cast<char>('0' + frac / 100)
+     << static_cast<char>('0' + (frac / 10) % 10)
+     << static_cast<char>('0' + frac % 10);
+}
+
+}  // namespace
+
+void Registry::writeChromeTrace(std::ostream& os) const {
+  std::vector<TraceEvent> events = traceEvents();
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.startNs < b.startNs;
+                   });
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "{\"name\":\"" << jsonEscape(e.name)
+       << "\",\"cat\":\"pimsched\",\"ph\":\"" << e.phase << "\",\"ts\":";
+    writeUs(os, e.startNs);
+    os << ",\"pid\":0,\"tid\":" << e.tid;
+    if (e.phase == 'X') {
+      os << ",\"dur\":";
+      writeUs(os, e.durNs);
+    }
+    if (e.phase == 'i') os << ",\"s\":\"t\"";
+    if (!e.args.empty()) os << ",\"args\":" << e.args;
+    os << '}';
+  }
+  os << "\n]}\n";
+}
+
+void Registry::reset() {
+  Impl& i = impl();
+  {
+    const std::scoped_lock lock(i.metricsMutex);
+    for (auto& [name, counter] : i.counters) counter.reset();
+    for (auto& [name, timer] : i.timers) timer.reset();
+  }
+  const std::scoped_lock lock(i.eventsMutex);
+  i.events.clear();
+}
+
+}  // namespace pimsched::obs

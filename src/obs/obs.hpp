@@ -1,0 +1,199 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// Low-overhead observability layer: named monotonic counters, RAII scoped
+/// timers and a structured event recorder that exports a human-readable
+/// summary (report/obs_report.hpp) and chrome://tracing JSON.
+///
+/// Instrumentation happens through the PIMSCHED_COUNTER_ADD /
+/// PIMSCHED_SCOPED_TIMER macros at the bottom of this header; each call
+/// site resolves its metric handle once (function-local static) and then
+/// pays one relaxed atomic add (counters) or two steady_clock reads plus a
+/// few relaxed atomics (timers) per hit. Trace events are only recorded
+/// while tracing is enabled (Registry::enableTracing, wired to the CLI's
+/// --profile flag).
+///
+/// Compiling with -DPIMSCHED_NO_OBS (CMake option PIMSCHED_NO_OBS) turns
+/// both macros into no-ops and pins tracing off; the registry API itself
+/// stays available so consumers compile unchanged and simply observe an
+/// empty registry. docs/observability.md lists the metric names the
+/// library emits.
+namespace pimsched::obs {
+
+/// Nanoseconds since the first obs clock read in this process (steady).
+[[nodiscard]] std::int64_t nowNs();
+
+/// Small dense id for the calling thread (0 for the first caller).
+[[nodiscard]] int threadId();
+
+/// A named monotonic counter. Thread-safe; add() is one relaxed atomic.
+class Counter {
+ public:
+  void add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Aggregated durations of one named scope: count / total / min / max.
+class TimerStat {
+ public:
+  void record(std::int64_t ns);
+  [[nodiscard]] std::int64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t totalNs() const {
+    return totalNs_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t minNs() const {
+    return minNs_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t maxNs() const {
+    return maxNs_.load(std::memory_order_relaxed);
+  }
+  void reset();
+
+ private:
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<std::int64_t> totalNs_{0};
+  std::atomic<std::int64_t> minNs_{INT64_MAX};
+  std::atomic<std::int64_t> maxNs_{0};
+};
+
+/// One chrome://tracing event. phase 'X' = complete (has durNs),
+/// 'i' = instant. `args` is either empty or a serialised JSON object.
+struct TraceEvent {
+  std::string name;
+  char phase = 'X';
+  std::int64_t startNs = 0;
+  std::int64_t durNs = 0;
+  int tid = 0;
+  std::string args;
+};
+
+/// Point-in-time copies for reporting.
+struct CounterSample {
+  std::string name;
+  std::int64_t value = 0;
+};
+struct TimerSample {
+  std::string name;
+  std::int64_t count = 0;
+  std::int64_t totalNs = 0;
+  std::int64_t minNs = 0;
+  std::int64_t maxNs = 0;
+};
+
+/// Process-global metric registry. Metric creation takes a mutex; metric
+/// updates afterwards are lock-free through the returned stable reference.
+class Registry {
+ public:
+  static Registry& instance();
+
+  /// Finds or creates a metric. References stay valid for the process
+  /// lifetime (node-based storage), so call sites may cache them.
+  Counter& counter(std::string_view name);
+  TimerStat& timer(std::string_view name);
+
+  /// Current value of a counter, 0 if it was never touched.
+  [[nodiscard]] std::int64_t counterValue(std::string_view name) const;
+
+  /// Structured event recording; record* are no-ops unless tracing is on.
+  void enableTracing(bool on);
+  [[nodiscard]] bool tracingEnabled() const {
+    return tracing_.load(std::memory_order_relaxed);
+  }
+  void recordEvent(TraceEvent event);
+  /// Convenience: an instant event stamped now on the calling thread.
+  void recordInstant(std::string name, std::string argsJson);
+
+  /// Sorted-by-name snapshots for the summary renderers.
+  [[nodiscard]] std::vector<CounterSample> counterSamples() const;
+  [[nodiscard]] std::vector<TimerSample> timerSamples() const;
+  [[nodiscard]] std::vector<TraceEvent> traceEvents() const;
+
+  /// Writes every recorded event as chrome://tracing "traceEvents" JSON
+  /// (load via chrome://tracing or https://ui.perfetto.dev).
+  void writeChromeTrace(std::ostream& os) const;
+
+  /// Zeroes all metrics and drops recorded events (tests, benchmarks).
+  void reset();
+
+ private:
+  Registry() = default;
+  struct Impl;
+  [[nodiscard]] Impl& impl() const;
+  std::atomic<bool> tracing_{false};
+};
+
+/// Escapes a string for embedding in a JSON string literal (no quotes).
+[[nodiscard]] std::string jsonEscape(std::string_view s);
+
+/// RAII timer: records the scope's duration into `stat` and, while tracing
+/// is enabled, a complete event named `name`.
+class ScopedTimer {
+ public:
+  ScopedTimer(TimerStat& stat, const char* name)
+      : stat_(&stat), name_(name), startNs_(nowNs()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer();
+
+ private:
+  TimerStat* stat_;
+  const char* name_;
+  std::int64_t startNs_;
+};
+
+}  // namespace pimsched::obs
+
+#define PIMSCHED_OBS_CONCAT_INNER(a, b) a##b
+#define PIMSCHED_OBS_CONCAT(a, b) PIMSCHED_OBS_CONCAT_INNER(a, b)
+
+#ifndef PIMSCHED_NO_OBS
+
+/// Adds `delta` to the named counter. `name` must be a string literal (the
+/// handle is resolved once per call site).
+#define PIMSCHED_COUNTER_ADD(name, delta)                          \
+  do {                                                             \
+    static ::pimsched::obs::Counter& pimschedObsCounterHandle =    \
+        ::pimsched::obs::Registry::instance().counter(name);       \
+    pimschedObsCounterHandle.add(delta);                           \
+  } while (0)
+
+/// Times the enclosing scope under `name` (a string literal).
+#define PIMSCHED_SCOPED_TIMER(name)                                      \
+  static ::pimsched::obs::TimerStat& PIMSCHED_OBS_CONCAT(                \
+      pimschedObsTimerHandle, __LINE__) =                                \
+      ::pimsched::obs::Registry::instance().timer(name);                 \
+  const ::pimsched::obs::ScopedTimer PIMSCHED_OBS_CONCAT(                \
+      pimschedObsTimerScope,                                             \
+      __LINE__)(PIMSCHED_OBS_CONCAT(pimschedObsTimerHandle, __LINE__),   \
+                name)
+
+#else  // PIMSCHED_NO_OBS
+
+// Kill switch: evaluate nothing but keep the operands "used" so builds
+// with -Werror stay clean whether or not the layer is compiled in.
+#define PIMSCHED_COUNTER_ADD(name, delta) \
+  do {                                    \
+    (void)(delta);                        \
+  } while (0)
+
+#define PIMSCHED_SCOPED_TIMER(name) \
+  do {                              \
+  } while (0)
+
+#endif  // PIMSCHED_NO_OBS

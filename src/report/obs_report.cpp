@@ -1,0 +1,66 @@
+#include "report/obs_report.hpp"
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "report/csv.hpp"
+#include "report/table.hpp"
+
+namespace pimsched {
+
+namespace {
+
+std::string formatMs(std::int64_t ns) {
+  return formatFixed(static_cast<double>(ns) / 1e6, 3);
+}
+
+std::string formatUs(std::int64_t ns) {
+  return formatFixed(static_cast<double>(ns) / 1e3, 1);
+}
+
+}  // namespace
+
+void renderObsSummary(std::ostream& os) {
+  const obs::Registry& registry = obs::Registry::instance();
+  const std::vector<obs::CounterSample> counters = registry.counterSamples();
+  const std::vector<obs::TimerSample> timers = registry.timerSamples();
+  if (counters.empty() && timers.empty()) {
+    os << "(no metrics recorded)\n";
+    return;
+  }
+  if (!counters.empty()) {
+    TextTable table({"counter", "value"});
+    for (const obs::CounterSample& c : counters) {
+      table.addRow({c.name, std::to_string(c.value)});
+    }
+    table.print(os);
+  }
+  if (!timers.empty()) {
+    TextTable table(
+        {"timer", "count", "total ms", "avg us", "min us", "max us"});
+    for (const obs::TimerSample& t : timers) {
+      const std::int64_t avg = t.count > 0 ? t.totalNs / t.count : 0;
+      table.addRow({t.name, std::to_string(t.count), formatMs(t.totalNs),
+                    formatUs(avg), formatUs(t.minNs), formatUs(t.maxNs)});
+    }
+    table.print(os);
+  }
+}
+
+void writeObsCsv(std::ostream& os) {
+  const obs::Registry& registry = obs::Registry::instance();
+  CsvWriter csv(os);
+  csv.row({"kind", "name", "value", "count", "total_ns", "min_ns", "max_ns"});
+  for (const obs::CounterSample& c : registry.counterSamples()) {
+    csv.row({"counter", c.name, std::to_string(c.value), "", "", "", ""});
+  }
+  for (const obs::TimerSample& t : registry.timerSamples()) {
+    csv.row({"timer", t.name, "", std::to_string(t.count),
+             std::to_string(t.totalNs), std::to_string(t.minNs),
+             std::to_string(t.maxNs)});
+  }
+}
+
+}  // namespace pimsched

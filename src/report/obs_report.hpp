@@ -1,0 +1,18 @@
+#pragma once
+
+#include <iosfwd>
+
+namespace pimsched {
+
+/// Renders the global obs registry (obs/obs.hpp) as two fixed-width text
+/// tables — counters, then scoped-timer stats — via TextTable. Prints a
+/// single placeholder line when nothing was recorded (e.g. under the
+/// PIMSCHED_NO_OBS kill switch).
+void renderObsSummary(std::ostream& os);
+
+/// Machine-readable variant, one metric per row:
+///   kind,name,value,count,total_ns,min_ns,max_ns
+/// (counters fill value; timers fill count/total/min/max).
+void writeObsCsv(std::ostream& os);
+
+}  // namespace pimsched

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace pimsched {
 
 SimReport& SimReport::operator+=(const SimReport& o) {
@@ -46,11 +48,13 @@ std::vector<std::int64_t> NocSimulator::procTraffic(
   return traffic;
 }
 
-SimReport NocSimulator::simulate(std::span<const Message> messages) const {
+SimReport NocSimulator::run(std::span<const Message> messages,
+                            std::vector<std::int64_t>& freeAt,
+                            std::int64_t latencyOrigin) const {
+  PIMSCHED_SCOPED_TIMER("noc.simulate");
   SimReport report;
-  std::vector<std::int64_t> freeAt(
+  std::vector<std::int64_t> load(
       static_cast<std::size_t>(grid_->size()) * 4, 0);
-  std::vector<std::int64_t> load(freeAt.size(), 0);
 
   double latencySum = 0.0;
   for (const Message& msg : messages) {
@@ -59,7 +63,8 @@ SimReport NocSimulator::simulate(std::span<const Message> messages) const {
     }
     const std::vector<Link> links = xyLinks(*grid_, msg.src, msg.dst);
     report.totalHopVolume += msg.volume * static_cast<Cost>(links.size());
-    std::int64_t arrival = 0;
+    // Zero-link (self) messages "arrive" at the batch origin.
+    std::int64_t arrival = links.empty() ? latencyOrigin : 0;
     if (mode_ == SwitchingMode::kStoreAndForward) {
       std::int64_t t = 0;  // whole message per hop
       for (const Link& link : links) {
@@ -69,7 +74,7 @@ SimReport NocSimulator::simulate(std::span<const Message> messages) const {
         freeAt[li] = t;
         load[li] += msg.volume;
       }
-      arrival = t;
+      if (!links.empty()) arrival = t;
     } else {
       // Cut-through: the head advances one link per cycle once the link
       // is free; each link then streams the full volume.
@@ -84,7 +89,7 @@ SimReport NocSimulator::simulate(std::span<const Message> messages) const {
       }
     }
     report.makespan = std::max(report.makespan, arrival);
-    latencySum += static_cast<double>(arrival);
+    latencySum += static_cast<double>(arrival - latencyOrigin);
     ++report.numMessages;
   }
   report.maxLinkLoad = *std::max_element(load.begin(), load.end());
@@ -92,6 +97,29 @@ SimReport NocSimulator::simulate(std::span<const Message> messages) const {
       report.numMessages > 0
           ? latencySum / static_cast<double>(report.numMessages)
           : 0.0;
+  PIMSCHED_COUNTER_ADD("noc.messages", report.numMessages);
+  PIMSCHED_COUNTER_ADD("noc.hop_volume", report.totalHopVolume);
+  return report;
+}
+
+SimReport NocSimulator::simulate(std::span<const Message> messages) const {
+  std::vector<std::int64_t> freeAt(
+      static_cast<std::size_t>(grid_->size()) * 4, 0);
+  return run(messages, freeAt, 0);
+}
+
+NocSession::NocSession(const NocSimulator& sim)
+    : sim_(&sim),
+      freeAt_(static_cast<std::size_t>(sim.grid_->size()) * 4, 0) {}
+
+SimReport NocSession::simulateWindow(std::span<const Message> messages) {
+  SimReport report = sim_->run(messages, freeAt_, lastArrival_);
+  // run() reports the absolute latest arrival; convert to this window's
+  // increment of the global completion cycle (an early-finishing window
+  // contributes 0 — it hid entirely behind earlier traffic).
+  const std::int64_t completed = std::max(lastArrival_, report.makespan);
+  report.makespan = completed - lastArrival_;
+  lastArrival_ = completed;
   return report;
 }
 

@@ -40,6 +40,8 @@ enum class SwitchingMode {
   kCutThrough,
 };
 
+class NocSession;
+
 /// Discrete-event simulator of the PIM mesh with x-y routing and one data
 /// unit per link per cycle. The paper evaluates only the analytic metric
 /// (volume * Manhattan distance); this simulator reproduces that number
@@ -51,7 +53,9 @@ class NocSimulator {
                         SwitchingMode mode = SwitchingMode::kStoreAndForward);
 
   /// Simulates one batch (all messages available at cycle 0, injected in
-  /// the given order; each link serves transfers FIFO).
+  /// the given order; each link serves transfers FIFO) on an idle network.
+  /// For continuous multi-window operation where link state must carry
+  /// over, use NocSession instead.
   [[nodiscard]] SimReport simulate(std::span<const Message> messages) const;
 
   [[nodiscard]] SwitchingMode mode() const { return mode_; }
@@ -63,10 +67,47 @@ class NocSimulator {
       std::span<const Message> messages) const;
 
  private:
+  friend class NocSession;
   const Grid* grid_;
   SwitchingMode mode_;
   /// Dense id for a directed link from `from` toward mesh direction d.
   [[nodiscard]] std::size_t linkIndex(const Link& link) const;
+  /// Shared core: simulates one batch against the given per-link busy-until
+  /// state (mutated in place). Message k is appended to each of its links'
+  /// FIFO queues, so carried-in `freeAt` values delay it exactly like
+  /// earlier messages of the same batch do. The returned report's makespan
+  /// is the ABSOLUTE latest arrival cycle (0 for an empty batch); per-
+  /// message latency is measured relative to `latencyOrigin`.
+  SimReport run(std::span<const Message> messages,
+                std::vector<std::int64_t>& freeAt,
+                std::int64_t latencyOrigin) const;
+};
+
+/// Stateful multi-window simulation: link busy-state persists from window
+/// to window, modelling continuous operation with no drain barrier between
+/// windows. Later windows queue behind earlier traffic on shared links and
+/// stream into idle capacity on free ones, so the summed per-window
+/// makespans equal the true end-to-end completion cycle of the whole
+/// message stream (<= the independent-windows sum, which assumes the NoC
+/// fully drains at every boundary). See docs/trace-format.md.
+class NocSession {
+ public:
+  explicit NocSession(const NocSimulator& sim);
+
+  /// Simulates the next window's batch on top of the accumulated link
+  /// state. makespan is this window's increment of the global completion
+  /// cycle; avgLatency is measured from the window's nominal start (the
+  /// previous completion cycle) and can be negative when the traffic was
+  /// absorbed entirely by idle link capacity of earlier windows.
+  SimReport simulateWindow(std::span<const Message> messages);
+
+  /// Global completion cycle across every window simulated so far.
+  [[nodiscard]] std::int64_t elapsed() const { return lastArrival_; }
+
+ private:
+  const NocSimulator* sim_;
+  std::vector<std::int64_t> freeAt_;
+  std::int64_t lastArrival_ = 0;
 };
 
 }  // namespace pimsched

@@ -1,31 +1,72 @@
 #include "sim/replay.hpp"
 
 #include <stdexcept>
+#include <string>
+
+#include "obs/obs.hpp"
 
 namespace pimsched {
 
 ReplayReport replaySchedule(const DataSchedule& schedule,
                             const WindowedRefs& refs, const CostModel& model,
-                            SwitchingMode mode) {
+                            const ReplayOptions& options) {
   if (schedule.numData() != refs.numData() ||
       schedule.numWindows() != refs.numWindows()) {
     throw std::invalid_argument("replaySchedule: shape mismatch");
   }
-  const NocSimulator sim(model.grid(), mode);
+  PIMSCHED_SCOPED_TIMER("replay.schedule");
+  const NocSimulator sim(model.grid(), options.mode);
+  NocSession session(sim);
   ReplayReport report;
   report.perWindow.reserve(static_cast<std::size_t>(refs.numWindows()));
 
+  obs::Registry& registry = obs::Registry::instance();
   for (WindowId w = 0; w < refs.numWindows(); ++w) {
-    report.perWindow.push_back(
-        sim.simulate(windowMessages(schedule, refs, model, w)));
+    WindowTraffic traffic;
+    const std::vector<Message> messages =
+        windowMessages(schedule, refs, model, w, &traffic);
+    report.perWindow.push_back(options.carryLinkState
+                                   ? session.simulateWindow(messages)
+                                   : sim.simulate(messages));
     report.total += report.perWindow.back();
+
+    PIMSCHED_COUNTER_ADD("replay.windows", 1);
+    PIMSCHED_COUNTER_ADD("replay.migration_msgs", traffic.migrationMessages);
+    PIMSCHED_COUNTER_ADD("replay.migration_volume", traffic.migrationVolume);
+    PIMSCHED_COUNTER_ADD("replay.reference_msgs", traffic.referenceMessages);
+    PIMSCHED_COUNTER_ADD("replay.reference_volume", traffic.referenceVolume);
+    if (registry.tracingEnabled()) {
+      // Per-window phase event: migration vs. reference traffic plus the
+      // simulated outcome, visible on the chrome-trace timeline.
+      registry.recordInstant(
+          "replay.window",
+          "{\"window\":" + std::to_string(w) +
+              ",\"migration_msgs\":" +
+              std::to_string(traffic.migrationMessages) +
+              ",\"migration_volume\":" +
+              std::to_string(traffic.migrationVolume) +
+              ",\"reference_msgs\":" +
+              std::to_string(traffic.referenceMessages) +
+              ",\"reference_volume\":" +
+              std::to_string(traffic.referenceVolume) + ",\"makespan\":" +
+              std::to_string(report.perWindow.back().makespan) + "}");
+    }
   }
   return report;
 }
 
+ReplayReport replaySchedule(const DataSchedule& schedule,
+                            const WindowedRefs& refs, const CostModel& model,
+                            SwitchingMode mode) {
+  ReplayOptions options;
+  options.mode = mode;
+  return replaySchedule(schedule, refs, model, options);
+}
+
 std::vector<Message> windowMessages(const DataSchedule& schedule,
                                     const WindowedRefs& refs,
-                                    const CostModel& model, WindowId w) {
+                                    const CostModel& model, WindowId w,
+                                    WindowTraffic* traffic) {
   std::vector<Message> messages;
   for (DataId d = 0; d < refs.numData(); ++d) {
     const ProcId center = schedule.center(d, w);
@@ -34,15 +75,29 @@ std::vector<Message> windowMessages(const DataSchedule& schedule,
       const ProcId prev = schedule.center(d, w - 1);
       if (prev != center && model.params().moveVolume > 0) {
         messages.push_back(Message{prev, center, model.params().moveVolume});
+        if (traffic != nullptr) {
+          ++traffic->migrationMessages;
+          traffic->migrationVolume += model.params().moveVolume;
+        }
       }
     }
     for (const ProcWeight& pw : refs.refs(d, w)) {
       if (pw.proc != center) {
         messages.push_back(Message{center, pw.proc, pw.weight});
+        if (traffic != nullptr) {
+          ++traffic->referenceMessages;
+          traffic->referenceVolume += pw.weight;
+        }
       }
     }
   }
   return messages;
+}
+
+std::vector<Message> windowMessages(const DataSchedule& schedule,
+                                    const WindowedRefs& refs,
+                                    const CostModel& model, WindowId w) {
+  return windowMessages(schedule, refs, model, w, nullptr);
 }
 
 }  // namespace pimsched

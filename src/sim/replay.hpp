@@ -15,6 +15,27 @@ struct ReplayReport {
   std::vector<SimReport> perWindow;
 };
 
+/// How replaySchedule advances the network between windows.
+struct ReplayOptions {
+  SwitchingMode mode = SwitchingMode::kStoreAndForward;
+  /// false (default): every window is simulated on an idle network and the
+  /// summed makespan assumes the NoC fully drains at each boundary — the
+  /// conservative, window-independent model matching the paper's analytic
+  /// metric. true: link state carries across windows via NocSession
+  /// (continuous operation, no drain barrier); the summed makespan is then
+  /// the exact end-to-end completion cycle of the whole message stream.
+  /// See docs/trace-format.md ("Replay window semantics").
+  bool carryLinkState = false;
+};
+
+/// Migration vs. reference breakdown of one window's injected traffic.
+struct WindowTraffic {
+  std::int64_t migrationMessages = 0;
+  Cost migrationVolume = 0;
+  std::int64_t referenceMessages = 0;
+  Cost referenceVolume = 0;
+};
+
 /// Materialises a schedule's traffic and replays it through the NoC
 /// simulator window by window:
 ///  * every reference (d, w, proc, weight) with proc != center(d, w)
@@ -24,6 +45,12 @@ struct ReplayReport {
 /// total.totalHopVolume therefore equals the analytic evaluator's total
 /// cost exactly under the default hopCost = 1 (invariant 10 in DESIGN.md);
 /// for other hop costs it equals total / hopCost.
+[[nodiscard]] ReplayReport replaySchedule(const DataSchedule& schedule,
+                                          const WindowedRefs& refs,
+                                          const CostModel& model,
+                                          const ReplayOptions& options);
+
+/// Back-compat convenience: independent windows in the given mode.
 [[nodiscard]] ReplayReport replaySchedule(
     const DataSchedule& schedule, const WindowedRefs& refs,
     const CostModel& model,
@@ -32,7 +59,14 @@ struct ReplayReport {
 /// The messages one window of a schedule injects (reference traffic plus
 /// the migrations arriving into this window) — the exact batch
 /// replaySchedule simulates, exposed for custom analyses (link heatmaps,
-/// alternative network models).
+/// alternative network models). When `traffic` is non-null it receives the
+/// migration/reference breakdown of the returned batch.
+[[nodiscard]] std::vector<Message> windowMessages(const DataSchedule& schedule,
+                                                  const WindowedRefs& refs,
+                                                  const CostModel& model,
+                                                  WindowId w,
+                                                  WindowTraffic* traffic);
+
 [[nodiscard]] std::vector<Message> windowMessages(const DataSchedule& schedule,
                                                   const WindowedRefs& refs,
                                                   const CostModel& model,

@@ -132,6 +132,26 @@ TEST(Gomcds, CapacityCannotImproveCost) {
   EXPECT_GE(constrained, unconstrained);
 }
 
+TEST(Gomcds, ExactFitCapacityAccountingStaysConsistent) {
+  // Regression for the tryPlace-result check: at the tightest feasible
+  // capacity (data exactly fill the array) every slot is claimed, so any
+  // drift between the solver's view and the occupancy maps would surface
+  // as the scheduler's internal logic_error. A clean run proves the two
+  // stay in lock-step.
+  const Grid g(2, 2);
+  const CostModel model(g);
+  testutil::Rng rng(57);
+  for (int trial = 0; trial < 3; ++trial) {
+    const ReferenceTrace t = testutil::randomTrace(rng, g, 2, 2, 4, 16);
+    const WindowedRefs refs = refsFromTrace(t, g, 3);
+    SchedulerOptions opts;
+    opts.capacity = 1;  // 4 data on 4 processors: exact fit
+    const DataSchedule s = scheduleGomcds(refs, model, opts);
+    EXPECT_TRUE(s.complete());
+    EXPECT_TRUE(s.respectsCapacity(g, 1));
+  }
+}
+
 TEST(Gomcds, InfeasibleCapacityThrows) {
   const Grid g(1, 2);
   const CostModel model(g);

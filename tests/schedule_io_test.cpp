@@ -66,6 +66,40 @@ TEST(ScheduleIo, RejectsMalformedRow) {
   EXPECT_THROW((void)loadSchedule(negative), std::runtime_error);
 }
 
+TEST(ScheduleIo, RejectsProcessorOutOfRangeWhenBoundGiven) {
+  // Regression: loadSchedule used to accept any non-negative processor id,
+  // so a schedule written for a larger grid slid silently into a smaller
+  // one. With the grid size supplied, out-of-range rows are rejected.
+  std::stringstream tooBig("pimsched v1 1 1\n16\n");
+  EXPECT_THROW((void)loadSchedule(tooBig, 16), std::runtime_error);
+  std::stringstream fits("pimsched v1 1 1\n16\n");
+  EXPECT_EQ(loadSchedule(fits, 17).center(0, 0), 16);
+  // Without a bound the old permissive behaviour is preserved.
+  std::stringstream unbounded("pimsched v1 1 1\n16\n");
+  EXPECT_EQ(loadSchedule(unbounded).center(0, 0), 16);
+}
+
+TEST(ScheduleIo, BoundErrorNamesTheOffendingRow) {
+  std::stringstream ss("pimsched v1 2 2\n0 1\n2 9\n");
+  try {
+    (void)loadSchedule(ss, 4);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("processor id 9"), std::string::npos) << what;
+    EXPECT_NE(what.find("datum 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("window 1"), std::string::npos) << what;
+  }
+}
+
+TEST(ScheduleIo, FileRoundTripHonoursBound) {
+  const std::string path =
+      ::testing::TempDir() + "/pimsched_schedule_bound_test.txt";
+  saveScheduleFile(sample(), path);  // uses processor ids up to 15
+  EXPECT_EQ(loadScheduleFile(path, 16).center(2, 0), 15);
+  EXPECT_THROW((void)loadScheduleFile(path, 15), std::runtime_error);
+}
+
 TEST(ScheduleIo, FileRoundTrip) {
   const std::string path =
       ::testing::TempDir() + "/pimsched_schedule_test.txt";
