@@ -1,0 +1,255 @@
+// parallel_scaling — thread-count sweep of the parallel scheduling
+// pipeline (capacity-aware GOMCDS plan/commit + schedule evaluation +
+// per-window NoC replay) on a large-grid workload, plus the serving-cost
+// cache reuse rates per kernel. Emits results/bench_parallel.json.
+//
+//   parallel_scaling [--smoke] [--out FILE] [--max-threads N]
+//
+// --smoke shrinks the workload to seconds-on-one-core size for CI; the
+// JSON shape is identical. Every configuration is checked against the
+// sequential engine (same total cost) before it is timed.
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "core/gomcds.hpp"
+#include "core/pipeline.hpp"
+#include "kernels/benchmarks.hpp"
+#include "obs/obs.hpp"
+#include "sim/replay.hpp"
+
+namespace {
+
+using namespace pimsched;
+using Clock = std::chrono::steady_clock;
+
+double msSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+struct SweepPoint {
+  unsigned threads = 1;
+  double scheduleMs = 0;
+  double evalMs = 0;
+  double replayMs = 0;
+  [[nodiscard]] double totalMs() const {
+    return scheduleMs + evalMs + replayMs;
+  }
+};
+
+struct CacheRow {
+  std::string kernel;
+  std::int64_t hit = 0;
+  std::int64_t miss = 0;
+  [[nodiscard]] double hitRate() const {
+    const std::int64_t total = hit + miss;
+    return total > 0 ? static_cast<double>(hit) / static_cast<double>(total)
+                     : 0.0;
+  }
+};
+
+/// One full-pipeline run at the given thread count; returns timings and
+/// (via out-param) the total cost for the equality check.
+SweepPoint runPipeline(const WindowedRefs& refs, const CostModel& model,
+                       const SchedulerOptions& opts, unsigned threads,
+                       Cost* totalCost) {
+  SweepPoint point;
+  point.threads = threads;
+
+  auto t0 = Clock::now();
+  const DataSchedule schedule =
+      scheduleGomcdsParallel(refs, model, opts, threads);
+  point.scheduleMs = msSince(t0);
+
+  t0 = Clock::now();
+  const EvalResult eval = evaluateSchedule(schedule, refs, model, threads);
+  point.evalMs = msSince(t0);
+
+  t0 = Clock::now();
+  ReplayOptions replayOptions;
+  replayOptions.threads = threads;
+  const ReplayReport replay = replaySchedule(schedule, refs, model,
+                                             replayOptions);
+  point.replayMs = msSince(t0);
+
+  // Keep the simulator honest (and the compiler from eliding the replay).
+  if (replay.total.totalHopVolume !=
+      eval.aggregate.total() / model.params().hopCost) {
+    std::cerr << "error: replay hop volume disagrees with evaluator\n";
+    std::exit(1);
+  }
+  *totalCost = eval.aggregate.total();
+  return point;
+}
+
+/// Cache reuse rate of one sequential GOMCDS run, from the obs counters.
+CacheRow cacheReuse(const std::string& name, const WindowedRefs& refs,
+                    const CostModel& model, const SchedulerOptions& opts) {
+  obs::Registry& registry = obs::Registry::instance();
+  const std::int64_t hit0 = registry.counterValue("cost.center_cache.hit");
+  const std::int64_t miss0 = registry.counterValue("cost.center_cache.miss");
+  (void)scheduleGomcds(refs, model, opts);
+  CacheRow row;
+  row.kernel = name;
+  row.hit = registry.counterValue("cost.center_cache.hit") - hit0;
+  row.miss = registry.counterValue("cost.center_cache.miss") - miss0;
+  return row;
+}
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os.precision(4);
+  os << std::fixed << v;
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string outPath = "results/bench_parallel.json";
+  unsigned maxThreads = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      outPath = argv[++i];
+    } else if (std::strcmp(argv[i], "--max-threads") == 0 && i + 1 < argc) {
+      maxThreads = static_cast<unsigned>(std::stoi(argv[++i]));
+    } else {
+      std::cerr << "usage: parallel_scaling [--smoke] [--out FILE] "
+                   "[--max-threads N]\n";
+      return 2;
+    }
+  }
+
+  // The scaling workload: a matrix square on a large grid, windowed finely
+  // enough that the per-datum layered DAGs dominate. --smoke shrinks it.
+  const int gridSide = smoke ? 4 : 8;
+  const int n = smoke ? 12 : 40;
+  const int windows = smoke ? 8 : 32;
+  const Grid grid(gridSide, gridSide);
+  const ReferenceTrace trace =
+      makePaperBenchmark(PaperBenchmark::kMatSquare, grid, n);
+  PipelineConfig cfg;
+  cfg.numWindows = windows;
+  const Experiment exp(trace, grid, cfg);
+  SchedulerOptions opts{exp.capacity(), cfg.order};
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<unsigned> threadCounts = {1, 2, 4, 8, 16};
+  if (maxThreads > 0) {
+    std::erase_if(threadCounts,
+                  [&](unsigned t) { return t > maxThreads; });
+    if (threadCounts.empty()) threadCounts = {1};
+  }
+
+  // Reference: the sequential engine's cost every configuration must hit.
+  const Cost seqCost =
+      evaluateSchedule(scheduleGomcds(exp.refs(), exp.costModel(), opts),
+                       exp.refs(), exp.costModel())
+          .aggregate.total();
+
+  std::vector<SweepPoint> sweep;
+  const int reps = smoke ? 1 : 2;
+  for (const unsigned t : threadCounts) {
+    SweepPoint best;
+    for (int rep = 0; rep < reps; ++rep) {
+      Cost cost = 0;
+      const SweepPoint point =
+          runPipeline(exp.refs(), exp.costModel(), opts, t, &cost);
+      if (cost != seqCost) {
+        std::cerr << "error: parallel cost " << cost << " != sequential "
+                  << seqCost << " at " << t << " threads\n";
+        return 1;
+      }
+      if (rep == 0 || point.totalMs() < best.totalMs()) best = point;
+    }
+    sweep.push_back(best);
+    std::cout << "threads " << t << ": schedule " << fmt(best.scheduleMs)
+              << " ms, eval " << fmt(best.evalMs) << " ms, replay "
+              << fmt(best.replayMs) << " ms, total "
+              << fmt(best.totalMs()) << " ms\n";
+  }
+
+  const double base = sweep.front().totalMs();
+  double speedupAt4 = 0.0;
+  for (const SweepPoint& p : sweep) {
+    if (p.threads == 4 && p.totalMs() > 0) speedupAt4 = base / p.totalMs();
+  }
+
+  // Cache reuse per kernel family (sequential runs; rates are identical in
+  // parallel because the shared cache sees the same reference strings).
+  std::vector<CacheRow> cacheRows;
+  const int cacheN = smoke ? 8 : 16;
+  for (const auto& [name, kind] :
+       std::vector<std::pair<std::string, PaperBenchmark>>{
+           {"matsquare", PaperBenchmark::kMatSquare},
+           {"lu", PaperBenchmark::kLu},
+           {"irregular", PaperBenchmark::kCodeRev}}) {
+    const ReferenceTrace kernelTrace =
+        makePaperBenchmark(kind, grid, cacheN);
+    PipelineConfig kernelCfg;
+    kernelCfg.numWindows = windows;
+    const Experiment kernelExp(kernelTrace, grid, kernelCfg);
+    cacheRows.push_back(cacheReuse(
+        name, kernelExp.refs(), kernelExp.costModel(),
+        SchedulerOptions{kernelExp.capacity(), kernelCfg.order}));
+    std::cout << "cache " << name << ": "
+              << cacheRows.back().hit << " hit / "
+              << cacheRows.back().miss << " miss (rate "
+              << fmt(cacheRows.back().hitRate()) << ")\n";
+  }
+
+  std::filesystem::create_directories(
+      std::filesystem::path(outPath).parent_path().empty()
+          ? "."
+          : std::filesystem::path(outPath).parent_path().string());
+  std::ofstream os(outPath);
+  if (!os) {
+    std::cerr << "error: cannot open " << outPath << "\n";
+    return 1;
+  }
+  os << "{\n"
+     << "  \"workload\": {\"kernel\": \"matsquare\", \"n\": " << n
+     << ", \"grid\": \"" << gridSide << "x" << gridSide
+     << "\", \"windows\": " << exp.refs().numWindows()
+     << ", \"data\": " << exp.refs().numData()
+     << ", \"capacity\": " << exp.capacity() << ", \"smoke\": "
+     << (smoke ? "true" : "false") << "},\n"
+     << "  \"hardware_concurrency\": " << hw << ",\n"
+     << "  \"total_cost\": " << seqCost << ",\n"
+     << "  \"sweep\": [\n";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const SweepPoint& p = sweep[i];
+    os << "    {\"threads\": " << p.threads << ", \"schedule_ms\": "
+       << fmt(p.scheduleMs) << ", \"eval_ms\": " << fmt(p.evalMs)
+       << ", \"replay_ms\": " << fmt(p.replayMs) << ", \"total_ms\": "
+       << fmt(p.totalMs()) << ", \"speedup\": "
+       << fmt(p.totalMs() > 0 ? base / p.totalMs() : 0.0) << "}"
+       << (i + 1 < sweep.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n"
+     << "  \"speedup_at_4_threads\": " << fmt(speedupAt4) << ",\n"
+     << "  \"cache\": [\n";
+  for (std::size_t i = 0; i < cacheRows.size(); ++i) {
+    const CacheRow& r = cacheRows[i];
+    os << "    {\"kernel\": \"" << r.kernel << "\", \"hit\": " << r.hit
+       << ", \"miss\": " << r.miss << ", \"hit_rate\": "
+       << fmt(r.hitRate()) << "}" << (i + 1 < cacheRows.size() ? "," : "")
+       << "\n";
+  }
+  os << "  ]\n}\n";
+  std::cout << "wrote " << outPath << "\n";
+  return 0;
+}

@@ -20,6 +20,10 @@
 //     --profile FILE      record counters/timers/trace events, replay the
 //                         schedule through the NoC simulator, print the
 //                         metrics summary and write chrome://tracing JSON
+//     --threads N         worker threads for GOMCDS scheduling, schedule
+//                         evaluation and NoC replay (0 = hardware
+//                         concurrency; default 1 = sequential; results
+//                         are identical for every value)
 //     --csv               machine-readable summary line
 //
 // Exit code 0 on success; 2 on bad usage.
@@ -50,7 +54,7 @@ using namespace pimsched;
                "unlimited]\n"
                "       [--lookahead L] [--import FILE] [--placement] "
                "[--export FILE]\n"
-               "       [--profile FILE] [--csv]\n";
+               "       [--profile FILE] [--threads N] [--csv]\n";
   std::exit(2);
 }
 
@@ -85,6 +89,7 @@ int main(int argc, char** argv) {
   std::string exportPath;
   std::string importPath;
   std::string profilePath;
+  unsigned threads = 1;
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -121,6 +126,10 @@ int main(int argc, char** argv) {
       profilePath = value();
     } else if (arg == "--lookahead") {
       lookahead = std::stoi(value());
+    } else if (arg == "--threads") {
+      const int t = std::stoi(value());
+      if (t < 0) usage("--threads expects N >= 0");
+      threads = static_cast<unsigned>(t);
     } else if (arg == "--csv") {
       csv = true;
     } else {
@@ -148,6 +157,7 @@ int main(int argc, char** argv) {
     PipelineConfig cfg;
     cfg.explicitWindows = partition;
     cfg.capacity = capacity;
+    cfg.threads = threads;
     const Experiment exp(trace, grid, cfg);
     const std::int64_t cap = exp.capacity();
     const std::string methodName =
@@ -168,7 +178,7 @@ int main(int argc, char** argv) {
       return scheduleOnline(exp.refs(), exp.costModel(), online);
     }();
     const EvalResult result =
-        evaluateSchedule(schedule, exp.refs(), exp.costModel());
+        evaluateSchedule(schedule, exp.refs(), exp.costModel(), threads);
 
     if (csv) {
       std::cout << "method,windows,capacity,serve,move,total\n"
@@ -203,9 +213,11 @@ int main(int argc, char** argv) {
     if (!profilePath.empty()) {
       // Replay through the NoC simulator so the profile covers the full
       // pipeline: scheduler + solver + per-window network traffic.
+      ReplayOptions replayOptions;
+      replayOptions.threads = threads;
       const ReplayReport replay =
           replaySchedule(schedule, exp.refs(), exp.costModel(),
-                         ReplayOptions{});
+                         replayOptions);
       if (!csv) {
         std::cout << "replay  : makespan " << replay.total.makespan
                   << " cycles, " << replay.total.numMessages

@@ -47,11 +47,27 @@ DataSchedule scheduleAnnealed(const WindowedRefs& refs,
     throw std::invalid_argument(
         "scheduleAnnealed: initial schedule violates capacity");
   }
+  if (params.stepsPerCooling <= 0) {
+    // `it % stepsPerCooling` below is UB for 0 and nonsense for negatives.
+    throw std::invalid_argument(
+        "scheduleAnnealed: stepsPerCooling must be > 0");
+  }
 
   DataSchedule current = initial;
   Cost currentCost = evaluateSchedule(current, refs, model).aggregate.total();
-  DataSchedule best = current;
   Cost bestCost = currentCost;
+
+  // Deferred best snapshot: copying the full schedule on every improvement
+  // dominates the hot loop, so accepted moves are journaled and the best
+  // state is reconstructed once, by replaying the journal prefix that led
+  // to the lowest cost.
+  struct Move {
+    DataId d;
+    WindowId w;
+    ProcId p;
+  };
+  std::vector<Move> journal;
+  std::size_t bestLen = 0;  // journal prefix reproducing the best state
 
   // Per-(window, processor) occupancy for O(1) capacity checks.
   std::vector<std::int64_t> occ(
@@ -108,9 +124,10 @@ DataSchedule scheduleAnnealed(const WindowedRefs& refs,
       --occAt(w, old);
       ++occAt(w, p);
       currentCost += delta;
+      journal.push_back(Move{d, w, p});
       if (currentCost < bestCost) {
         bestCost = currentCost;
-        best = current;
+        bestLen = journal.size();
       }
     }
     if (it % params.stepsPerCooling == 0) {
@@ -119,6 +136,11 @@ DataSchedule scheduleAnnealed(const WindowedRefs& refs,
   }
   PIMSCHED_COUNTER_ADD("anneal.proposals", proposals);
   PIMSCHED_COUNTER_ADD("anneal.accepted", accepted);
+
+  DataSchedule best = initial;
+  for (std::size_t i = 0; i < bestLen; ++i) {
+    best.setCenter(journal[i].d, journal[i].w, journal[i].p);
+  }
   return best;
 }
 

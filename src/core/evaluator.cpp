@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/thread_pool.hpp"
+
 namespace pimsched {
 
 CostBreakdown evaluateDatum(const DataSchedule& schedule,
@@ -20,19 +22,28 @@ CostBreakdown evaluateDatum(const DataSchedule& schedule,
 }
 
 EvalResult evaluateSchedule(const DataSchedule& schedule,
-                            const WindowedRefs& refs,
-                            const CostModel& model) {
+                            const WindowedRefs& refs, const CostModel& model,
+                            unsigned threads) {
   if (schedule.numData() != refs.numData() ||
       schedule.numWindows() != refs.numWindows()) {
     throw std::invalid_argument("evaluateSchedule: shape mismatch");
   }
   EvalResult result;
-  result.perData.reserve(static_cast<std::size_t>(refs.numData()));
-  for (DataId d = 0; d < refs.numData(); ++d) {
-    result.perData.push_back(evaluateDatum(schedule, refs, model, d));
-    result.aggregate += result.perData.back();
-  }
+  result.perData.resize(static_cast<std::size_t>(refs.numData()));
+  parallelFor(refs.numData(), threads, [&](std::int64_t d) {
+    result.perData[static_cast<std::size_t>(d)] =
+        evaluateDatum(schedule, refs, model, static_cast<DataId>(d));
+  });
+  // Integer costs: the sequential reduction keeps the aggregate exact and
+  // thread-count independent.
+  for (const CostBreakdown& b : result.perData) result.aggregate += b;
   return result;
+}
+
+EvalResult evaluateSchedule(const DataSchedule& schedule,
+                            const WindowedRefs& refs,
+                            const CostModel& model) {
+  return evaluateSchedule(schedule, refs, model, /*threads=*/1);
 }
 
 }  // namespace pimsched

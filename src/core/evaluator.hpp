@@ -37,7 +37,15 @@ struct EvalResult {
                                           const CostModel& model, DataId d);
 
 /// Cost of the whole schedule. The schedule must be complete and match the
-/// refs' (numData, numWindows) shape.
+/// refs' (numData, numWindows) shape. Per-datum costs are independent, so
+/// `threads` > 1 (or 0 = hardware concurrency) evaluates them on the
+/// shared thread pool; the result is identical for every thread count.
+[[nodiscard]] EvalResult evaluateSchedule(const DataSchedule& schedule,
+                                          const WindowedRefs& refs,
+                                          const CostModel& model,
+                                          unsigned threads);
+
+/// Sequential convenience overload.
 [[nodiscard]] EvalResult evaluateSchedule(const DataSchedule& schedule,
                                           const WindowedRefs& refs,
                                           const CostModel& model);

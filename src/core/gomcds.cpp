@@ -1,18 +1,40 @@
 #include "core/gomcds.hpp"
 
-#include <atomic>
+#include <cstddef>
 #include <stdexcept>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "core/data_order.hpp"
 #include "cost/center_costs.hpp"
+#include "cost/cost_cache.hpp"
 #include "graph/layered_dag.hpp"
 #include "obs/obs.hpp"
 #include "pim/memory.hpp"
+#include "util/thread_pool.hpp"
 
 namespace pimsched {
+
+namespace {
+
+[[noreturn]] void throwInfeasible() {
+  throw std::runtime_error(
+      "scheduleGomcds: capacity infeasible (no placement path)");
+}
+
+[[noreturn]] void throwSlotDisagreement(DataId d, ProcId p, WindowId w,
+                                        const OccupancyMap& occ) {
+  // nodeCost returned kInfiniteCost for full processors, so a path through
+  // one means the solver and the occupancy maps disagree — fail loudly
+  // instead of corrupting the capacity accounting.
+  throw std::logic_error(
+      "scheduleGomcds: solver placed datum " + std::to_string(d) +
+      " on full processor " + std::to_string(p) + " in window " +
+      std::to_string(w) + " (used " + std::to_string(occ.used(p)) + "/" +
+      std::to_string(occ.capacity()) + ")");
+}
+
+}  // namespace
 
 DataSchedule scheduleGomcds(const WindowedRefs& refs, const CostModel& model,
                             const SchedulerOptions& options,
@@ -26,12 +48,15 @@ DataSchedule scheduleGomcds(const WindowedRefs& refs, const CostModel& model,
   std::vector<OccupancyMap> occupancy(
       static_cast<std::size_t>(W), OccupancyMap(grid, options.capacity));
 
+  // Serving-cost tables depend only on the reference string, so data with
+  // identical strings (matmul, LU) share one memoized table.
+  CenterCostCache cache(model);
+  std::vector<std::vector<Cost>> serve(static_cast<std::size_t>(W));
+
   for (const DataId d : dataVisitOrder(refs, options.order)) {
     // Serving cost of every (window, processor) node of the cost-graph.
-    std::vector<std::vector<Cost>> serve(static_cast<std::size_t>(W));
     for (WindowId w = 0; w < W; ++w) {
-      serve[static_cast<std::size_t>(w)] =
-          centerCosts(model, refs.refs(d, w));
+      cache.costsInto(refs.refs(d, w), serve[static_cast<std::size_t>(w)]);
     }
     const auto nodeCost = [&](int w, int p) -> Cost {
       if (!occupancy[static_cast<std::size_t>(w)].hasRoom(
@@ -51,24 +76,11 @@ DataSchedule scheduleGomcds(const WindowedRefs& refs, const CostModel& model,
       };
       path = LayeredDagSolver::solve(W, grid.size(), nodeCost, trans);
     }
-    if (!path.feasible()) {
-      throw std::runtime_error(
-          "scheduleGomcds: capacity infeasible (no placement path)");
-    }
+    if (!path.feasible()) throwInfeasible();
     for (WindowId w = 0; w < W; ++w) {
       const auto p = static_cast<ProcId>(path.nodes[static_cast<std::size_t>(w)]);
       if (!occupancy[static_cast<std::size_t>(w)].tryPlace(p)) {
-        // nodeCost returned kInfiniteCost for full processors, so a path
-        // through one means the solver and the occupancy maps disagree —
-        // fail loudly instead of corrupting the capacity accounting.
-        throw std::logic_error(
-            "scheduleGomcds: solver placed datum " + std::to_string(d) +
-            " on full processor " + std::to_string(p) + " in window " +
-            std::to_string(w) + " (used " +
-            std::to_string(occupancy[static_cast<std::size_t>(w)].used(p)) +
-            "/" +
-            std::to_string(occupancy[static_cast<std::size_t>(w)].capacity()) +
-            ")");
+        throwSlotDisagreement(d, p, w, occupancy[static_cast<std::size_t>(w)]);
       }
       schedule.setCenter(d, w, p);
     }
@@ -79,6 +91,7 @@ DataSchedule scheduleGomcds(const WindowedRefs& refs, const CostModel& model,
 
 DataSchedule scheduleGomcdsParallel(const WindowedRefs& refs,
                                     const CostModel& model,
+                                    const SchedulerOptions& options,
                                     unsigned threads) {
   PIMSCHED_SCOPED_TIMER("sched.gomcds_parallel");
   const Grid& grid = model.grid();
@@ -86,48 +99,107 @@ DataSchedule scheduleGomcdsParallel(const WindowedRefs& refs,
   const Cost beta = model.params().hopCost * model.params().moveVolume;
   DataSchedule schedule(refs.numData(), W);
 
-  if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  threads = std::min<unsigned>(
-      threads, static_cast<unsigned>(std::max<DataId>(refs.numData(), 1)));
+  const std::vector<DataId> order = dataVisitOrder(refs, options.order);
+  const std::size_t n = order.size();
 
-  // Atomic work-stealing index: data are independent without capacity, so
-  // workers write disjoint rows of the schedule.
-  std::atomic<DataId> next{0};
-  const auto worker = [&] {
-    std::vector<std::vector<Cost>> serve(static_cast<std::size_t>(W));
-    // Per-thread metric buffer: one atomic merge into the global registry
-    // when the worker drains, instead of contending per datum.
-    std::int64_t dataScheduled = 0;
-    while (true) {
-      const DataId d = next.fetch_add(1, std::memory_order_relaxed);
-      if (d >= refs.numData()) break;
-      for (WindowId w = 0; w < W; ++w) {
-        serve[static_cast<std::size_t>(w)] =
-            centerCosts(model, refs.refs(d, w));
+  std::vector<OccupancyMap> occupancy(
+      static_cast<std::size_t>(W), OccupancyMap(grid, options.capacity));
+  CenterCostCache cache(model);
+
+  // plans[i] is the layered-DAG solution for order[i]; planned[i] marks it
+  // current (solved against a snapshot no newer placements invalidated).
+  std::vector<LayeredPath> plans(n);
+  std::vector<char> planned(n, 0);
+  std::vector<std::size_t> toSolve;
+  toSolve.reserve(n);
+
+  const auto pathFits = [&](const LayeredPath& path) {
+    for (WindowId w = 0; w < W; ++w) {
+      if (!occupancy[static_cast<std::size_t>(w)].hasRoom(
+              static_cast<ProcId>(path.nodes[static_cast<std::size_t>(w)]))) {
+        return false;
       }
-      const auto nodeCost = [&serve](int w, int p) -> Cost {
-        return serve[static_cast<std::size_t>(w)]
-                    [static_cast<std::size_t>(p)];
-      };
-      const LayeredPath path =
-          LayeredDagSolver::solveManhattan(grid, W, nodeCost, beta);
-      for (WindowId w = 0; w < W; ++w) {
-        schedule.setCenter(
-            d, w,
-            static_cast<ProcId>(path.nodes[static_cast<std::size_t>(w)]));
-      }
-      ++dataScheduled;
     }
-    PIMSCHED_COUNTER_ADD("sched.gomcds.data", dataScheduled);
+    return true;
   };
 
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (unsigned i = 0; i < threads; ++i) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
+  std::size_t committed = 0;  // order[0..committed) are placed
+  while (committed < n) {
+    PIMSCHED_COUNTER_ADD("sched.gomcds.rounds", 1);
+    // Plan phase: solve every pending datum without a current plan against
+    // the read-only occupancy snapshot. Pure per-datum work — safe to fan
+    // out; the shared cache serves the cost tables.
+    toSolve.clear();
+    for (std::size_t i = committed; i < n; ++i) {
+      if (!planned[i]) toSolve.push_back(i);
+    }
+    parallelFor(
+        static_cast<std::int64_t>(toSolve.size()), threads,
+        [&](std::int64_t k) {
+          const std::size_t i = toSolve[static_cast<std::size_t>(k)];
+          const DataId d = order[i];
+          thread_local std::vector<std::vector<Cost>> serve;
+          serve.resize(static_cast<std::size_t>(W));
+          for (WindowId w = 0; w < W; ++w) {
+            cache.costsInto(refs.refs(d, w),
+                            serve[static_cast<std::size_t>(w)]);
+          }
+          const auto nodeCost = [&](int w, int p) -> Cost {
+            if (!occupancy[static_cast<std::size_t>(w)].hasRoom(
+                    static_cast<ProcId>(p))) {
+              return kInfiniteCost;
+            }
+            return serve[static_cast<std::size_t>(w)]
+                        [static_cast<std::size_t>(p)];
+          };
+          plans[i] = LayeredDagSolver::solveManhattan(grid, W, nodeCost, beta);
+          planned[i] = 1;
+        });
+
+    // Commit phase: sequential, in visit order — the deterministic
+    // tie-break that makes the result thread-count independent and equal
+    // to the sequential engine. Stops at the first datum whose planned
+    // path lost a slot to a commit it did not see.
+    std::size_t i = committed;
+    for (; i < n; ++i) {
+      // A plan infeasible against any snapshot stays infeasible under the
+      // only-growing occupancy, exactly when the sequential engine throws.
+      if (!plans[i].feasible()) throwInfeasible();
+      if (!pathFits(plans[i])) break;
+      const DataId d = order[i];
+      for (WindowId w = 0; w < W; ++w) {
+        const auto p =
+            static_cast<ProcId>(plans[i].nodes[static_cast<std::size_t>(w)]);
+        if (!occupancy[static_cast<std::size_t>(w)].tryPlace(p)) {
+          throwSlotDisagreement(d, p, w,
+                                occupancy[static_cast<std::size_t>(w)]);
+        }
+        schedule.setCenter(d, w, p);
+      }
+    }
+    if (i < n) {
+      // Conflict: keep still-fitting plans (they remain optimal under the
+      // grown forbidden set), re-solve only the invalidated ones.
+      PIMSCHED_COUNTER_ADD("sched.gomcds.conflicts", 1);
+      for (std::size_t j = i; j < n; ++j) {
+        // Infeasible plans stay "planned": occupancy only grows, so they
+        // stay infeasible and throw when the commit pass reaches them.
+        if (planned[j] && plans[j].feasible() && !pathFits(plans[j])) {
+          planned[j] = 0;
+        }
+      }
+    }
+    committed = i;
+  }
+  PIMSCHED_COUNTER_ADD("sched.gomcds.data",
+                       static_cast<std::int64_t>(refs.numData()));
   return schedule;
+}
+
+DataSchedule scheduleGomcdsParallel(const WindowedRefs& refs,
+                                    const CostModel& model,
+                                    unsigned threads) {
+  return scheduleGomcdsParallel(refs, model, SchedulerOptions{}, threads);
 }
 
 }  // namespace pimsched

@@ -71,7 +71,10 @@ DataSchedule Experiment::schedule(Method m) const {
     case Method::kLomcds:
       return scheduleLomcds(refs_, model_, opts);
     case Method::kGomcds:
-      return scheduleGomcds(refs_, model_, opts);
+      return config_.threads == 1
+                 ? scheduleGomcds(refs_, model_, opts)
+                 : scheduleGomcdsParallel(refs_, model_, opts,
+                                          config_.threads);
     case Method::kGroupedLomcds:
       return scheduleGroupedLomcds(refs_, model_, opts,
                                    GroupingMethod::kGreedy);
@@ -85,7 +88,7 @@ DataSchedule Experiment::schedule(Method m) const {
 }
 
 EvalResult Experiment::evaluate(Method m) const {
-  return evaluateSchedule(schedule(m), refs_, model_);
+  return evaluateSchedule(schedule(m), refs_, model_, config_.threads);
 }
 
 double improvementPct(Cost base, Cost cost) {

@@ -56,6 +56,12 @@ struct PipelineConfig {
   /// natural processor-list behaviour under memory contention (ablated in
   /// bench/grouping_ablation).
   DataOrder order = DataOrder::kByWeightDesc;
+
+  /// Worker threads for the parallel paths (GOMCDS plan/commit scheduling
+  /// and schedule evaluation): 1 = sequential (default), 0 = hardware
+  /// concurrency, N = at most N concurrent workers. Results are identical
+  /// for every value.
+  unsigned threads = 1;
 };
 
 /// Binds a trace to a grid + config and runs any Method on it. Windowing,

@@ -8,7 +8,7 @@ namespace pimsched {
 
 std::vector<Cost> bruteForceCenterCosts(const CostModel& model,
                                         std::span<const ProcWeight> refs) {
-  PIMSCHED_COUNTER_ADD("cost.center_evals", 1);
+  PIMSCHED_COUNTER_ADD("cost.center_eval_calls", 1);
   const int m = model.grid().size();
   std::vector<Cost> costs(static_cast<std::size_t>(m));
   for (ProcId p = 0; p < m; ++p) {
@@ -41,9 +41,10 @@ std::vector<Cost> axisCosts(std::span<const Cost> hist) {
   return f;
 }
 
-std::vector<Cost> separableCenterCosts(const CostModel& model,
-                                       std::span<const ProcWeight> refs) {
-  PIMSCHED_COUNTER_ADD("cost.center_evals", 1);
+void separableCenterCostsInto(const CostModel& model,
+                              std::span<const ProcWeight> refs,
+                              std::vector<Cost>& out) {
+  PIMSCHED_COUNTER_ADD("cost.center_eval_calls", 1);
   const Grid& grid = model.grid();
   std::vector<Cost> rowHist(static_cast<std::size_t>(grid.rows()), 0);
   std::vector<Cost> colHist(static_cast<std::size_t>(grid.cols()), 0);
@@ -55,15 +56,21 @@ std::vector<Cost> separableCenterCosts(const CostModel& model,
   const std::vector<Cost> fRow = axisCosts(rowHist);
   const std::vector<Cost> fCol = axisCosts(colHist);
 
-  std::vector<Cost> costs(static_cast<std::size_t>(grid.size()));
+  out.resize(static_cast<std::size_t>(grid.size()));
   const Cost hop = model.params().hopCost;
   for (int r = 0; r < grid.rows(); ++r) {
     for (int c = 0; c < grid.cols(); ++c) {
-      costs[static_cast<std::size_t>(grid.id(r, c))] =
+      out[static_cast<std::size_t>(grid.id(r, c))] =
           hop * (fRow[static_cast<std::size_t>(r)] +
                  fCol[static_cast<std::size_t>(c)]);
     }
   }
+}
+
+std::vector<Cost> separableCenterCosts(const CostModel& model,
+                                       std::span<const ProcWeight> refs) {
+  std::vector<Cost> costs;
+  separableCenterCostsInto(model, refs, costs);
   return costs;
 }
 

@@ -17,11 +17,21 @@ namespace pimsched {
 ///    that Manhattan distance separates into row and column terms, so
 ///    cost(r, c) = f_row(r) + f_col(c) with each axis solvable by prefix
 ///    sums over a weight histogram (the 1-D weighted-median trick).
+///
+/// The *Into variants write into a caller-owned buffer (resized to the
+/// grid size), so hot loops reuse one allocation per thread instead of
+/// returning a fresh vector per (datum, window). Every variant counts one
+/// `cost.center_eval_calls`; see CenterCostCache (cost/cost_cache.hpp) for
+/// the memoized front end and its hit/miss counters.
 [[nodiscard]] std::vector<Cost> bruteForceCenterCosts(
     const CostModel& model, std::span<const ProcWeight> refs);
 
 [[nodiscard]] std::vector<Cost> separableCenterCosts(
     const CostModel& model, std::span<const ProcWeight> refs);
+
+void separableCenterCostsInto(const CostModel& model,
+                              std::span<const ProcWeight> refs,
+                              std::vector<Cost>& out);
 
 /// separableCenterCosts, the library default.
 [[nodiscard]] inline std::vector<Cost> centerCosts(

@@ -1,0 +1,70 @@
+#include "cost/cost_cache.hpp"
+
+#include <algorithm>
+
+#include "cost/center_costs.hpp"
+#include "obs/obs.hpp"
+
+namespace pimsched {
+
+std::uint64_t referenceStringHash(std::span<const ProcWeight> refs) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xFFu;
+      h *= 1099511628211ull;  // FNV prime
+    }
+  };
+  for (const ProcWeight& pw : refs) {
+    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(pw.proc)));
+    mix(static_cast<std::uint64_t>(pw.weight));
+  }
+  return h;
+}
+
+CenterCostCache::CenterCostCache(const CostModel& model,
+                                 std::uint64_t hashMask)
+    : model_(&model), hashMask_(hashMask) {}
+
+bool CenterCostCache::costsInto(std::span<const ProcWeight> refs,
+                                std::vector<Cost>& out) {
+  const std::uint64_t hash = referenceStringHash(refs) & hashMask_;
+  Shard& shard = shards_[hash % kShards];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  std::vector<Entry>& bucket = shard.buckets[hash];
+  for (const Entry& entry : bucket) {
+    if (entry.key.size() == refs.size() &&
+        std::equal(entry.key.begin(), entry.key.end(), refs.begin())) {
+      out = entry.costs;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      PIMSCHED_COUNTER_ADD("cost.center_cache.hit", 1);
+      return true;
+    }
+  }
+  separableCenterCostsInto(*model_, refs, out);
+  bucket.push_back(Entry{{refs.begin(), refs.end()}, out});
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  PIMSCHED_COUNTER_ADD("cost.center_cache.miss", 1);
+  return false;
+}
+
+std::size_t CenterCostCache::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    // const_cast: mutex locking is not logically const-breaking here.
+    std::lock_guard<std::mutex> lock(const_cast<Shard&>(shard).mutex);
+    for (const auto& [hash, bucket] : shard.buckets) total += bucket.size();
+  }
+  return total;
+}
+
+void CenterCostCache::clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.buckets.clear();
+  }
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace pimsched

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "obs/obs.hpp"
+#include "util/thread_pool.hpp"
 
 namespace pimsched {
 
@@ -17,24 +18,44 @@ ReplayReport replaySchedule(const DataSchedule& schedule,
   PIMSCHED_SCOPED_TIMER("replay.schedule");
   const NocSimulator sim(model.grid(), options.mode);
   NocSession session(sim);
+  const auto W = static_cast<std::size_t>(refs.numWindows());
   ReplayReport report;
-  report.perWindow.reserve(static_cast<std::size_t>(refs.numWindows()));
+  report.perWindow.resize(W);
+  std::vector<WindowTraffic> traffic(W);
 
+  if (options.carryLinkState) {
+    // Link state flows across window boundaries: inherently sequential.
+    for (WindowId w = 0; w < refs.numWindows(); ++w) {
+      const std::vector<Message> messages = windowMessages(
+          schedule, refs, model, w, &traffic[static_cast<std::size_t>(w)]);
+      report.perWindow[static_cast<std::size_t>(w)] =
+          session.simulateWindow(messages);
+    }
+  } else {
+    // Independent windows replay on an idle network each — fan the message
+    // build + simulation out per window.
+    parallelFor(refs.numWindows(), options.threads, [&](std::int64_t w) {
+      const std::vector<Message> messages =
+          windowMessages(schedule, refs, model, static_cast<WindowId>(w),
+                         &traffic[static_cast<std::size_t>(w)]);
+      report.perWindow[static_cast<std::size_t>(w)] = sim.simulate(messages);
+    });
+  }
+
+  // Aggregate + metrics in window order so totals (including the
+  // avgLatency double arithmetic) are identical for every thread count.
   obs::Registry& registry = obs::Registry::instance();
-  for (WindowId w = 0; w < refs.numWindows(); ++w) {
-    WindowTraffic traffic;
-    const std::vector<Message> messages =
-        windowMessages(schedule, refs, model, w, &traffic);
-    report.perWindow.push_back(options.carryLinkState
-                                   ? session.simulateWindow(messages)
-                                   : sim.simulate(messages));
-    report.total += report.perWindow.back();
-
+  for (std::size_t w = 0; w < W; ++w) {
+    report.total += report.perWindow[w];
     PIMSCHED_COUNTER_ADD("replay.windows", 1);
-    PIMSCHED_COUNTER_ADD("replay.migration_msgs", traffic.migrationMessages);
-    PIMSCHED_COUNTER_ADD("replay.migration_volume", traffic.migrationVolume);
-    PIMSCHED_COUNTER_ADD("replay.reference_msgs", traffic.referenceMessages);
-    PIMSCHED_COUNTER_ADD("replay.reference_volume", traffic.referenceVolume);
+    PIMSCHED_COUNTER_ADD("replay.migration_msgs",
+                         traffic[w].migrationMessages);
+    PIMSCHED_COUNTER_ADD("replay.migration_volume",
+                         traffic[w].migrationVolume);
+    PIMSCHED_COUNTER_ADD("replay.reference_msgs",
+                         traffic[w].referenceMessages);
+    PIMSCHED_COUNTER_ADD("replay.reference_volume",
+                         traffic[w].referenceVolume);
     if (registry.tracingEnabled()) {
       // Per-window phase event: migration vs. reference traffic plus the
       // simulated outcome, visible on the chrome-trace timeline.
@@ -42,14 +63,14 @@ ReplayReport replaySchedule(const DataSchedule& schedule,
           "replay.window",
           "{\"window\":" + std::to_string(w) +
               ",\"migration_msgs\":" +
-              std::to_string(traffic.migrationMessages) +
+              std::to_string(traffic[w].migrationMessages) +
               ",\"migration_volume\":" +
-              std::to_string(traffic.migrationVolume) +
+              std::to_string(traffic[w].migrationVolume) +
               ",\"reference_msgs\":" +
-              std::to_string(traffic.referenceMessages) +
+              std::to_string(traffic[w].referenceMessages) +
               ",\"reference_volume\":" +
-              std::to_string(traffic.referenceVolume) + ",\"makespan\":" +
-              std::to_string(report.perWindow.back().makespan) + "}");
+              std::to_string(traffic[w].referenceVolume) + ",\"makespan\":" +
+              std::to_string(report.perWindow[w].makespan) + "}");
     }
   }
   return report;

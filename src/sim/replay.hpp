@@ -26,6 +26,11 @@ struct ReplayOptions {
   /// the exact end-to-end completion cycle of the whole message stream.
   /// See docs/trace-format.md ("Replay window semantics").
   bool carryLinkState = false;
+  /// Independent windows (carryLinkState == false) are simulated on the
+  /// shared thread pool when threads != 1 (0 = hardware concurrency); the
+  /// report is identical for every thread count. Carried link state is
+  /// inherently sequential and ignores this knob.
+  unsigned threads = 1;
 };
 
 /// Migration vs. reference breakdown of one window's injected traffic.

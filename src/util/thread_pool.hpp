@@ -1,0 +1,84 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pimsched {
+
+/// Persistent work-stealing thread pool shared by every parallel phase in
+/// the library (GOMCDS planning, schedule evaluation, per-window NoC
+/// replay). Workers are spawned once and reused across calls, replacing
+/// the per-call std::thread spawning the parallel schedulers used to do.
+///
+/// Each worker owns a deque of tasks; submit() distributes round-robin and
+/// an idle worker steals from its siblings before sleeping, so a burst of
+/// uneven tasks still keeps every core busy. Most callers never touch the
+/// pool directly — parallelFor() below is the intended entry point.
+class ThreadPool {
+ public:
+  /// workers == 0 sizes the pool to hardware_concurrency() - 1 (the caller
+  /// of parallelFor participates, filling the last hardware thread), with a
+  /// floor of one worker so concurrency exists even on a single-core host.
+  explicit ThreadPool(unsigned workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// The process-wide pool used by parallelFor. Constructed on first use.
+  static ThreadPool& global();
+
+  [[nodiscard]] unsigned workers() const {
+    return static_cast<unsigned>(threads_.size());
+  }
+
+  /// Enqueues one task. Tasks must not block waiting for other tasks in
+  /// the same pool (they may share its only worker).
+  void submit(std::function<void()> task);
+
+  /// True when the calling thread is one of this pool's workers — used by
+  /// parallelFor to run nested invocations inline instead of deadlocking
+  /// on its own pool.
+  [[nodiscard]] bool insidePool() const;
+
+ private:
+  struct Queue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void workerLoop(unsigned self);
+  bool tryPop(unsigned self, std::function<void()>& task);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> threads_;
+  std::atomic<std::int64_t> pending_{0};
+  std::atomic<unsigned> nextQueue_{0};
+  std::atomic<bool> stop_{false};
+  std::mutex sleepMutex_;
+  std::condition_variable sleepCv_;
+};
+
+/// Runs body(i) for every i in [0, n) with up to `threads` concurrent
+/// executors (0 = one per hardware thread), the calling thread included;
+/// helper tasks are drawn from ThreadPool::global(). Iterations are handed
+/// out in dynamically-stolen chunks, so uneven per-item work balances
+/// automatically.
+///
+/// Exception semantics: the first exception thrown by any iteration is
+/// rethrown on the calling thread after every executor has stopped;
+/// remaining un-started chunks are abandoned. The pool stays healthy and
+/// reusable afterwards.
+///
+/// threads == 1, n <= 1, or a call from inside a pool worker (nested
+/// parallelFor) all degrade to a plain sequential loop on the caller.
+void parallelFor(std::int64_t n, unsigned threads,
+                 const std::function<void(std::int64_t)>& body);
+
+}  // namespace pimsched

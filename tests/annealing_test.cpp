@@ -56,6 +56,44 @@ TEST(Annealing, CannotBeatGomcdsUncapacitated) {
             optimal);
 }
 
+TEST(Annealing, RejectsNonPositiveStepsPerCooling) {
+  const Grid g(2, 2);
+  const CostModel model(g);
+  testutil::Rng rng(135);
+  const ReferenceTrace t = testutil::randomTrace(rng, g, 2, 2, 4, 8);
+  const WindowedRefs refs = refsFromTrace(t, g, 2);
+  const DataSchedule init = scheduleScds(refs, model);
+  for (const int steps : {0, -1, -64}) {
+    AnnealParams p = quickParams();
+    p.stepsPerCooling = steps;
+    EXPECT_THROW((void)scheduleAnnealed(refs, model, init, {}, p),
+                 std::invalid_argument)
+        << "stepsPerCooling=" << steps;
+  }
+}
+
+TEST(Annealing, DeferredSnapshotReturnsTheBestVisitedCost) {
+  // The journal-replay reconstruction must return a schedule whose cost
+  // equals the best incremental cost the loop tracked — i.e. evaluating
+  // the returned schedule from scratch reproduces a cost no worse than
+  // both the initial and the final accepted state.
+  const Grid g(4, 4);
+  const CostModel model(g);
+  testutil::Rng rng(136);
+  for (int trial = 0; trial < 3; ++trial) {
+    const ReferenceTrace t = testutil::randomTrace(rng, g, 4, 4, 10, 20);
+    const WindowedRefs refs = refsFromTrace(t, g, 5);
+    const DataSchedule init = scheduleScds(refs, model);
+    AnnealParams p = quickParams();
+    p.initialTemperature = 64.0;  // hot: accepts uphill, so best != last
+    const DataSchedule annealed =
+        scheduleAnnealed(refs, model, init, {}, p);
+    EXPECT_TRUE(annealed.complete());
+    EXPECT_LE(evaluateSchedule(annealed, refs, model).aggregate.total(),
+              evaluateSchedule(init, refs, model).aggregate.total());
+  }
+}
+
 TEST(Annealing, RespectsCapacityThroughout) {
   const Grid g(2, 2);
   const CostModel model(g);

@@ -1,0 +1,151 @@
+#include "cost/cost_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cost/center_costs.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pimsched {
+namespace {
+
+std::vector<ProcWeight> makeRefs(std::initializer_list<ProcWeight> pws) {
+  return {pws};
+}
+
+TEST(CenterCostCache, MissComputesHitReuses) {
+  const Grid g(4, 4);
+  const CostModel model(g);
+  CenterCostCache cache(model);
+  const std::vector<ProcWeight> refs =
+      makeRefs({{0, 3}, {5, 1}, {12, 7}});
+
+  std::vector<Cost> out;
+  EXPECT_FALSE(cache.costsInto(refs, out));
+  EXPECT_EQ(out, separableCenterCosts(model, refs));
+  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_EQ(cache.hits(), 0);
+  EXPECT_EQ(cache.size(), 1u);
+
+  std::vector<Cost> again;
+  EXPECT_TRUE(cache.costsInto(refs, again));
+  EXPECT_EQ(again, out);
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(CenterCostCache, DistinctStringsAreDistinctEntries) {
+  const Grid g(4, 4);
+  const CostModel model(g);
+  CenterCostCache cache(model);
+
+  // Same processors, different weights — and a permuted-weight variant
+  // whose total weight matches: all must resolve to their own tables.
+  const auto a = makeRefs({{1, 2}, {6, 4}});
+  const auto b = makeRefs({{1, 4}, {6, 2}});
+  const auto c = makeRefs({{1, 2}, {6, 4}, {9, 1}});
+  std::vector<Cost> outA, outB, outC;
+  cache.costsInto(a, outA);
+  cache.costsInto(b, outB);
+  cache.costsInto(c, outC);
+  EXPECT_EQ(outA, separableCenterCosts(model, a));
+  EXPECT_EQ(outB, separableCenterCosts(model, b));
+  EXPECT_EQ(outC, separableCenterCosts(model, c));
+  EXPECT_EQ(cache.misses(), 3);
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(CenterCostCache, CorrectUnderForcedHashCollisions) {
+  const Grid g(4, 4);
+  const CostModel model(g);
+  // hashMask 0 collapses every reference string onto hash 0: all entries
+  // collide in one bucket and correctness rests entirely on the full-key
+  // comparison.
+  CenterCostCache cache(model, /*hashMask=*/0);
+
+  std::vector<std::vector<ProcWeight>> strings;
+  for (ProcId p = 0; p < g.size(); ++p) {
+    strings.push_back(makeRefs({{p, Cost{1} + p}}));
+  }
+  std::vector<Cost> out;
+  for (const auto& s : strings) {
+    EXPECT_FALSE(cache.costsInto(s, out));
+    EXPECT_EQ(out, separableCenterCosts(model, s)) << "insert pass";
+  }
+  EXPECT_EQ(cache.size(), strings.size());
+  for (const auto& s : strings) {
+    EXPECT_TRUE(cache.costsInto(s, out));
+    EXPECT_EQ(out, separableCenterCosts(model, s)) << "hit pass";
+  }
+  EXPECT_EQ(cache.hits(), static_cast<std::int64_t>(strings.size()));
+}
+
+TEST(CenterCostCache, NarrowMaskKeepsAdjacentHashesApart) {
+  const Grid g(4, 4);
+  const CostModel model(g);
+  // A 4-bit mask: plenty of distinct strings share a masked hash, while
+  // others differ only in the low bits — "hash-adjacent" keys must still
+  // round-trip to their own tables.
+  CenterCostCache cache(model, /*hashMask=*/0xF);
+  std::vector<Cost> out;
+  for (Cost w = 1; w <= 64; ++w) {
+    const auto s = makeRefs({{static_cast<ProcId>(w % g.size()), w}});
+    cache.costsInto(s, out);
+    EXPECT_EQ(out, separableCenterCosts(model, s)) << "w=" << w;
+  }
+}
+
+TEST(CenterCostCache, ClearResetsEverything) {
+  const Grid g(2, 2);
+  const CostModel model(g);
+  CenterCostCache cache(model);
+  std::vector<Cost> out;
+  cache.costsInto(makeRefs({{0, 1}}), out);
+  cache.costsInto(makeRefs({{0, 1}}), out);
+  EXPECT_EQ(cache.size(), 1u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0);
+  EXPECT_EQ(cache.misses(), 0);
+  EXPECT_FALSE(cache.costsInto(makeRefs({{0, 1}}), out));
+}
+
+TEST(CenterCostCache, ThreadSafeUnderConcurrentMixedAccess) {
+  const Grid g(4, 4);
+  const CostModel model(g);
+  CenterCostCache cache(model);
+
+  // 8 distinct strings hammered from concurrent workers; every lookup must
+  // return the correct table regardless of who inserted it first.
+  std::vector<std::vector<ProcWeight>> strings;
+  std::vector<std::vector<Cost>> expected;
+  for (int k = 0; k < 8; ++k) {
+    strings.push_back(makeRefs({{static_cast<ProcId>(k), Cost{k} + 1},
+                                {static_cast<ProcId>(15 - k), 3}}));
+    expected.push_back(separableCenterCosts(model, strings.back()));
+  }
+  parallelFor(512, 0, [&](std::int64_t i) {
+    const std::size_t k = static_cast<std::size_t>(i) % strings.size();
+    std::vector<Cost> out;
+    cache.costsInto(strings[k], out);
+    ASSERT_EQ(out, expected[k]);
+  });
+  EXPECT_EQ(cache.size(), strings.size());
+  EXPECT_EQ(cache.hits() + cache.misses(), 512);
+}
+
+TEST(ReferenceStringHash, SensitiveToOrderProcAndWeight) {
+  const auto a = makeRefs({{1, 2}, {3, 4}});
+  const auto b = makeRefs({{3, 4}, {1, 2}});
+  const auto c = makeRefs({{1, 4}, {3, 2}});
+  const auto d = makeRefs({{1, 2}, {3, 4}, {5, 0}});
+  EXPECT_NE(referenceStringHash(a), referenceStringHash(b));
+  EXPECT_NE(referenceStringHash(a), referenceStringHash(c));
+  EXPECT_NE(referenceStringHash(a), referenceStringHash(d));
+  EXPECT_EQ(referenceStringHash(a), referenceStringHash(makeRefs({{1, 2}, {3, 4}})));
+}
+
+}  // namespace
+}  // namespace pimsched

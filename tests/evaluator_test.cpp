@@ -106,5 +106,41 @@ TEST(Evaluator, InitialPlacementIsFree) {
   EXPECT_EQ(c.serve, 3);  // window 1 reference from proc 3 to proc 0
 }
 
+TEST(Evaluator, ParallelMatchesSequentialForEveryThreadCount) {
+  const Grid g(4, 4);
+  const CostModel model(g);
+  testutil::Rng rng(22);
+  const ReferenceTrace t = testutil::randomTrace(rng, g, 6, 6, 20, 30);
+  const WindowedRefs refs(t, WindowPartition::evenCount(t.numSteps(), 8), g);
+  DataSchedule s(refs.numData(), refs.numWindows());
+  for (DataId d = 0; d < refs.numData(); ++d) {
+    for (WindowId w = 0; w < refs.numWindows(); ++w) {
+      s.setCenter(d, w, static_cast<ProcId>((3 * d + w) % g.size()));
+    }
+  }
+  const EvalResult seq = evaluateSchedule(s, refs, model);
+  for (const unsigned threads : {2u, 4u, 0u}) {
+    const EvalResult par = evaluateSchedule(s, refs, model, threads);
+    EXPECT_EQ(par.aggregate.serve, seq.aggregate.serve) << threads;
+    EXPECT_EQ(par.aggregate.move, seq.aggregate.move) << threads;
+    ASSERT_EQ(par.perData.size(), seq.perData.size());
+    for (std::size_t d = 0; d < seq.perData.size(); ++d) {
+      EXPECT_EQ(par.perData[d].serve, seq.perData[d].serve);
+      EXPECT_EQ(par.perData[d].move, seq.perData[d].move);
+    }
+  }
+}
+
+TEST(Evaluator, ParallelPropagatesIncompleteScheduleError) {
+  const Grid g(4, 4);
+  testutil::Rng rng(23);
+  const ReferenceTrace t = testutil::randomTrace(rng, g, 4, 4, 8, 12);
+  const WindowedRefs refs(t, WindowPartition::evenCount(t.numSteps(), 4), g);
+  const CostModel model(g);
+  const DataSchedule incomplete(refs.numData(), refs.numWindows());
+  EXPECT_THROW((void)evaluateSchedule(incomplete, refs, model, 4),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace pimsched

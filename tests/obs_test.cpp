@@ -230,20 +230,30 @@ TEST(Obs, ParallelGomcdsMergedMetricsEqualPerThreadSum) {
   obs::Registry& registry = obs::Registry::instance();
   registry.reset();
   (void)scheduleGomcdsParallel(refs, model, 4);
-  // Each worker buffers its own counts and merges once on exit, so the
-  // registry total must equal the whole problem regardless of how the
-  // work-stealing loop split it.
+  // The totals must equal the whole problem regardless of how the pool
+  // split the plan phase: every (datum, window) table went through the
+  // cache exactly once (hit or miss), and each miss is one evaluation.
+  const std::int64_t tables =
+      static_cast<std::int64_t>(refs.numData()) * refs.numWindows();
   EXPECT_EQ(registry.counterValue("sched.gomcds.data"), refs.numData());
-  EXPECT_EQ(registry.counterValue("cost.center_evals"),
-            static_cast<std::int64_t>(refs.numData()) * refs.numWindows());
+  EXPECT_EQ(registry.counterValue("cost.center_cache.hit") +
+                registry.counterValue("cost.center_cache.miss"),
+            tables);
+  EXPECT_EQ(registry.counterValue("cost.center_eval_calls"),
+            registry.counterValue("cost.center_cache.miss"));
   EXPECT_EQ(registry.counterValue("solver.runs"), refs.numData());
 
-  // And the merged totals match a sequential run of the same problem.
+  // And the totals match a sequential run of the same problem: the cache
+  // is deterministic, so hit/miss splits are identical too.
+  const std::int64_t parallelMisses =
+      registry.counterValue("cost.center_cache.miss");
   registry.reset();
   (void)scheduleGomcds(refs, model);
   EXPECT_EQ(registry.counterValue("sched.gomcds.data"), refs.numData());
-  EXPECT_EQ(registry.counterValue("cost.center_evals"),
-            static_cast<std::int64_t>(refs.numData()) * refs.numWindows());
+  EXPECT_EQ(registry.counterValue("cost.center_cache.hit") +
+                registry.counterValue("cost.center_cache.miss"),
+            tables);
+  EXPECT_EQ(registry.counterValue("cost.center_cache.miss"), parallelMisses);
   registry.reset();
 }
 

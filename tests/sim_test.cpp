@@ -262,6 +262,36 @@ TEST(Replay, OptionsDefaultMatchesLegacyOverload) {
   EXPECT_EQ(legacy.total.totalHopVolume, viaOptions.total.totalHopVolume);
 }
 
+TEST(Replay, ParallelWindowsMatchSequentialExactly) {
+  // Per-window NoC replay is embarrassingly parallel; the report — including
+  // the double-valued avgLatency, which is aggregated sequentially in window
+  // order — must not depend on the thread count.
+  const Grid g(4, 4);
+  const CostModel model(g);
+  testutil::Rng rng(96);
+  const ReferenceTrace t = testutil::randomTrace(rng, g, 5, 5, 16, 40);
+  const WindowedRefs refs(
+      t, WindowPartition::evenCount(t.numSteps(), 8), g);
+  const DataSchedule s = scheduleGomcds(refs, model);
+  const ReplayReport seq = replaySchedule(s, refs, model);
+  for (const unsigned threads : {2u, 4u, 0u}) {
+    ReplayOptions options;
+    options.threads = threads;
+    const ReplayReport par = replaySchedule(s, refs, model, options);
+    EXPECT_EQ(par.total.makespan, seq.total.makespan) << threads;
+    EXPECT_EQ(par.total.totalHopVolume, seq.total.totalHopVolume);
+    EXPECT_EQ(par.total.numMessages, seq.total.numMessages);
+    EXPECT_EQ(par.total.maxLinkLoad, seq.total.maxLinkLoad);
+    EXPECT_DOUBLE_EQ(par.total.avgLatency, seq.total.avgLatency);
+    ASSERT_EQ(par.perWindow.size(), seq.perWindow.size());
+    for (std::size_t w = 0; w < seq.perWindow.size(); ++w) {
+      EXPECT_EQ(par.perWindow[w].makespan, seq.perWindow[w].makespan);
+      EXPECT_EQ(par.perWindow[w].totalHopVolume,
+                seq.perWindow[w].totalHopVolume);
+    }
+  }
+}
+
 TEST(Replay, ShapeMismatchThrows) {
   const Grid g(2, 2);
   const CostModel model(g);
