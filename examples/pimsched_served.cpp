@@ -1,0 +1,118 @@
+// pimsched_served — the persistent scheduling daemon. Wraps one
+// SchedulingService (bounded priority queue + content-addressed result
+// cache over the shared thread pool) behind the NDJSON-over-Unix-socket
+// protocol, so repeated schedule requests reuse warm state instead of
+// paying a full pimsched_cli process start per trace. See docs/serving.md.
+//
+//   pimsched_served --socket PATH [options]
+//     --queue N           queued-job bound; submissions past it are
+//                         rejected with a reason        (default 64)
+//     --concurrency N     jobs run at once on the shared pool (default 2)
+//     --cache-entries N   result-cache entry bound      (default 1024)
+//     --no-cache          disable the result cache
+//     --max-frame BYTES   per-request frame size bound  (default 4 MiB)
+//     --no-trace-files    reject trace_file submissions (inline only)
+//
+// SIGTERM / SIGINT (or a client `shutdown` verb) drain gracefully: every
+// accepted job finishes, waiting clients get their replies, and the
+// daemon exits 0. Exit code 1 on runtime failure, 2 on bad usage.
+
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "serve/server.hpp"
+
+namespace {
+
+pimsched::serve::SocketServer* gServer = nullptr;
+
+void onSignal(int) {
+  if (gServer != nullptr) gServer->requestStop();  // one atomic store
+}
+
+void printUsage(std::ostream& os) {
+  os << "usage: pimsched_served --socket PATH [--queue N] "
+        "[--concurrency N]\n"
+        "       [--cache-entries N] [--no-cache] [--max-frame BYTES] "
+        "[--no-trace-files]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pimsched::serve;
+
+  SchedulingService::Config serviceConfig;
+  SocketServer::Options serverOptions;
+  std::string parseError;
+
+  for (int i = 1; i < argc && parseError.empty(); ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        parseError = "missing value for " + arg;
+        return "";
+      }
+      return argv[++i];
+    };
+    try {
+      if (arg == "--socket") {
+        serverOptions.socketPath = value();
+      } else if (arg == "--queue") {
+        serviceConfig.maxQueueDepth = std::stoul(value());
+      } else if (arg == "--concurrency") {
+        serviceConfig.concurrency =
+            static_cast<unsigned>(std::stoul(value()));
+      } else if (arg == "--cache-entries") {
+        serviceConfig.maxCacheEntries = std::stoul(value());
+      } else if (arg == "--no-cache") {
+        serviceConfig.cacheEnabled = false;
+      } else if (arg == "--max-frame") {
+        serverOptions.protocol.maxFrameBytes = std::stoul(value());
+      } else if (arg == "--no-trace-files") {
+        serverOptions.protocol.allowTraceFiles = false;
+      } else {
+        parseError = "unknown option " + arg;
+      }
+    } catch (const std::exception&) {
+      parseError = "invalid value for " + arg;
+    }
+  }
+  if (parseError.empty() && serverOptions.socketPath.empty()) {
+    parseError = "missing --socket PATH";
+  }
+  if (!parseError.empty()) {
+    std::cerr << "error: " << parseError << "\n\n";
+    printUsage(std::cerr);
+    return 2;
+  }
+
+  try {
+    pimsched::serve::SchedulingService service(serviceConfig);
+    pimsched::serve::SocketServer server(service, serverOptions);
+    server.start();
+
+    gServer = &server;
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+
+    std::cout << "pimsched_served listening on " << server.socketPath()
+              << " (queue " << serviceConfig.maxQueueDepth
+              << ", concurrency " << serviceConfig.concurrency << ", cache "
+              << (serviceConfig.cacheEnabled
+                      ? std::to_string(serviceConfig.maxCacheEntries) +
+                            " entries"
+                      : std::string("off"))
+              << ")" << std::endl;
+    const int rc = server.run();
+    gServer = nullptr;
+    std::cout << "pimsched_served drained, exiting" << std::endl;
+    return rc;
+  } catch (const std::exception& e) {
+    gServer = nullptr;
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,240 @@
+// pimsched_submit — command-line client for the pimsched_served daemon.
+// Builds one NDJSON request, sends it over the Unix socket, prints the
+// daemon's JSON reply on stdout and exits 0 when the reply says ok.
+//
+//   pimsched_submit --socket PATH VERB [args]
+//     submit TRACE_FILE [--grid RxC] [--method NAME] [--windows N]
+//                       [--capacity N|paper|unlimited] [--threads N]
+//                       [--priority N] [--deadline-ms N] [--wait]
+//                       [--schedule] [--inline]
+//         --wait      block until the job finishes and include its result
+//         --schedule  include the scheduled placements in the reply
+//         --inline    send the trace text inline instead of a server-side
+//                     path (required when the daemon runs elsewhere or
+//                     with --no-trace-files)
+//     status ID
+//     result ID [--no-wait] [--schedule]
+//     cancel ID
+//     stats
+//     shutdown
+//
+// Exit codes: 0 = ok reply, 1 = error reply or transport failure,
+// 2 = bad usage.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "serve/json.hpp"
+
+namespace {
+
+using pimsched::serve::Json;
+
+void printUsage(std::ostream& os) {
+  os << "usage: pimsched_submit --socket PATH VERB [args]\n"
+        "  submit TRACE_FILE [--grid RxC] [--method NAME] [--windows N]\n"
+        "         [--capacity N|paper|unlimited] [--threads N] "
+        "[--priority N]\n"
+        "         [--deadline-ms N] [--wait] [--schedule] [--inline]\n"
+        "  status ID | result ID [--no-wait] [--schedule] | cancel ID\n"
+        "  stats | shutdown\n";
+}
+
+/// One round-trip: connect, send `request` + newline, read one reply line.
+std::string roundTrip(const std::string& socketPath,
+                      const std::string& request) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socketPath.empty() || socketPath.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("socket path empty or too long: " + socketPath);
+  }
+  std::memcpy(addr.sun_path, socketPath.c_str(), socketPath.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    throw std::runtime_error(std::string("socket(): ") +
+                             std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string what = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("cannot connect to " + socketPath + ": " +
+                             what);
+  }
+
+  const std::string frame = request + "\n";
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n = ::write(fd, frame.data() + off, frame.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string what = std::strerror(errno);
+      ::close(fd);
+      throw std::runtime_error("write failed: " + what);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+
+  std::string reply;
+  char chunk[4096];
+  while (reply.find('\n') == std::string::npos) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string what = std::strerror(errno);
+      ::close(fd);
+      throw std::runtime_error("read failed: " + what);
+    }
+    if (n == 0) break;  // daemon closed without a full line
+    reply.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const std::size_t nl = reply.find('\n');
+  if (nl == std::string::npos && reply.empty()) {
+    throw std::runtime_error("daemon closed the connection without a reply");
+  }
+  return nl == std::string::npos ? reply : reply.substr(0, nl);
+}
+
+/// Builds the request object from the verb-specific arguments; throws
+/// std::invalid_argument on usage errors.
+Json buildRequest(const std::string& verb, int argc, char** argv, int i) {
+  const auto needValue = [&](const std::string& arg) -> std::string {
+    if (i + 1 >= argc) {
+      throw std::invalid_argument("missing value for " + arg);
+    }
+    return argv[++i];
+  };
+  const auto parseInt = [](const std::string& arg,
+                           const std::string& v) -> std::int64_t {
+    try {
+      std::size_t parsed = 0;
+      const std::int64_t out = std::stoll(v, &parsed);
+      if (parsed != v.size()) throw std::invalid_argument(v);
+      return out;
+    } catch (const std::exception&) {
+      throw std::invalid_argument("invalid integer for " + arg);
+    }
+  };
+
+  Json request;
+  request.set("verb", verb);
+
+  if (verb == "submit") {
+    if (i >= argc) throw std::invalid_argument("submit needs a TRACE_FILE");
+    const std::string traceFile = argv[i++];
+    bool inlineTrace = false;
+    for (; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--grid") request.set("grid", needValue(arg));
+      else if (arg == "--method") request.set("method", needValue(arg));
+      else if (arg == "--windows") {
+        request.set("windows", parseInt(arg, needValue(arg)));
+      } else if (arg == "--capacity") {
+        const std::string v = needValue(arg);
+        if (v == "paper" || v == "unlimited") request.set("capacity", v);
+        else request.set("capacity", parseInt(arg, v));
+      } else if (arg == "--threads") {
+        request.set("threads", parseInt(arg, needValue(arg)));
+      } else if (arg == "--priority") {
+        request.set("priority", parseInt(arg, needValue(arg)));
+      } else if (arg == "--deadline-ms") {
+        request.set("deadline_ms", parseInt(arg, needValue(arg)));
+      } else if (arg == "--wait") {
+        request.set("wait", true);
+      } else if (arg == "--schedule") {
+        request.set("schedule", true);
+      } else if (arg == "--inline") {
+        inlineTrace = true;
+      } else {
+        throw std::invalid_argument("unknown option " + arg);
+      }
+    }
+    if (inlineTrace) {
+      std::ifstream is(traceFile);
+      if (!is) {
+        throw std::runtime_error("cannot open trace file " + traceFile);
+      }
+      std::ostringstream text;
+      text << is.rdbuf();
+      request.set("trace", std::move(text).str());
+    } else {
+      request.set("trace_file", traceFile);
+    }
+    return request;
+  }
+
+  if (verb == "status" || verb == "result" || verb == "cancel") {
+    if (i >= argc) throw std::invalid_argument(verb + " needs a job ID");
+    request.set("id", parseInt("ID", argv[i++]));
+    for (; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (verb == "result" && arg == "--no-wait") request.set("wait", false);
+      else if (verb == "result" && arg == "--schedule") {
+        request.set("schedule", true);
+      } else {
+        throw std::invalid_argument("unknown option " + arg);
+      }
+    }
+    return request;
+  }
+
+  if (verb == "stats" || verb == "shutdown") {
+    if (i < argc) {
+      throw std::invalid_argument(verb + " takes no arguments");
+    }
+    return request;
+  }
+
+  throw std::invalid_argument("unknown verb '" + verb + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socketPath;
+  int i = 1;
+  if (i + 1 < argc && std::string(argv[i]) == "--socket") {
+    socketPath = argv[i + 1];
+    i += 2;
+  }
+  if (socketPath.empty() || i >= argc) {
+    std::cerr << "error: expected --socket PATH and a verb\n\n";
+    printUsage(std::cerr);
+    return 2;
+  }
+  const std::string verb = argv[i++];
+
+  Json request;
+  try {
+    request = buildRequest(verb, argc, argv, i);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: " << e.what() << "\n\n";
+    printUsage(std::cerr);
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+
+  try {
+    const std::string reply = roundTrip(socketPath, request.dump());
+    std::cout << reply << '\n';
+    const Json parsed = Json::parse(reply);
+    const Json* ok = parsed.find("ok");
+    return (ok != nullptr && ok->isBool() && ok->asBool()) ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

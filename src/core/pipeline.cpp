@@ -23,6 +23,41 @@ std::string toString(Method m) {
   return "unknown";
 }
 
+std::optional<Method> methodFromString(const std::string& name) {
+  if (name == "rowwise") return Method::kRowWise;
+  if (name == "colwise") return Method::kColWise;
+  if (name == "block") return Method::kBlock2D;
+  if (name == "cyclic") return Method::kCyclic2D;
+  if (name == "random") return Method::kRandom;
+  if (name == "scds") return Method::kScds;
+  if (name == "lomcds") return Method::kLomcds;
+  if (name == "gomcds") return Method::kGomcds;
+  if (name == "grouped") return Method::kGroupedLomcds;
+  if (name == "groupedgomcds") return Method::kGroupedGomcds;
+  if (name == "groupedoptimal") return Method::kGroupedOptimal;
+  return std::nullopt;
+}
+
+Digest configDigest(const PipelineConfig& config) {
+  DigestBuilder b;
+  b.str("pimconfig");
+  if (config.explicitWindows.has_value()) {
+    const WindowPartition& p = *config.explicitWindows;
+    b.u64(1);
+    b.i64(p.numSteps());
+    b.u64(static_cast<std::uint64_t>(p.numWindows()));
+    for (WindowId w = 0; w < p.numWindows(); ++w) b.i64(p.window(w).begin);
+  } else {
+    b.u64(0);
+    b.i64(config.numWindows);
+  }
+  b.i64(config.capacity);
+  b.i64(config.costParams.hopCost);
+  b.i64(config.costParams.moveVolume);
+  b.i64(static_cast<std::int64_t>(config.order));
+  return b.digest();
+}
+
 Experiment::Experiment(const ReferenceTrace& trace, const Grid& grid,
                        PipelineConfig config)
     : space_(&trace.dataSpace()),

@@ -9,6 +9,7 @@
 #include "core/grouping.hpp"
 #include "core/lomcds.hpp"
 #include "core/scds.hpp"
+#include "trace/trace_io.hpp"
 #include "trace/window.hpp"
 
 namespace pimsched {
@@ -29,6 +30,12 @@ enum class Method {
 };
 
 [[nodiscard]] std::string toString(Method m);
+
+/// Inverse of the CLI/protocol method spelling: rowwise|colwise|block|
+/// cyclic|random|scds|lomcds|gomcds|grouped|groupedgomcds|groupedoptimal.
+/// nullopt on anything else. (Shared by pimsched_cli and the serving
+/// protocol so both accept the same vocabulary.)
+[[nodiscard]] std::optional<Method> methodFromString(const std::string& name);
 
 /// Knobs of one experiment run.
 struct PipelineConfig {
@@ -99,5 +106,16 @@ class Experiment {
 /// Percentage improvement of `cost` over `base` (the paper's "%"
 /// columns): 100 * (base - cost) / base. Returns 0 when base is 0.
 [[nodiscard]] double improvementPct(Cost base, Cost cost);
+
+/// Canonical digest of every config field that can change a schedule or
+/// its cost: windowing (explicit boundaries when set, else numWindows),
+/// capacity sentinel/value, cost params and data order. `threads` is
+/// deliberately excluded — results are bit-identical for every thread
+/// count, so thread count must not split the serving result cache.
+/// Byte stream (DigestBuilder rules): str("pimconfig"), u64(0|1) for
+/// explicitWindows, then either i64(numSteps) + u64(numWindows) +
+/// i64(each window start) or i64(numWindows); then i64(capacity),
+/// i64(hopCost), i64(moveVolume), i64(order).
+[[nodiscard]] Digest configDigest(const PipelineConfig& config);
 
 }  // namespace pimsched

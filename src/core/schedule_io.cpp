@@ -1,5 +1,6 @@
 #include "core/schedule_io.hpp"
 
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -8,11 +9,26 @@ namespace pimsched {
 
 namespace {
 constexpr const char* kMagic = "pimsched v1";
+constexpr const char* kDigestPrefix = "# digest ";
 }  // namespace
+
+Digest scheduleDigest(const DataSchedule& schedule) {
+  DigestBuilder b;
+  b.str("pimsched");
+  b.i64(schedule.numData());
+  b.i64(schedule.numWindows());
+  for (DataId d = 0; d < schedule.numData(); ++d) {
+    for (WindowId w = 0; w < schedule.numWindows(); ++w) {
+      b.i64(schedule.center(d, w));
+    }
+  }
+  return b.digest();
+}
 
 void saveSchedule(const DataSchedule& schedule, std::ostream& os) {
   os << kMagic << ' ' << schedule.numData() << ' ' << schedule.numWindows()
-     << '\n';
+     << '\n'
+     << kDigestPrefix << scheduleDigest(schedule).hex() << '\n';
   for (DataId d = 0; d < schedule.numData(); ++d) {
     for (WindowId w = 0; w < schedule.numWindows(); ++w) {
       if (w > 0) os << ' ';
@@ -42,8 +58,16 @@ DataSchedule loadSchedule(std::istream& is, ProcId numProcs) {
     throw std::runtime_error("loadSchedule: bad header");
   }
   DataSchedule schedule(numData, numWindows);
+  std::optional<Digest> expected;
   DataId d = 0;
   while (std::getline(is, line)) {
+    if (line.rfind(kDigestPrefix, 0) == 0) {
+      expected = Digest::fromHex(line.substr(std::strlen(kDigestPrefix)));
+      if (!expected.has_value()) {
+        throw std::runtime_error("loadSchedule: malformed digest line");
+      }
+      continue;
+    }
     if (line.empty() || line[0] == '#') continue;
     if (d >= numData) {
       throw std::runtime_error("loadSchedule: more rows than data");
@@ -75,6 +99,11 @@ DataSchedule loadSchedule(std::istream& is, ProcId numProcs) {
     throw std::runtime_error("loadSchedule: expected " +
                              std::to_string(numData) + " rows, got " +
                              std::to_string(d));
+  }
+  if (expected.has_value() && *expected != scheduleDigest(schedule)) {
+    throw std::runtime_error(
+        "loadSchedule: digest mismatch — the placement rows do not match "
+        "the file's integrity line (corrupted or hand-edited schedule)");
   }
   return schedule;
 }

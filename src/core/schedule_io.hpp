@@ -4,16 +4,26 @@
 #include <string>
 
 #include "core/schedule.hpp"
+#include "trace/trace_io.hpp"
 
 namespace pimsched {
+
+/// Canonical digest of a schedule's placement matrix. Byte stream
+/// (DigestBuilder rules): str("pimsched"), i64(numData), i64(numWindows),
+/// then i64(center(d, w)) for every datum in id order, windows innermost.
+[[nodiscard]] Digest scheduleDigest(const DataSchedule& schedule);
 
 /// Text serialisation of a DataSchedule — the artifact a PIM runtime would
 /// consume to drive initial placement and per-window migrations. Format:
 ///
 ///   pimsched v1 <numData> <numWindows>
+///   # digest <32 hex chars>                             (integrity line)
 ///   <center(d,0)> <center(d,1)> ... <center(d,W-1)>     (one line per datum)
 ///
-/// Blank lines and lines starting with '#' are ignored on load.
+/// Blank lines and lines starting with '#' are ignored on load, with one
+/// exception: a `# digest <hex>` line (written by saveSchedule) is checked
+/// against scheduleDigest() of the loaded placements, and a mismatch is
+/// rejected as corruption. Files without the line load as before.
 void saveSchedule(const DataSchedule& schedule, std::ostream& os);
 void saveScheduleFile(const DataSchedule& schedule, const std::string& path);
 

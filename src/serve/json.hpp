@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace pimsched::serve {
+
+/// Thrown on malformed input (parse) or kind mismatches (accessors).
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Minimal JSON value for the serving protocol: parse, build, dump. The
+/// protocol is newline-delimited JSON objects, so this intentionally stays
+/// small — ordered std::map objects give deterministic dumps, integers are
+/// kept exact (job ids, costs) and doubles cover the rest. Parsing is
+/// depth-limited so hostile inputs cannot overflow the stack.
+class Json {
+ public:
+  using Object = std::map<std::string, Json>;
+  using Array = std::vector<Json>;
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(std::int64_t i) : value_(i) {}
+  Json(int i) : value_(static_cast<std::int64_t>(i)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(Object o) : value_(std::move(o)) {}
+  Json(Array a) : value_(std::move(a)) {}
+
+  [[nodiscard]] bool isNull() const {
+    return std::holds_alternative<std::nullptr_t>(value_);
+  }
+  [[nodiscard]] bool isBool() const {
+    return std::holds_alternative<bool>(value_);
+  }
+  [[nodiscard]] bool isNumber() const {
+    return std::holds_alternative<double>(value_) ||
+           std::holds_alternative<std::int64_t>(value_);
+  }
+  [[nodiscard]] bool isString() const {
+    return std::holds_alternative<std::string>(value_);
+  }
+  [[nodiscard]] bool isObject() const {
+    return std::holds_alternative<Object>(value_);
+  }
+  [[nodiscard]] bool isArray() const {
+    return std::holds_alternative<Array>(value_);
+  }
+
+  /// Accessors throw JsonError when the value holds a different kind.
+  [[nodiscard]] bool asBool() const;
+  [[nodiscard]] double asDouble() const;
+  /// Integer value; a double is accepted only when integral and in range.
+  [[nodiscard]] std::int64_t asInt64() const;
+  [[nodiscard]] const std::string& asString() const;
+  [[nodiscard]] const Object& asObject() const;
+  [[nodiscard]] const Array& asArray() const;
+
+  /// Object member lookup: nullptr when this is not an object or the key
+  /// is absent.
+  [[nodiscard]] const Json* find(const std::string& key) const;
+
+  /// Object member write access (converts a null value to an object).
+  Json& set(std::string key, Json value);
+
+  /// Parses exactly one JSON value (trailing garbage rejected). Nesting
+  /// deeper than `maxDepth` is rejected.
+  static Json parse(std::string_view text, int maxDepth = 64);
+
+  /// Serialises on one line (no newline appended, NDJSON-safe).
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::int64_t, std::string,
+               Object, Array>
+      value_;
+};
+
+}  // namespace pimsched::serve

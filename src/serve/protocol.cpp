@@ -1,0 +1,291 @@
+#include "serve/protocol.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "serve/json.hpp"
+
+namespace pimsched::serve {
+
+namespace {
+
+/// Protocol-level failure carrying the client-facing message.
+class RequestError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+std::string errorReply(const std::string& message) {
+  Json reply;
+  reply.set("ok", false).set("error", message);
+  return reply.dump();
+}
+
+std::int64_t intField(const Json& request, const std::string& key,
+                      std::int64_t fallback) {
+  const Json* v = request.find(key);
+  if (v == nullptr) return fallback;
+  try {
+    return v->asInt64();
+  } catch (const JsonError&) {
+    throw RequestError("field '" + key + "' must be an integer");
+  }
+}
+
+bool boolField(const Json& request, const std::string& key, bool fallback) {
+  const Json* v = request.find(key);
+  if (v == nullptr) return fallback;
+  try {
+    return v->asBool();
+  } catch (const JsonError&) {
+    throw RequestError("field '" + key + "' must be a boolean");
+  }
+}
+
+std::string stringField(const Json& request, const std::string& key,
+                        const std::string& fallback) {
+  const Json* v = request.find(key);
+  if (v == nullptr) return fallback;
+  try {
+    return v->asString();
+  } catch (const JsonError&) {
+    throw RequestError("field '" + key + "' must be a string");
+  }
+}
+
+JobId idField(const Json& request) {
+  const Json* v = request.find("id");
+  if (v == nullptr) throw RequestError("missing field 'id'");
+  try {
+    return v->asInt64();
+  } catch (const JsonError&) {
+    throw RequestError("field 'id' must be an integer");
+  }
+}
+
+JobRequest parseSubmit(const Json& request, const ProtocolOptions& options) {
+  JobRequest job;
+
+  const Json* inlineTrace = request.find("trace");
+  const Json* traceFile = request.find("trace_file");
+  if ((inlineTrace != nullptr) == (traceFile != nullptr)) {
+    throw RequestError(
+        "submit needs exactly one of 'trace' (inline pimtrace text) or "
+        "'trace_file' (server-side path)");
+  }
+  try {
+    if (inlineTrace != nullptr) {
+      std::istringstream is(inlineTrace->asString());
+      job.trace = loadTrace(is);
+    } else {
+      if (!options.allowTraceFiles) {
+        throw RequestError("trace_file submissions are disabled; inline "
+                           "the trace in the 'trace' field");
+      }
+      job.trace = loadTraceFile(traceFile->asString());
+    }
+  } catch (const RequestError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw RequestError(std::string("cannot load trace: ") + e.what());
+  }
+
+  const std::string grid = stringField(request, "grid", "4x4");
+  const auto x = grid.find('x');
+  std::size_t parsed = 0;
+  try {
+    if (x == std::string::npos) throw std::invalid_argument(grid);
+    job.gridRows = std::stoi(grid.substr(0, x), &parsed);
+    if (parsed != x) throw std::invalid_argument(grid);
+    job.gridCols = std::stoi(grid.substr(x + 1), &parsed);
+    if (parsed != grid.size() - x - 1) throw std::invalid_argument(grid);
+  } catch (const std::exception&) {
+    throw RequestError("field 'grid' must look like \"4x4\"");
+  }
+  if (job.gridRows < 1 || job.gridCols < 1) {
+    throw RequestError("field 'grid' must name a grid of at least 1x1");
+  }
+
+  const std::string methodName = stringField(request, "method", "gomcds");
+  const std::optional<Method> method = methodFromString(methodName);
+  if (!method.has_value()) {
+    throw RequestError("unknown method '" + methodName + "'");
+  }
+  job.method = *method;
+
+  const std::int64_t windows = intField(request, "windows", -1);
+  if (windows == 0 || windows < -1) {
+    throw RequestError("field 'windows' must be a positive window count");
+  }
+  if (windows > 0) {
+    job.config.numWindows = static_cast<int>(windows);
+  } else {
+    job.config.explicitWindows =
+        WindowPartition::perStep(job.trace.numSteps());
+  }
+
+  if (const Json* cap = request.find("capacity"); cap != nullptr) {
+    if (cap->isNumber()) {
+      job.config.capacity = cap->asInt64();
+      if (job.config.capacity < 0) {
+        throw RequestError("numeric 'capacity' must be >= 0");
+      }
+    } else if (cap->isString() && cap->asString() == "paper") {
+      job.config.capacity = PipelineConfig::kPaperCapacity;
+    } else if (cap->isString() && cap->asString() == "unlimited") {
+      job.config.capacity = PipelineConfig::kUnlimited;
+    } else {
+      throw RequestError(
+          "field 'capacity' must be \"paper\", \"unlimited\" or a number");
+    }
+  }  // default: the paper's capacity rule (PipelineConfig)
+
+  const std::int64_t threads = intField(request, "threads", 1);
+  if (threads < 0) throw RequestError("field 'threads' must be >= 0");
+  job.config.threads = static_cast<unsigned>(threads);
+
+  job.priority = static_cast<int>(intField(request, "priority", 0));
+  job.deadlineMs = intField(request, "deadline_ms", -1);
+  return job;
+}
+
+void fillResultFields(Json& reply, const JobStatus& status,
+                      const JobResult* result, bool includeSchedule) {
+  reply.set("state", toString(status.state));
+  if (!status.error.empty()) reply.set("error_detail", status.error);
+  if (result == nullptr) return;
+  reply.set("serve", result->eval.aggregate.serve);
+  reply.set("move", result->eval.aggregate.move);
+  reply.set("total", result->eval.aggregate.total());
+  reply.set("digest", result->digest.hex());
+  reply.set("cache_hit", result->cacheHit);
+  reply.set("wait_ns", result->waitNs);
+  reply.set("run_ns", result->runNs);
+  if (includeSchedule) reply.set("schedule", result->scheduleText);
+}
+
+}  // namespace
+
+ProtocolHandler::ProtocolHandler(SchedulingService& service,
+                                 ProtocolOptions options)
+    : service_(&service), options_(options) {}
+
+std::string ProtocolHandler::handleLine(std::string_view line,
+                                        bool* shutdownRequested) {
+  if (shutdownRequested != nullptr) *shutdownRequested = false;
+  if (line.size() > options_.maxFrameBytes) {
+    return errorReply("frame too large (" + std::to_string(line.size()) +
+                      " bytes, limit " +
+                      std::to_string(options_.maxFrameBytes) + ")");
+  }
+  Json request;
+  try {
+    request = Json::parse(line);
+  } catch (const JsonError& e) {
+    return errorReply(std::string("parse error: ") + e.what());
+  }
+  if (!request.isObject()) {
+    return errorReply("request must be a JSON object");
+  }
+
+  try {
+    const std::string verb = stringField(request, "verb", "");
+    if (verb.empty()) throw RequestError("missing field 'verb'");
+
+    if (verb == "submit") {
+      JobRequest job = parseSubmit(request, options_);
+      const bool wait = boolField(request, "wait", false);
+      const bool includeSchedule = boolField(request, "schedule", false);
+      const SubmitOutcome outcome = service_->submit(std::move(job));
+      if (!outcome.accepted) {
+        return errorReply("rejected: " + outcome.reason);
+      }
+      Json reply;
+      reply.set("ok", true)
+          .set("id", outcome.id)
+          .set("cached", outcome.cached);
+      if (wait) {
+        const auto result = service_->result(outcome.id, /*wait=*/true);
+        const auto status = service_->status(outcome.id);
+        fillResultFields(reply, *status, result.get(), includeSchedule);
+      }
+      return reply.dump();
+    }
+
+    if (verb == "status") {
+      const auto status = service_->status(idField(request));
+      if (!status.has_value()) throw RequestError("unknown job id");
+      Json reply;
+      reply.set("ok", true)
+          .set("state", toString(status->state))
+          .set("priority", status->priority)
+          .set("digest", status->digest.hex());
+      if (!status->error.empty()) reply.set("error_detail", status->error);
+      return reply.dump();
+    }
+
+    if (verb == "result") {
+      const JobId id = idField(request);
+      const bool wait = boolField(request, "wait", true);
+      const bool includeSchedule = boolField(request, "schedule", false);
+      auto status = service_->status(id);
+      if (!status.has_value()) throw RequestError("unknown job id");
+      const auto result = service_->result(id, wait);
+      status = service_->status(id);  // state may have advanced while waiting
+      if (result == nullptr && !isTerminal(status->state)) {
+        throw RequestError("job not finished (state " +
+                           toString(status->state) + ")");
+      }
+      Json reply;
+      reply.set("ok", true);
+      fillResultFields(reply, *status, result.get(), includeSchedule);
+      return reply.dump();
+    }
+
+    if (verb == "cancel") {
+      const JobId id = idField(request);
+      if (!service_->status(id).has_value()) {
+        throw RequestError("unknown job id");
+      }
+      Json reply;
+      reply.set("ok", true).set("cancelled", service_->cancel(id));
+      return reply.dump();
+    }
+
+    if (verb == "stats") {
+      const ServiceStats s = service_->stats();
+      Json reply;
+      reply.set("ok", true)
+          .set("queue_depth", static_cast<std::int64_t>(s.queueDepth))
+          .set("running", static_cast<std::int64_t>(s.running))
+          .set("accepted", s.accepted)
+          .set("rejected", s.rejected)
+          .set("completed", s.completed)
+          .set("failed", s.failed)
+          .set("cancelled", s.cancelled)
+          .set("deadline_missed", s.expired)
+          .set("cache_hits", s.cacheHits)
+          .set("cache_misses", s.cacheMisses)
+          .set("cache_entries", static_cast<std::int64_t>(s.cacheEntries));
+      return reply.dump();
+    }
+
+    if (verb == "shutdown") {
+      if (!options_.allowShutdown) {
+        throw RequestError("shutdown is disabled on this server");
+      }
+      if (shutdownRequested != nullptr) *shutdownRequested = true;
+      Json reply;
+      reply.set("ok", true).set("draining", true);
+      return reply.dump();
+    }
+
+    throw RequestError("unknown verb '" + verb + "'");
+  } catch (const RequestError& e) {
+    return errorReply(e.what());
+  } catch (const std::exception& e) {
+    return errorReply(std::string("internal error: ") + e.what());
+  }
+}
+
+}  // namespace pimsched::serve

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "serve/service.hpp"
+
+namespace pimsched::serve {
+
+struct ProtocolOptions {
+  /// Requests longer than this are rejected with a structured error (the
+  /// transport additionally closes a connection whose unterminated line
+  /// exceeds it, since resynchronisation is impossible).
+  std::size_t maxFrameBytes = 4u << 20;
+  /// Permit `trace_file` submissions that read server-side paths. The
+  /// daemon enables this; embedders exposed to untrusted clients can turn
+  /// it off and require inline traces.
+  bool allowTraceFiles = true;
+  /// Permit the `shutdown` verb.
+  bool allowShutdown = true;
+};
+
+/// The serving wire protocol: newline-delimited JSON request objects, one
+/// JSON reply object per request. Verbs (the `verb` member):
+///
+///   submit    trace | trace_file, grid "RxC", method, windows, capacity
+///             ("paper" | "unlimited" | N), threads, priority, deadline_ms,
+///             wait — replies {ok, id, cached[, result fields when wait]}
+///   status    id — replies {ok, state, priority[, error]}
+///   result    id, wait (default true), schedule (include schedule text) —
+///             replies {ok, state, serve, move, total, digest, cache_hit,
+///             wait_ns, run_ns[, schedule]}
+///   cancel    id — replies {ok, cancelled}
+///   stats     — replies {ok, queue_depth, running, accepted, rejected,
+///             completed, failed, cancelled, deadline_missed, cache_hits,
+///             cache_misses, cache_entries}
+///   shutdown  — replies {ok, draining:true}; the transport drains + exits
+///
+/// Every failure — malformed JSON, oversized frame, unknown verb, missing
+/// or ill-typed fields, unreadable traces — produces {ok:false, error:
+/// "..."} and never throws, so one bad client request can never wedge the
+/// daemon.
+class ProtocolHandler {
+ public:
+  explicit ProtocolHandler(SchedulingService& service,
+                           ProtocolOptions options = {});
+
+  /// Handles one request line (without the trailing newline) and returns
+  /// the reply object serialised on one line (without a newline). Sets
+  /// *shutdownRequested when an allowed `shutdown` verb was accepted;
+  /// never throws.
+  std::string handleLine(std::string_view line,
+                         bool* shutdownRequested = nullptr);
+
+  [[nodiscard]] const ProtocolOptions& options() const { return options_; }
+
+ private:
+  SchedulingService* service_;
+  ProtocolOptions options_;
+};
+
+}  // namespace pimsched::serve

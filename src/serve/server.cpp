@@ -1,0 +1,191 @@
+#include "serve/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <stdexcept>
+
+#include "obs/obs.hpp"
+
+namespace pimsched::serve {
+
+namespace {
+
+constexpr int kPollMs = 100;
+
+/// write() the whole buffer, riding out EINTR and partial writes. Returns
+/// false when the peer is gone (EPIPE etc.) — the caller just drops the
+/// connection.
+bool writeAll(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+SocketServer::SocketServer(SchedulingService& service, Options options)
+    : service_(&service), options_(std::move(options)) {}
+
+SocketServer::~SocketServer() {
+  if (listenFd_ >= 0) {
+    ::close(listenFd_);
+    ::unlink(options_.socketPath.c_str());
+  }
+  // run() joins its threads; this covers start()-then-destroy without run.
+  std::lock_guard<std::mutex> lock(threadsMutex_);
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void SocketServer::start() {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socketPath.empty() ||
+      options_.socketPath.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("SocketServer: socket path empty or longer "
+                             "than sockaddr_un allows: " +
+                             options_.socketPath);
+  }
+  std::memcpy(addr.sun_path, options_.socketPath.c_str(),
+              options_.socketPath.size() + 1);
+
+  listenFd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listenFd_ < 0) {
+    throw std::runtime_error(std::string("SocketServer: socket(): ") +
+                             std::strerror(errno));
+  }
+  // A stale socket file from a crashed daemon would fail bind(); remove it
+  // only when nothing is listening there.
+  if (::connect(listenFd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) == 0) {
+    ::close(listenFd_);
+    listenFd_ = -1;
+    throw std::runtime_error("SocketServer: another daemon is already "
+                             "listening on " + options_.socketPath);
+  }
+  ::unlink(options_.socketPath.c_str());
+  if (::bind(listenFd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listenFd_, options_.backlog) != 0) {
+    const std::string what = std::strerror(errno);
+    ::close(listenFd_);
+    listenFd_ = -1;
+    throw std::runtime_error("SocketServer: cannot listen on " +
+                             options_.socketPath + ": " + what);
+  }
+  // Replies to vanished clients must surface as write() errors, not kill
+  // the daemon with SIGPIPE.
+  ::signal(SIGPIPE, SIG_IGN);
+}
+
+int SocketServer::run() {
+  if (listenFd_ < 0) start();
+  PIMSCHED_COUNTER_ADD("serve.server.started", 1);
+
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listenFd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    const int fd = ::accept(listenFd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    PIMSCHED_COUNTER_ADD("serve.server.connections", 1);
+    std::lock_guard<std::mutex> lock(threadsMutex_);
+    threads_.emplace_back([this, fd] { handleConnection(fd); });
+  }
+
+  // Graceful drain: stop accepting, finish every accepted job (this also
+  // releases connections blocked in result-waits), then let connection
+  // threads close.
+  ::close(listenFd_);
+  listenFd_ = -1;
+  ::unlink(options_.socketPath.c_str());
+  service_->drain();
+  closing_.store(true, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(threadsMutex_);
+    for (std::thread& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+    threads_.clear();
+  }
+  return 0;
+}
+
+void SocketServer::handleConnection(int fd) {
+  ProtocolHandler handler(*service_, options_.protocol);
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+
+  const auto respond = [&](std::string_view line) {
+    bool shutdownRequested = false;
+    std::string reply = handler.handleLine(line, &shutdownRequested);
+    reply.push_back('\n');
+    PIMSCHED_COUNTER_ADD("serve.server.requests", 1);
+    if (!writeAll(fd, reply)) open = false;
+    if (shutdownRequested) {
+      stop_.store(true, std::memory_order_relaxed);
+      open = false;
+    }
+  };
+
+  while (open && !closing_.load(std::memory_order_relaxed)) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) {
+      // EOF. A non-empty remainder is a truncated frame — still answer it
+      // (half-closed clients read the reply) before dropping out.
+      if (!buffer.empty()) respond(buffer);
+      break;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start);
+         nl != std::string::npos && open;
+         nl = buffer.find('\n', start)) {
+      std::string_view line(buffer.data() + start, nl - start);
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      if (!line.empty()) respond(line);
+      start = nl + 1;
+    }
+    buffer.erase(0, start);
+    if (buffer.size() > options_.protocol.maxFrameBytes) {
+      // An unterminated over-long frame can never complete: hand it to the
+      // handler (whose size check produces the structured "frame too
+      // large" reply) and close — there is no line boundary to resync on.
+      respond(buffer);
+      break;
+    }
+  }
+  ::close(fd);
+}
+
+}  // namespace pimsched::serve

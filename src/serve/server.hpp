@@ -1,0 +1,72 @@
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "serve/service.hpp"
+
+namespace pimsched::serve {
+
+/// Unix-domain-socket transport for the NDJSON protocol: accepts stream
+/// connections on `socketPath`, runs one handler thread per connection,
+/// and feeds complete lines to a ProtocolHandler. The accept and read
+/// loops poll with a short timeout so requestStop() — safe to call from a
+/// signal handler, it only stores a lock-free atomic — is honoured
+/// promptly.
+///
+/// Lifecycle: start() binds + listens (throwing on failure), run() blocks
+/// serving until a client `shutdown` verb or requestStop(), then closes
+/// the listen socket, drains the service (every accepted job finishes and
+/// in-flight `result` waits are answered), joins connection threads and
+/// unlinks the socket; it returns 0 on a clean drain. A connection whose
+/// unterminated line exceeds maxFrameBytes gets a structured error reply
+/// and is closed (the stream cannot be resynchronised); a truncated final
+/// line (EOF without newline) is handled as a request so the client still
+/// gets a structured reply where the transport allows it.
+class SocketServer {
+ public:
+  struct Options {
+    std::string socketPath;
+    ProtocolOptions protocol;
+    int backlog = 16;
+  };
+
+  SocketServer(SchedulingService& service, Options options);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds and listens. Throws std::runtime_error on socket/bind failure
+  /// (e.g. path too long for sockaddr_un, or a live socket already bound).
+  void start();
+
+  /// Serves until shutdown; drains; returns the process exit code (0 on a
+  /// clean drain).
+  int run();
+
+  /// Async-signal-safe stop request (single relaxed atomic store).
+  void requestStop() { stop_.store(true, std::memory_order_relaxed); }
+
+  [[nodiscard]] const std::string& socketPath() const {
+    return options_.socketPath;
+  }
+
+ private:
+  void handleConnection(int fd);
+
+  SchedulingService* service_;
+  Options options_;
+  int listenFd_ = -1;
+  std::atomic<bool> stop_{false};
+  /// Tells connection threads to close once their current request is done.
+  std::atomic<bool> closing_{false};
+  std::mutex threadsMutex_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace pimsched::serve

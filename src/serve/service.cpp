@@ -1,0 +1,281 @@
+#include "serve/service.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "core/schedule_io.hpp"
+#include "obs/obs.hpp"
+#include "pim/grid.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pimsched::serve {
+
+std::string toString(JobState s) {
+  switch (s) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+    case JobState::kExpired: return "expired";
+  }
+  return "unknown";
+}
+
+bool isTerminal(JobState s) {
+  return s != JobState::kQueued && s != JobState::kRunning;
+}
+
+Digest jobDigest(const JobRequest& request) {
+  const Digest trace = traceDigest(request.trace);
+  const Digest config = configDigest(request.config);
+  DigestBuilder b;
+  b.str("pimjob");
+  b.u64(trace.hi);
+  b.u64(trace.lo);
+  b.u64(config.hi);
+  b.u64(config.lo);
+  b.i64(request.gridRows);
+  b.i64(request.gridCols);
+  b.i64(static_cast<std::int64_t>(request.method));
+  return b.digest();
+}
+
+SchedulingService::SchedulingService() : SchedulingService(Config()) {}
+
+SchedulingService::SchedulingService(Config config)
+    : config_(config) {
+  if (config_.concurrency == 0) config_.concurrency = 1;
+}
+
+SchedulingService::~SchedulingService() { drain(); }
+
+SubmitOutcome SchedulingService::submit(JobRequest request) {
+  if (!request.trace.finalized()) request.trace.finalize();
+  const Digest digest = jobDigest(request);
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (draining_) {
+    ++statRejected_;
+    PIMSCHED_COUNTER_ADD("serve.jobs.rejected", 1);
+    return SubmitOutcome{false, -1, "service is draining", false};
+  }
+
+  if (config_.cacheEnabled) {
+    const auto it = cache_.find(digest.hex());
+    if (it != cache_.end()) {
+      ++statCacheHits_;
+      ++statAccepted_;
+      ++statCompleted_;
+      PIMSCHED_COUNTER_ADD("serve.cache.hit", 1);
+      PIMSCHED_COUNTER_ADD("serve.jobs.accepted", 1);
+      PIMSCHED_COUNTER_ADD("serve.jobs.completed", 1);
+      // The cached JobResult is shared; re-stamp only the per-job fields.
+      auto served = std::make_shared<JobResult>(*it->second);
+      served->cacheHit = true;
+      served->waitNs = 0;
+      served->runNs = 0;
+      auto job = std::make_shared<Job>();
+      job->id = nextId_++;
+      job->state = JobState::kDone;
+      job->digest = digest;
+      job->result = std::move(served);
+      job->request.priority = request.priority;
+      jobs_.emplace(job->id, job);
+      cv_.notify_all();
+      return SubmitOutcome{true, job->id, "", true};
+    }
+    ++statCacheMisses_;
+    PIMSCHED_COUNTER_ADD("serve.cache.miss", 1);
+  }
+
+  if (queue_.size() >= config_.maxQueueDepth) {
+    ++statRejected_;
+    PIMSCHED_COUNTER_ADD("serve.jobs.rejected", 1);
+    return SubmitOutcome{
+        false, -1,
+        "queue full (" + std::to_string(queue_.size()) + " jobs queued, "
+        "limit " + std::to_string(config_.maxQueueDepth) + ")",
+        false};
+  }
+
+  auto job = std::make_shared<Job>();
+  job->id = nextId_++;
+  job->request = std::move(request);
+  job->digest = digest;
+  job->submitNs = obs::nowNs();
+  if (job->request.deadlineMs >= 0) {
+    job->deadlineNs = job->submitNs + job->request.deadlineMs * 1'000'000;
+  }
+  jobs_.emplace(job->id, job);
+  queue_.emplace(std::make_pair(-job->request.priority, job->id), job);
+  ++statAccepted_;
+  PIMSCHED_COUNTER_ADD("serve.jobs.accepted", 1);
+  PIMSCHED_COUNTER_ADD("serve.queue.enqueued", 1);
+  maybeDispatchLocked();
+  return SubmitOutcome{true, job->id, "", false};
+}
+
+void SchedulingService::maybeDispatchLocked() {
+  while (running_ < config_.concurrency && !queue_.empty()) {
+    auto it = queue_.begin();
+    std::shared_ptr<Job> job = it->second;
+    queue_.erase(it);
+    PIMSCHED_COUNTER_ADD("serve.queue.dequeued", 1);
+    if (job->deadlineNs >= 0 && obs::nowNs() > job->deadlineNs) {
+      finishLocked(*job, JobState::kExpired);
+      continue;
+    }
+    job->state = JobState::kRunning;
+    ++running_;
+    ThreadPool::global().submit([this, job] { runJob(job); });
+  }
+}
+
+void SchedulingService::finishLocked(Job& job, JobState state) {
+  job.state = state;
+  switch (state) {
+    case JobState::kDone:
+      ++statCompleted_;
+      PIMSCHED_COUNTER_ADD("serve.jobs.completed", 1);
+      break;
+    case JobState::kFailed:
+      ++statFailed_;
+      PIMSCHED_COUNTER_ADD("serve.jobs.failed", 1);
+      break;
+    case JobState::kCancelled:
+      ++statCancelled_;
+      PIMSCHED_COUNTER_ADD("serve.jobs.cancelled", 1);
+      break;
+    case JobState::kExpired:
+      ++statExpired_;
+      PIMSCHED_COUNTER_ADD("serve.jobs.deadline_missed", 1);
+      break;
+    default: break;
+  }
+  cv_.notify_all();
+}
+
+void SchedulingService::cacheInsertLocked(
+    const Digest& digest, std::shared_ptr<const JobResult> result) {
+  if (!config_.cacheEnabled || config_.maxCacheEntries == 0) return;
+  std::string key = digest.hex();
+  if (cache_.emplace(key, std::move(result)).second) {
+    cacheOrder_.push_back(std::move(key));
+    while (cacheOrder_.size() > config_.maxCacheEntries) {
+      cache_.erase(cacheOrder_.front());
+      cacheOrder_.pop_front();
+    }
+  }
+}
+
+void SchedulingService::runJob(const std::shared_ptr<Job>& job) {
+  const std::int64_t startNs = obs::nowNs();
+  std::shared_ptr<JobResult> result;
+  std::string error;
+  try {
+    PIMSCHED_SCOPED_TIMER("serve.job.run");
+    const JobRequest& req = job->request;
+    const Grid grid(req.gridRows, req.gridCols);
+    const Experiment exp(req.trace, grid, req.config);
+    DataSchedule schedule = exp.schedule(req.method);
+    result = std::make_shared<JobResult>();
+    result->eval = evaluateSchedule(schedule, exp.refs(), exp.costModel(),
+                                    req.config.threads);
+    std::ostringstream os;
+    saveSchedule(schedule, os);
+    result->scheduleText = std::move(os).str();
+    result->digest = job->digest;
+  } catch (const std::exception& e) {
+    error = e.what();
+    result.reset();
+  } catch (...) {
+    error = "unknown error";
+    result.reset();
+  }
+  const std::int64_t endNs = obs::nowNs();
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (result != nullptr) {
+    result->waitNs = startNs - job->submitNs;
+    result->runNs = endNs - startNs;
+#ifndef PIMSCHED_NO_OBS
+    obs::Registry::instance().timer("serve.job.wait").record(result->waitNs);
+#endif
+    job->result = result;
+    cacheInsertLocked(job->digest, result);
+    finishLocked(*job, JobState::kDone);
+  } else {
+    job->error = std::move(error);
+    finishLocked(*job, JobState::kFailed);
+  }
+  --running_;
+  maybeDispatchLocked();
+  // cv_ is notified under the lock (finishLocked), so a drain()er that
+  // observes running_ == 0 cannot race this task's last touch of *this.
+  cv_.notify_all();
+}
+
+std::optional<JobStatus> SchedulingService::status(JobId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  const Job& job = *it->second;
+  JobStatus s;
+  s.state = job.state;
+  s.priority = job.request.priority;
+  s.digest = job.digest;
+  s.error = job.error;
+  return s;
+}
+
+std::shared_ptr<const JobResult> SchedulingService::result(JobId id,
+                                                           bool wait) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return nullptr;
+  const std::shared_ptr<Job> job = it->second;
+  if (wait) {
+    cv_.wait(lock, [&] { return isTerminal(job->state); });
+  }
+  return isTerminal(job->state) ? job->result : nullptr;
+}
+
+bool SchedulingService::cancel(JobId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  Job& job = *it->second;
+  if (job.state != JobState::kQueued) return false;
+  queue_.erase(std::make_pair(-job.request.priority, job.id));
+  PIMSCHED_COUNTER_ADD("serve.queue.dequeued", 1);
+  finishLocked(job, JobState::kCancelled);
+  return true;
+}
+
+ServiceStats SchedulingService::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ServiceStats s;
+  s.queueDepth = queue_.size();
+  s.running = running_;
+  s.accepted = statAccepted_;
+  s.rejected = statRejected_;
+  s.completed = statCompleted_;
+  s.failed = statFailed_;
+  s.cancelled = statCancelled_;
+  s.expired = statExpired_;
+  s.cacheHits = statCacheHits_;
+  s.cacheMisses = statCacheMisses_;
+  s.cacheEntries = cache_.size();
+  return s;
+}
+
+void SchedulingService::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  draining_ = true;
+  // Queued jobs are still dispatched while draining — drain means "finish
+  // everything accepted", not "abandon the queue".
+  cv_.wait(lock, [&] { return queue_.empty() && running_ == 0; });
+}
+
+}  // namespace pimsched::serve

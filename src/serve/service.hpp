@@ -1,0 +1,190 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "core/evaluator.hpp"
+#include "core/pipeline.hpp"
+#include "trace/trace.hpp"
+#include "trace/trace_io.hpp"
+
+namespace pimsched::serve {
+
+using JobId = std::int64_t;
+
+/// One unit of serving work: schedule `trace` on a gridRows x gridCols
+/// array with `config` using `method`, and evaluate the result.
+struct JobRequest {
+  ReferenceTrace trace{DataSpace{}};
+  int gridRows = 4;
+  int gridCols = 4;
+  PipelineConfig config;
+  Method method = Method::kGomcds;
+
+  /// Higher runs first; FIFO within a priority level.
+  int priority = 0;
+  /// Milliseconds from submission after which a still-queued job is
+  /// dropped as deadline-missed instead of being started; < 0 = none.
+  /// A job that starts in time always runs to completion.
+  std::int64_t deadlineMs = -1;
+};
+
+enum class JobState {
+  kQueued,
+  kRunning,
+  kDone,
+  kFailed,     ///< pipeline threw; error message in JobStatus::error
+  kCancelled,  ///< cancelled while queued
+  kExpired,    ///< deadline passed before a worker picked it up
+};
+
+[[nodiscard]] std::string toString(JobState s);
+[[nodiscard]] bool isTerminal(JobState s);
+
+/// The product of one job: evaluation result, the serialised schedule (the
+/// pimsched v1 text a PIM runtime would load), the job's content digest,
+/// and the per-job profile snapshot (queue wait + run time).
+struct JobResult {
+  EvalResult eval;
+  std::string scheduleText;
+  Digest digest;
+  bool cacheHit = false;
+  std::int64_t waitNs = 0;
+  std::int64_t runNs = 0;
+};
+
+struct JobStatus {
+  JobState state = JobState::kQueued;
+  int priority = 0;
+  Digest digest;
+  std::string error;  ///< non-empty iff state == kFailed
+};
+
+struct SubmitOutcome {
+  bool accepted = false;
+  JobId id = -1;
+  std::string reason;   ///< rejection reason when !accepted
+  bool cached = false;  ///< job completed instantly from the result cache
+};
+
+struct ServiceStats {
+  std::size_t queueDepth = 0;
+  std::size_t running = 0;
+  std::int64_t accepted = 0;
+  std::int64_t rejected = 0;
+  std::int64_t completed = 0;
+  std::int64_t failed = 0;
+  std::int64_t cancelled = 0;
+  std::int64_t expired = 0;
+  std::int64_t cacheHits = 0;
+  std::int64_t cacheMisses = 0;
+  std::size_t cacheEntries = 0;
+};
+
+/// Content address of a job: mixes traceDigest, configDigest, the grid
+/// shape and the method, so two submissions that must produce identical
+/// schedules share one digest (and one result-cache entry) while any
+/// input that can change the answer changes it.
+[[nodiscard]] Digest jobDigest(const JobRequest& request);
+
+/// Persistent scheduling service: a bounded priority job queue feeding up
+/// to `concurrency` jobs concurrently onto the shared util/thread_pool,
+/// fronted by a content-addressed result cache. One service instance is
+/// meant to live for the process (the daemon wraps exactly one), so the
+/// thread pool, the serving cost cache state inside each job run, and the
+/// result cache all survive across requests.
+///
+/// Backpressure: submissions beyond `maxQueueDepth` *queued* (not running)
+/// jobs are rejected with a reason instead of blocking the caller.
+///
+/// Counters (global obs registry): serve.jobs.{accepted,rejected,
+/// completed,failed,cancelled,deadline_missed}, serve.cache.{hit,miss},
+/// serve.queue.{enqueued,dequeued}; timers serve.job.wait / serve.job.run.
+class SchedulingService {
+ public:
+  struct Config {
+    /// Queued-job bound; submissions past it are rejected with a reason.
+    std::size_t maxQueueDepth = 64;
+    /// Jobs in flight at once on the shared pool. Per-job parallelism
+    /// (PipelineConfig::threads) degrades to sequential inside a pool
+    /// worker, so throughput comes from cross-job concurrency here.
+    unsigned concurrency = 2;
+    bool cacheEnabled = true;
+    /// Result-cache entry bound; the oldest entry is evicted past it.
+    std::size_t maxCacheEntries = 1024;
+  };
+
+  SchedulingService();  ///< all Config defaults
+  explicit SchedulingService(Config config);
+  /// Drains: finishes every queued and running job before returning.
+  ~SchedulingService();
+
+  SchedulingService(const SchedulingService&) = delete;
+  SchedulingService& operator=(const SchedulingService&) = delete;
+
+  /// Finalizes the trace if needed, content-addresses the job, and either
+  /// answers from the result cache (accepted + cached, job born kDone),
+  /// enqueues it, or rejects it (queue full / draining).
+  SubmitOutcome submit(JobRequest request);
+
+  /// nullopt for an unknown id.
+  [[nodiscard]] std::optional<JobStatus> status(JobId id) const;
+
+  /// The job's result. wait == true blocks until the job reaches a
+  /// terminal state. Returns nullptr for unknown ids, non-terminal jobs
+  /// (when !wait) and jobs that ended kFailed/kCancelled/kExpired — use
+  /// status() to distinguish.
+  [[nodiscard]] std::shared_ptr<const JobResult> result(JobId id,
+                                                        bool wait = true);
+
+  /// Cancels a still-queued job; running or finished jobs return false.
+  bool cancel(JobId id);
+
+  [[nodiscard]] ServiceStats stats() const;
+
+  /// Stops accepting submissions and blocks until every queued and
+  /// running job has reached a terminal state. Idempotent.
+  void drain();
+
+ private:
+  struct Job {
+    JobId id = -1;
+    JobRequest request;
+    JobState state = JobState::kQueued;
+    Digest digest;
+    std::string error;
+    std::shared_ptr<const JobResult> result;
+    std::int64_t submitNs = 0;
+    std::int64_t deadlineNs = -1;  ///< absolute, -1 = none
+  };
+
+  void maybeDispatchLocked();
+  void runJob(const std::shared_ptr<Job>& job);
+  void finishLocked(Job& job, JobState state);
+  void cacheInsertLocked(const Digest& digest,
+                         std::shared_ptr<const JobResult> result);
+
+  Config config_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool draining_ = false;
+  unsigned running_ = 0;
+  JobId nextId_ = 1;
+  std::map<JobId, std::shared_ptr<Job>> jobs_;
+  /// Queued jobs ordered by (-priority, id): begin() is the next to run.
+  std::map<std::pair<int, JobId>, std::shared_ptr<Job>> queue_;
+  std::unordered_map<std::string, std::shared_ptr<const JobResult>> cache_;
+  std::deque<std::string> cacheOrder_;  ///< insertion order for eviction
+  std::int64_t statAccepted_ = 0, statRejected_ = 0, statCompleted_ = 0,
+               statFailed_ = 0, statCancelled_ = 0, statExpired_ = 0,
+               statCacheHits_ = 0, statCacheMisses_ = 0;
+};
+
+}  // namespace pimsched::serve

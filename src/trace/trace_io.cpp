@@ -8,8 +8,96 @@
 namespace pimsched {
 
 namespace {
+
 constexpr const char* kMagic = "pimtrace v1";
+
+constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+/// Seed/byte perturbations decorrelating the hi word from the lo word.
+constexpr std::uint64_t kHiSeedXor = 0x9e3779b97f4a7c15ull;
+constexpr unsigned char kHiByteXor = 0x5c;
+
 }  // namespace
+
+std::string Digest::hex() const {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    const std::uint64_t word = i < 8 ? hi : lo;
+    const int shift = 8 * (7 - (i % 8));
+    const auto byte = static_cast<unsigned char>((word >> shift) & 0xFFu);
+    out[static_cast<std::size_t>(2 * i)] = kHex[byte >> 4];
+    out[static_cast<std::size_t>(2 * i + 1)] = kHex[byte & 0xF];
+  }
+  return out;
+}
+
+std::optional<Digest> Digest::fromHex(std::string_view s) {
+  if (s.size() != 32) return std::nullopt;
+  Digest d;
+  for (int i = 0; i < 32; ++i) {
+    const char c = s[static_cast<std::size_t>(i)];
+    std::uint64_t nibble = 0;
+    if (c >= '0' && c <= '9') nibble = static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') {
+      nibble = static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return std::nullopt;
+    }
+    std::uint64_t& word = i < 16 ? d.hi : d.lo;
+    word = (word << 4) | nibble;
+  }
+  return d;
+}
+
+DigestBuilder::DigestBuilder()
+    : hi_(kFnvOffsetBasis ^ kHiSeedXor), lo_(kFnvOffsetBasis) {}
+
+void DigestBuilder::bytes(const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    lo_ = (lo_ ^ p[i]) * kFnvPrime;
+    hi_ = (hi_ ^ static_cast<unsigned char>(p[i] ^ kHiByteXor)) * kFnvPrime;
+  }
+}
+
+void DigestBuilder::u64(std::uint64_t v) {
+  unsigned char le[8];
+  for (int i = 0; i < 8; ++i) {
+    le[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xFFu);
+  }
+  bytes(le, sizeof(le));
+}
+
+void DigestBuilder::str(std::string_view s) {
+  u64(s.size());
+  bytes(s.data(), s.size());
+}
+
+Digest traceDigest(const ReferenceTrace& trace) {
+  if (!trace.finalized()) {
+    throw std::invalid_argument(
+        "traceDigest: trace must be finalized (finalize() canonicalises "
+        "access order, making the digest content-addressed)");
+  }
+  DigestBuilder b;
+  b.str("pimtrace");
+  const auto& arrays = trace.dataSpace().arrays();
+  b.u64(arrays.size());
+  for (const DataSpace::ArrayInfo& a : arrays) {
+    b.str(a.name);
+    b.i64(a.rows);
+    b.i64(a.cols);
+  }
+  b.u64(trace.accesses().size());
+  for (const Access& acc : trace.accesses()) {
+    b.i64(acc.step);
+    b.i64(acc.proc);
+    b.i64(acc.data);
+    b.i64(acc.weight);
+  }
+  return b.digest();
+}
 
 void saveTrace(const ReferenceTrace& trace, std::ostream& os) {
   os << kMagic << '\n';

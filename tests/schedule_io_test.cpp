@@ -100,6 +100,63 @@ TEST(ScheduleIo, FileRoundTripHonoursBound) {
   EXPECT_THROW((void)loadScheduleFile(path, 15), std::runtime_error);
 }
 
+TEST(ScheduleIo, WritesVerifiableIntegrityLine) {
+  std::stringstream ss;
+  saveSchedule(sample(), ss);
+  const std::string text = ss.str();
+  const std::string expected =
+      "# digest " + scheduleDigest(sample()).hex() + "\n";
+  EXPECT_NE(text.find(expected), std::string::npos) << text;
+  // And the loader accepts its own output.
+  std::stringstream in(text);
+  EXPECT_EQ(loadSchedule(in).center(2, 0), 15);
+}
+
+TEST(ScheduleIo, DetectsTamperedRowsViaDigest) {
+  std::stringstream ss;
+  saveSchedule(sample(), ss);
+  std::string text = ss.str();
+  // Flip one placement (5 -> 9) after the integrity line was written.
+  const std::size_t pos = text.find("\n5 6\n");
+  ASSERT_NE(pos, std::string::npos) << text;
+  text[pos + 1] = '9';
+  std::stringstream tampered(text);
+  try {
+    (void)loadSchedule(tampered);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("digest"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ScheduleIo, RejectsMalformedDigestLine) {
+  std::stringstream bad("pimsched v1 1 1\n# digest nothex\n0\n");
+  EXPECT_THROW((void)loadSchedule(bad), std::runtime_error);
+}
+
+TEST(ScheduleIo, FilesWithoutDigestLineStillLoad) {
+  // Pre-digest files (and hand-written ones) carry no integrity line.
+  std::stringstream legacy("pimsched v1 1 2\n4 7\n");
+  const DataSchedule s = loadSchedule(legacy);
+  EXPECT_EQ(s.center(0, 1), 7);
+}
+
+TEST(ScheduleIo, ScheduleDigestSeparatesShapeAndContent) {
+  const Digest base = scheduleDigest(sample());
+  EXPECT_EQ(base, scheduleDigest(sample()));  // deterministic
+  DataSchedule changed = sample();
+  changed.setCenter(1, 1, 2);
+  EXPECT_NE(base, scheduleDigest(changed));
+  // Same flat center list, different shape: 3x2 vs 2x3 must not collide.
+  DataSchedule reshaped(2, 3);
+  const DataSchedule s = sample();
+  for (int i = 0; i < 6; ++i) {
+    reshaped.setCenter(i / 3, i % 3, s.center(i / 2, i % 2));
+  }
+  EXPECT_NE(base, scheduleDigest(reshaped));
+}
+
 TEST(ScheduleIo, FileRoundTrip) {
   const std::string path =
       ::testing::TempDir() + "/pimsched_schedule_test.txt";

@@ -1,0 +1,325 @@
+#include "serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "serve/json.hpp"
+#include "trace/trace_io.hpp"
+
+namespace pimsched::serve {
+namespace {
+
+// ---------------------------------------------------------------- Json --
+
+TEST(Json, ParsesScalarsExactly) {
+  EXPECT_TRUE(Json::parse("null").isNull());
+  EXPECT_EQ(Json::parse("true").asBool(), true);
+  EXPECT_EQ(Json::parse("false").asBool(), false);
+  EXPECT_EQ(Json::parse("42").asInt64(), 42);
+  EXPECT_EQ(Json::parse("-7").asInt64(), -7);
+  // Large ids stay exact instead of being squeezed through a double.
+  EXPECT_EQ(Json::parse("9007199254740993").asInt64(), 9007199254740993LL);
+  EXPECT_DOUBLE_EQ(Json::parse("2.5").asDouble(), 2.5);
+  EXPECT_DOUBLE_EQ(Json::parse("1e3").asDouble(), 1000.0);
+  EXPECT_EQ(Json::parse("\"hi\"").asString(), "hi");
+}
+
+TEST(Json, ParsesEscapesIncludingSurrogatePairs) {
+  EXPECT_EQ(Json::parse(R"("a\nb\t\"\\")").asString(), "a\nb\t\"\\");
+  EXPECT_EQ(Json::parse(R"("A")").asString(), "A");
+  EXPECT_EQ(Json::parse(R"("é")").asString(), "\xc3\xa9");
+  // U+1F600 as a surrogate pair -> 4-byte UTF-8.
+  EXPECT_EQ(Json::parse(R"("😀")").asString(),
+            "\xf0\x9f\x98\x80");
+  EXPECT_THROW((void)Json::parse(R"("\ud83d")"), JsonError);  // lone high
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const Json v = Json::parse(R"({"a": [1, {"b": true}], "c": "x"})");
+  ASSERT_TRUE(v.isObject());
+  const Json* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->isArray());
+  EXPECT_EQ(a->asArray().at(0).asInt64(), 1);
+  EXPECT_EQ(a->asArray().at(1).find("b")->asBool(), true);
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW((void)Json::parse(""), JsonError);
+  EXPECT_THROW((void)Json::parse("{"), JsonError);
+  EXPECT_THROW((void)Json::parse("{\"a\":}"), JsonError);
+  EXPECT_THROW((void)Json::parse("[1,]"), JsonError);
+  EXPECT_THROW((void)Json::parse("nul"), JsonError);
+  EXPECT_THROW((void)Json::parse("\"unterminated"), JsonError);
+  EXPECT_THROW((void)Json::parse("{} trailing"), JsonError);
+  EXPECT_THROW((void)Json::parse("\xff\xfe"), JsonError);
+}
+
+TEST(Json, DepthLimitStopsHostileNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += '[';
+  for (int i = 0; i < 100; ++i) deep += ']';
+  EXPECT_THROW((void)Json::parse(deep, /*maxDepth=*/64), JsonError);
+  EXPECT_NO_THROW((void)Json::parse(deep, /*maxDepth=*/128));
+}
+
+TEST(Json, AccessorsRejectKindMismatches) {
+  const Json v = Json::parse("\"text\"");
+  EXPECT_THROW((void)v.asInt64(), JsonError);
+  EXPECT_THROW((void)v.asBool(), JsonError);
+  EXPECT_THROW((void)v.asObject(), JsonError);
+  // A fractional double has no exact integer value.
+  EXPECT_THROW((void)Json::parse("2.5").asInt64(), JsonError);
+  EXPECT_EQ(Json::parse("2").asDouble(), 2.0);  // int widens fine
+}
+
+TEST(Json, DumpIsOneLineAndRoundTrips) {
+  Json v;
+  v.set("b", 1).set("a", "two\nlines").set("c", Json::Array{Json(true)});
+  const std::string text = v.dump();
+  EXPECT_EQ(text.find('\n'), std::string::npos);  // NDJSON-safe
+  EXPECT_EQ(text, Json::parse(text).dump());      // stable round trip
+  // Ordered map => deterministic member order.
+  EXPECT_LT(text.find("\"a\""), text.find("\"b\""));
+}
+
+// ------------------------------------------------------------ protocol --
+
+std::string sampleTraceText() {
+  ReferenceTrace trace(DataSpace::singleSquare(3));
+  for (int s = 0; s < 4; ++s) {
+    for (int d = 0; d < 9; ++d) trace.add(s, (d + s) % 9, d);
+  }
+  trace.finalize();
+  std::ostringstream os;
+  saveTrace(trace, os);
+  return std::move(os).str();
+}
+
+Json submitRequest() {
+  Json request;
+  request.set("verb", "submit")
+      .set("trace", sampleTraceText())
+      .set("grid", "3x3")
+      .set("method", "gomcds")
+      .set("windows", 2)
+      .set("wait", true);
+  return request;
+}
+
+/// Sends one request line and parses the reply, asserting it is an object.
+Json call(ProtocolHandler& handler, const std::string& line,
+          bool* shutdown = nullptr) {
+  const std::string reply = handler.handleLine(line, shutdown);
+  const Json parsed = Json::parse(reply);
+  EXPECT_TRUE(parsed.isObject()) << reply;
+  return parsed;
+}
+
+/// Asserts the reply is {ok:false, error:...} and returns the error text.
+std::string expectError(ProtocolHandler& handler, const std::string& line) {
+  const Json reply = call(handler, line);
+  const Json* ok = reply.find("ok");
+  EXPECT_TRUE(ok != nullptr && ok->isBool() && !ok->asBool())
+      << reply.dump();
+  const Json* error = reply.find("error");
+  EXPECT_TRUE(error != nullptr && error->isString());
+  EXPECT_FALSE(error->asString().empty());
+  return error->asString();
+}
+
+TEST(Protocol, SubmitStatusResultCancelStatsWork) {
+  SchedulingService service;
+  ProtocolHandler handler(service);
+
+  const Json reply = call(handler, submitRequest().dump());
+  EXPECT_TRUE(reply.find("ok")->asBool());
+  EXPECT_FALSE(reply.find("cached")->asBool());
+  EXPECT_EQ(reply.find("state")->asString(), "done");  // wait:true
+  EXPECT_GT(reply.find("total")->asInt64(), 0);
+  EXPECT_EQ(reply.find("digest")->asString().size(), 32u);
+  const std::int64_t id = reply.find("id")->asInt64();
+
+  Json statusRequest;
+  statusRequest.set("verb", "status").set("id", id);
+  const Json status = call(handler, statusRequest.dump());
+  EXPECT_TRUE(status.find("ok")->asBool());
+  EXPECT_EQ(status.find("state")->asString(), "done");
+
+  Json resultRequest;
+  resultRequest.set("verb", "result").set("id", id).set("schedule", true);
+  const Json result = call(handler, resultRequest.dump());
+  EXPECT_TRUE(result.find("ok")->asBool());
+  EXPECT_EQ(result.find("total")->asInt64(), reply.find("total")->asInt64());
+  ASSERT_NE(result.find("schedule"), nullptr);
+  EXPECT_NE(result.find("schedule")->asString().find("pimsched v1"),
+            std::string::npos);
+
+  // A finished job can no longer be cancelled, but the verb still replies.
+  Json cancelRequest;
+  cancelRequest.set("verb", "cancel").set("id", id);
+  const Json cancel = call(handler, cancelRequest.dump());
+  EXPECT_TRUE(cancel.find("ok")->asBool());
+  EXPECT_FALSE(cancel.find("cancelled")->asBool());
+
+  const Json stats = call(handler, R"({"verb":"stats"})");
+  EXPECT_TRUE(stats.find("ok")->asBool());
+  EXPECT_EQ(stats.find("accepted")->asInt64(), 1);
+  EXPECT_EQ(stats.find("completed")->asInt64(), 1);
+}
+
+TEST(Protocol, ResubmitReportsTheCacheHit) {
+  SchedulingService service;
+  ProtocolHandler handler(service);
+  (void)call(handler, submitRequest().dump());
+  const Json second = call(handler, submitRequest().dump());
+  EXPECT_TRUE(second.find("ok")->asBool());
+  EXPECT_TRUE(second.find("cached")->asBool());
+  EXPECT_TRUE(second.find("cache_hit")->asBool());
+  const Json stats = call(handler, R"({"verb":"stats"})");
+  EXPECT_EQ(stats.find("cache_hits")->asInt64(), 1);
+}
+
+TEST(Protocol, MalformedJsonGetsAStructuredErrorReply) {
+  SchedulingService service;
+  ProtocolHandler handler(service);
+  EXPECT_NE(expectError(handler, "this is not json").find("parse error"),
+            std::string::npos);
+  (void)expectError(handler, "{\"verb\": \"stats\"");   // truncated frame
+  (void)expectError(handler, "");                        // empty line
+  (void)expectError(handler, std::string("\xff\xfe bad bytes"));
+  // The handler survives garbage: the next well-formed request succeeds.
+  EXPECT_TRUE(call(handler, R"({"verb":"stats"})").find("ok")->asBool());
+}
+
+TEST(Protocol, NonObjectRequestsAreRejected) {
+  SchedulingService service;
+  ProtocolHandler handler(service);
+  EXPECT_NE(expectError(handler, "42").find("object"), std::string::npos);
+  (void)expectError(handler, "[1,2]");
+  (void)expectError(handler, "\"stats\"");
+}
+
+TEST(Protocol, OversizedFramesAreRejectedWithTheLimit) {
+  SchedulingService service;
+  ProtocolOptions options;
+  options.maxFrameBytes = 64;
+  ProtocolHandler handler(service, options);
+  const std::string big(65, 'x');
+  const std::string error = expectError(handler, big);
+  EXPECT_NE(error.find("frame too large"), std::string::npos) << error;
+  EXPECT_NE(error.find("64"), std::string::npos) << error;
+  // At exactly the limit the frame is parsed (and fails as JSON, not size).
+  const std::string atLimit(64, 'x');
+  EXPECT_EQ(expectError(handler, atLimit).find("frame too large"),
+            std::string::npos);
+}
+
+TEST(Protocol, UnknownVerbsAndMissingFieldsAreRejected) {
+  SchedulingService service;
+  ProtocolHandler handler(service);
+  EXPECT_NE(expectError(handler, R"({"verb":"frobnicate"})")
+                .find("unknown verb"),
+            std::string::npos);
+  (void)expectError(handler, R"({})");                      // no verb
+  (void)expectError(handler, R"({"verb":"status"})");       // no id
+  (void)expectError(handler, R"({"verb":"status","id":"x"})");
+  (void)expectError(handler, R"({"verb":"status","id":999})");  // unknown
+  (void)expectError(handler, R"({"verb":"result","id":999})");
+  (void)expectError(handler, R"({"verb":"cancel","id":999})");
+}
+
+TEST(Protocol, SubmitValidationNamesTheBadField) {
+  SchedulingService service;
+  ProtocolHandler handler(service);
+  const std::string trace = sampleTraceText();
+
+  // Exactly one trace source.
+  (void)expectError(handler, R"({"verb":"submit"})");
+  Json both = submitRequest();
+  both.set("trace_file", "/tmp/x.pimtrace");
+  (void)expectError(handler, both.dump());
+
+  Json badGrid = submitRequest();
+  badGrid.set("grid", "4y4");
+  EXPECT_NE(expectError(handler, badGrid.dump()).find("grid"),
+            std::string::npos);
+  Json numericGrid = submitRequest();
+  numericGrid.set("grid", 4);
+  EXPECT_NE(expectError(handler, numericGrid.dump()).find("grid"),
+            std::string::npos);
+  Json zeroGrid = submitRequest();
+  zeroGrid.set("grid", "0x4");
+  (void)expectError(handler, zeroGrid.dump());
+
+  Json badMethod = submitRequest();
+  badMethod.set("method", "quantum");
+  EXPECT_NE(expectError(handler, badMethod.dump()).find("unknown method"),
+            std::string::npos);
+
+  Json badWindows = submitRequest();
+  badWindows.set("windows", 0);
+  EXPECT_NE(expectError(handler, badWindows.dump()).find("windows"),
+            std::string::npos);
+
+  Json badCapacity = submitRequest();
+  badCapacity.set("capacity", "infinite");
+  EXPECT_NE(expectError(handler, badCapacity.dump()).find("capacity"),
+            std::string::npos);
+  Json negativeCapacity = submitRequest();
+  negativeCapacity.set("capacity", -3);
+  (void)expectError(handler, negativeCapacity.dump());
+
+  Json badTrace = submitRequest();
+  badTrace.set("trace", "bogus v9");
+  EXPECT_NE(expectError(handler, badTrace.dump()).find("cannot load trace"),
+            std::string::npos);
+
+  Json badThreads = submitRequest();
+  badThreads.set("threads", -1);
+  (void)expectError(handler, badThreads.dump());
+
+  // None of the rejects reached the service.
+  EXPECT_EQ(service.stats().accepted, 0);
+  (void)trace;
+}
+
+TEST(Protocol, TraceFileSubmissionsCanBeDisabled) {
+  SchedulingService service;
+  ProtocolOptions options;
+  options.allowTraceFiles = false;
+  ProtocolHandler handler(service, options);
+  Json request;
+  request.set("verb", "submit").set("trace_file", "examples/fig1.pimtrace");
+  EXPECT_NE(expectError(handler, request.dump()).find("disabled"),
+            std::string::npos);
+}
+
+TEST(Protocol, ShutdownSetsTheFlagOnlyWhenAllowed) {
+  SchedulingService service;
+  ProtocolHandler handler(service);
+  bool shutdown = false;
+  const Json reply = call(handler, R"({"verb":"shutdown"})", &shutdown);
+  EXPECT_TRUE(reply.find("ok")->asBool());
+  EXPECT_TRUE(reply.find("draining")->asBool());
+  EXPECT_TRUE(shutdown);
+
+  // The flag is reset per call.
+  (void)call(handler, R"({"verb":"stats"})", &shutdown);
+  EXPECT_FALSE(shutdown);
+
+  ProtocolOptions locked;
+  locked.allowShutdown = false;
+  ProtocolHandler lockedHandler(service, locked);
+  shutdown = false;
+  const std::string error =
+      lockedHandler.handleLine(R"({"verb":"shutdown"})", &shutdown);
+  EXPECT_FALSE(shutdown);
+  EXPECT_NE(error.find("disabled"), std::string::npos) << error;
+}
+
+}  // namespace
+}  // namespace pimsched::serve

@@ -1,0 +1,268 @@
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "serve/json.hpp"
+#include "trace/trace_io.hpp"
+
+namespace pimsched::serve {
+namespace {
+
+std::string uniqueSocketPath(const std::string& tag) {
+  // Keep it short: sockaddr_un caps the path at ~107 bytes.
+  return ::testing::TempDir() + "pimsched_" + tag + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+/// A blocking test client on an already-connected fd.
+class Client {
+ public:
+  explicit Client(const std::string& socketPath) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, socketPath.c_str(), socketPath.size() + 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) throw std::runtime_error("socket() failed");
+    // The server may still be between start() and the accept loop; retry
+    // briefly instead of flaking.
+    for (int attempt = 0;; ++attempt) {
+      if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof(addr)) == 0) {
+        break;
+      }
+      if (attempt > 100) {
+        ::close(fd_);
+        throw std::runtime_error(std::string("connect() failed: ") +
+                                 std::strerror(errno));
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void sendRaw(const std::string& data) {
+    std::size_t off = 0;
+    while (off < data.size()) {
+      const ssize_t n = ::write(fd_, data.data() + off, data.size() - off);
+      ASSERT_GE(n, 0) << std::strerror(errno);
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  /// Half-closes the write side, leaving the read side open for a reply.
+  void endOfInput() { ::shutdown(fd_, SHUT_WR); }
+
+  /// Reads one newline-terminated reply; empty string on EOF first.
+  std::string readLine() {
+    while (buffer_.find('\n') == std::string::npos) {
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return "";
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+    const std::size_t nl = buffer_.find('\n');
+    std::string line = buffer_.substr(0, nl);
+    buffer_.erase(0, nl + 1);
+    return line;
+  }
+
+  Json request(const std::string& line) {
+    sendRaw(line + "\n");
+    const std::string reply = readLine();
+    EXPECT_FALSE(reply.empty()) << "no reply to: " << line;
+    return Json::parse(reply);
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+std::string submitLine(int steps = 4) {
+  ReferenceTrace trace(DataSpace::singleSquare(3));
+  for (int s = 0; s < steps; ++s) {
+    for (int d = 0; d < 9; ++d) trace.add(s, (d + s) % 9, d);
+  }
+  trace.finalize();
+  std::ostringstream os;
+  saveTrace(trace, os);
+  Json request;
+  request.set("verb", "submit")
+      .set("trace", std::move(os).str())
+      .set("grid", "3x3")
+      .set("windows", 2)
+      .set("wait", true);
+  return request.dump();
+}
+
+/// Runs the server on a background thread for the duration of one test.
+class ServerFixture {
+ public:
+  explicit ServerFixture(const std::string& tag,
+                         ProtocolOptions protocol = {}) {
+    SocketServer::Options options;
+    options.socketPath = uniqueSocketPath(tag);
+    options.protocol = protocol;
+    server = std::make_unique<SocketServer>(service, options);
+    server->start();
+    runner = std::thread([this] { exitCode = server->run(); });
+  }
+
+  ~ServerFixture() {
+    if (runner.joinable()) {
+      server->requestStop();
+      runner.join();
+    }
+  }
+
+  int join() {
+    runner.join();
+    return exitCode;
+  }
+
+  SchedulingService service;
+  std::unique_ptr<SocketServer> server;
+  std::thread runner;
+  int exitCode = -1;
+};
+
+TEST(SocketServer, SubmitsResolveAndResubmitsHitTheCache) {
+  ServerFixture fixture("e2e");
+  Client client(fixture.server->socketPath());
+
+  const Json first = client.request(submitLine());
+  ASSERT_TRUE(first.find("ok")->asBool()) << submitLine();
+  EXPECT_FALSE(first.find("cached")->asBool());
+  EXPECT_EQ(first.find("state")->asString(), "done");
+  const std::int64_t total = first.find("total")->asInt64();
+
+  // Same connection, same job: answered from the result cache.
+  const Json second = client.request(submitLine());
+  ASSERT_TRUE(second.find("ok")->asBool());
+  EXPECT_TRUE(second.find("cached")->asBool());
+  EXPECT_EQ(second.find("total")->asInt64(), total);
+
+  const Json stats = client.request(R"({"verb":"stats"})");
+  EXPECT_EQ(stats.find("cache_hits")->asInt64(), 1);
+
+  // The shutdown verb drains the server; run() returns the clean exit 0.
+  const Json bye = client.request(R"({"verb":"shutdown"})");
+  EXPECT_TRUE(bye.find("ok")->asBool());
+  EXPECT_EQ(fixture.join(), 0);
+}
+
+TEST(SocketServer, MalformedRequestsGetRepliesAndTheConnectionSurvives) {
+  ServerFixture fixture("malformed");
+  Client client(fixture.server->socketPath());
+
+  const Json garbage = client.request("not json at all");
+  EXPECT_FALSE(garbage.find("ok")->asBool());
+  EXPECT_FALSE(garbage.find("error")->asString().empty());
+
+  const Json unknown = client.request(R"({"verb":"frobnicate"})");
+  EXPECT_FALSE(unknown.find("ok")->asBool());
+
+  // The same connection still serves well-formed requests afterwards.
+  const Json stats = client.request(R"({"verb":"stats"})");
+  EXPECT_TRUE(stats.find("ok")->asBool());
+  EXPECT_EQ(stats.find("accepted")->asInt64(), 0);
+}
+
+TEST(SocketServer, TruncatedFinalLineStillGetsAStructuredReply) {
+  ServerFixture fixture("truncated");
+  Client client(fixture.server->socketPath());
+  // A half-written frame with no newline, then EOF: the server answers the
+  // remainder as a request so the client sees a structured error.
+  client.sendRaw(R"({"verb":"stat)");
+  client.endOfInput();
+  const std::string reply = client.readLine();
+  ASSERT_FALSE(reply.empty());
+  const Json parsed = Json::parse(reply);
+  EXPECT_FALSE(parsed.find("ok")->asBool());
+  EXPECT_FALSE(parsed.find("error")->asString().empty());
+}
+
+TEST(SocketServer, OversizedFrameIsRejectedAndTheConnectionClosed) {
+  ProtocolOptions protocol;
+  protocol.maxFrameBytes = 128;
+  ServerFixture fixture("oversize", protocol);
+  Client client(fixture.server->socketPath());
+  // No newline: the buffer outgrows the frame limit and cannot resync.
+  client.sendRaw(std::string(1024, 'x'));
+  const std::string reply = client.readLine();
+  ASSERT_FALSE(reply.empty());
+  const Json parsed = Json::parse(reply);
+  EXPECT_FALSE(parsed.find("ok")->asBool());
+  EXPECT_NE(parsed.find("error")->asString().find("frame too large"),
+            std::string::npos);
+  EXPECT_EQ(client.readLine(), "");  // server closed the stream
+
+  // The daemon is not wedged: a fresh connection works.
+  Client next(fixture.server->socketPath());
+  EXPECT_TRUE(next.request(R"({"verb":"stats"})").find("ok")->asBool());
+}
+
+TEST(SocketServer, RequestStopDrainsAndReturnsZero) {
+  ServerFixture fixture("stop");
+  Client client(fixture.server->socketPath());
+  const Json reply = client.request(submitLine());
+  ASSERT_TRUE(reply.find("ok")->asBool());
+  fixture.server->requestStop();  // what the SIGTERM handler calls
+  EXPECT_EQ(fixture.join(), 0);
+  // The socket file is unlinked on the way out.
+  EXPECT_NE(::access(fixture.server->socketPath().c_str(), F_OK), 0);
+}
+
+TEST(SocketServer, RefusesToStartOnALiveSocket) {
+  ServerFixture fixture("claimed");
+  SocketServer::Options options;
+  options.socketPath = fixture.server->socketPath();
+  SchedulingService other;
+  SocketServer second(other, options);
+  EXPECT_THROW(second.start(), std::runtime_error);
+}
+
+TEST(SocketServer, StartReplacesAStaleSocketFile) {
+  const std::string path = uniqueSocketPath("stale");
+  {
+    // Bind and exit without unlinking, as a crashed daemon would.
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr)),
+              0);
+    ::close(fd);
+  }
+  ASSERT_EQ(::access(path.c_str(), F_OK), 0);
+  SchedulingService service;
+  SocketServer::Options options;
+  options.socketPath = path;
+  SocketServer server(service, options);
+  EXPECT_NO_THROW(server.start());
+  std::thread runner([&] { server.run(); });
+  Client client(path);
+  EXPECT_TRUE(client.request(R"({"verb":"stats"})").find("ok")->asBool());
+  server.requestStop();
+  runner.join();
+}
+
+}  // namespace
+}  // namespace pimsched::serve

@@ -6,6 +6,7 @@
 #include <numeric>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace pimsched {
@@ -123,6 +124,58 @@ TEST(ThreadPool, DestructorDrainsQueuedTasks) {
     }
   }  // ~ThreadPool joins after draining
   EXPECT_EQ(done.load(), 20);
+}
+
+TEST(ThreadPool, ShutdownUnderLoadFromManySubmittersDrainsEverything) {
+  // The serving daemon destroys its work while submitter threads have just
+  // stopped: the destructor must run every task already submitted — no
+  // hang, no lost task — even when the queue is deep and the submitters
+  // were racing each other moments before.
+  constexpr int kSubmitters = 8;
+  constexpr int kTasksPerSubmitter = 200;
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<int> ran{0};
+    {
+      ThreadPool pool(2);
+      std::vector<std::thread> submitters;
+      submitters.reserve(kSubmitters);
+      for (int s = 0; s < kSubmitters; ++s) {
+        submitters.emplace_back([&] {
+          for (int i = 0; i < kTasksPerSubmitter; ++i) {
+            pool.submit([&] { ran.fetch_add(1); });
+          }
+        });
+      }
+      for (std::thread& s : submitters) s.join();
+      // Destroy the pool immediately, with (almost certainly) a deep
+      // backlog of queued tasks: 2 workers vs 1600 trivial submissions.
+    }
+    EXPECT_EQ(ran.load(), kSubmitters * kTasksPerSubmitter)
+        << "round " << round;
+  }
+}
+
+TEST(ThreadPool, ShutdownUnderLoadWithSlowTasksStillDrains) {
+  // Same shape, but every task yields so workers are mid-task at destroy
+  // time rather than racing through an empty queue.
+  std::atomic<int> ran{0};
+  constexpr int kTasks = 300;
+  {
+    ThreadPool pool(3);
+    std::vector<std::thread> submitters;
+    for (int s = 0; s < 3; ++s) {
+      submitters.emplace_back([&] {
+        for (int i = 0; i < kTasks / 3; ++i) {
+          pool.submit([&] {
+            std::this_thread::yield();
+            ran.fetch_add(1);
+          });
+        }
+      });
+    }
+    for (std::thread& s : submitters) s.join();
+  }
+  EXPECT_EQ(ran.load(), kTasks);
 }
 
 TEST(ThreadPool, GlobalPoolIsSingletonAndSized) {

@@ -1,0 +1,176 @@
+#include "trace/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/pipeline.hpp"
+
+namespace pimsched {
+namespace {
+
+ReferenceTrace sampleTrace() {
+  DataSpace space;
+  space.addArray("A", 2, 2);
+  ReferenceTrace trace(space);
+  trace.add(0, 0, 0, 3);
+  trace.add(0, 1, 2);
+  trace.add(1, 2, 3, 5);
+  trace.finalize();
+  return trace;
+}
+
+TEST(Digest, HexRendersHiWordFirst) {
+  const Digest d{0x0123456789abcdefULL, 0xfedcba9876543210ULL};
+  EXPECT_EQ(d.hex(), "0123456789abcdeffedcba9876543210");
+  EXPECT_EQ((Digest{0, 0}).hex(), std::string(32, '0'));
+}
+
+TEST(Digest, FromHexRoundTripsAndRejectsMalformedInput) {
+  const Digest d{0xdeadbeef00c0ffeeULL, 0x0011223344556677ULL};
+  const auto parsed = Digest::fromHex(d.hex());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, d);
+  EXPECT_FALSE(Digest::fromHex("").has_value());
+  EXPECT_FALSE(Digest::fromHex("abc").has_value());                // short
+  EXPECT_FALSE(Digest::fromHex(d.hex() + "0").has_value());       // long
+  std::string bad = d.hex();
+  bad[7] = 'g';
+  EXPECT_FALSE(Digest::fromHex(bad).has_value());  // non-hex character
+}
+
+TEST(DigestBuilder, IsDeterministicAndWordsAreDecorrelated) {
+  DigestBuilder a, b;
+  a.str("hello");
+  a.u64(42);
+  b.str("hello");
+  b.u64(42);
+  EXPECT_EQ(a.digest(), b.digest());
+  // The two words are independent FNV streams, not copies of each other.
+  EXPECT_NE(a.digest().hi, a.digest().lo);
+}
+
+TEST(DigestBuilder, U64UsesDocumentedLittleEndianBytes) {
+  // The byte stream is specified as little-endian so digests are stable
+  // across platforms: u64(0x0102) must equal the explicit byte sequence.
+  DigestBuilder viaInt, viaBytes;
+  viaInt.u64(0x0102);
+  const unsigned char raw[8] = {0x02, 0x01, 0, 0, 0, 0, 0, 0};
+  viaBytes.bytes(raw, sizeof(raw));
+  EXPECT_EQ(viaInt.digest(), viaBytes.digest());
+}
+
+TEST(DigestBuilder, StringFramingPreventsConcatenationCollisions) {
+  DigestBuilder a, b;
+  a.str("ab");
+  a.str("c");
+  b.str("a");
+  b.str("bc");
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(DigestBuilder, SingleBytePerturbationChangesBothWords) {
+  DigestBuilder a, b;
+  a.str("payload0");
+  b.str("payload1");
+  EXPECT_NE(a.digest().hi, b.digest().hi);
+  EXPECT_NE(a.digest().lo, b.digest().lo);
+}
+
+TEST(TraceDigest, EqualForLogicallyEqualTraces) {
+  // finalize() sorts and merges, so add order and duplicate splitting must
+  // not change the digest.
+  DataSpace space;
+  space.addArray("A", 2, 2);
+  ReferenceTrace shuffled(space);
+  shuffled.add(1, 2, 3, 5);
+  shuffled.add(0, 1, 2);
+  shuffled.add(0, 0, 0, 1);
+  shuffled.add(0, 0, 0, 2);  // merges with the previous access
+  shuffled.finalize();
+  EXPECT_EQ(traceDigest(shuffled), traceDigest(sampleTrace()));
+}
+
+TEST(TraceDigest, SensitiveToEveryInputComponent) {
+  const Digest base = traceDigest(sampleTrace());
+
+  DataSpace renamed;
+  renamed.addArray("B", 2, 2);
+  ReferenceTrace t1(renamed);
+  t1.add(0, 0, 0, 3);
+  t1.add(0, 1, 2);
+  t1.add(1, 2, 3, 5);
+  t1.finalize();
+  EXPECT_NE(traceDigest(t1), base);  // array name
+
+  DataSpace space;
+  space.addArray("A", 2, 2);
+  ReferenceTrace t2(space);
+  t2.add(0, 0, 0, 4);  // weight changed
+  t2.add(0, 1, 2);
+  t2.add(1, 2, 3, 5);
+  t2.finalize();
+  EXPECT_NE(traceDigest(t2), base);
+
+  ReferenceTrace t3(space);
+  t3.add(0, 0, 0, 3);
+  t3.add(0, 1, 2);
+  t3.add(2, 2, 3, 5);  // step changed
+  t3.finalize();
+  EXPECT_NE(traceDigest(t3), base);
+}
+
+TEST(TraceDigest, ThrowsOnUnfinalizedTrace) {
+  ReferenceTrace trace(DataSpace::singleSquare(2));
+  trace.add(0, 0, 0);
+  EXPECT_THROW((void)traceDigest(trace), std::invalid_argument);
+}
+
+TEST(ConfigDigest, SensitiveToSchedulingKnobs) {
+  const Digest base = configDigest(PipelineConfig{});
+
+  PipelineConfig windows;
+  windows.numWindows = 4;
+  EXPECT_NE(configDigest(windows), base);
+
+  PipelineConfig capacity;
+  capacity.capacity = PipelineConfig::kUnlimited;
+  EXPECT_NE(configDigest(capacity), base);
+
+  PipelineConfig order;
+  order.order = DataOrder::kById;
+  EXPECT_NE(configDigest(order), base);
+
+  PipelineConfig costs;
+  costs.costParams.hopCost += 1;
+  EXPECT_NE(configDigest(costs), base);
+
+  PipelineConfig explicitWindows;
+  explicitWindows.explicitWindows = WindowPartition::perStep(8);
+  EXPECT_NE(configDigest(explicitWindows), base);
+  PipelineConfig otherBoundaries;
+  otherBoundaries.explicitWindows = WindowPartition::evenCount(8, 2);
+  EXPECT_NE(configDigest(otherBoundaries), configDigest(explicitWindows));
+}
+
+TEST(ConfigDigest, ThreadCountDoesNotSplitTheCache) {
+  // Results are bit-identical for every thread count, so thread count is
+  // deliberately excluded from the content address.
+  PipelineConfig sequential, parallel;
+  sequential.threads = 1;
+  parallel.threads = 8;
+  EXPECT_EQ(configDigest(sequential), configDigest(parallel));
+}
+
+TEST(MethodFromString, RoundTripsTheSharedVocabulary) {
+  EXPECT_EQ(methodFromString("gomcds"), Method::kGomcds);
+  EXPECT_EQ(methodFromString("scds"), Method::kScds);
+  EXPECT_EQ(methodFromString("rowwise"), Method::kRowWise);
+  EXPECT_EQ(methodFromString("grouped"), Method::kGroupedLomcds);
+  EXPECT_FALSE(methodFromString("").has_value());
+  EXPECT_FALSE(methodFromString("GOMCDS").has_value());
+  EXPECT_FALSE(methodFromString("nope").has_value());
+}
+
+}  // namespace
+}  // namespace pimsched
