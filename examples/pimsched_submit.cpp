@@ -2,11 +2,14 @@
 // Builds one NDJSON request, sends it over the Unix socket, prints the
 // daemon's JSON reply on stdout and exits 0 when the reply says ok.
 //
-//   pimsched_submit --socket PATH VERB [args]
+//   pimsched_submit --socket PATH [--retries N] [--backoff MS] VERB [args]
 //     submit TRACE_FILE [--grid RxC] [--method NAME] [--windows N]
 //                       [--capacity N|paper|unlimited] [--threads N]
-//                       [--priority N] [--deadline-ms N] [--wait]
-//                       [--schedule] [--inline]
+//                       [--priority N] [--deadline-ms N] [--fault SPEC]...
+//                       [--wait] [--schedule] [--inline]
+//         --fault     add one fault spec (proc:P, link:A-B, row:R, col:C,
+//                     region:R0,C0,R1,C1, cap:P=N, uniform-procs:N@SEED,
+//                     uniform-links:N@SEED); repeatable
 //         --wait      block until the job finishes and include its result
 //         --schedule  include the scheduled placements in the reply
 //         --inline    send the trace text inline instead of a server-side
@@ -18,6 +21,12 @@
 //     stats
 //     shutdown
 //
+// --retries N retries transport failures (connect/read/write, e.g. the
+// daemon is still starting) up to N times with exponential backoff
+// starting at --backoff MS (default 100), with deterministic per-attempt
+// jitter. Error replies from the daemon are never retried — the daemon
+// already owns job-level retry.
+//
 // Exit codes: 0 = ok reply, 1 = error reply or transport failure,
 // 2 = bad usage.
 
@@ -26,8 +35,12 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <thread>
 #include <iostream>
 #include <sstream>
 #include <stdexcept>
@@ -40,11 +53,13 @@ namespace {
 using pimsched::serve::Json;
 
 void printUsage(std::ostream& os) {
-  os << "usage: pimsched_submit --socket PATH VERB [args]\n"
+  os << "usage: pimsched_submit --socket PATH [--retries N] [--backoff MS] "
+        "VERB [args]\n"
         "  submit TRACE_FILE [--grid RxC] [--method NAME] [--windows N]\n"
         "         [--capacity N|paper|unlimited] [--threads N] "
         "[--priority N]\n"
-        "         [--deadline-ms N] [--wait] [--schedule] [--inline]\n"
+        "         [--deadline-ms N] [--fault SPEC]... [--wait] "
+        "[--schedule] [--inline]\n"
         "  status ID | result ID [--no-wait] [--schedule] | cancel ID\n"
         "  stats | shutdown\n";
 }
@@ -134,6 +149,7 @@ Json buildRequest(const std::string& verb, int argc, char** argv, int i) {
     if (i >= argc) throw std::invalid_argument("submit needs a TRACE_FILE");
     const std::string traceFile = argv[i++];
     bool inlineTrace = false;
+    Json::Array faults;
     for (; i < argc; ++i) {
       const std::string arg = argv[i];
       if (arg == "--grid") request.set("grid", needValue(arg));
@@ -150,6 +166,8 @@ Json buildRequest(const std::string& verb, int argc, char** argv, int i) {
         request.set("priority", parseInt(arg, needValue(arg)));
       } else if (arg == "--deadline-ms") {
         request.set("deadline_ms", parseInt(arg, needValue(arg)));
+      } else if (arg == "--fault") {
+        faults.push_back(Json(needValue(arg)));
       } else if (arg == "--wait") {
         request.set("wait", true);
       } else if (arg == "--schedule") {
@@ -160,6 +178,7 @@ Json buildRequest(const std::string& verb, int argc, char** argv, int i) {
         throw std::invalid_argument("unknown option " + arg);
       }
     }
+    if (!faults.empty()) request.set("faults", Json(std::move(faults)));
     if (inlineTrace) {
       std::ifstream is(traceFile);
       if (!is) {
@@ -203,12 +222,23 @@ Json buildRequest(const std::string& verb, int argc, char** argv, int i) {
 
 int main(int argc, char** argv) {
   std::string socketPath;
+  long retries = 0;
+  long backoffMs = 100;
   int i = 1;
-  if (i + 1 < argc && std::string(argv[i]) == "--socket") {
-    socketPath = argv[i + 1];
+  while (i + 1 < argc) {
+    const std::string arg = argv[i];
+    if (arg == "--socket") {
+      socketPath = argv[i + 1];
+    } else if (arg == "--retries") {
+      retries = std::strtol(argv[i + 1], nullptr, 10);
+    } else if (arg == "--backoff") {
+      backoffMs = std::strtol(argv[i + 1], nullptr, 10);
+    } else {
+      break;
+    }
     i += 2;
   }
-  if (socketPath.empty() || i >= argc) {
+  if (socketPath.empty() || i >= argc || retries < 0 || backoffMs < 0) {
     std::cerr << "error: expected --socket PATH and a verb\n\n";
     printUsage(std::cerr);
     return 2;
@@ -227,14 +257,35 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  try {
-    const std::string reply = roundTrip(socketPath, request.dump());
-    std::cout << reply << '\n';
-    const Json parsed = Json::parse(reply);
-    const Json* ok = parsed.find("ok");
-    return (ok != nullptr && ok->isBool() && ok->asBool()) ? 0 : 1;
-  } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << '\n';
-    return 1;
+  // Transport retry with exponential backoff. Jitter is deterministic in
+  // the attempt number and pid so concurrent clients still de-synchronise
+  // without any wall-clock or PRNG dependency.
+  const std::string wire = request.dump();
+  for (long attempt = 0;; ++attempt) {
+    try {
+      const std::string reply = roundTrip(socketPath, wire);
+      std::cout << reply << '\n';
+      const Json parsed = Json::parse(reply);
+      const Json* ok = parsed.find("ok");
+      return (ok != nullptr && ok->isBool() && ok->asBool()) ? 0 : 1;
+    } catch (const std::exception& e) {
+      if (attempt >= retries) {
+        std::cerr << "error: " << e.what() << '\n';
+        return 1;
+      }
+      std::uint64_t state =
+          (static_cast<std::uint64_t>(::getpid()) << 16) ^
+          static_cast<std::uint64_t>(attempt + 1);
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      const long base = backoffMs << attempt;             // 1x, 2x, 4x, ...
+      const long jitter =
+          base > 0 ? static_cast<long>((state >> 33) %
+                                       static_cast<std::uint64_t>(base + 1))
+                   : 0;
+      const long delayMs = base + jitter / 2;  // [base, 1.5 * base]
+      std::cerr << "warn: " << e.what() << " (retry " << (attempt + 1)
+                << "/" << retries << " in " << delayMs << " ms)\n";
+      std::this_thread::sleep_for(std::chrono::milliseconds(delayMs));
+    }
   }
 }

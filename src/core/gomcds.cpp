@@ -8,6 +8,7 @@
 #include "core/data_order.hpp"
 #include "cost/center_costs.hpp"
 #include "cost/cost_cache.hpp"
+#include "fault/fault_map.hpp"
 #include "graph/layered_dag.hpp"
 #include "obs/obs.hpp"
 #include "pim/memory.hpp"
@@ -17,7 +18,17 @@ namespace pimsched {
 
 namespace {
 
-[[noreturn]] void throwInfeasible() {
+[[noreturn]] void throwInfeasible(const CostModel& model) {
+  // On a faulted mesh an infeasible cost-graph usually means the faults
+  // severed every placement path (dead mesh, partition), which callers
+  // handle differently from running out of slots.
+  if (const FaultMap* faults = model.faults()) {
+    if (faults->aliveProcCount() == 0 || model.distances().partitioned()) {
+      throw UnreachableError(
+          "scheduleGomcds: faulted mesh cannot host data (" +
+          faults->summary() + ")");
+    }
+  }
   throw std::runtime_error(
       "scheduleGomcds: capacity infeasible (no placement path)");
 }
@@ -47,6 +58,9 @@ DataSchedule scheduleGomcds(const WindowedRefs& refs, const CostModel& model,
 
   std::vector<OccupancyMap> occupancy(
       static_cast<std::size_t>(W), OccupancyMap(grid, options.capacity));
+  if (const FaultMap* faults = model.faults()) {
+    for (OccupancyMap& occ : occupancy) applyFaultCapacity(occ, *faults);
+  }
 
   // Serving-cost tables depend only on the reference string, so data with
   // identical strings (matmul, LU) share one memoized table.
@@ -67,16 +81,18 @@ DataSchedule scheduleGomcds(const WindowedRefs& refs, const CostModel& model,
     };
 
     LayeredPath path;
-    if (engine == GomcdsEngine::kChamfer) {
+    if (engine == GomcdsEngine::kChamfer && !model.faultAware()) {
       path = LayeredDagSolver::solveManhattan(grid, W, nodeCost, beta);
     } else {
+      // The chamfer min-plus transform assumes the metric is Manhattan,
+      // which fault-aware distances are not; price transitions through the
+      // model instead (moveCost == beta * distance, saturating).
       const auto trans = [&](int q, int p) -> Cost {
-        return beta * grid.manhattan(static_cast<ProcId>(q),
-                                     static_cast<ProcId>(p));
+        return model.moveCost(static_cast<ProcId>(q), static_cast<ProcId>(p));
       };
       path = LayeredDagSolver::solve(W, grid.size(), nodeCost, trans);
     }
-    if (!path.feasible()) throwInfeasible();
+    if (!path.feasible()) throwInfeasible(model);
     for (WindowId w = 0; w < W; ++w) {
       const auto p = static_cast<ProcId>(path.nodes[static_cast<std::size_t>(w)]);
       if (!occupancy[static_cast<std::size_t>(w)].tryPlace(p)) {
@@ -104,6 +120,9 @@ DataSchedule scheduleGomcdsParallel(const WindowedRefs& refs,
 
   std::vector<OccupancyMap> occupancy(
       static_cast<std::size_t>(W), OccupancyMap(grid, options.capacity));
+  if (const FaultMap* faults = model.faults()) {
+    for (OccupancyMap& occ : occupancy) applyFaultCapacity(occ, *faults);
+  }
   CenterCostCache cache(model);
 
   // plans[i] is the layered-DAG solution for order[i]; planned[i] marks it
@@ -152,7 +171,16 @@ DataSchedule scheduleGomcdsParallel(const WindowedRefs& refs,
             return serve[static_cast<std::size_t>(w)]
                         [static_cast<std::size_t>(p)];
           };
-          plans[i] = LayeredDagSolver::solveManhattan(grid, W, nodeCost, beta);
+          if (model.faultAware()) {
+            const auto trans = [&](int q, int p) -> Cost {
+              return model.moveCost(static_cast<ProcId>(q),
+                                    static_cast<ProcId>(p));
+            };
+            plans[i] = LayeredDagSolver::solve(W, grid.size(), nodeCost, trans);
+          } else {
+            plans[i] =
+                LayeredDagSolver::solveManhattan(grid, W, nodeCost, beta);
+          }
           planned[i] = 1;
         });
 
@@ -164,7 +192,7 @@ DataSchedule scheduleGomcdsParallel(const WindowedRefs& refs,
     for (; i < n; ++i) {
       // A plan infeasible against any snapshot stays infeasible under the
       // only-growing occupancy, exactly when the sequential engine throws.
-      if (!plans[i].feasible()) throwInfeasible();
+      if (!plans[i].feasible()) throwInfeasible(model);
       if (!pathFits(plans[i])) break;
       const DataId d = order[i];
       for (WindowId w = 0; w < W; ++w) {

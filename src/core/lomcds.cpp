@@ -6,6 +6,7 @@
 #include "core/data_order.hpp"
 #include "cost/center_costs.hpp"
 #include "cost/center_list.hpp"
+#include "fault/fault_map.hpp"
 #include "obs/obs.hpp"
 #include "pim/memory.hpp"
 
@@ -23,6 +24,9 @@ DataSchedule scheduleLomcds(const WindowedRefs& refs, const CostModel& model,
   std::int64_t placements = 0;
   for (WindowId w = 0; w < refs.numWindows(); ++w) {
     OccupancyMap occupancy(grid, options.capacity);
+    if (const FaultMap* faults = model.faults()) {
+      applyFaultCapacity(occupancy, *faults);
+    }
     for (const DataId d : order) {
       const std::span<const ProcWeight> rs = refs.refs(d, w);
       std::vector<Cost> costs;
@@ -36,11 +40,27 @@ DataSchedule scheduleLomcds(const WindowedRefs& refs, const CostModel& model,
           costs[static_cast<std::size_t>(p)] = model.moveCost(prev, p);
         }
       } else {
+        // First window, no references: any processor does — except dead
+        // ones, which cost zero like everything else here and so must be
+        // forbidden explicitly.
         costs.assign(static_cast<std::size_t>(grid.size()), 0);
+        if (model.faultAware()) {
+          for (ProcId p = 0; p < grid.size(); ++p) {
+            if (model.centerForbidden(p)) {
+              costs[static_cast<std::size_t>(p)] = kInfiniteCost;
+            }
+          }
+        }
       }
       const CenterList list(costs);
       const ProcId p = list.firstAvailable(occupancy);
       if (p == kNoProc) {
+        if (!list.hasFeasible()) {
+          throw UnreachableError(
+              "scheduleLomcds: no feasible center for datum " +
+              std::to_string(d) + " in window " + std::to_string(w) +
+              " on faulted mesh");
+        }
         throw std::runtime_error(
             "scheduleLomcds: capacity infeasible (all processors full)");
       }

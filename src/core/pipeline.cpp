@@ -58,6 +58,31 @@ Digest configDigest(const PipelineConfig& config) {
   return b.digest();
 }
 
+namespace {
+
+void resolveCapacity(std::int64_t& capacity, std::int64_t numData,
+                     std::int64_t procs) {
+  if (capacity == PipelineConfig::kPaperCapacity) {
+    // The paper's "twice the minimum" rule; over a faulted mesh the
+    // minimum counts only alive processors.
+    capacity = 2 * ((numData + procs - 1) / procs);
+  } else if (capacity == PipelineConfig::kUnlimited) {
+    capacity = -1;
+  } else if (capacity < 0) {
+    throw std::invalid_argument("Experiment: invalid capacity sentinel");
+  }
+}
+
+const FaultMap& checkFaultGrid(const FaultMap& faults, const Grid& grid) {
+  if (&faults.grid() != &grid) {
+    throw std::invalid_argument(
+        "Experiment: FaultMap built over a different grid");
+  }
+  return faults;
+}
+
+}  // namespace
+
 Experiment::Experiment(const ReferenceTrace& trace, const Grid& grid,
                        PipelineConfig config)
     : space_(&trace.dataSpace()),
@@ -74,13 +99,33 @@ Experiment::Experiment(const ReferenceTrace& trace, const Grid& grid,
     throw std::invalid_argument(
         "Experiment: trace has no steps (nothing to schedule)");
   }
-  if (capacity_ == PipelineConfig::kPaperCapacity) {
-    capacity_ = paperCapacity(grid, trace.numData());
-  } else if (capacity_ == PipelineConfig::kUnlimited) {
-    capacity_ = -1;
-  } else if (capacity_ < 0) {
-    throw std::invalid_argument("Experiment: invalid capacity sentinel");
+  resolveCapacity(capacity_, trace.numData(), grid.size());
+}
+
+Experiment::Experiment(const ReferenceTrace& trace, const Grid& grid,
+                       const FaultMap& faults, PipelineConfig config)
+    : space_(&trace.dataSpace()),
+      grid_(&grid),
+      config_(config),
+      windows_(config.explicitWindows.has_value()
+                   ? *config.explicitWindows
+                   : WindowPartition::evenCount(trace.numSteps(),
+                                                config.numWindows)),
+      faults_(checkFaultGrid(faults, grid)),
+      distances_(std::in_place, grid, *faults_),
+      refs_(WindowedRefs(trace, windows_, grid)
+                .withProcsMasked(faults_->deadProcMask())),
+      model_(grid, *distances_, config.costParams),
+      capacity_(config.capacity) {
+  if (trace.numSteps() == 0) {
+    throw std::invalid_argument(
+        "Experiment: trace has no steps (nothing to schedule)");
   }
+  if (faults_->aliveProcCount() == 0) {
+    throw UnreachableError("Experiment: every processor is dead (" +
+                           faults_->summary() + ")");
+  }
+  resolveCapacity(capacity_, trace.numData(), faults_->aliveProcCount());
 }
 
 DataSchedule Experiment::schedule(Method m) const {

@@ -9,6 +9,8 @@
 #include "core/grouping.hpp"
 #include "core/lomcds.hpp"
 #include "core/scds.hpp"
+#include "fault/distance_map.hpp"
+#include "fault/fault_map.hpp"
 #include "trace/trace_io.hpp"
 #include "trace/window.hpp"
 
@@ -74,10 +76,25 @@ struct PipelineConfig {
 /// Binds a trace to a grid + config and runs any Method on it. Windowing,
 /// reference aggregation and capacity resolution happen once in the
 /// constructor; schedules and costs are computed per call.
+///
+/// The fault-aware constructor layers a FaultMap over the grid: references
+/// issued by dead processors are dropped (dead processors make no
+/// requests), all costs use fault-aware hop distances, the paper-capacity
+/// rule counts only alive processors, and the scheduling methods refuse
+/// dead centers. With an empty FaultMap every result is bit-identical to
+/// the fault-oblivious constructor.
 class Experiment {
  public:
   Experiment(const ReferenceTrace& trace, const Grid& grid,
              PipelineConfig config = {});
+
+  /// Fault-aware experiment. `faults` must be built over `grid`, and
+  /// `grid` must outlive the experiment (the fault state is copied).
+  Experiment(const ReferenceTrace& trace, const Grid& grid,
+             const FaultMap& faults, PipelineConfig config = {});
+
+  Experiment(const Experiment&) = delete;
+  Experiment& operator=(const Experiment&) = delete;
 
   [[nodiscard]] const Grid& grid() const { return *grid_; }
   [[nodiscard]] const WindowedRefs& refs() const { return refs_; }
@@ -86,6 +103,10 @@ class Experiment {
   [[nodiscard]] const DataSpace& dataSpace() const { return *space_; }
   /// Resolved per-processor capacity (>= 0, or -1 for unlimited).
   [[nodiscard]] std::int64_t capacity() const { return capacity_; }
+  /// The fault state, or nullptr for a fault-oblivious experiment.
+  [[nodiscard]] const FaultMap* faults() const {
+    return faults_.has_value() ? &*faults_ : nullptr;
+  }
 
   /// Builds the schedule a method produces.
   [[nodiscard]] DataSchedule schedule(Method m) const;
@@ -98,8 +119,10 @@ class Experiment {
   const Grid* grid_;
   PipelineConfig config_;
   WindowPartition windows_;
+  std::optional<FaultMap> faults_;        ///< owned copy of the fault state
+  std::optional<DistanceMap> distances_;  ///< built over faults_
   WindowedRefs refs_;
-  CostModel model_;
+  CostModel model_;  ///< points at distances_ when fault-aware
   std::int64_t capacity_;
 };
 

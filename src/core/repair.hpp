@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/schedule.hpp"
+#include "cost/cost_model.hpp"
+#include "trace/windowed_refs.hpp"
+
+namespace pimsched {
+
+/// Options for online schedule repair after faults arrive mid-execution.
+struct RepairOptions {
+  /// First window executed under the new fault state: windows before it
+  /// already ran and are never touched; windows from it on are repaired.
+  WindowId faultWindow = 0;
+  /// Per-processor slot budget (< 0 = unlimited); the fault state's
+  /// per-processor reductions are applied on top.
+  std::int64_t capacity = -1;
+};
+
+/// Outcome of repairSchedule.
+struct RepairResult {
+  DataSchedule schedule;  ///< prefix [0, faultWindow) bit-identical to input
+
+  std::int64_t dataRepaired = 0;   ///< distinct data with >= 1 changed cell
+  std::int64_t cellsRepaired = 0;  ///< (datum, window) cells changed
+  /// Re-centers forced by reduced capacity rather than a dead or
+  /// unreachable center (surviving data evicted to make the window fit).
+  std::int64_t evictions = 0;
+  /// Migrations whose source center was dead or could not reach the new
+  /// center: the datum is restored out-of-band (e.g. from backing store),
+  /// so the mesh carries no traffic for it and the move is charged 0.
+  std::int64_t recoveredMigrations = 0;
+  /// Mesh traffic of the repair-induced migrations that *did* route
+  /// (recovered migrations excluded).
+  Cost migrationCost = 0;
+  /// repairSuffixCost of the repaired schedule — the comparable
+  /// "cost of the rest of the run" number.
+  Cost suffixCost = 0;
+};
+
+/// Repairs a schedule in place of re-running a scheduler: every datum
+/// whose center died, whose window's referencing processors can no longer
+/// reach its center, or whose window-to-window migration lost its route is
+/// re-centered onto the cheapest surviving feasible processor (fault-aware
+/// serve cost + migration from its previous center, recovery rule above).
+/// Unaffected data keep their placements — the point of repair is to move
+/// as little as possible. Within a window, surviving placements claim
+/// their slots first; repairs fill remaining capacity in DataId order.
+///
+/// `refs` and `model` must be the fault-aware pair of an Experiment built
+/// over the new fault state (masked refs + DistanceMap distances); with a
+/// fault-oblivious model nothing is broken and the input is returned
+/// unchanged. Throws UnreachableError when some datum has no feasible
+/// center at all, std::runtime_error when only capacity stands in the way.
+[[nodiscard]] RepairResult repairSchedule(const DataSchedule& schedule,
+                                          const WindowedRefs& refs,
+                                          const CostModel& model,
+                                          const RepairOptions& options = {});
+
+/// Cost of executing windows [fromWindow, numWindows) of a schedule under
+/// `model`: fault-aware serve cost of every cell plus migration between
+/// consecutive centers, including the boundary migration from window
+/// fromWindow - 1. Migrations from a dead source or with no alive route
+/// are charged 0 (the out-of-band recovery rule — see RepairResult);
+/// `recoveredOut`, when non-null, receives their count. This makes the
+/// numbers of a repaired schedule, a from-scratch re-schedule and the
+/// original schedule directly comparable over the same suffix.
+[[nodiscard]] Cost repairSuffixCost(const DataSchedule& schedule,
+                                    const WindowedRefs& refs,
+                                    const CostModel& model,
+                                    WindowId fromWindow,
+                                    std::int64_t* recoveredOut = nullptr);
+
+}  // namespace pimsched

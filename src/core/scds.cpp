@@ -6,6 +6,7 @@
 #include "core/data_order.hpp"
 #include "cost/center_costs.hpp"
 #include "cost/center_list.hpp"
+#include "fault/fault_map.hpp"
 #include "obs/obs.hpp"
 #include "pim/memory.hpp"
 
@@ -18,6 +19,9 @@ DataSchedule scheduleScds(const WindowedRefs& refs, const CostModel& model,
   // A static placement occupies its slot for the whole run, so a single
   // occupancy map covers every window.
   OccupancyMap occupancy(model.grid(), options.capacity);
+  if (const FaultMap* faults = model.faults()) {
+    applyFaultCapacity(occupancy, *faults);
+  }
 
   // Buffered locally and merged once on exit to keep the placement loop
   // free of atomic traffic.
@@ -29,6 +33,10 @@ DataSchedule scheduleScds(const WindowedRefs& refs, const CostModel& model,
     const CenterList list(costs);
     const ProcId p = list.firstAvailable(occupancy);
     if (p == kNoProc) {
+      if (!list.hasFeasible()) {
+        throw UnreachableError("scheduleScds: no feasible center for datum " +
+                               std::to_string(d) + " on faulted mesh");
+      }
       throw std::runtime_error(
           "scheduleScds: capacity infeasible (all processors full)");
     }

@@ -42,6 +42,43 @@ VerifyReport verifySchedule(const DataSchedule& schedule, const Grid& grid,
   return report;
 }
 
+VerifyReport verifyScheduleFaults(const DataSchedule& schedule,
+                                  const WindowedRefs& refs,
+                                  const CostModel& model) {
+  VerifyReport report;
+  if (!model.faultAware()) return report;
+  const DistanceMap& distances = model.distances();
+  for (DataId d = 0; d < schedule.numData(); ++d) {
+    for (WindowId w = 0; w < schedule.numWindows(); ++w) {
+      const ProcId p = schedule.center(d, w);
+      if (p == kNoProc || !model.grid().contains(p)) continue;  // verifySchedule's job
+      if (!distances.alive(p)) {
+        report.issues.push_back({ScheduleIssue::Kind::kDeadCenter, d, w, p,
+                                 "datum placed on a dead processor"});
+        continue;
+      }
+      for (const ProcWeight& pw : refs.refs(d, w)) {
+        if (distances.hopDistance(p, pw.proc) >= kInfiniteCost) {
+          report.issues.push_back(
+              {ScheduleIssue::Kind::kUnreachableServe, d, w, p,
+               "referencing processor " + std::to_string(pw.proc) +
+                   " cannot reach the center"});
+        }
+      }
+      if (w > 0) {
+        const ProcId prev = schedule.center(d, w - 1);
+        if (prev != kNoProc && prev != p && distances.alive(prev) &&
+            distances.hopDistance(prev, p) >= kInfiniteCost) {
+          report.issues.push_back(
+              {ScheduleIssue::Kind::kUnreachableMove, d, w, p,
+               "no alive route from previous center " + std::to_string(prev)});
+        }
+      }
+    }
+  }
+  return report;
+}
+
 ScheduleDiff diffSchedules(const DataSchedule& a, const DataSchedule& b) {
   if (a.numData() != b.numData() || a.numWindows() != b.numWindows()) {
     throw std::invalid_argument("diffSchedules: shape mismatch");

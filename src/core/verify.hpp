@@ -17,6 +17,9 @@ struct ScheduleIssue {
     kIncompleteCell,     ///< center unset for a (datum, window)
     kInvalidProcessor,   ///< center outside the grid
     kCapacityExceeded,   ///< a (window, processor) over its slot budget
+    kDeadCenter,         ///< a datum placed on a dead processor
+    kUnreachableServe,   ///< a referencing processor cannot reach the center
+    kUnreachableMove,    ///< a window-to-window migration has no alive route
   };
   Kind kind;
   DataId data = -1;     ///< -1 when not datum-specific
@@ -35,6 +38,17 @@ struct VerifyReport {
 [[nodiscard]] VerifyReport verifySchedule(const DataSchedule& schedule,
                                           const Grid& grid,
                                           std::int64_t capacity);
+
+/// Fault-side checks of a schedule against a fault-aware cost model: no
+/// datum on a dead processor (kDeadCenter), every referencing processor
+/// can reach its window's center over the alive sub-mesh
+/// (kUnreachableServe), and every migration between consecutive windows
+/// has an alive route (kUnreachableMove). A model without a DistanceMap
+/// trivially passes. This is what the serving daemon runs on schedules
+/// produced against a faulted topology before replying `completed`.
+[[nodiscard]] VerifyReport verifyScheduleFaults(const DataSchedule& schedule,
+                                                const WindowedRefs& refs,
+                                                const CostModel& model);
 
 /// Differences between two schedules over the same shape: how many
 /// (datum, window) cells differ and how the migration behaviour changes.

@@ -41,10 +41,50 @@ std::vector<Cost> axisCosts(std::span<const Cost> hist) {
   return f;
 }
 
+namespace {
+
+/// Fault-aware table: serveCost per center read off the DistanceMap. Dead
+/// centers are kInfiniteCost even for empty reference strings — a datum
+/// may never be placed on a dead processor, whether or not anyone reads
+/// it this window. On a DistanceMap of an empty FaultMap every distance
+/// equals the Manhattan distance, so this produces the same integers the
+/// separable sweep does.
+void faultCenterCostsInto(const CostModel& model,
+                          std::span<const ProcWeight> refs,
+                          std::vector<Cost>& out) {
+  const DistanceMap& distances = model.distances();
+  const int m = model.grid().size();
+  const Cost hop = model.params().hopCost;
+  out.resize(static_cast<std::size_t>(m));
+  for (ProcId p = 0; p < m; ++p) {
+    if (!distances.alive(p)) {
+      out[static_cast<std::size_t>(p)] = kInfiniteCost;
+      continue;
+    }
+    Cost sum = 0;
+    for (const ProcWeight& pw : refs) {
+      const Cost d = distances.hopDistance(p, pw.proc);
+      if (d >= kInfiniteCost) {
+        sum = kInfiniteCost;
+        break;
+      }
+      sum += pw.weight * d;
+    }
+    out[static_cast<std::size_t>(p)] =
+        sum >= kInfiniteCost ? kInfiniteCost : sum * hop;
+  }
+}
+
+}  // namespace
+
 void separableCenterCostsInto(const CostModel& model,
                               std::span<const ProcWeight> refs,
                               std::vector<Cost>& out) {
   PIMSCHED_COUNTER_ADD("cost.center_eval_calls", 1);
+  if (model.faultAware()) {
+    faultCenterCostsInto(model, refs, out);
+    return;
+  }
   const Grid& grid = model.grid();
   std::vector<Cost> rowHist(static_cast<std::size_t>(grid.rows()), 0);
   std::vector<Cost> colHist(static_cast<std::size_t>(grid.cols()), 0);

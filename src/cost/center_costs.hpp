@@ -23,6 +23,11 @@ namespace pimsched {
 /// returning a fresh vector per (datum, window). Every variant counts one
 /// `cost.center_eval_calls`; see CenterCostCache (cost/cost_cache.hpp) for
 /// the memoized front end and its hit/miss counters.
+///
+/// When the model is fault-aware (carries a DistanceMap), every variant
+/// instead prices centers by fault-aware hop distance; dead processors
+/// and centers that cannot reach some referencing processor cost
+/// kInfiniteCost, which downstream feasibility checks treat as forbidden.
 [[nodiscard]] std::vector<Cost> bruteForceCenterCosts(
     const CostModel& model, std::span<const ProcWeight> refs);
 

@@ -18,9 +18,16 @@ CenterList::CenterList(std::span<const Cost> costs)
 
 ProcId CenterList::firstAvailable(const OccupancyMap& occupancy) const {
   for (const ProcId p : order_) {
+    if (costs_[static_cast<std::size_t>(p)] >= kInfiniteCost) return kNoProc;
     if (occupancy.hasRoom(p)) return p;
   }
   return kNoProc;
+}
+
+bool CenterList::hasFeasible() const {
+  // order_ is sorted ascending, so feasibility is decided by the head.
+  return !order_.empty() && costs_[static_cast<std::size_t>(order_.front())] <
+                                kInfiniteCost;
 }
 
 }  // namespace pimsched

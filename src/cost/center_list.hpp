@@ -25,9 +25,16 @@ class CenterList {
     return costs_[static_cast<std::size_t>(p)];
   }
 
-  /// First processor in the list with a free slot, or kNoProc when all are
-  /// full (capacity made infeasible; callers treat that as an error).
+  /// First *feasible* processor in the list with a free slot, or kNoProc
+  /// when all are full (capacity made infeasible; callers treat that as an
+  /// error). Processors priced kInfiniteCost — dead or unreachable on a
+  /// faulted mesh — are never returned, no matter how empty they are.
   [[nodiscard]] ProcId firstAvailable(const OccupancyMap& occupancy) const;
+
+  /// True when at least one processor has finite hosting cost. False means
+  /// no feasible placement exists at all (e.g. the datum's readers are
+  /// partitioned from every alive processor).
+  [[nodiscard]] bool hasFeasible() const;
 
  private:
   std::vector<Cost> costs_;

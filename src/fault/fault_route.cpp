@@ -1,0 +1,85 @@
+#include "fault/fault_route.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <string>
+
+#include "obs/obs.hpp"
+
+namespace pimsched {
+
+namespace {
+
+[[noreturn]] void throwUnreachable(const FaultMap& faults, ProcId src,
+                                   ProcId dst, const char* why) {
+  PIMSCHED_COUNTER_ADD("fault.route.unreachable", 1);
+  throw UnreachableError("faultRoute: no route " + std::to_string(src) +
+                         " -> " + std::to_string(dst) + " (" + why +
+                         "; faults: " + faults.summary() + ")");
+}
+
+}  // namespace
+
+std::vector<ProcId> faultRoute(const Grid& grid, const FaultMap& faults,
+                               ProcId src, ProcId dst) {
+  if (faults.procDead(src) || faults.procDead(dst)) {
+    throwUnreachable(faults, src, dst, "endpoint dead");
+  }
+
+  // Fast path: the x-y route, when every node and directed hop on it is
+  // alive. This keeps fault-free routing bit-identical to xyRoute and
+  // only falls back to BFS for traffic the faults actually block.
+  std::vector<ProcId> xy = xyRoute(grid, src, dst);
+  bool blocked = false;
+  for (std::size_t i = 0; i < xy.size() && !blocked; ++i) {
+    if (faults.procDead(xy[i])) blocked = true;
+    if (!blocked && i + 1 < xy.size() && faults.linkDead(xy[i], xy[i + 1])) {
+      blocked = true;
+    }
+  }
+  if (!blocked) return xy;
+
+  PIMSCHED_COUNTER_ADD("fault.route.bfs", 1);
+  std::vector<ProcId> parent(static_cast<std::size_t>(grid.size()), kNoProc);
+  std::vector<char> seen(static_cast<std::size_t>(grid.size()), 0);
+  std::deque<ProcId> frontier;
+  seen[static_cast<std::size_t>(src)] = 1;
+  frontier.push_back(src);
+  while (!frontier.empty() && seen[static_cast<std::size_t>(dst)] == 0) {
+    const ProcId cur = frontier.front();
+    frontier.pop_front();
+    for (const ProcId next : grid.neighbors(cur)) {
+      if (seen[static_cast<std::size_t>(next)] != 0 ||
+          faults.procDead(next) || faults.linkDead(cur, next)) {
+        continue;
+      }
+      seen[static_cast<std::size_t>(next)] = 1;
+      parent[static_cast<std::size_t>(next)] = cur;
+      frontier.push_back(next);
+    }
+  }
+  if (seen[static_cast<std::size_t>(dst)] == 0) {
+    throwUnreachable(faults, src, dst, "mesh partitioned");
+  }
+
+  std::vector<ProcId> path;
+  for (ProcId p = dst; p != kNoProc; p = parent[static_cast<std::size_t>(p)]) {
+    path.push_back(p);
+    if (p == src) break;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<Link> faultLinks(const Grid& grid, const FaultMap& faults,
+                             ProcId src, ProcId dst) {
+  const std::vector<ProcId> path = faultRoute(grid, faults, src, dst);
+  std::vector<Link> links;
+  links.reserve(path.size() - 1);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    links.push_back(Link{path[i], path[i + 1]});
+  }
+  return links;
+}
+
+}  // namespace pimsched

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <vector>
+
+#include "fault/fault_map.hpp"
+#include "pim/grid.hpp"
+#include "pim/routing.hpp"
+
+namespace pimsched {
+
+/// Fault-aware routing: the x-y route when every hop of it is alive (so a
+/// fault-free mesh routes bit-identically to xyRoute), otherwise a
+/// deterministic BFS detour over the alive sub-mesh (shortest alive path;
+/// ties resolved by the fixed N/S/W/E neighbor expansion order). Returns
+/// the node sequence including both endpoints.
+///
+/// Throws UnreachableError when src or dst is dead or the alive sub-mesh
+/// has no src -> dst path (the mesh is partitioned).
+[[nodiscard]] std::vector<ProcId> faultRoute(const Grid& grid,
+                                             const FaultMap& faults,
+                                             ProcId src, ProcId dst);
+
+/// The directed links traversed by faultRoute (empty when src == dst).
+[[nodiscard]] std::vector<Link> faultLinks(const Grid& grid,
+                                           const FaultMap& faults, ProcId src,
+                                           ProcId dst);
+
+}  // namespace pimsched

@@ -1,0 +1,260 @@
+#include "fault/fault_trace.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <sstream>
+#include <stdexcept>
+
+namespace pimsched {
+
+namespace {
+
+struct ParsedSpec {
+  std::string verb;
+  std::vector<std::int64_t> args;
+  std::uint64_t seed = 0;
+  bool hasSeed = false;
+};
+
+[[noreturn]] void badSpec(const std::string& spec, const char* why) {
+  throw std::invalid_argument("fault spec \"" + spec + "\": " + why);
+}
+
+std::int64_t parseInt(const std::string& spec, const std::string& tok) {
+  try {
+    std::size_t used = 0;
+    const long long v = std::stoll(tok, &used);
+    if (used != tok.size()) badSpec(spec, "trailing characters in number");
+    return static_cast<std::int64_t>(v);
+  } catch (const std::invalid_argument&) {
+    badSpec(spec, "expected a number");
+  } catch (const std::out_of_range&) {
+    badSpec(spec, "number out of range");
+  }
+}
+
+std::uint64_t parseSeed(const std::string& spec, const std::string& tok) {
+  try {
+    std::size_t used = 0;
+    const unsigned long long v = std::stoull(tok, &used);
+    if (used != tok.size()) badSpec(spec, "trailing characters in seed");
+    return static_cast<std::uint64_t>(v);
+  } catch (const std::invalid_argument&) {
+    badSpec(spec, "expected a seed");
+  } catch (const std::out_of_range&) {
+    badSpec(spec, "seed out of range");
+  }
+}
+
+/// Splits `body` on `sep`, parsing each piece as an integer.
+std::vector<std::int64_t> parseIntList(const std::string& spec,
+                                       const std::string& body, char sep) {
+  std::vector<std::int64_t> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t end = body.find(sep, start);
+    out.push_back(parseInt(spec, body.substr(start, end - start)));
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+  return out;
+}
+
+void expectArgs(const std::string& spec, const ParsedSpec& p,
+                std::size_t count) {
+  if (p.args.size() != count) badSpec(spec, "wrong operand count");
+}
+
+ParsedSpec parseSpec(const std::string& spec) {
+  const std::size_t colon = spec.find(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= spec.size()) {
+    badSpec(spec, "expected verb:operands");
+  }
+  ParsedSpec p;
+  p.verb = spec.substr(0, colon);
+  const std::string body = spec.substr(colon + 1);
+
+  if (p.verb == "proc" || p.verb == "row" || p.verb == "col") {
+    p.args = parseIntList(spec, body, ',');
+    expectArgs(spec, p, 1);
+  } else if (p.verb == "link") {
+    p.args = parseIntList(spec, body, '-');
+    expectArgs(spec, p, 2);
+  } else if (p.verb == "region") {
+    p.args = parseIntList(spec, body, ',');
+    expectArgs(spec, p, 4);
+  } else if (p.verb == "cap") {
+    const std::size_t eq = body.find('=');
+    if (eq == std::string::npos) badSpec(spec, "expected cap:P=N");
+    p.args.push_back(parseInt(spec, body.substr(0, eq)));
+    p.args.push_back(parseInt(spec, body.substr(eq + 1)));
+  } else if (p.verb == "uniform-procs" || p.verb == "uniform-links") {
+    const std::size_t at = body.find('@');
+    if (at == std::string::npos) badSpec(spec, "expected N@SEED");
+    p.args.push_back(parseInt(spec, body.substr(0, at)));
+    p.seed = parseSeed(spec, body.substr(at + 1));
+    p.hasSeed = true;
+  } else {
+    badSpec(spec, "unknown fault verb");
+  }
+  return p;
+}
+
+ProcId checkedProc(const std::string& spec, std::int64_t v) {
+  if (v < 0 || v > static_cast<std::int64_t>(INT32_MAX)) {
+    badSpec(spec, "processor id out of range");
+  }
+  return static_cast<ProcId>(v);
+}
+
+int checkedInt(const std::string& spec, std::int64_t v) {
+  if (v < static_cast<std::int64_t>(INT32_MIN) ||
+      v > static_cast<std::int64_t>(INT32_MAX)) {
+    badSpec(spec, "value out of range");
+  }
+  return static_cast<int>(v);
+}
+
+void applyParsed(FaultMap& map, const std::string& spec, const ParsedSpec& p) {
+  if (p.verb == "proc") {
+    map.killProc(checkedProc(spec, p.args[0]));
+  } else if (p.verb == "link") {
+    map.killLink(checkedProc(spec, p.args[0]), checkedProc(spec, p.args[1]));
+  } else if (p.verb == "row") {
+    map.killRow(checkedInt(spec, p.args[0]));
+  } else if (p.verb == "col") {
+    map.killCol(checkedInt(spec, p.args[0]));
+  } else if (p.verb == "region") {
+    map.killRegion(checkedInt(spec, p.args[0]), checkedInt(spec, p.args[1]),
+                   checkedInt(spec, p.args[2]), checkedInt(spec, p.args[3]));
+  } else if (p.verb == "cap") {
+    map.limitCapacity(checkedProc(spec, p.args[0]), p.args[1]);
+  } else if (p.verb == "uniform-procs") {
+    map.injectUniformProcs(checkedInt(spec, p.args[0]), p.seed);
+  } else if (p.verb == "uniform-links") {
+    map.injectUniformLinks(checkedInt(spec, p.args[0]), p.seed);
+  }
+}
+
+}  // namespace
+
+void applyFaultSpec(FaultMap& map, const std::string& spec) {
+  applyParsed(map, spec, parseSpec(spec));
+}
+
+FaultTrace::FaultTrace(std::vector<FaultEvent> events)
+    : events_(std::move(events)) {
+  for (const FaultEvent& e : events_) {
+    if (e.step < 0) {
+      throw std::invalid_argument("FaultTrace: event step must be >= 0");
+    }
+    parseSpec(e.spec);  // validate grammar up front
+  }
+  std::stable_sort(
+      events_.begin(), events_.end(),
+      [](const FaultEvent& a, const FaultEvent& b) { return a.step < b.step; });
+}
+
+FaultTrace FaultTrace::parse(std::istream& in) {
+  std::vector<FaultEvent> events;
+  std::string line;
+  int lineNo = 0;
+  bool sawHeader = false;
+  auto fail = [&](const char* why) -> void {
+    throw std::invalid_argument("pimfault line " + std::to_string(lineNo) +
+                                ": " + why);
+  };
+  while (std::getline(in, line)) {
+    ++lineNo;
+    if (lineNo == 1) {
+      if (line.rfind("# pimfault v1", 0) != 0) {
+        fail("missing \"# pimfault v1\" header");
+      }
+      sawHeader = true;
+      continue;
+    }
+    const std::size_t hash = line.find('#');
+    std::istringstream toks(
+        hash == std::string::npos ? line : line.substr(0, hash));
+    std::vector<std::string> words;
+    std::string w;
+    while (toks >> w) words.push_back(w);
+    if (words.empty()) continue;
+    if (words[0] != "step" || words.size() < 3) {
+      fail("expected \"step N <verb> <operands>\"");
+    }
+    FaultEvent ev;
+    try {
+      ev.step = checkedInt(words[1], parseInt(words[1], words[1]));
+    } catch (const std::invalid_argument&) {
+      fail("step must be a number");
+    }
+    if (ev.step < 0) fail("step must be >= 0");
+    const std::string& verb = words[2];
+    const std::vector<std::string> ops(words.begin() + 3, words.end());
+    auto need = [&](std::size_t n) {
+      if (ops.size() != n) fail("wrong operand count");
+    };
+    if (verb == "proc" || verb == "row" || verb == "col") {
+      need(1);
+      ev.spec = verb + ":" + ops[0];
+    } else if (verb == "link") {
+      need(2);
+      ev.spec = "link:" + ops[0] + "-" + ops[1];
+    } else if (verb == "region") {
+      need(4);
+      ev.spec = "region:" + ops[0] + "," + ops[1] + "," + ops[2] + "," + ops[3];
+    } else if (verb == "cap") {
+      need(2);
+      ev.spec = "cap:" + ops[0] + "=" + ops[1];
+    } else if (verb == "uniform-procs" || verb == "uniform-links") {
+      need(2);
+      ev.spec = verb + ":" + ops[0] + "@" + ops[1];
+    } else {
+      fail("unknown fault verb");
+    }
+    try {
+      parseSpec(ev.spec);
+    } catch (const std::invalid_argument& e) {
+      fail(e.what());
+    }
+    events.push_back(std::move(ev));
+  }
+  if (!sawHeader) {
+    throw std::invalid_argument("pimfault: empty input (missing header)");
+  }
+  return FaultTrace(std::move(events));
+}
+
+FaultTrace FaultTrace::parse(const std::string& text) {
+  std::istringstream in(text);
+  return parse(in);
+}
+
+int FaultTrace::lastStep() const {
+  return events_.empty() ? -1 : events_.back().step;
+}
+
+FaultMap FaultTrace::mapAtStep(const Grid& grid, int step) const {
+  FaultMap map(grid);
+  for (const FaultEvent& e : events_) {
+    if (e.step > step) break;
+    applyFaultSpec(map, e.spec);
+  }
+  return map;
+}
+
+std::string FaultTrace::toText() const {
+  std::ostringstream out;
+  out << "# pimfault v1\n";
+  for (const FaultEvent& e : events_) {
+    const ParsedSpec p = parseSpec(e.spec);
+    out << "step " << e.step << ' ' << p.verb;
+    for (const std::int64_t a : p.args) out << ' ' << a;
+    if (p.hasSeed) out << ' ' << p.seed;
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace pimsched

@@ -2,6 +2,7 @@
 
 #include <ostream>
 #include <stdexcept>
+#include <string>
 
 namespace pimsched {
 
@@ -12,6 +13,18 @@ std::ostream& operator<<(std::ostream& os, const Coord& c) {
 Grid::Grid(int rows, int cols) : rows_(rows), cols_(cols) {
   if (rows < 1 || cols < 1) {
     throw std::invalid_argument("Grid dimensions must be >= 1");
+  }
+  // Validate the product in 64-bit before anyone computes size(): a grid
+  // like 100000 x 100000 would overflow int (UB) and even a representable
+  // product beyond kMaxProcs would make distance tables and occupancy
+  // vectors attempt absurd allocations. Reject instead of crashing later.
+  const long long procs =
+      static_cast<long long>(rows) * static_cast<long long>(cols);
+  if (procs > kMaxProcs) {
+    throw std::invalid_argument(
+        "Grid dimensions overflow: " + std::to_string(rows) + "x" +
+        std::to_string(cols) + " exceeds the " + std::to_string(kMaxProcs) +
+        " processor bound");
   }
 }
 

@@ -20,6 +20,11 @@ struct Coord {
 
 std::ostream& operator<<(std::ostream& os, const Coord& c);
 
+/// Upper bound on rows * cols. Keeps ProcId arithmetic comfortably inside
+/// int32 and bounds the memory of per-processor tables; Grid's constructor
+/// rejects larger products with std::invalid_argument.
+inline constexpr long long kMaxProcs = 1LL << 24;
+
 /// The PIM processor array: a rows x cols mesh with unit-cost links between
 /// 4-neighbours and dimension-ordered (x-y) routing. This is the topology the
 /// paper assumes throughout; the communication distance between two

@@ -15,6 +15,13 @@ bool OccupancyMap::tryPlace(ProcId p) {
   return true;
 }
 
+void OccupancyMap::limitCapacity(ProcId p, std::int64_t cap) {
+  assert(cap >= 0 && "per-processor limit must be >= 0");
+  if (limits_.empty()) limits_.assign(used_.size(), -1);
+  auto& limit = limits_[static_cast<std::size_t>(p)];
+  if (limit < 0 || cap < limit) limit = cap;
+}
+
 void OccupancyMap::release(ProcId p) {
   auto& u = used_[static_cast<std::size_t>(p)];
   assert(u > 0 && "release without matching tryPlace");

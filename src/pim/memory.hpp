@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -25,9 +26,24 @@ class OccupancyMap {
     return used_[static_cast<std::size_t>(p)];
   }
 
+  /// Effective slot bound on processor p: the uniform capacity tightened
+  /// by any per-processor limit. Negative means unlimited.
+  [[nodiscard]] std::int64_t capacityOf(ProcId p) const {
+    if (limits_.empty()) return capacity_;
+    const std::int64_t limit = limits_[static_cast<std::size_t>(p)];
+    if (limit < 0) return capacity_;
+    return capacity_ < 0 ? limit : std::min(capacity_, limit);
+  }
+
+  /// Tightens the slot bound of processor p to `cap` (>= 0). Used by
+  /// fault injection to model reduced (or zero, for dead processors)
+  /// memory; the bound only ever shrinks via this call.
+  void limitCapacity(ProcId p, std::int64_t cap);
+
   /// True if processor p can accept one more datum.
   [[nodiscard]] bool hasRoom(ProcId p) const {
-    return unlimited() || used(p) < capacity_;
+    const std::int64_t cap = capacityOf(p);
+    return cap < 0 || used(p) < cap;
   }
 
   /// Claims one slot on p. Returns false (and changes nothing) if full.
@@ -43,6 +59,7 @@ class OccupancyMap {
   std::int64_t capacity_;
   std::int64_t totalUsed_ = 0;
   std::vector<std::int64_t> used_;
+  std::vector<std::int64_t> limits_;  ///< lazily sized; -1 = no per-proc bound
 };
 
 /// The experiment convention from the paper's evaluation: each processor's

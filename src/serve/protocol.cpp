@@ -3,6 +3,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "fault/fault_map.hpp"
+#include "fault/fault_trace.hpp"
+#include "pim/grid.hpp"
 #include "serve/json.hpp"
 
 namespace pimsched::serve {
@@ -105,6 +108,40 @@ JobRequest parseSubmit(const Json& request, const ProtocolOptions& options) {
   if (job.gridRows < 1 || job.gridCols < 1) {
     throw RequestError("field 'grid' must name a grid of at least 1x1");
   }
+  // Bound the grid before the Grid constructor ever sees it so a hostile
+  // "1000000x1000000" submission is a structured protocol error, not an
+  // attempted multi-terabyte allocation inside a worker.
+  constexpr std::int64_t kMaxGridSide = 4096;
+  constexpr std::int64_t kMaxGridProcs = 1 << 20;
+  if (job.gridRows > kMaxGridSide || job.gridCols > kMaxGridSide ||
+      static_cast<std::int64_t>(job.gridRows) * job.gridCols > kMaxGridProcs) {
+    throw RequestError(
+        "field 'grid' too large (sides limited to " +
+        std::to_string(kMaxGridSide) + ", total processors to " +
+        std::to_string(kMaxGridProcs) + ")");
+  }
+
+  if (const Json* faults = request.find("faults"); faults != nullptr) {
+    if (!faults->isArray()) {
+      throw RequestError("field 'faults' must be an array of spec strings");
+    }
+    // Validate every spec against the declared grid now, so a bad spec is
+    // a submit-time error rather than a failed job.
+    const Grid grid(job.gridRows, job.gridCols);
+    FaultMap probe(grid);
+    for (const Json& item : faults->asArray()) {
+      if (!item.isString()) {
+        throw RequestError("field 'faults' must be an array of spec strings");
+      }
+      try {
+        applyFaultSpec(probe, item.asString());
+      } catch (const std::exception& e) {
+        throw RequestError("bad fault spec '" + item.asString() + "': " +
+                           e.what());
+      }
+      job.faults.push_back(item.asString());
+    }
+  }
 
   const std::string methodName = stringField(request, "method", "gomcds");
   const std::optional<Method> method = methodFromString(methodName);
@@ -153,6 +190,8 @@ void fillResultFields(Json& reply, const JobStatus& status,
                       const JobResult* result, bool includeSchedule) {
   reply.set("state", toString(status.state));
   if (!status.error.empty()) reply.set("error_detail", status.error);
+  if (!status.errorKind.empty()) reply.set("error_kind", status.errorKind);
+  if (status.attempts > 1) reply.set("attempts", status.attempts);
   if (result == nullptr) return;
   reply.set("serve", result->eval.aggregate.serve);
   reply.set("move", result->eval.aggregate.move);
@@ -219,8 +258,12 @@ std::string ProtocolHandler::handleLine(std::string_view line,
       reply.set("ok", true)
           .set("state", toString(status->state))
           .set("priority", status->priority)
-          .set("digest", status->digest.hex());
+          .set("digest", status->digest.hex())
+          .set("attempts", status->attempts);
       if (!status->error.empty()) reply.set("error_detail", status->error);
+      if (!status->errorKind.empty()) {
+        reply.set("error_kind", status->errorKind);
+      }
       return reply.dump();
     }
 

@@ -24,13 +24,18 @@ struct ProtocolOptions {
 /// The serving wire protocol: newline-delimited JSON request objects, one
 /// JSON reply object per request. Verbs (the `verb` member):
 ///
-///   submit    trace | trace_file, grid "RxC", method, windows, capacity
-///             ("paper" | "unlimited" | N), threads, priority, deadline_ms,
-///             wait — replies {ok, id, cached[, result fields when wait]}
-///   status    id — replies {ok, state, priority[, error]}
+///   submit    trace | trace_file, grid "RxC" (sides <= 4096, <= 2^20
+///             processors), method, windows, capacity ("paper" |
+///             "unlimited" | N), threads, priority, deadline_ms, faults
+///             (array of fault spec strings, validated against the grid at
+///             submit time), wait — replies {ok, id, cached[, result
+///             fields when wait]}
+///   status    id — replies {ok, state, priority, digest, attempts[,
+///             error_detail, error_kind]}
 ///   result    id, wait (default true), schedule (include schedule text) —
 ///             replies {ok, state, serve, move, total, digest, cache_hit,
-///             wait_ns, run_ns[, schedule]}
+///             wait_ns, run_ns[, schedule, error_detail, error_kind,
+///             attempts]}
 ///   cancel    id — replies {ok, cancelled}
 ///   stats     — replies {ok, queue_depth, running, accepted, rejected,
 ///             completed, failed, cancelled, deadline_missed, cache_hits,

@@ -1,9 +1,15 @@
 #include "serve/service.hpp"
 
+#include <exception>
+#include <optional>
 #include <sstream>
+#include <stdexcept>
 #include <utility>
 
 #include "core/schedule_io.hpp"
+#include "core/verify.hpp"
+#include "fault/fault_map.hpp"
+#include "fault/fault_trace.hpp"
 #include "obs/obs.hpp"
 #include "pim/grid.hpp"
 #include "util/thread_pool.hpp"
@@ -38,6 +44,10 @@ Digest jobDigest(const JobRequest& request) {
   b.i64(request.gridRows);
   b.i64(request.gridCols);
   b.i64(static_cast<std::int64_t>(request.method));
+  // Fault specs change the answer, so they must split the result cache;
+  // length-prefixed so spec lists cannot collide by concatenation.
+  b.u64(static_cast<std::uint64_t>(request.faults.size()));
+  for (const std::string& spec : request.faults) b.str(spec);
   return b.digest();
 }
 
@@ -127,6 +137,7 @@ void SchedulingService::maybeDispatchLocked() {
       continue;
     }
     job->state = JobState::kRunning;
+    ++job->attempts;
     ++running_;
     ThreadPool::global().submit([this, job] { runJob(job); });
   }
@@ -169,28 +180,85 @@ void SchedulingService::cacheInsertLocked(
   }
 }
 
+namespace {
+
+/// Failure taxonomy of a job run. Transient failures ("internal") are
+/// retried once; everything else is a property of the request and fails
+/// immediately with a structured kind.
+struct ClassifiedError {
+  std::string message;
+  std::string kind;  ///< "unreachable" | "infeasible" | "invalid" | "internal"
+  bool transient = false;
+};
+
+ClassifiedError classifyJobError(const std::exception_ptr& ep) {
+  try {
+    std::rethrow_exception(ep);
+  } catch (const UnreachableError& e) {
+    return {e.what(), "unreachable", false};
+  } catch (const std::invalid_argument& e) {
+    return {e.what(), "invalid", false};
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    if (what.find("capacity infeasible") != std::string::npos) {
+      return {what, "infeasible", false};
+    }
+    return {what, "internal", true};
+  } catch (const std::exception& e) {
+    return {e.what(), "internal", true};
+  } catch (...) {
+    return {"unknown error", "internal", true};
+  }
+}
+
+}  // namespace
+
 void SchedulingService::runJob(const std::shared_ptr<Job>& job) {
   const std::int64_t startNs = obs::nowNs();
+  // attempts was bumped under the lock at dispatch; stable while running.
+  const int attempt = job->attempts - 1;
   std::shared_ptr<JobResult> result;
-  std::string error;
+  ClassifiedError error;
   try {
     PIMSCHED_SCOPED_TIMER("serve.job.run");
+    if (config_.onJobAttempt) config_.onJobAttempt(attempt);
     const JobRequest& req = job->request;
     const Grid grid(req.gridRows, req.gridCols);
-    const Experiment exp(req.trace, grid, req.config);
-    DataSchedule schedule = exp.schedule(req.method);
+    std::optional<FaultMap> faults;
+    if (!req.faults.empty()) {
+      faults.emplace(grid);
+      for (const std::string& spec : req.faults) {
+        applyFaultSpec(*faults, spec);
+      }
+    }
+    std::optional<Experiment> exp;
+    if (faults.has_value()) {
+      exp.emplace(req.trace, grid, *faults, req.config);
+    } else {
+      exp.emplace(req.trace, grid, req.config);
+    }
+    DataSchedule schedule = exp->schedule(req.method);
+    if (faults.has_value()) {
+      // Fault-oblivious methods (the baselines) can legally return here
+      // with data on dead processors; refuse to serve such a schedule.
+      const VerifyReport report =
+          verifyScheduleFaults(schedule, exp->refs(), exp->costModel());
+      if (!report.ok()) {
+        throw UnreachableError(
+            "schedule violates the fault state (" +
+            std::to_string(report.issues.size()) + " issue(s), first: " +
+            report.issues.front().detail + ")");
+      }
+    }
     result = std::make_shared<JobResult>();
-    result->eval = evaluateSchedule(schedule, exp.refs(), exp.costModel(),
+    result->eval = evaluateSchedule(schedule, exp->refs(), exp->costModel(),
                                     req.config.threads);
     std::ostringstream os;
     saveSchedule(schedule, os);
     result->scheduleText = std::move(os).str();
     result->digest = job->digest;
-  } catch (const std::exception& e) {
-    error = e.what();
-    result.reset();
   } catch (...) {
-    error = "unknown error";
+    error = classifyJobError(std::current_exception());
     result.reset();
   }
   const std::int64_t endNs = obs::nowNs();
@@ -205,8 +273,16 @@ void SchedulingService::runJob(const std::shared_ptr<Job>& job) {
     job->result = result;
     cacheInsertLocked(job->digest, result);
     finishLocked(*job, JobState::kDone);
+  } else if (error.transient && attempt == 0 && !draining_) {
+    // One retry for transient worker failures: back on the queue at the
+    // job's priority; a second failure of any kind is final.
+    PIMSCHED_COUNTER_ADD("serve.job.retry", 1);
+    PIMSCHED_COUNTER_ADD("serve.queue.enqueued", 1);
+    job->state = JobState::kQueued;
+    queue_.emplace(std::make_pair(-job->request.priority, job->id), job);
   } else {
-    job->error = std::move(error);
+    job->error = std::move(error.message);
+    job->errorKind = std::move(error.kind);
     finishLocked(*job, JobState::kFailed);
   }
   --running_;
@@ -226,6 +302,8 @@ std::optional<JobStatus> SchedulingService::status(JobId id) const {
   s.priority = job.request.priority;
   s.digest = job.digest;
   s.error = job.error;
+  s.errorKind = job.errorKind;
+  s.attempts = job.attempts;
   return s;
 }
 

@@ -3,12 +3,14 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "core/evaluator.hpp"
 #include "core/pipeline.hpp"
@@ -27,6 +29,13 @@ struct JobRequest {
   int gridCols = 4;
   PipelineConfig config;
   Method method = Method::kGomcds;
+
+  /// Fault specs (fault_trace.hpp grammar: "proc:5", "link:2-3", "row:1",
+  /// "col:2", "region:1,1,2,2", "cap:7=1", "uniform-procs:3@42", ...)
+  /// applied in order to the grid before scheduling. Non-empty specs make
+  /// the job fault-aware: the schedule avoids dead processors/links and is
+  /// verified against the fault state before completing.
+  std::vector<std::string> faults;
 
   /// Higher runs first; FIFO within a priority level.
   int priority = 0;
@@ -65,6 +74,11 @@ struct JobStatus {
   int priority = 0;
   Digest digest;
   std::string error;  ///< non-empty iff state == kFailed
+  /// Failure class when state == kFailed: "unreachable" (the faulted mesh
+  /// cannot carry the required traffic), "infeasible" (capacity), "invalid"
+  /// (bad request inputs) or "internal" (unexpected; retried once).
+  std::string errorKind;
+  int attempts = 0;  ///< runs started (> 1 after a transient retry)
 };
 
 struct SubmitOutcome {
@@ -89,9 +103,10 @@ struct ServiceStats {
 };
 
 /// Content address of a job: mixes traceDigest, configDigest, the grid
-/// shape and the method, so two submissions that must produce identical
-/// schedules share one digest (and one result-cache entry) while any
-/// input that can change the answer changes it.
+/// shape, the method and the fault specs, so two submissions that must
+/// produce identical schedules share one digest (and one result-cache
+/// entry) while any input that can change the answer changes it — a
+/// faulted job never aliases the healthy-mesh result.
 [[nodiscard]] Digest jobDigest(const JobRequest& request);
 
 /// Persistent scheduling service: a bounded priority job queue feeding up
@@ -106,7 +121,8 @@ struct ServiceStats {
 ///
 /// Counters (global obs registry): serve.jobs.{accepted,rejected,
 /// completed,failed,cancelled,deadline_missed}, serve.cache.{hit,miss},
-/// serve.queue.{enqueued,dequeued}; timers serve.job.wait / serve.job.run.
+/// serve.queue.{enqueued,dequeued}, serve.job.retry; timers
+/// serve.job.wait / serve.job.run.
 class SchedulingService {
  public:
   struct Config {
@@ -119,6 +135,11 @@ class SchedulingService {
     bool cacheEnabled = true;
     /// Result-cache entry bound; the oldest entry is evicted past it.
     std::size_t maxCacheEntries = 1024;
+    /// Test-only hook invoked at the start of every job run with the
+    /// attempt number (0 on the first run, 1 on the retry). Exceptions it
+    /// throws are classified exactly like pipeline errors — tests use it
+    /// to fake transient worker failures.
+    std::function<void(int attempt)> onJobAttempt;
   };
 
   SchedulingService();  ///< all Config defaults
@@ -160,6 +181,8 @@ class SchedulingService {
     JobState state = JobState::kQueued;
     Digest digest;
     std::string error;
+    std::string errorKind;
+    int attempts = 0;  ///< runs started; transient failures retry once
     std::shared_ptr<const JobResult> result;
     std::int64_t submitNs = 0;
     std::int64_t deadlineNs = -1;  ///< absolute, -1 = none

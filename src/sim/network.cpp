@@ -22,6 +22,24 @@ SimReport& SimReport::operator+=(const SimReport& o) {
 NocSimulator::NocSimulator(const Grid& grid, SwitchingMode mode)
     : grid_(&grid), mode_(mode) {}
 
+NocSimulator::NocSimulator(const Grid& grid, const FaultMap& faults,
+                           SwitchingMode mode)
+    : grid_(&grid), faults_(&faults), mode_(mode) {}
+
+std::vector<Link> NocSimulator::routeLinks(ProcId src, ProcId dst) const {
+  if (faults_ == nullptr || !faults_->anyFaults()) {
+    return xyLinks(*grid_, src, dst);
+  }
+  return faultLinks(*grid_, *faults_, src, dst);
+}
+
+std::vector<ProcId> NocSimulator::routeNodes(ProcId src, ProcId dst) const {
+  if (faults_ == nullptr || !faults_->anyFaults()) {
+    return xyRoute(*grid_, src, dst);
+  }
+  return faultRoute(*grid_, *faults_, src, dst);
+}
+
 std::size_t NocSimulator::linkIndex(const Link& link) const {
   // 4 direction slots per processor: 0=N 1=S 2=W 3=E relative to `from`.
   const Coord a = grid_->coord(link.from);
@@ -41,7 +59,7 @@ std::vector<std::int64_t> NocSimulator::procTraffic(
   std::vector<std::int64_t> traffic(static_cast<std::size_t>(grid_->size()),
                                     0);
   for (const Message& msg : messages) {
-    for (const ProcId p : xyRoute(*grid_, msg.src, msg.dst)) {
+    for (const ProcId p : routeNodes(msg.src, msg.dst)) {
       traffic[static_cast<std::size_t>(p)] += msg.volume;
     }
   }
@@ -61,7 +79,7 @@ SimReport NocSimulator::run(std::span<const Message> messages,
     if (msg.volume <= 0) {
       throw std::invalid_argument("NocSimulator: message volume must be > 0");
     }
-    const std::vector<Link> links = xyLinks(*grid_, msg.src, msg.dst);
+    const std::vector<Link> links = routeLinks(msg.src, msg.dst);
     report.totalHopVolume += msg.volume * static_cast<Cost>(links.size());
     // Zero-link (self) messages "arrive" at the batch origin.
     std::int64_t arrival = links.empty() ? latencyOrigin : 0;

@@ -4,6 +4,8 @@
 #include <span>
 #include <vector>
 
+#include "fault/fault_map.hpp"
+#include "fault/fault_route.hpp"
 #include "pim/grid.hpp"
 #include "pim/routing.hpp"
 #include "pim/types.hpp"
@@ -52,6 +54,15 @@ class NocSimulator {
   explicit NocSimulator(const Grid& grid,
                         SwitchingMode mode = SwitchingMode::kStoreAndForward);
 
+  /// Simulates over a faulted topology: messages route via faultRoute
+  /// (x-y where alive, BFS detour otherwise), so traffic avoids dead
+  /// processors and links. `faults` must outlive the simulator; with an
+  /// empty FaultMap results are identical to the healthy-mesh simulator.
+  /// simulate()/procTraffic throw UnreachableError when a message's
+  /// endpoints cannot communicate.
+  NocSimulator(const Grid& grid, const FaultMap& faults,
+               SwitchingMode mode = SwitchingMode::kStoreAndForward);
+
   /// Simulates one batch (all messages available at cycle 0, injected in
   /// the given order; each link serves transfers FIFO) on an idle network.
   /// For continuous multi-window operation where link state must carry
@@ -69,9 +80,15 @@ class NocSimulator {
  private:
   friend class NocSession;
   const Grid* grid_;
+  const FaultMap* faults_ = nullptr;
   SwitchingMode mode_;
   /// Dense id for a directed link from `from` toward mesh direction d.
   [[nodiscard]] std::size_t linkIndex(const Link& link) const;
+  /// The links a message traverses: x-y on a healthy mesh, fault-aware
+  /// detour otherwise.
+  [[nodiscard]] std::vector<Link> routeLinks(ProcId src, ProcId dst) const;
+  /// Node sequence of the same route.
+  [[nodiscard]] std::vector<ProcId> routeNodes(ProcId src, ProcId dst) const;
   /// Shared core: simulates one batch against the given per-link busy-until
   /// state (mutated in place). Message k is appended to each of its links'
   /// FIFO queues, so carried-in `freeAt` values delay it exactly like

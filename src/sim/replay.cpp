@@ -16,7 +16,10 @@ ReplayReport replaySchedule(const DataSchedule& schedule,
     throw std::invalid_argument("replaySchedule: shape mismatch");
   }
   PIMSCHED_SCOPED_TIMER("replay.schedule");
-  const NocSimulator sim(model.grid(), options.mode);
+  const NocSimulator sim =
+      model.faults() != nullptr
+          ? NocSimulator(model.grid(), *model.faults(), options.mode)
+          : NocSimulator(model.grid(), options.mode);
   NocSession session(sim);
   const auto W = static_cast<std::size_t>(refs.numWindows());
   ReplayReport report;
@@ -56,6 +59,8 @@ ReplayReport replaySchedule(const DataSchedule& schedule,
                          traffic[w].referenceMessages);
     PIMSCHED_COUNTER_ADD("replay.reference_volume",
                          traffic[w].referenceVolume);
+    PIMSCHED_COUNTER_ADD("replay.recovered_migrations",
+                         traffic[w].recoveredMigrations);
     if (registry.tracingEnabled()) {
       // Per-window phase event: migration vs. reference traffic plus the
       // simulated outcome, visible on the chrome-trace timeline.
@@ -95,10 +100,18 @@ std::vector<Message> windowMessages(const DataSchedule& schedule,
     if (w > 0) {
       const ProcId prev = schedule.center(d, w - 1);
       if (prev != center && model.params().moveVolume > 0) {
-        messages.push_back(Message{prev, center, model.params().moveVolume});
-        if (traffic != nullptr) {
-          ++traffic->migrationMessages;
-          traffic->migrationVolume += model.params().moveVolume;
+        if (model.faultAware() &&
+            (model.centerForbidden(prev) ||
+             model.hopDistance(prev, center) >= kInfiniteCost)) {
+          // Out-of-band recovery: the source is dead or unroutable, so the
+          // datum is restored off-mesh and injects no migration traffic.
+          if (traffic != nullptr) ++traffic->recoveredMigrations;
+        } else {
+          messages.push_back(Message{prev, center, model.params().moveVolume});
+          if (traffic != nullptr) {
+            ++traffic->migrationMessages;
+            traffic->migrationVolume += model.params().moveVolume;
+          }
         }
       }
     }

@@ -39,6 +39,10 @@ struct WindowTraffic {
   Cost migrationVolume = 0;
   std::int64_t referenceMessages = 0;
   Cost referenceVolume = 0;
+  /// Migrations dropped under the out-of-band recovery rule (fault-aware
+  /// models only): the source center is dead or has no alive route to the
+  /// destination, so the datum is restored off-mesh and injects nothing.
+  std::int64_t recoveredMigrations = 0;
 };
 
 /// Materialises a schedule's traffic and replays it through the NoC
@@ -50,6 +54,14 @@ struct WindowTraffic {
 /// total.totalHopVolume therefore equals the analytic evaluator's total
 /// cost exactly under the default hopCost = 1 (invariant 10 in DESIGN.md);
 /// for other hop costs it equals total / hopCost.
+///
+/// A fault-aware model replays over the faulted topology: the simulator
+/// routes around dead processors/links (NocSimulator's fault constructor),
+/// migrations with no alive route are dropped under the out-of-band
+/// recovery rule (see WindowTraffic::recoveredMigrations), and a schedule
+/// that serves a reference across a partition makes the replay throw
+/// UnreachableError — replay is the executable check that a schedule
+/// actually runs on the faulted hardware.
 [[nodiscard]] ReplayReport replaySchedule(const DataSchedule& schedule,
                                           const WindowedRefs& refs,
                                           const CostModel& model,

@@ -68,6 +68,36 @@ WindowedRefs::WindowedRefs(const ReferenceTrace& trace,
   offsets_[numCells] = entries_.size();
 }
 
+WindowedRefs WindowedRefs::withProcsMasked(
+    const std::vector<char>& deadMask) const {
+  if (deadMask.size() != static_cast<std::size_t>(numProcs_)) {
+    throw std::invalid_argument(
+        "WindowedRefs::withProcsMasked: mask size must equal numProcs");
+  }
+  WindowedRefs out;
+  out.numData_ = numData_;
+  out.numWindows_ = numWindows_;
+  out.numProcs_ = numProcs_;
+  out.dataWeight_.assign(static_cast<std::size_t>(numData_), 0);
+  const std::size_t numCells = static_cast<std::size_t>(numData_) *
+                               static_cast<std::size_t>(numWindows_);
+  out.offsets_.assign(numCells + 1, 0);
+  out.entries_.reserve(entries_.size());
+  for (std::size_t cell = 0; cell < numCells; ++cell) {
+    out.offsets_[cell] = out.entries_.size();
+    const DataId d =
+        static_cast<DataId>(cell / static_cast<std::size_t>(numWindows_));
+    for (std::size_t i = offsets_[cell]; i < offsets_[cell + 1]; ++i) {
+      const ProcWeight& pw = entries_[i];
+      if (deadMask[static_cast<std::size_t>(pw.proc)] != 0) continue;
+      out.entries_.push_back(pw);
+      out.dataWeight_[static_cast<std::size_t>(d)] += pw.weight;
+    }
+  }
+  out.offsets_[numCells] = out.entries_.size();
+  return out;
+}
+
 Cost WindowedRefs::windowWeight(DataId d, WindowId w) const {
   Cost sum = 0;
   for (const ProcWeight& pw : refs(d, w)) sum += pw.weight;

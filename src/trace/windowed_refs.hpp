@@ -58,7 +58,17 @@ class WindowedRefs {
     return dataWeight(d) == 0;
   }
 
+  /// A copy with every reference issued by a masked processor dropped
+  /// (deadMask[p] != 0 masks processor p; size must equal numProcs).
+  /// Fault-aware scheduling feeds a FaultMap's dead-processor mask here:
+  /// dead processors issue no references, so their demand must not steer
+  /// center choice. An all-zero mask returns an identical copy.
+  [[nodiscard]] WindowedRefs withProcsMasked(
+      const std::vector<char>& deadMask) const;
+
  private:
+  WindowedRefs() = default;
+
   [[nodiscard]] std::size_t cellIndex(DataId d, WindowId w) const {
     return static_cast<std::size_t>(d) * static_cast<std::size_t>(numWindows_) +
            static_cast<std::size_t>(w);

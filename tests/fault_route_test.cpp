@@ -1,0 +1,122 @@
+#include "fault/fault_route.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fault/distance_map.hpp"
+#include "test_util.hpp"
+
+namespace pimsched {
+namespace {
+
+using testutil::Rng;
+
+TEST(FaultRoute, FaultFreeEqualsXyRouteEverywhere) {
+  // Property: with no faults, faultRoute is bit-identical to the x-y route
+  // (same nodes, same order) on every (grid, src, dst) draw.
+  Rng rng(2024);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Grid g(static_cast<int>(rng.range(1, 6)),
+                 static_cast<int>(rng.range(1, 6)));
+    const FaultMap f(g);
+    const ProcId a =
+        static_cast<ProcId>(rng.below(static_cast<std::uint64_t>(g.size())));
+    const ProcId b =
+        static_cast<ProcId>(rng.below(static_cast<std::uint64_t>(g.size())));
+    EXPECT_EQ(faultRoute(g, f, a, b), xyRoute(g, a, b));
+    const auto links = faultLinks(g, f, a, b);
+    const auto expected = xyLinks(g, a, b);
+    ASSERT_EQ(links.size(), expected.size());
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      EXPECT_EQ(links[i].from, expected[i].from);
+      EXPECT_EQ(links[i].to, expected[i].to);
+    }
+  }
+}
+
+TEST(FaultRoute, DetoursAroundDeadProcessor) {
+  const Grid g(3, 3);
+  FaultMap f(g);
+  f.killProc(g.id(0, 1));  // the x-y route 0 -> 2 goes through (0,1)
+  const auto path = faultRoute(g, f, g.id(0, 0), g.id(0, 2));
+  EXPECT_EQ(path.front(), g.id(0, 0));
+  EXPECT_EQ(path.back(), g.id(0, 2));
+  for (const ProcId p : path) EXPECT_TRUE(f.procAlive(p));
+  // Detour through row 1: 4 hops instead of 2.
+  EXPECT_EQ(path.size(), 5u);
+}
+
+TEST(FaultRoute, DetourIsShortestAlivePath) {
+  Rng rng(77);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Grid g(4, 4);
+    FaultMap f(g);
+    f.injectUniformProcs(static_cast<int>(rng.range(1, 3)), rng.next());
+    f.injectUniformLinks(static_cast<int>(rng.range(0, 2)), rng.next());
+    const DistanceMap d(g, f);
+    for (ProcId a = 0; a < g.size(); ++a) {
+      for (ProcId b = 0; b < g.size(); ++b) {
+        if (f.procDead(a) || f.procDead(b)) continue;
+        if (d.hopDistance(a, b) >= kInfiniteCost) continue;
+        const auto path = faultRoute(g, f, a, b);
+        EXPECT_EQ(static_cast<Cost>(path.size()) - 1, d.hopDistance(a, b));
+        for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+          EXPECT_FALSE(f.linkDead(path[i], path[i + 1]));
+        }
+      }
+    }
+  }
+}
+
+TEST(FaultRoute, AvoidsDeadDirectedLink) {
+  const Grid g(1, 3);
+  FaultMap f(g);
+  f.killLink(0, 1);
+  const auto path = faultRoute(g, f, 1, 0);  // reverse direction still fine
+  EXPECT_EQ(path.size(), 2u);
+  EXPECT_THROW(faultRoute(g, f, 0, 1), UnreachableError);
+  EXPECT_THROW(faultRoute(g, f, 0, 2), UnreachableError);
+}
+
+TEST(FaultRoute, DeadEndpointThrows) {
+  const Grid g(2, 2);
+  FaultMap f(g);
+  f.killProc(3);
+  EXPECT_THROW(faultRoute(g, f, 0, 3), UnreachableError);
+  EXPECT_THROW(faultRoute(g, f, 3, 0), UnreachableError);
+}
+
+TEST(FaultRoute, PartitionThrows) {
+  const Grid g(4, 4);
+  FaultMap f(g);
+  f.killRow(2);
+  EXPECT_THROW(faultRoute(g, f, g.id(0, 0), g.id(3, 0)), UnreachableError);
+  // Within one side of the cut routing still works.
+  EXPECT_EQ(faultRoute(g, f, g.id(0, 0), g.id(1, 3)).size(), 5u);
+}
+
+TEST(FaultRoute, SelfRouteOnAliveProcIsSingleton) {
+  const Grid g(3, 3);
+  FaultMap f(g);
+  f.killProc(0);
+  const auto path = faultRoute(g, f, 4, 4);
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0], 4);
+  EXPECT_TRUE(faultLinks(g, f, 4, 4).empty());
+  EXPECT_THROW(faultRoute(g, f, 0, 0), UnreachableError);
+}
+
+TEST(FaultRoute, LinksMatchRouteNodes) {
+  const Grid g(3, 4);
+  FaultMap f(g);
+  f.killProc(g.id(1, 1));
+  const auto path = faultRoute(g, f, g.id(0, 0), g.id(2, 3));
+  const auto links = faultLinks(g, f, g.id(0, 0), g.id(2, 3));
+  ASSERT_EQ(links.size() + 1, path.size());
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    EXPECT_EQ(links[i].from, path[i]);
+    EXPECT_EQ(links[i].to, path[i + 1]);
+  }
+}
+
+}  // namespace
+}  // namespace pimsched

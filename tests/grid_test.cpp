@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <stdexcept>
 
 namespace pimsched {
@@ -69,6 +70,17 @@ TEST(Grid, SingleProcessorGrid) {
   EXPECT_EQ(g.size(), 1);
   EXPECT_TRUE(g.neighbors(0).empty());
   EXPECT_EQ(g.manhattan(0, 0), 0);
+}
+
+TEST(Grid, OversizedDimensionsThrow) {
+  // rows * cols above the processor bound must be rejected before the
+  // int32 ProcId space (or an allocation) can overflow.
+  EXPECT_THROW(Grid(1 << 13, 1 << 13), std::invalid_argument);   // 2^26
+  EXPECT_THROW(Grid(INT32_MAX, INT32_MAX), std::invalid_argument);
+  EXPECT_THROW(Grid(1, static_cast<int>(kMaxProcs) + 1),
+               std::invalid_argument);
+  // The boundary itself is allowed.
+  EXPECT_NO_THROW(Grid(1 << 12, 1 << 12));  // 2^24 == kMaxProcs
 }
 
 }  // namespace

@@ -51,6 +51,51 @@ TEST(OccupancyMap, ZeroCapacityRejectsEverything) {
   EXPECT_FALSE(occ.tryPlace(0));
 }
 
+TEST(OccupancyMap, LimitCapacityTightensOneProcessor) {
+  const Grid g(2, 2);
+  OccupancyMap occ(g, 3);
+  occ.limitCapacity(1, 1);
+  EXPECT_EQ(occ.capacityOf(1), 1);
+  EXPECT_EQ(occ.capacityOf(0), 3);  // others keep the uniform bound
+  EXPECT_TRUE(occ.tryPlace(1));
+  EXPECT_FALSE(occ.hasRoom(1));
+  EXPECT_FALSE(occ.tryPlace(1));
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(occ.tryPlace(0));
+  EXPECT_FALSE(occ.hasRoom(0));
+}
+
+TEST(OccupancyMap, LimitCapacityOnlyEverShrinks) {
+  const Grid g(2, 2);
+  OccupancyMap occ(g, 5);
+  occ.limitCapacity(0, 2);
+  occ.limitCapacity(0, 4);  // looser limit is ignored
+  EXPECT_EQ(occ.capacityOf(0), 2);
+  occ.limitCapacity(0, 1);  // tighter limit applies
+  EXPECT_EQ(occ.capacityOf(0), 1);
+}
+
+TEST(OccupancyMap, LimitCapacityBoundsAnUnlimitedMap) {
+  const Grid g(2, 2);
+  OccupancyMap occ(g, -1);
+  EXPECT_TRUE(occ.unlimited());
+  occ.limitCapacity(2, 2);
+  EXPECT_EQ(occ.capacityOf(2), 2);
+  EXPECT_LT(occ.capacityOf(0), 0);  // untouched procs stay unlimited
+  EXPECT_TRUE(occ.tryPlace(2));
+  EXPECT_TRUE(occ.tryPlace(2));
+  EXPECT_FALSE(occ.tryPlace(2));
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(occ.tryPlace(0));
+}
+
+TEST(OccupancyMap, ZeroLimitModelsADeadProcessor) {
+  const Grid g(2, 2);
+  OccupancyMap occ(g, 4);
+  occ.limitCapacity(3, 0);
+  EXPECT_FALSE(occ.hasRoom(3));
+  EXPECT_FALSE(occ.tryPlace(3));
+  EXPECT_EQ(occ.used(3), 0);
+}
+
 TEST(PaperCapacity, TwiceTheMinimum) {
   const Grid g(4, 4);
   // 8x8 data on 4x4 procs: minimum 4, paper memory size 8.

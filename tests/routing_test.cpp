@@ -61,6 +61,46 @@ TEST(XyLinks, CountEqualsManhattan) {
   }
 }
 
+TEST(XyRoute, SingleRowGrid) {
+  // 1 x N degenerates to pure column traversal.
+  const Grid g(1, 6);
+  for (ProcId a = 0; a < g.size(); ++a) {
+    for (ProcId b = 0; b < g.size(); ++b) {
+      const auto path = xyRoute(g, a, b);
+      ASSERT_EQ(static_cast<int>(path.size()), g.manhattan(a, b) + 1);
+      EXPECT_EQ(path.front(), a);
+      EXPECT_EQ(path.back(), b);
+      // Columns change by exactly one per hop, monotonically towards b.
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        EXPECT_EQ(path[i + 1] - path[i], b > a ? 1 : -1);
+      }
+      EXPECT_EQ(static_cast<int>(xyLinks(g, a, b).size()), g.manhattan(a, b));
+    }
+  }
+}
+
+TEST(XyRoute, SingleColumnGrid) {
+  // N x 1 degenerates to pure row traversal.
+  const Grid g(6, 1);
+  for (ProcId a = 0; a < g.size(); ++a) {
+    for (ProcId b = 0; b < g.size(); ++b) {
+      const auto path = xyRoute(g, a, b);
+      ASSERT_EQ(static_cast<int>(path.size()), g.manhattan(a, b) + 1);
+      EXPECT_EQ(path.front(), a);
+      EXPECT_EQ(path.back(), b);
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        EXPECT_EQ(path[i + 1] - path[i], b > a ? 1 : -1);
+      }
+      const auto links = xyLinks(g, a, b);
+      ASSERT_EQ(static_cast<int>(links.size()), g.manhattan(a, b));
+      for (std::size_t i = 0; i < links.size(); ++i) {
+        EXPECT_EQ(links[i].from, path[i]);
+        EXPECT_EQ(links[i].to, path[i + 1]);
+      }
+    }
+  }
+}
+
 TEST(XyRoute, RouteIsDeterministic) {
   const Grid g(4, 4);
   EXPECT_EQ(xyRoute(g, 1, 14), xyRoute(g, 1, 14));

@@ -287,6 +287,81 @@ TEST(Protocol, SubmitValidationNamesTheBadField) {
   (void)trace;
 }
 
+TEST(Protocol, OversizedGridsAreAProtocolErrorNotAnAllocation) {
+  SchedulingService service;
+  ProtocolHandler handler(service);
+
+  Json hugeProduct = submitRequest();
+  hugeProduct.set("grid", "100000x100000");
+  EXPECT_NE(expectError(handler, hugeProduct.dump()).find("grid"),
+            std::string::npos);
+  Json hugeSide = submitRequest();
+  hugeSide.set("grid", "5000x1");  // side above 4096
+  EXPECT_NE(expectError(handler, hugeSide.dump()).find("too large"),
+            std::string::npos);
+  Json tooManyProcs = submitRequest();
+  tooManyProcs.set("grid", "2048x1024");  // 2^21 > the 2^20 processor bound
+  EXPECT_NE(expectError(handler, tooManyProcs.dump()).find("too large"),
+            std::string::npos);
+  // Nothing reached the service.
+  EXPECT_EQ(service.stats().accepted, 0);
+}
+
+TEST(Protocol, FaultSpecsAreValidatedAtSubmitTime) {
+  SchedulingService service;
+  ProtocolHandler handler(service);
+
+  // A valid fault list is accepted and the faulted job completes.
+  Json faulted = submitRequest();
+  faulted.set("faults", Json(Json::Array{Json("proc:0"), Json("link:1-2")}));
+  const Json reply = call(handler, faulted.dump());
+  EXPECT_TRUE(reply.find("ok")->asBool()) << reply.dump();
+  EXPECT_EQ(reply.find("state")->asString(), "done");
+
+  // Bad specs are submit-time errors naming the offending spec.
+  Json badSpec = submitRequest();
+  badSpec.set("faults", Json(Json::Array{Json("proc:99")}));
+  EXPECT_NE(expectError(handler, badSpec.dump()).find("proc:99"),
+            std::string::npos);
+  Json badVerb = submitRequest();
+  badVerb.set("faults", Json(Json::Array{Json("banana:1")}));
+  EXPECT_NE(expectError(handler, badVerb.dump()).find("banana"),
+            std::string::npos);
+  Json notArray = submitRequest();
+  notArray.set("faults", "proc:0");
+  EXPECT_NE(expectError(handler, notArray.dump()).find("faults"),
+            std::string::npos);
+  Json notStrings = submitRequest();
+  notStrings.set("faults", Json(Json::Array{Json(7)}));
+  (void)expectError(handler, notStrings.dump());
+
+  // Only the clean submission reached the service.
+  EXPECT_EQ(service.stats().accepted, 1);
+}
+
+TEST(Protocol, UnreachableJobsReportTheErrorKind) {
+  SchedulingService service;
+  ProtocolHandler handler(service);
+  // killing the middle row of the 3x3 grid partitions the sample trace's
+  // references, so the job fails as unreachable rather than crashing.
+  Json doomed = submitRequest();
+  doomed.set("faults", Json(Json::Array{Json("row:1")}));
+  const Json reply = call(handler, doomed.dump());
+  EXPECT_TRUE(reply.find("ok")->asBool()) << reply.dump();
+  EXPECT_EQ(reply.find("state")->asString(), "failed");
+  ASSERT_NE(reply.find("error_kind"), nullptr);
+  EXPECT_EQ(reply.find("error_kind")->asString(), "unreachable");
+  ASSERT_NE(reply.find("error_detail"), nullptr);
+
+  const std::int64_t id = reply.find("id")->asInt64();
+  Json statusRequest;
+  statusRequest.set("verb", "status").set("id", id);
+  const Json status = call(handler, statusRequest.dump());
+  EXPECT_EQ(status.find("state")->asString(), "failed");
+  EXPECT_EQ(status.find("error_kind")->asString(), "unreachable");
+  EXPECT_EQ(status.find("attempts")->asInt64(), 1);
+}
+
 TEST(Protocol, TraceFileSubmissionsCanBeDisabled) {
   SchedulingService service;
   ProtocolOptions options;

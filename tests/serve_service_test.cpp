@@ -2,12 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <condition_variable>
 #include <mutex>
+#include <sstream>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "core/pipeline.hpp"
+#include "core/schedule_io.hpp"
 #include "pim/grid.hpp"
 #include "util/thread_pool.hpp"
 
@@ -265,6 +269,107 @@ TEST(SchedulingService, PipelineFailureBecomesAFailedJobWithDetail) {
   ASSERT_TRUE(status.has_value());
   EXPECT_EQ(status->state, JobState::kFailed);
   EXPECT_FALSE(status->error.empty());
+  EXPECT_EQ(status->errorKind, "invalid");
+  EXPECT_EQ(status->attempts, 1);  // invalid requests are never retried
+  EXPECT_EQ(service.stats().failed, 1);
+}
+
+TEST(SchedulingService, FaultedJobCompletesWithAFaultCleanSchedule) {
+  JobRequest request = makeRequest();
+  request.faults = {"proc:5", "link:0-1"};
+  SchedulingService service;
+  const SubmitOutcome outcome = service.submit(request);
+  ASSERT_TRUE(outcome.accepted) << outcome.reason;
+  const auto result = service.result(outcome.id);
+  ASSERT_NE(result, nullptr);
+  const auto status = service.status(outcome.id);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->state, JobState::kDone);
+  EXPECT_TRUE(status->errorKind.empty());
+  // The schedule must not place anything on the dead processor.
+  std::istringstream is(result->scheduleText);
+  const DataSchedule schedule = loadSchedule(is);
+  for (DataId d = 0; d < schedule.numData(); ++d) {
+    for (WindowId w = 0; w < schedule.numWindows(); ++w) {
+      EXPECT_NE(schedule.center(d, w), 5);
+    }
+  }
+}
+
+TEST(JobDigest, FaultSpecsAreContentFields) {
+  const JobRequest base = makeRequest();
+  JobRequest faulted = makeRequest();
+  faulted.faults = {"proc:5"};
+  EXPECT_NE(jobDigest(faulted), jobDigest(base));
+  // Splitting one spec across two must not alias with a differently-split
+  // request (the digest length-prefixes each spec).
+  JobRequest joined = makeRequest();
+  joined.faults = {"proc:5link:0-1"};
+  JobRequest split = makeRequest();
+  split.faults = {"proc:5", "link:0-1"};
+  EXPECT_NE(jobDigest(joined), jobDigest(split));
+
+  // No cache aliasing: the healthy result must not answer the faulted
+  // request.
+  SchedulingService service;
+  ASSERT_NE(service.result(service.submit(base).id), nullptr);
+  const SubmitOutcome second = service.submit(faulted);
+  ASSERT_TRUE(second.accepted);
+  EXPECT_FALSE(second.cached);
+}
+
+TEST(SchedulingService, UnreachableFaultsFailWithKindAndNoRetry) {
+  // makeTrace references every processor of the 4x4 grid; killing row 1
+  // partitions it, so some datum is referenced from both sides of the cut.
+  JobRequest request = makeRequest();
+  request.faults = {"row:1"};
+  SchedulingService service;
+  const SubmitOutcome outcome = service.submit(request);
+  ASSERT_TRUE(outcome.accepted);
+  EXPECT_EQ(service.result(outcome.id), nullptr);
+  const auto status = service.status(outcome.id);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->state, JobState::kFailed);
+  EXPECT_EQ(status->errorKind, "unreachable");
+  EXPECT_EQ(status->attempts, 1);  // deterministic failures are not retried
+  EXPECT_FALSE(status->error.empty());
+}
+
+TEST(SchedulingService, TransientWorkerFailureIsRetriedOnce) {
+  std::atomic<int> attemptsSeen{0};
+  SchedulingService::Config config;
+  config.onJobAttempt = [&](int attempt) {
+    ++attemptsSeen;
+    if (attempt == 0) throw std::runtime_error("injected transient fault");
+  };
+  SchedulingService service(config);
+  const SubmitOutcome outcome = service.submit(makeRequest());
+  ASSERT_TRUE(outcome.accepted);
+  const auto result = service.result(outcome.id);
+  ASSERT_NE(result, nullptr);  // the retry succeeded
+  const auto status = service.status(outcome.id);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->state, JobState::kDone);
+  EXPECT_TRUE(status->errorKind.empty());
+  EXPECT_EQ(status->attempts, 2);
+  EXPECT_EQ(attemptsSeen.load(), 2);
+}
+
+TEST(SchedulingService, SecondTransientFailureIsFinal) {
+  SchedulingService::Config config;
+  config.onJobAttempt = [](int) {
+    throw std::runtime_error("worker keeps crashing");
+  };
+  SchedulingService service(config);
+  const SubmitOutcome outcome = service.submit(makeRequest());
+  ASSERT_TRUE(outcome.accepted);
+  EXPECT_EQ(service.result(outcome.id), nullptr);
+  const auto status = service.status(outcome.id);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->state, JobState::kFailed);
+  EXPECT_EQ(status->errorKind, "internal");
+  EXPECT_EQ(status->attempts, 2);  // first run + exactly one retry
+  EXPECT_NE(status->error.find("worker keeps crashing"), std::string::npos);
   EXPECT_EQ(service.stats().failed, 1);
 }
 
