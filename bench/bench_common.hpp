@@ -7,6 +7,10 @@
 // (communication cost + % improvement over the straight-forward row-wise
 // distribution).
 
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -18,6 +22,54 @@
 #include "report/table.hpp"
 
 namespace pimsched::benchtool {
+
+/// Repetition controls shared by the timing harnesses: every measured
+/// configuration runs `warmup` throwaway iterations followed by `repeat`
+/// timed ones and reports the median, so emitted JSON stays stable across
+/// runs on a noisy machine.
+struct RepeatOptions {
+  int repeat = 1;
+  int warmup = 0;
+};
+
+/// Consumes a "--repeat N" or "--warmup N" pair at argv[i] (advancing i past
+/// the value); returns false when argv[i] is neither flag.
+inline bool parseRepeatArg(int argc, char** argv, int& i,
+                           RepeatOptions& opts) {
+  if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+    opts.repeat = std::max(1, std::atoi(argv[++i]));
+    return true;
+  }
+  if (std::strcmp(argv[i], "--warmup") == 0 && i + 1 < argc) {
+    opts.warmup = std::max(0, std::atoi(argv[++i]));
+    return true;
+  }
+  return false;
+}
+
+/// Median of a sample set (lower-middle element for even sizes, so the
+/// value is always one that was actually measured).
+inline double medianOf(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples.empty() ? 0.0 : samples[(samples.size() - 1) / 2];
+}
+
+/// Median wall-clock milliseconds of fn() over opts.repeat timed runs,
+/// after opts.warmup unmeasured ones.
+template <class Fn>
+double medianRunMs(const Fn& fn, const RepeatOptions& opts) {
+  using Clock = std::chrono::steady_clock;
+  for (int i = 0; i < opts.warmup; ++i) fn();
+  std::vector<double> ms;
+  ms.reserve(static_cast<std::size_t>(opts.repeat));
+  for (int i = 0; i < opts.repeat; ++i) {
+    const Clock::time_point t0 = Clock::now();
+    fn();
+    ms.push_back(
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count());
+  }
+  return medianOf(std::move(ms));
+}
 
 inline const std::vector<int>& paperSizes() {
   static const std::vector<int> sizes = {8, 16, 32};

@@ -4,10 +4,14 @@
 // cache reuse rates per kernel. Emits results/bench_parallel.json.
 //
 //   parallel_scaling [--smoke] [--out FILE] [--max-threads N]
+//                    [--repeat N] [--warmup N]
 //
 // --smoke shrinks the workload to seconds-on-one-core size for CI; the
 // JSON shape is identical. Every configuration is checked against the
-// sequential engine (same total cost) before it is timed.
+// sequential engine (same total cost) before it is timed. Each thread
+// count runs --warmup unmeasured iterations then --repeat measured ones
+// and reports the median-by-total (default: 1 repeat in smoke, 3 in a
+// full run).
 
 #include <algorithm>
 #include <chrono>
@@ -20,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/evaluator.hpp"
 #include "core/gomcds.hpp"
 #include "core/pipeline.hpp"
@@ -119,6 +124,8 @@ int main(int argc, char** argv) {
   bool smoke = false;
   std::string outPath = "results/bench_parallel.json";
   unsigned maxThreads = 0;
+  benchtool::RepeatOptions rep;
+  rep.repeat = 0;  // 0 = not set on the command line; defaulted below
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
@@ -126,12 +133,15 @@ int main(int argc, char** argv) {
       outPath = argv[++i];
     } else if (std::strcmp(argv[i], "--max-threads") == 0 && i + 1 < argc) {
       maxThreads = static_cast<unsigned>(std::stoi(argv[++i]));
+    } else if (benchtool::parseRepeatArg(argc, argv, i, rep)) {
+      // consumed "--repeat N" / "--warmup N"
     } else {
       std::cerr << "usage: parallel_scaling [--smoke] [--out FILE] "
-                   "[--max-threads N]\n";
+                   "[--max-threads N] [--repeat N] [--warmup N]\n";
       return 2;
     }
   }
+  if (rep.repeat == 0) rep.repeat = smoke ? 1 : 3;
 
   // The scaling workload: a matrix square on a large grid, windowed finely
   // enough that the per-datum layered DAGs dominate. --smoke shrinks it.
@@ -161,10 +171,9 @@ int main(int argc, char** argv) {
           .aggregate.total();
 
   std::vector<SweepPoint> sweep;
-  const int reps = smoke ? 1 : 2;
   for (const unsigned t : threadCounts) {
-    SweepPoint best;
-    for (int rep = 0; rep < reps; ++rep) {
+    std::vector<SweepPoint> runs;
+    for (int r = 0; r < rep.warmup + rep.repeat; ++r) {
       Cost cost = 0;
       const SweepPoint point =
           runPipeline(exp.refs(), exp.costModel(), opts, t, &cost);
@@ -173,13 +182,21 @@ int main(int argc, char** argv) {
                   << seqCost << " at " << t << " threads\n";
         return 1;
       }
-      if (rep == 0 || point.totalMs() < best.totalMs()) best = point;
+      if (r >= rep.warmup) runs.push_back(point);
     }
-    sweep.push_back(best);
-    std::cout << "threads " << t << ": schedule " << fmt(best.scheduleMs)
-              << " ms, eval " << fmt(best.evalMs) << " ms, replay "
-              << fmt(best.replayMs) << " ms, total "
-              << fmt(best.totalMs()) << " ms\n";
+    // Median-by-total of the measured runs (lower-middle on even counts,
+    // so the reported point is one that actually happened).
+    std::sort(runs.begin(), runs.end(),
+              [](const SweepPoint& a, const SweepPoint& b) {
+                return a.totalMs() < b.totalMs();
+              });
+    const SweepPoint med = runs[(runs.size() - 1) / 2];
+    sweep.push_back(med);
+    std::cout << "threads " << t << ": schedule " << fmt(med.scheduleMs)
+              << " ms, eval " << fmt(med.evalMs) << " ms, replay "
+              << fmt(med.replayMs) << " ms, total "
+              << fmt(med.totalMs()) << " ms (median of " << rep.repeat
+              << ")\n";
   }
 
   const double base = sweep.front().totalMs();

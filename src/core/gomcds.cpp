@@ -1,12 +1,15 @@
 #include "core/gomcds.hpp"
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/data_order.hpp"
-#include "cost/center_costs.hpp"
 #include "cost/cost_cache.hpp"
 #include "fault/fault_map.hpp"
 #include "graph/layered_dag.hpp"
@@ -45,6 +48,176 @@ namespace {
       std::to_string(occ.capacity()) + ")");
 }
 
+/// Per-thread arena for the flat solve path: every buffer is grow-only, so
+/// after the first datum on a thread the steady-state loop performs zero
+/// heap allocations per datum.
+struct GomcdsScratch {
+  LayeredDagScratch dag;    ///< dp + relaxed layers of the flat solver
+  LayeredPath path;         ///< reused per-datum solution
+  std::vector<Cost> serve;  ///< flat W x P node-cost table fed to the solver
+  std::vector<Cost> row;    ///< one serving-cost row from the cost cache
+};
+
+/// True when the forbidden (window, processor) set cannot change while data
+/// are placed: capacity is unlimited and no *alive* processor carries a
+/// fault capacity limit (dead processors are already forbidden through
+/// their infinite serving cost). With a static forbidden set, data of the
+/// same equivalence class share one solved path, not just cost tables.
+bool staticForbiddenSet(const CostModel& model,
+                        const SchedulerOptions& options) {
+  if (options.capacity >= 0) return false;
+  const FaultMap* faults = model.faults();
+  if (!faults) return true;
+  const int m = model.grid().size();
+  for (ProcId p = 0; p < m; ++p) {
+    if (faults->procAlive(p) && faults->capacityLimit(p) >= 0) return false;
+  }
+  return true;
+}
+
+/// Equivalence classes of data whose windowed reference strings are
+/// byte-identical — they pose the same per-datum DAG subproblem, so the
+/// serving-cost tables (and, under a static forbidden set, the solved
+/// path) are computed once per class. With dedup disabled every datum is
+/// its own (singleton) class.
+struct DedupClasses {
+  std::vector<int> classOf;  ///< datum -> class index
+  std::vector<DataId> rep;   ///< class -> representative (lowest-id) datum
+  std::vector<int> size;     ///< class -> member count
+};
+
+DedupClasses computeDedupClasses(const WindowedRefs& refs, bool enabled) {
+  DedupClasses out;
+  const DataId n = refs.numData();
+  out.classOf.resize(static_cast<std::size_t>(n));
+  if (!enabled) {
+    out.rep.resize(static_cast<std::size_t>(n));
+    out.size.assign(static_cast<std::size_t>(n), 1);
+    for (DataId d = 0; d < n; ++d) {
+      out.classOf[static_cast<std::size_t>(d)] = d;
+      out.rep[static_cast<std::size_t>(d)] = d;
+    }
+    return out;
+  }
+  // Signature buckets pre-screen; full row comparison against the class
+  // representative confirms, so hash collisions cannot merge classes.
+  std::unordered_map<std::uint64_t, std::vector<int>> bySig;
+  for (DataId d = 0; d < n; ++d) {
+    const std::uint64_t sig = refs.refsSignature(d);
+    std::vector<int>& bucket = bySig[sig];
+    int cls = -1;
+    for (const int c : bucket) {
+      if (refs.sameRefs(out.rep[static_cast<std::size_t>(c)], d)) {
+        cls = c;
+        break;
+      }
+    }
+    if (cls < 0) {
+      cls = static_cast<int>(out.rep.size());
+      out.rep.push_back(d);
+      out.size.push_back(0);
+      bucket.push_back(cls);
+    }
+    out.classOf[static_cast<std::size_t>(d)] = cls;
+    ++out.size[static_cast<std::size_t>(cls)];
+  }
+  PIMSCHED_COUNTER_ADD("gomcds.dedup.classes",
+                       static_cast<std::int64_t>(out.rep.size()));
+  PIMSCHED_COUNTER_ADD("gomcds.dedup.data",
+                       static_cast<std::int64_t>(n) -
+                           static_cast<std::int64_t>(out.rep.size()));
+  return out;
+}
+
+/// The shared beta * distance transition table of the faulted / naive
+/// engines: trans[q * P + p] = model.moveCost(q, p), built once per
+/// scheduling call and reused by every datum (fault distances can be
+/// asymmetric, so rows are indexed by source).
+void buildTransTable(const CostModel& model, std::vector<Cost>& trans) {
+  const int m = model.grid().size();
+  trans.resize(static_cast<std::size_t>(m) * static_cast<std::size_t>(m));
+  for (ProcId q = 0; q < m; ++q) {
+    Cost* row = trans.data() +
+                static_cast<std::size_t>(q) * static_cast<std::size_t>(m);
+    for (ProcId p = 0; p < m; ++p) {
+      row[static_cast<std::size_t>(p)] = model.moveCost(q, p);
+    }
+  }
+  PIMSCHED_COUNTER_ADD("gomcds.trans_table.builds", 1);
+}
+
+/// Flat W x P serving-cost tables per equivalence class. Tables of shared
+/// classes (>= 2 members) are built once and retained; singleton classes
+/// are materialized into caller scratch so an all-distinct trace never
+/// retains per-datum tables.
+class ClassServeTables {
+ public:
+  ClassServeTables(const WindowedRefs& refs, const CostModel& model,
+                   const DedupClasses& classes)
+      : refs_(&refs),
+        classes_(&classes),
+        cache_(model),
+        tables_(classes.rep.size()) {}
+
+  /// Serving-cost table of class `cls`. Shared classes build lazily into
+  /// their retained slot; singletons build into `scratch`.
+  std::span<const Cost> table(int cls, GomcdsScratch& scratch) {
+    if (classes_->size[static_cast<std::size_t>(cls)] > 1) {
+      std::vector<Cost>& t = tables_[static_cast<std::size_t>(cls)];
+      if (t.empty()) buildInto(cls, scratch.row, t);
+      return t;
+    }
+    buildInto(cls, scratch.row, scratch.serve);
+    return scratch.serve;
+  }
+
+  /// Builds every shared-class table upfront (the parallel planner reads
+  /// them concurrently, so they must not build lazily there).
+  void buildShared(unsigned threads) {
+    std::vector<int> shared;
+    for (std::size_t c = 0; c < tables_.size(); ++c) {
+      if (classes_->size[c] > 1) shared.push_back(static_cast<int>(c));
+    }
+    parallelFor(static_cast<std::int64_t>(shared.size()), threads,
+                [&](std::int64_t k) {
+                  const int cls = shared[static_cast<std::size_t>(k)];
+                  buildInto(cls, workerScratch<GomcdsScratch>().row,
+                            tables_[static_cast<std::size_t>(cls)]);
+                });
+  }
+
+ private:
+  void buildInto(int cls, std::vector<Cost>& row, std::vector<Cost>& out) {
+    const DataId d = classes_->rep[static_cast<std::size_t>(cls)];
+    const int W = refs_->numWindows();
+    const std::size_t p = static_cast<std::size_t>(refs_->numProcs());
+    out.resize(static_cast<std::size_t>(W) * p);
+    for (WindowId w = 0; w < W; ++w) {
+      cache_.costsInto(refs_->refs(d, w), row);
+      std::copy(row.begin(), row.end(),
+                out.begin() + static_cast<std::size_t>(w) * p);
+    }
+  }
+
+  const WindowedRefs* refs_;
+  const DedupClasses* classes_;
+  CenterCostCache cache_;
+  std::vector<std::vector<Cost>> tables_;
+};
+
+/// Applies the forbidden mask to a class serve table: out = full ? inf :
+/// serve, elementwise over the flat W x P layout. Branch-free select.
+void maskServe(std::span<const Cost> serve, const std::vector<char>& full,
+               std::vector<Cost>& out) {
+  out.resize(serve.size());
+  const Cost* s = serve.data();
+  const char* f = full.data();
+  Cost* o = out.data();
+  for (std::size_t i = 0; i < serve.size(); ++i) {
+    o[i] = f[i] ? kInfiniteCost : s[i];
+  }
+}
+
 }  // namespace
 
 DataSchedule scheduleGomcds(const WindowedRefs& refs, const CostModel& model,
@@ -54,6 +227,7 @@ DataSchedule scheduleGomcds(const WindowedRefs& refs, const CostModel& model,
   DataSchedule schedule(refs.numData(), refs.numWindows());
   const Grid& grid = model.grid();
   const int W = refs.numWindows();
+  const int P = grid.size();
   const Cost beta = model.params().hopCost * model.params().moveVolume;
 
   std::vector<OccupancyMap> occupancy(
@@ -62,41 +236,90 @@ DataSchedule scheduleGomcds(const WindowedRefs& refs, const CostModel& model,
     for (OccupancyMap& occ : occupancy) applyFaultCapacity(occ, *faults);
   }
 
-  // Serving-cost tables depend only on the reference string, so data with
-  // identical strings (matmul, LU) share one memoized table.
-  CenterCostCache cache(model);
-  std::vector<std::vector<Cost>> serve(static_cast<std::size_t>(W));
+  const bool useChamfer =
+      engine == GomcdsEngine::kChamfer && !model.faultAware();
+  std::vector<Cost> trans;
+  if (!useChamfer) buildTransTable(model, trans);
+
+  const DedupClasses classes = computeDedupClasses(refs, options.dedup);
+  ClassServeTables tables(refs, model, classes);
+  const bool staticMask = staticForbiddenSet(model, options);
+
+  // Under a static forbidden set every member of a class takes the same
+  // path; solve once per class on first use. Under capacity pressure the
+  // mask grows between data, so each datum gets a masked solve (reusing
+  // the class serve table); full[] mirrors !occupancy[w].hasRoom(p).
+  std::vector<LayeredPath> classPaths(
+      staticMask && options.dedup ? classes.rep.size() : 0);
+  std::vector<char> classSolved(classPaths.size(), 0);
+  std::vector<char> full;
+  if (!staticMask) {
+    full.resize(static_cast<std::size_t>(W) * static_cast<std::size_t>(P));
+    for (WindowId w = 0; w < W; ++w) {
+      for (ProcId p = 0; p < P; ++p) {
+        full[static_cast<std::size_t>(w) * static_cast<std::size_t>(P) +
+             static_cast<std::size_t>(p)] =
+            !occupancy[static_cast<std::size_t>(w)].hasRoom(p);
+      }
+    }
+  }
+
+  GomcdsScratch& scratch = workerScratch<GomcdsScratch>();
+  const auto solveInto = [&](std::span<const Cost> nodeCosts,
+                             LayeredPath& out) {
+    if (useChamfer) {
+      LayeredDagSolver::solveManhattanFlatInto(grid, W, nodeCosts, beta,
+                                               scratch.dag, out);
+    } else {
+      LayeredDagSolver::solveFlatInto(W, P, nodeCosts, trans, scratch.dag,
+                                      out);
+    }
+    PIMSCHED_COUNTER_ADD("gomcds.flat.solves", 1);
+  };
 
   for (const DataId d : dataVisitOrder(refs, options.order)) {
-    // Serving cost of every (window, processor) node of the cost-graph.
-    for (WindowId w = 0; w < W; ++w) {
-      cache.costsInto(refs.refs(d, w), serve[static_cast<std::size_t>(w)]);
-    }
-    const auto nodeCost = [&](int w, int p) -> Cost {
-      if (!occupancy[static_cast<std::size_t>(w)].hasRoom(
-              static_cast<ProcId>(p))) {
-        return kInfiniteCost;
+    const int cls = classes.classOf[static_cast<std::size_t>(d)];
+    const LayeredPath* path = nullptr;
+    if (staticMask) {
+      const bool shared = !classPaths.empty() &&
+                          classes.size[static_cast<std::size_t>(cls)] > 1;
+      if (shared) {
+        if (!classSolved[static_cast<std::size_t>(cls)]) {
+          solveInto(tables.table(cls, scratch),
+                    classPaths[static_cast<std::size_t>(cls)]);
+          classSolved[static_cast<std::size_t>(cls)] = 1;
+        }
+        path = &classPaths[static_cast<std::size_t>(cls)];
+      } else {
+        solveInto(tables.table(cls, scratch), scratch.path);
+        path = &scratch.path;
       }
-      return serve[static_cast<std::size_t>(w)][static_cast<std::size_t>(p)];
-    };
-
-    LayeredPath path;
-    if (engine == GomcdsEngine::kChamfer && !model.faultAware()) {
-      path = LayeredDagSolver::solveManhattan(grid, W, nodeCost, beta);
     } else {
-      // The chamfer min-plus transform assumes the metric is Manhattan,
-      // which fault-aware distances are not; price transitions through the
-      // model instead (moveCost == beta * distance, saturating).
-      const auto trans = [&](int q, int p) -> Cost {
-        return model.moveCost(static_cast<ProcId>(q), static_cast<ProcId>(p));
-      };
-      path = LayeredDagSolver::solve(W, grid.size(), nodeCost, trans);
+      const std::span<const Cost> serve = tables.table(cls, scratch);
+      if (serve.data() == scratch.serve.data()) {
+        // Singleton table already lives in scratch — mask it in place.
+        Cost* s = scratch.serve.data();
+        for (std::size_t i = 0; i < full.size(); ++i) {
+          s[i] = full[i] ? kInfiniteCost : s[i];
+        }
+      } else {
+        maskServe(serve, full, scratch.serve);
+      }
+      solveInto(scratch.serve, scratch.path);
+      path = &scratch.path;
     }
-    if (!path.feasible()) throwInfeasible(model);
+
+    if (!path->feasible()) throwInfeasible(model);
     for (WindowId w = 0; w < W; ++w) {
-      const auto p = static_cast<ProcId>(path.nodes[static_cast<std::size_t>(w)]);
+      const auto p =
+          static_cast<ProcId>(path->nodes[static_cast<std::size_t>(w)]);
       if (!occupancy[static_cast<std::size_t>(w)].tryPlace(p)) {
         throwSlotDisagreement(d, p, w, occupancy[static_cast<std::size_t>(w)]);
+      }
+      if (!staticMask) {
+        full[static_cast<std::size_t>(w) * static_cast<std::size_t>(P) +
+             static_cast<std::size_t>(p)] =
+            !occupancy[static_cast<std::size_t>(w)].hasRoom(p);
       }
       schedule.setCenter(d, w, p);
     }
@@ -112,6 +335,7 @@ DataSchedule scheduleGomcdsParallel(const WindowedRefs& refs,
   PIMSCHED_SCOPED_TIMER("sched.gomcds_parallel");
   const Grid& grid = model.grid();
   const int W = refs.numWindows();
+  const int P = grid.size();
   const Cost beta = model.params().hopCost * model.params().moveVolume;
   DataSchedule schedule(refs.numData(), W);
 
@@ -123,7 +347,72 @@ DataSchedule scheduleGomcdsParallel(const WindowedRefs& refs,
   if (const FaultMap* faults = model.faults()) {
     for (OccupancyMap& occ : occupancy) applyFaultCapacity(occ, *faults);
   }
-  CenterCostCache cache(model);
+
+  const bool useChamfer = !model.faultAware();
+  std::vector<Cost> trans;
+  if (!useChamfer) buildTransTable(model, trans);
+
+  const DedupClasses classes = computeDedupClasses(refs, options.dedup);
+  ClassServeTables tables(refs, model, classes);
+  tables.buildShared(threads);
+  const bool staticMask = staticForbiddenSet(model, options);
+
+  const auto solveInto = [&](std::span<const Cost> nodeCosts,
+                             GomcdsScratch& scratch, LayeredPath& out) {
+    if (useChamfer) {
+      LayeredDagSolver::solveManhattanFlatInto(grid, W, nodeCosts, beta,
+                                               scratch.dag, out);
+    } else {
+      LayeredDagSolver::solveFlatInto(W, P, nodeCosts, trans, scratch.dag,
+                                      out);
+    }
+    PIMSCHED_COUNTER_ADD("gomcds.flat.solves", 1);
+  };
+
+  if (staticMask) {
+    // The forbidden set never changes, so plans cannot conflict: one solve
+    // per equivalence class, fanned out over the pool, then a single
+    // sequential commit pass in visit order.
+    PIMSCHED_COUNTER_ADD("sched.gomcds.rounds", 1);
+    std::vector<LayeredPath> classPaths(classes.rep.size());
+    parallelFor(static_cast<std::int64_t>(classes.rep.size()), threads,
+                [&](std::int64_t k) {
+                  GomcdsScratch& scratch = workerScratch<GomcdsScratch>();
+                  solveInto(tables.table(static_cast<int>(k), scratch),
+                            scratch, classPaths[static_cast<std::size_t>(k)]);
+                });
+    for (std::size_t i = 0; i < n; ++i) {
+      const DataId d = order[i];
+      const LayeredPath& path =
+          classPaths[static_cast<std::size_t>(
+              classes.classOf[static_cast<std::size_t>(d)])];
+      if (!path.feasible()) throwInfeasible(model);
+      for (WindowId w = 0; w < W; ++w) {
+        const auto p =
+            static_cast<ProcId>(path.nodes[static_cast<std::size_t>(w)]);
+        if (!occupancy[static_cast<std::size_t>(w)].tryPlace(p)) {
+          throwSlotDisagreement(d, p, w,
+                                occupancy[static_cast<std::size_t>(w)]);
+        }
+        schedule.setCenter(d, w, p);
+      }
+    }
+    PIMSCHED_COUNTER_ADD("sched.gomcds.data",
+                         static_cast<std::int64_t>(refs.numData()));
+    return schedule;
+  }
+
+  // Capacity-constrained plan/commit rounds. full[] snapshots the
+  // forbidden set for the plan phase; the commit pass keeps it in sync.
+  std::vector<char> full(static_cast<std::size_t>(W) *
+                         static_cast<std::size_t>(P));
+  for (WindowId w = 0; w < W; ++w) {
+    for (ProcId p = 0; p < P; ++p) {
+      full[static_cast<std::size_t>(w) * static_cast<std::size_t>(P) +
+           static_cast<std::size_t>(p)] =
+          !occupancy[static_cast<std::size_t>(w)].hasRoom(p);
+    }
+  }
 
   // plans[i] is the layered-DAG solution for order[i]; planned[i] marks it
   // current (solved against a snapshot no newer placements invalidated).
@@ -146,8 +435,8 @@ DataSchedule scheduleGomcdsParallel(const WindowedRefs& refs,
   while (committed < n) {
     PIMSCHED_COUNTER_ADD("sched.gomcds.rounds", 1);
     // Plan phase: solve every pending datum without a current plan against
-    // the read-only occupancy snapshot. Pure per-datum work — safe to fan
-    // out; the shared cache serves the cost tables.
+    // the read-only forbidden-set snapshot. Pure per-datum work — safe to
+    // fan out; shared-class serve tables were prebuilt above.
     toSolve.clear();
     for (std::size_t i = committed; i < n; ++i) {
       if (!planned[i]) toSolve.push_back(i);
@@ -157,30 +446,18 @@ DataSchedule scheduleGomcdsParallel(const WindowedRefs& refs,
         [&](std::int64_t k) {
           const std::size_t i = toSolve[static_cast<std::size_t>(k)];
           const DataId d = order[i];
-          thread_local std::vector<std::vector<Cost>> serve;
-          serve.resize(static_cast<std::size_t>(W));
-          for (WindowId w = 0; w < W; ++w) {
-            cache.costsInto(refs.refs(d, w),
-                            serve[static_cast<std::size_t>(w)]);
-          }
-          const auto nodeCost = [&](int w, int p) -> Cost {
-            if (!occupancy[static_cast<std::size_t>(w)].hasRoom(
-                    static_cast<ProcId>(p))) {
-              return kInfiniteCost;
+          const int cls = classes.classOf[static_cast<std::size_t>(d)];
+          GomcdsScratch& scratch = workerScratch<GomcdsScratch>();
+          const std::span<const Cost> serve = tables.table(cls, scratch);
+          if (serve.data() == scratch.serve.data()) {
+            Cost* s = scratch.serve.data();
+            for (std::size_t j = 0; j < full.size(); ++j) {
+              s[j] = full[j] ? kInfiniteCost : s[j];
             }
-            return serve[static_cast<std::size_t>(w)]
-                        [static_cast<std::size_t>(p)];
-          };
-          if (model.faultAware()) {
-            const auto trans = [&](int q, int p) -> Cost {
-              return model.moveCost(static_cast<ProcId>(q),
-                                    static_cast<ProcId>(p));
-            };
-            plans[i] = LayeredDagSolver::solve(W, grid.size(), nodeCost, trans);
           } else {
-            plans[i] =
-                LayeredDagSolver::solveManhattan(grid, W, nodeCost, beta);
+            maskServe(serve, full, scratch.serve);
           }
+          solveInto(scratch.serve, scratch, plans[i]);
           planned[i] = 1;
         });
 
@@ -202,6 +479,9 @@ DataSchedule scheduleGomcdsParallel(const WindowedRefs& refs,
           throwSlotDisagreement(d, p, w,
                                 occupancy[static_cast<std::size_t>(w)]);
         }
+        full[static_cast<std::size_t>(w) * static_cast<std::size_t>(P) +
+             static_cast<std::size_t>(p)] =
+            !occupancy[static_cast<std::size_t>(w)].hasRoom(p);
         schedule.setCenter(d, w, p);
       }
     }

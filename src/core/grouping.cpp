@@ -178,8 +178,8 @@ DataGrouping optimalGrouping(const WindowCostPrefix& prefix,
 
   for (int w = 0; w < W; ++w) {
     if (w > 0) {
-      best[static_cast<std::size_t>(w)] =
-          manhattanMinPlus(grid, dp[static_cast<std::size_t>(w - 1)], beta);
+      manhattanMinPlusInto(grid, dp[static_cast<std::size_t>(w - 1)], beta,
+                           best[static_cast<std::size_t>(w)]);
     }
     for (ProcId p = 0; p < m; ++p) {
       Cost bestCost = kInfiniteCost;

@@ -16,6 +16,12 @@ struct SchedulerOptions {
   std::int64_t capacity = -1;
 
   DataOrder order = DataOrder::kById;
+
+  /// Deduplicate per-datum subproblems: data with byte-identical windowed
+  /// reference strings share serving-cost tables (and, when the forbidden
+  /// set is static, the solved path). Schedules are bit-identical either
+  /// way; this is purely a speed knob for regular kernels.
+  bool dedup = true;
 };
 
 }  // namespace pimsched

@@ -1,6 +1,8 @@
 #include "graph/layered_dag.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <stdexcept>
 
 #include "obs/obs.hpp"
@@ -9,80 +11,142 @@ namespace pimsched {
 
 namespace {
 
-/// Backward path reconstruction shared by both solvers: given the dp tables
-/// (dp[w][p] = best cost of a prefix ending with node p in layer w), walk
-/// from the best final node to the front, picking at each step the smallest
-/// predecessor q that attains dp[w][p] == dp[w-1][q] + trans(q,p) +
-/// node(w,p).
-LayeredPath reconstruct(int numLayers, int numNodes,
-                        const std::vector<std::vector<Cost>>& dp,
-                        const LayeredDagSolver::NodeCostFn& nodeCost,
-                        const LayeredDagSolver::TransCostFn& transCost) {
-  LayeredPath out;
-  const std::vector<Cost>& last = dp[static_cast<std::size_t>(numLayers - 1)];
-  const auto best = std::min_element(last.begin(), last.end());
+/// Backward path reconstruction shared by both solvers: given the dp table
+/// (dp[w * N + p] = best cost of a prefix ending with node p in layer w),
+/// walk from the best final node to the front, picking at each step the
+/// smallest predecessor q that attains dp[w][p] == dp[w-1][q] + trans(q,p) +
+/// node(w,p). `scanPrev(prevRow, cur, target, own)` performs that argmin
+/// scan and returns -1 when nothing attains the target; it is a statically
+/// dispatched callable, so the scan loops stay free of indirect calls.
+///
+/// Every scanner below matches the reference condition
+///   satAdd(satAdd(prevRow[q], trans(q, cur)), own) == target
+/// exactly. Since target < kInfiniteCost here, own is finite too, and the
+/// condition reduces to: both terms finite and prevRow[q] + trans == target
+/// - own — a single add per candidate instead of two saturating adds.
+template <class ScanFn>
+void reconstructFlat(int numLayers, int numNodes, const Cost* dp,
+                     const Cost* nodeCosts, const ScanFn& scanPrev,
+                     LayeredPath& out) {
+  const std::size_t n = static_cast<std::size_t>(numNodes);
+  const Cost* last = dp + static_cast<std::size_t>(numLayers - 1) * n;
+  const Cost* best = std::min_element(last, last + n);
+  out.nodes.clear();
   out.total = *best;
-  if (out.total >= kInfiniteCost) return out;
+  if (out.total >= kInfiniteCost) return;
 
   out.nodes.assign(static_cast<std::size_t>(numLayers), 0);
-  int cur = static_cast<int>(best - last.begin());
+  int cur = static_cast<int>(best - last);
   out.nodes[static_cast<std::size_t>(numLayers - 1)] = cur;
   for (int w = numLayers - 1; w > 0; --w) {
-    const Cost target = dp[static_cast<std::size_t>(w)][static_cast<std::size_t>(cur)];
-    const Cost own = nodeCost(w, cur);
-    int prev = -1;
-    for (int q = 0; q < numNodes; ++q) {
-      const Cost cand = satAdd(
-          satAdd(dp[static_cast<std::size_t>(w - 1)][static_cast<std::size_t>(q)],
-                 transCost(q, cur)),
-          own);
-      if (cand == target) {
-        prev = q;
-        break;
-      }
-    }
+    const std::size_t row = static_cast<std::size_t>(w) * n;
+    const Cost target = dp[row + static_cast<std::size_t>(cur)];
+    const Cost own = nodeCosts[row + static_cast<std::size_t>(cur)];
+    const int prev = scanPrev(dp + row - n, cur, target, own);
     if (prev < 0) {
       throw std::logic_error("LayeredDagSolver: path reconstruction failed");
     }
     cur = prev;
     out.nodes[static_cast<std::size_t>(w - 1)] = cur;
   }
-  return out;
+}
+
+/// Combines one relaxed layer with that layer's own node costs, mirroring
+/// satAdd(relaxed, own) element-wise. `relaxed` entries may sit above
+/// kInfiniteCost (branch-free sweeps defer clamping); `own` follows the cost
+/// contract. Branch-free so it vectorizes.
+void combineLayer(const Cost* relaxed, const Cost* own, Cost* out,
+                  std::size_t n) {
+  for (std::size_t p = 0; p < n; ++p) {
+    const Cost a = relaxed[p] < kInfiniteCost ? relaxed[p] : kInfiniteCost;
+    const Cost b = own[p];
+    const Cost sum = a + (b < kInfiniteCost ? b : 0);
+    out[p] = (a >= kInfiniteCost || b >= kInfiniteCost) ? kInfiniteCost : sum;
+  }
+}
+
+/// The saturating per-step chamfer sweeps, kept as the fallback when beta is
+/// so large that the branch-free variant's deferred clamp could overflow.
+void minPlusSaturating(const Grid& grid, Cost beta, Cost* h) {
+  const int R = grid.rows();
+  const int C = grid.cols();
+  const auto at = [&](int r, int c) -> Cost& {
+    return h[static_cast<std::size_t>(grid.id(r, c))];
+  };
+  for (int r = 0; r < R; ++r) {
+    for (int c = 0; c < C; ++c) {
+      if (c > 0) at(r, c) = std::min(at(r, c), satAdd(at(r, c - 1), beta));
+      if (r > 0) at(r, c) = std::min(at(r, c), satAdd(at(r - 1, c), beta));
+    }
+  }
+  for (int r = R - 1; r >= 0; --r) {
+    for (int c = C - 1; c >= 0; --c) {
+      if (c + 1 < C) at(r, c) = std::min(at(r, c), satAdd(at(r, c + 1), beta));
+      if (r + 1 < R) at(r, c) = std::min(at(r, c), satAdd(at(r + 1, c), beta));
+    }
+  }
 }
 
 }  // namespace
 
-LayeredPath LayeredDagSolver::solve(int numLayers, int numNodes,
-                                    const NodeCostFn& nodeCost,
-                                    const TransCostFn& transCost) {
-  if (numLayers < 1 || numNodes < 1) {
-    throw std::invalid_argument("LayeredDagSolver: empty problem");
+void manhattanMinPlusInto(const Grid& grid, std::span<const Cost> in,
+                          Cost beta, std::span<Cost> out) {
+  const std::size_t n = static_cast<std::size_t>(grid.size());
+  if (in.size() != n || out.size() != n) {
+    throw std::invalid_argument("manhattanMinPlus: size mismatch");
   }
-  PIMSCHED_SCOPED_TIMER("solver.layered_dag");
-  PIMSCHED_COUNTER_ADD("solver.runs", 1);
-  PIMSCHED_COUNTER_ADD("solver.relaxed_layers", numLayers - 1);
-  std::vector<std::vector<Cost>> dp(
-      static_cast<std::size_t>(numLayers),
-      std::vector<Cost>(static_cast<std::size_t>(numNodes), kInfiniteCost));
-  for (int p = 0; p < numNodes; ++p) {
-    dp[0][static_cast<std::size_t>(p)] = nodeCost(0, p);
+  if (beta < 0) throw std::invalid_argument("manhattanMinPlus: beta < 0");
+  Cost* h = out.data();
+  if (h != in.data()) std::copy(in.begin(), in.end(), h);
+
+  const int R = grid.rows();
+  const int C = grid.cols();
+  // The branch-free sweeps let forbidden (kInfiniteCost) cells drift up to
+  // 2*(R+C) beta-steps above kInfiniteCost before the final clamp; fall back
+  // to the saturating per-step variant when that headroom could overflow.
+  const Cost steps = 2 * static_cast<Cost>(R + C) + 2;
+  if (beta > 0 && beta > (INT64_MAX - kInfiniteCost) / steps) {
+    minPlusSaturating(grid, beta, h);
+    return;
   }
-  for (int w = 1; w < numLayers; ++w) {
-    for (int p = 0; p < numNodes; ++p) {
-      const Cost own = nodeCost(w, p);
-      if (own >= kInfiniteCost) continue;
-      Cost best = kInfiniteCost;
-      for (int q = 0; q < numNodes; ++q) {
-        best = std::min(
-            best, satAdd(dp[static_cast<std::size_t>(w - 1)]
-                           [static_cast<std::size_t>(q)],
-                         transCost(q, p)));
+
+  // Forward: values flow right and down. Each row first relaxes from the
+  // (finished) row above — a vectorizable elementwise pass — then runs the
+  // serial left-to-right scan. Identical candidates, hence identical finite
+  // values, as the interleaved per-cell formulation.
+  for (int r = 0; r < R; ++r) {
+    Cost* row = h + static_cast<std::size_t>(r) * static_cast<std::size_t>(C);
+    if (r > 0) {
+      const Cost* up = row - C;
+      for (int c = 0; c < C; ++c) {
+        const Cost cand = up[c] + beta;
+        row[c] = cand < row[c] ? cand : row[c];
       }
-      dp[static_cast<std::size_t>(w)][static_cast<std::size_t>(p)] =
-          satAdd(best, own);
+    }
+    for (int c = 1; c < C; ++c) {
+      const Cost cand = row[c - 1] + beta;
+      row[c] = cand < row[c] ? cand : row[c];
     }
   }
-  return reconstruct(numLayers, numNodes, dp, nodeCost, transCost);
+  // Backward: values flow left and up, mirrored.
+  for (int r = R - 1; r >= 0; --r) {
+    Cost* row = h + static_cast<std::size_t>(r) * static_cast<std::size_t>(C);
+    if (r + 1 < R) {
+      const Cost* down = row + C;
+      for (int c = 0; c < C; ++c) {
+        const Cost cand = down[c] + beta;
+        row[c] = cand < row[c] ? cand : row[c];
+      }
+    }
+    for (int c = C - 2; c >= 0; --c) {
+      const Cost cand = row[c + 1] + beta;
+      row[c] = cand < row[c] ? cand : row[c];
+    }
+  }
+  // Deferred clamp: anything at or above kInfiniteCost is unreachable.
+  for (std::size_t p = 0; p < n; ++p) {
+    h[p] = h[p] < kInfiniteCost ? h[p] : kInfiniteCost;
+  }
 }
 
 std::vector<Cost> manhattanMinPlus(const Grid& grid,
@@ -90,28 +154,208 @@ std::vector<Cost> manhattanMinPlus(const Grid& grid,
   if (static_cast<int>(in.size()) != grid.size()) {
     throw std::invalid_argument("manhattanMinPlus: size mismatch");
   }
-  if (beta < 0) throw std::invalid_argument("manhattanMinPlus: beta < 0");
-  std::vector<Cost> h = in;
+  std::vector<Cost> out(in.size());
+  manhattanMinPlusInto(grid, in, beta, out);
+  return out;
+}
+
+void LayeredDagSolver::solveFlatInto(int numLayers, int numNodes,
+                                     std::span<const Cost> nodeCosts,
+                                     std::span<const Cost> transCosts,
+                                     LayeredDagScratch& scratch,
+                                     LayeredPath& out) {
+  if (numLayers < 1 || numNodes < 1) {
+    throw std::invalid_argument("LayeredDagSolver: empty problem");
+  }
+  const std::size_t n = static_cast<std::size_t>(numNodes);
+  const std::size_t ln = static_cast<std::size_t>(numLayers) * n;
+  if (nodeCosts.size() != ln) {
+    throw std::invalid_argument("LayeredDagSolver: node-cost table size mismatch");
+  }
+  if (transCosts.size() != n * n) {
+    throw std::invalid_argument(
+        "LayeredDagSolver: transition table size mismatch");
+  }
+  PIMSCHED_SCOPED_TIMER("solver.layered_dag");
+  PIMSCHED_COUNTER_ADD("solver.runs", 1);
+  PIMSCHED_COUNTER_ADD("solver.relaxed_layers", numLayers - 1);
+
+  scratch.dp.resize(ln);
+  scratch.relaxed.resize(n);
+  Cost* dp = scratch.dp.data();
+  Cost* relaxed = scratch.relaxed.data();
+  const Cost* nc = nodeCosts.data();
+  const Cost* trans = transCosts.data();
+
+  std::copy(nc, nc + n, dp);
+  for (int w = 1; w < numLayers; ++w) {
+    const Cost* prev = dp + static_cast<std::size_t>(w - 1) * n;
+    // Min-plus against the full table. Sources run in the outer loop so the
+    // inner pass reads one contiguous table row and vectorizes; unreachable
+    // sums drift above kInfiniteCost and are clamped in combineLayer.
+    std::fill(relaxed, relaxed + n, kInfiniteCost);
+    for (std::size_t q = 0; q < n; ++q) {
+      const Cost dq = prev[q];
+      if (dq >= kInfiniteCost) continue;
+      const Cost* row = trans + q * n;
+      for (std::size_t p = 0; p < n; ++p) {
+        const Cost cand = dq + row[p];
+        relaxed[p] = cand < relaxed[p] ? cand : relaxed[p];
+      }
+    }
+    combineLayer(relaxed, nc + static_cast<std::size_t>(w) * n,
+                 dp + static_cast<std::size_t>(w) * n, n);
+  }
+  // Table scan: trans entries follow the cost contract (finite values keep
+  // partial sums below kInfiniteCost), so `prev + t` cannot overflow once
+  // both guards pass and plain equality against `need` is exact.
+  reconstructFlat(
+      numLayers, numNodes, dp, nc,
+      [&](const Cost* prevRow, int cur, Cost target, Cost own) -> int {
+        const Cost need = target - own;
+        const Cost* col = trans + static_cast<std::size_t>(cur);
+        for (std::size_t q = 0; q < n; ++q) {
+          const Cost t = col[q * n];
+          if (prevRow[q] < kInfiniteCost && t < kInfiniteCost &&
+              prevRow[q] + t == need) {
+            return static_cast<int>(q);
+          }
+        }
+        return -1;
+      },
+      out);
+}
+
+LayeredPath LayeredDagSolver::solveFlat(int numLayers, int numNodes,
+                                        std::span<const Cost> nodeCosts,
+                                        std::span<const Cost> transCosts) {
+  LayeredDagScratch scratch;
+  LayeredPath out;
+  solveFlatInto(numLayers, numNodes, nodeCosts, transCosts, scratch, out);
+  return out;
+}
+
+void LayeredDagSolver::solveManhattanFlatInto(const Grid& grid, int numLayers,
+                                              std::span<const Cost> nodeCosts,
+                                              Cost beta,
+                                              LayeredDagScratch& scratch,
+                                              LayeredPath& out) {
+  const int numNodes = grid.size();
+  if (numLayers < 1) {
+    throw std::invalid_argument("LayeredDagSolver: empty problem");
+  }
+  const std::size_t n = static_cast<std::size_t>(numNodes);
+  const std::size_t ln = static_cast<std::size_t>(numLayers) * n;
+  if (nodeCosts.size() != ln) {
+    throw std::invalid_argument("LayeredDagSolver: node-cost table size mismatch");
+  }
+  PIMSCHED_SCOPED_TIMER("solver.layered_dag");
+  PIMSCHED_COUNTER_ADD("solver.runs", 1);
+  PIMSCHED_COUNTER_ADD("solver.relaxed_layers", numLayers - 1);
+
+  scratch.dp.resize(ln);
+  scratch.relaxed.resize(n);
+  Cost* dp = scratch.dp.data();
+  Cost* relaxed = scratch.relaxed.data();
+  const Cost* nc = nodeCosts.data();
+
+  std::copy(nc, nc + n, dp);
+  for (int w = 1; w < numLayers; ++w) {
+    const Cost* prev = dp + static_cast<std::size_t>(w - 1) * n;
+    manhattanMinPlusInto(grid, std::span<const Cost>(prev, n), beta,
+                         std::span<Cost>(relaxed, n));
+    combineLayer(relaxed, nc + static_cast<std::size_t>(w) * n,
+                 dp + static_cast<std::size_t>(w) * n, n);
+  }
+  // Chamfer scan, division-free: the layer's node splits into (row, col)
+  // once, then every candidate's transition is two |delta| multiplies — no
+  // Grid::manhattan (two integer divisions) per candidate. Transitions top
+  // out at beta * (R + C), which the sweep guard above bounds below
+  // (INT64_MAX - kInfiniteCost) / 2, so `prev + t` with prev < kInfiniteCost
+  // cannot overflow; for huge beta fall back to the saturating reference
+  // scan (beta * manhattan matches the old callback exactly there).
   const int R = grid.rows();
   const int C = grid.cols();
-  const auto at = [&](int r, int c) -> Cost& {
-    return h[static_cast<std::size_t>(grid.id(r, c))];
-  };
-  // Forward pass: values flow right and down.
-  for (int r = 0; r < R; ++r) {
-    for (int c = 0; c < C; ++c) {
-      if (c > 0) at(r, c) = std::min(at(r, c), satAdd(at(r, c - 1), beta));
-      if (r > 0) at(r, c) = std::min(at(r, c), satAdd(at(r - 1, c), beta));
+  const Cost steps = 2 * static_cast<Cost>(R + C) + 2;
+  if (beta == 0 || beta <= (INT64_MAX - kInfiniteCost) / steps) {
+    reconstructFlat(
+        numLayers, numNodes, dp, nc,
+        [&](const Cost* prevRow, int cur, Cost target, Cost own) -> int {
+          const Cost need = target - own;
+          const int cr = cur / C;
+          const int cc = cur % C;
+          for (int qr = 0; qr < R; ++qr) {
+            const Cost rowT =
+                beta * static_cast<Cost>(qr > cr ? qr - cr : cr - qr);
+            const Cost* pr =
+                prevRow + static_cast<std::size_t>(qr) *
+                              static_cast<std::size_t>(C);
+            for (int qc = 0; qc < C; ++qc) {
+              const Cost t =
+                  rowT + beta * static_cast<Cost>(qc > cc ? qc - cc : cc - qc);
+              if (pr[qc] < kInfiniteCost && t < kInfiniteCost &&
+                  pr[qc] + t == need) {
+                return qr * C + qc;
+              }
+            }
+          }
+          return -1;
+        },
+        out);
+  } else {
+    reconstructFlat(
+        numLayers, numNodes, dp, nc,
+        [&](const Cost* prevRow, int cur, Cost target, Cost own) -> int {
+          for (int q = 0; q < numNodes; ++q) {
+            const Cost t =
+                beta * grid.manhattan(static_cast<ProcId>(q),
+                                      static_cast<ProcId>(cur));
+            if (satAdd(satAdd(prevRow[static_cast<std::size_t>(q)], t), own) ==
+                target) {
+              return q;
+            }
+          }
+          return -1;
+        },
+        out);
+  }
+}
+
+LayeredPath LayeredDagSolver::solveManhattanFlat(
+    const Grid& grid, int numLayers, std::span<const Cost> nodeCosts,
+    Cost beta) {
+  LayeredDagScratch scratch;
+  LayeredPath out;
+  solveManhattanFlatInto(grid, numLayers, nodeCosts, beta, scratch, out);
+  return out;
+}
+
+LayeredPath LayeredDagSolver::solve(int numLayers, int numNodes,
+                                    const NodeCostFn& nodeCost,
+                                    const TransCostFn& transCost) {
+  if (numLayers < 1 || numNodes < 1) {
+    throw std::invalid_argument("LayeredDagSolver: empty problem");
+  }
+  const std::size_t n = static_cast<std::size_t>(numNodes);
+  LayeredDagScratch scratch;
+  scratch.nodeCosts.resize(static_cast<std::size_t>(numLayers) * n);
+  for (int w = 0; w < numLayers; ++w) {
+    for (int p = 0; p < numNodes; ++p) {
+      scratch.nodeCosts[static_cast<std::size_t>(w) * n +
+                        static_cast<std::size_t>(p)] = nodeCost(w, p);
     }
   }
-  // Backward pass: values flow left and up.
-  for (int r = R - 1; r >= 0; --r) {
-    for (int c = C - 1; c >= 0; --c) {
-      if (c + 1 < C) at(r, c) = std::min(at(r, c), satAdd(at(r, c + 1), beta));
-      if (r + 1 < R) at(r, c) = std::min(at(r, c), satAdd(at(r + 1, c), beta));
+  scratch.trans.resize(n * n);
+  for (int q = 0; q < numNodes; ++q) {
+    for (int p = 0; p < numNodes; ++p) {
+      scratch.trans[static_cast<std::size_t>(q) * n +
+                    static_cast<std::size_t>(p)] = transCost(q, p);
     }
   }
-  return h;
+  LayeredPath out;
+  solveFlatInto(numLayers, numNodes, scratch.nodeCosts, scratch.trans, scratch,
+                out);
+  return out;
 }
 
 LayeredPath LayeredDagSolver::solveManhattan(const Grid& grid, int numLayers,
@@ -121,28 +365,19 @@ LayeredPath LayeredDagSolver::solveManhattan(const Grid& grid, int numLayers,
   if (numLayers < 1) {
     throw std::invalid_argument("LayeredDagSolver: empty problem");
   }
-  PIMSCHED_SCOPED_TIMER("solver.layered_dag");
-  PIMSCHED_COUNTER_ADD("solver.runs", 1);
-  PIMSCHED_COUNTER_ADD("solver.relaxed_layers", numLayers - 1);
-  std::vector<std::vector<Cost>> dp(
-      static_cast<std::size_t>(numLayers),
-      std::vector<Cost>(static_cast<std::size_t>(numNodes), kInfiniteCost));
-  for (int p = 0; p < numNodes; ++p) {
-    dp[0][static_cast<std::size_t>(p)] = nodeCost(0, p);
-  }
-  for (int w = 1; w < numLayers; ++w) {
-    const std::vector<Cost> relaxed =
-        manhattanMinPlus(grid, dp[static_cast<std::size_t>(w - 1)], beta);
+  const std::size_t n = static_cast<std::size_t>(numNodes);
+  LayeredDagScratch scratch;
+  scratch.nodeCosts.resize(static_cast<std::size_t>(numLayers) * n);
+  for (int w = 0; w < numLayers; ++w) {
     for (int p = 0; p < numNodes; ++p) {
-      dp[static_cast<std::size_t>(w)][static_cast<std::size_t>(p)] =
-          satAdd(relaxed[static_cast<std::size_t>(p)], nodeCost(w, p));
+      scratch.nodeCosts[static_cast<std::size_t>(w) * n +
+                        static_cast<std::size_t>(p)] = nodeCost(w, p);
     }
   }
-  const auto transCost = [&grid, beta](int q, int p) -> Cost {
-    return beta * grid.manhattan(static_cast<ProcId>(q),
-                                 static_cast<ProcId>(p));
-  };
-  return reconstruct(numLayers, numNodes, dp, nodeCost, transCost);
+  LayeredPath out;
+  solveManhattanFlatInto(grid, numLayers, scratch.nodeCosts, beta, scratch,
+                         out);
+  return out;
 }
 
 }  // namespace pimsched

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "pim/grid.hpp"
@@ -22,6 +23,18 @@ struct LayeredPath {
   [[nodiscard]] bool feasible() const { return total < kInfiniteCost; }
 };
 
+/// Reusable scratch for the flat solver kernels: grow-only buffers that hold
+/// the dp table and one relaxed layer, plus staging room the std::function
+/// wrappers use to materialize their callbacks. Hand one instance per thread
+/// (see workerScratch in util/thread_pool.hpp) and steady-state solves make
+/// zero heap allocations.
+struct LayeredDagScratch {
+  std::vector<Cost> dp;         ///< numLayers x numNodes dp table
+  std::vector<Cost> relaxed;    ///< one min-plus-relaxed layer
+  std::vector<Cost> nodeCosts;  ///< staging for wrapper-materialized node costs
+  std::vector<Cost> trans;      ///< staging for wrapper-materialized transitions
+};
+
 /// Shortest path through a DAG of `numLayers` layers with `numNodes` nodes
 /// per layer — the structure of the paper's GOMCDS cost-graph (pseudo
 /// source/destination are implicit). The path cost is
@@ -31,12 +44,18 @@ struct LayeredPath {
 /// capacity-exhausted processors). Ties break toward the smaller node id,
 /// resolved by a backward argmin reconstruction so that every solver
 /// produces the identical path.
+///
+/// Cost contract shared by all entry points: finite costs are small enough
+/// that any partial path sum stays below kInfiniteCost, and forbidden
+/// placements are exactly kInfiniteCost. The flat kernels rely on this to
+/// run their inner passes branch-free with a single final clamp.
 class LayeredDagSolver {
  public:
   using NodeCostFn = std::function<Cost(int layer, int node)>;
   using TransCostFn = std::function<Cost(int prevNode, int node)>;
 
   /// Generic O(numLayers * numNodes^2) relaxation — the literal cost-graph.
+  /// Thin wrapper over solveFlat: materializes both callbacks into tables.
   [[nodiscard]] static LayeredPath solve(int numLayers, int numNodes,
                                          const NodeCostFn& nodeCost,
                                          const TransCostFn& transCost);
@@ -44,11 +63,42 @@ class LayeredDagSolver {
   /// Fast path for transition cost beta * manhattan(prev, node): each
   /// min-plus step is a two-pass L1 distance transform over the grid,
   /// giving O(numLayers * numNodes) total. Identical result (and path) to
-  /// solve() with that transition.
+  /// solve() with that transition. Thin wrapper over solveManhattanFlat.
   [[nodiscard]] static LayeredPath solveManhattan(const Grid& grid,
                                                   int numLayers,
                                                   const NodeCostFn& nodeCost,
                                                   Cost beta);
+
+  // --- flat, callback-free kernels ---------------------------------------
+  // nodeCosts is a row-major numLayers x numNodes table (nodeCosts[w * N + p]
+  // = cost of node p in layer w); transCosts is a row-major numNodes x
+  // numNodes table indexed by source (transCosts[q * N + p] = cost of the
+  // q -> p transition — rows by source, since fault-aware distances can be
+  // asymmetric). Results are bit-identical to the callback overloads,
+  // including tie-breaks.
+
+  /// Generic flat solve against a precomputed transition table.
+  [[nodiscard]] static LayeredPath solveFlat(int numLayers, int numNodes,
+                                             std::span<const Cost> nodeCosts,
+                                             std::span<const Cost> transCosts);
+
+  /// Allocation-free variant of solveFlat: dp/relaxed buffers come from
+  /// `scratch`, the path is written into `out` (grow-only reuse).
+  static void solveFlatInto(int numLayers, int numNodes,
+                            std::span<const Cost> nodeCosts,
+                            std::span<const Cost> transCosts,
+                            LayeredDagScratch& scratch, LayeredPath& out);
+
+  /// Chamfer flat solve for transition cost beta * manhattan(prev, node).
+  [[nodiscard]] static LayeredPath solveManhattanFlat(
+      const Grid& grid, int numLayers, std::span<const Cost> nodeCosts,
+      Cost beta);
+
+  /// Allocation-free variant of solveManhattanFlat.
+  static void solveManhattanFlatInto(const Grid& grid, int numLayers,
+                                     std::span<const Cost> nodeCosts,
+                                     Cost beta, LayeredDagScratch& scratch,
+                                     LayeredPath& out);
 };
 
 /// The L1 (chamfer) min-plus convolution used by solveManhattan, exposed for
@@ -56,5 +106,13 @@ class LayeredDagSolver {
 [[nodiscard]] std::vector<Cost> manhattanMinPlus(const Grid& grid,
                                                  const std::vector<Cost>& in,
                                                  Cost beta);
+
+/// In-place variant: writes the transform of `in` into `out` (both of
+/// grid.size()). `out` may alias `in` exactly or not at all — partial
+/// overlap is undefined. The two sweeps are branch-free (raw adds with one
+/// final clamp to kInfiniteCost) so they auto-vectorize; inputs must follow
+/// the solver cost contract above.
+void manhattanMinPlusInto(const Grid& grid, std::span<const Cost> in,
+                          Cost beta, std::span<Cost> out);
 
 }  // namespace pimsched

@@ -108,6 +108,38 @@ Cost WindowedRefs::dataWeight(DataId d) const {
   return dataWeight_[static_cast<std::size_t>(d)];
 }
 
+std::uint64_t WindowedRefs::refsSignature(DataId d) const {
+  // FNV-1a, mixed byte-wise (the same scheme as the cost-cache reference
+  // hash). Each window contributes its row length before its entries so
+  // that window boundaries are part of the digest.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  for (WindowId w = 0; w < numWindows_; ++w) {
+    const std::span<const ProcWeight> row = refs(d, w);
+    mix(static_cast<std::uint64_t>(row.size()));
+    for (const ProcWeight& pw : row) {
+      mix(static_cast<std::uint64_t>(pw.proc));
+      mix(static_cast<std::uint64_t>(pw.weight));
+    }
+  }
+  return h;
+}
+
+bool WindowedRefs::sameRefs(DataId a, DataId b) const {
+  for (WindowId w = 0; w < numWindows_; ++w) {
+    const std::span<const ProcWeight> ra = refs(a, w);
+    const std::span<const ProcWeight> rb = refs(b, w);
+    if (ra.size() != rb.size()) return false;
+    if (!std::equal(ra.begin(), ra.end(), rb.begin())) return false;
+  }
+  return true;
+}
+
 std::vector<ProcWeight> WindowedRefs::mergedRefs(DataId d, WindowId wBegin,
                                                  WindowId wEnd) const {
   if (wBegin < 0 || wEnd > numWindows_ || wBegin >= wEnd) {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -57,6 +58,16 @@ class WindowedRefs {
   [[nodiscard]] bool unreferenced(DataId d) const {
     return dataWeight(d) == 0;
   }
+
+  /// FNV-1a digest over datum d's windowed reference strings (window
+  /// boundaries included, so an access moving between windows changes the
+  /// signature). Data with equal signatures are *candidates* for the same
+  /// scheduling-equivalence class; confirm with sameRefs before merging.
+  [[nodiscard]] std::uint64_t refsSignature(DataId d) const;
+
+  /// True if data a and b have byte-identical reference strings in every
+  /// window — they pose the exact same per-datum scheduling subproblem.
+  [[nodiscard]] bool sameRefs(DataId a, DataId b) const;
 
   /// A copy with every reference issued by a masked processor dropped
   /// (deadMask[p] != 0 masks processor p; size must equal numProcs).

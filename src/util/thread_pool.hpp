@@ -81,4 +81,17 @@ class ThreadPool {
 void parallelFor(std::int64_t n, unsigned threads,
                  const std::function<void(std::int64_t)>& body);
 
+/// Per-thread arena scratch: a lazily-constructed thread_local instance of
+/// T, one per OS thread. Pool workers live for the whole process, so
+/// scratch fetched inside parallelFor bodies (or on the caller thread)
+/// survives across calls; with grow-only buffers inside T, steady-state hot
+/// loops — the flat GOMCDS solve path — make zero heap allocations per
+/// item. Do not hold the reference across a point where the same thread
+/// could re-enter the function generically (each T is keyed by type only).
+template <class T>
+[[nodiscard]] T& workerScratch() {
+  thread_local T scratch;
+  return scratch;
+}
+
 }  // namespace pimsched

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/gomcds.hpp"
 #include "core/pipeline.hpp"
 #include "core/verify.hpp"
 #include "fault/fault_map.hpp"
@@ -177,6 +178,41 @@ TEST(FaultSched, ReplayHopVolumeMatchesAnalyticCostUnderFaults) {
     // the detoured routes equals the analytic fault-aware cost.
     EXPECT_EQ(replay.total.totalHopVolume, eval.aggregate.total())
         << toString(m);
+  }
+}
+
+TEST(FaultSched, GomcdsDedupIdenticalUnderFaults) {
+  // Dedup must stay bit-identical on faulted meshes too — both in the
+  // static-mask regime (dead processors only: infinite serving cost keeps
+  // the forbidden set fixed) and the dynamic one (an alive processor with
+  // a reduced capacity limit forces per-datum masked solves).
+  const Grid grid(4, 4);
+  const ReferenceTrace trace = makeTrace(131, grid);
+  PipelineConfig cfg;
+  cfg.numWindows = 4;
+  FaultMap deadOnly(grid);
+  deadOnly.killProc(3);
+  deadOnly.killProc(12);
+  FaultMap limited(grid);
+  limited.killProc(3);
+  limited.limitCapacity(7, 2);
+  for (const FaultMap* faults : {&deadOnly, &limited}) {
+    const Experiment exp(trace, grid, *faults, cfg);
+    for (const std::int64_t capacity : {std::int64_t{-1}, exp.capacity()}) {
+      SchedulerOptions on{capacity, cfg.order};
+      SchedulerOptions off = on;
+      off.dedup = false;
+      const DataSchedule a = scheduleGomcds(exp.refs(), exp.costModel(), on);
+      const DataSchedule b = scheduleGomcds(exp.refs(), exp.costModel(), off);
+      const DataSchedule c =
+          scheduleGomcdsParallel(exp.refs(), exp.costModel(), on, 4);
+      for (DataId d = 0; d < a.numData(); ++d) {
+        for (WindowId w = 0; w < a.numWindows(); ++w) {
+          ASSERT_EQ(a.center(d, w), b.center(d, w)) << "dedup off diverged";
+          ASSERT_EQ(a.center(d, w), c.center(d, w)) << "parallel diverged";
+        }
+      }
+    }
   }
 }
 

@@ -5,7 +5,10 @@
 #include "core/evaluator.hpp"
 #include "core/exhaustive.hpp"
 #include "core/lomcds.hpp"
+#include "core/pipeline.hpp"
 #include "core/scds.hpp"
+#include "kernels/benchmarks.hpp"
+#include "obs/obs.hpp"
 #include "test_util.hpp"
 
 namespace pimsched {
@@ -162,6 +165,85 @@ TEST(Gomcds, InfeasibleCapacityThrows) {
   SchedulerOptions opts;
   opts.capacity = 1;
   EXPECT_THROW(scheduleGomcds(refs, model, opts), std::runtime_error);
+}
+
+void expectIdenticalSchedules(const DataSchedule& a, const DataSchedule& b,
+                              const char* what) {
+  ASSERT_EQ(a.numData(), b.numData());
+  ASSERT_EQ(a.numWindows(), b.numWindows());
+  for (DataId d = 0; d < a.numData(); ++d) {
+    for (WindowId w = 0; w < a.numWindows(); ++w) {
+      ASSERT_EQ(a.center(d, w), b.center(d, w))
+          << what << ": datum " << d << " window " << w;
+    }
+  }
+}
+
+TEST(Gomcds, DedupProducesIdenticalSchedulesOnMatmul) {
+  // Matmul rows share reference strings, so the dedup layer collapses them
+  // into equivalence classes; the schedule must stay bit-identical to a
+  // run with dedup disabled, with and without capacity pressure, for both
+  // the sequential and the parallel engine.
+  const Grid g(4, 4);
+  const ReferenceTrace t =
+      makePaperBenchmark(PaperBenchmark::kMatSquare, g, 8);
+  PipelineConfig cfg;
+  cfg.numWindows = 8;
+  const Experiment exp(t, g, cfg);
+  for (const std::int64_t capacity : {std::int64_t{-1}, exp.capacity()}) {
+    SchedulerOptions on{capacity, cfg.order};
+    SchedulerOptions off = on;
+    off.dedup = false;
+    const DataSchedule withDedup =
+        scheduleGomcds(exp.refs(), exp.costModel(), on);
+    const DataSchedule without =
+        scheduleGomcds(exp.refs(), exp.costModel(), off);
+    expectIdenticalSchedules(withDedup, without,
+                             capacity < 0 ? "uncapacitated" : "capacitated");
+    const DataSchedule parallel =
+        scheduleGomcdsParallel(exp.refs(), exp.costModel(), on, 4);
+    expectIdenticalSchedules(withDedup, parallel,
+                             capacity < 0 ? "parallel uncap" : "parallel cap");
+  }
+}
+
+#ifdef PIMSCHED_NO_OBS
+#define PIMSCHED_OBS_TEST_GUARD() \
+  GTEST_SKIP() << "instrumentation compiled out (PIMSCHED_NO_OBS)"
+#else
+#define PIMSCHED_OBS_TEST_GUARD() \
+  do {                            \
+  } while (0)
+#endif
+
+TEST(Gomcds, DedupCountersTrackClassesAndTransTableBuiltOnce) {
+  PIMSCHED_OBS_TEST_GUARD();
+  const Grid g(4, 4);
+  const ReferenceTrace t =
+      makePaperBenchmark(PaperBenchmark::kMatSquare, g, 8);
+  PipelineConfig cfg;
+  cfg.numWindows = 8;
+  const Experiment exp(t, g, cfg);
+
+  obs::Registry& registry = obs::Registry::instance();
+  registry.reset();
+  (void)scheduleGomcds(exp.refs(), exp.costModel());
+  const std::int64_t classes =
+      registry.counterValue("gomcds.dedup.classes");
+  const std::int64_t deduped = registry.counterValue("gomcds.dedup.data");
+  EXPECT_GT(classes, 1);
+  EXPECT_LT(classes, exp.refs().numData());  // matmul rows really collapse
+  EXPECT_EQ(classes + deduped, exp.refs().numData());
+  // Static forbidden set: one flat solve per class, not per datum.
+  EXPECT_EQ(registry.counterValue("gomcds.flat.solves"), classes);
+
+  // The naive engine materializes the transition matrix exactly once per
+  // call — the per-datum transition-lambda path is gone.
+  registry.reset();
+  (void)scheduleGomcds(exp.refs(), exp.costModel(), SchedulerOptions{},
+                       GomcdsEngine::kNaive);
+  EXPECT_EQ(registry.counterValue("gomcds.trans_table.builds"), 1);
+  registry.reset();
 }
 
 TEST(Gomcds, ZeroMoveVolumeDegeneratesToLomcdsServeCost) {

@@ -2,12 +2,80 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <stdexcept>
 #include <tuple>
 
 #include "test_util.hpp"
 
 namespace pimsched {
 namespace {
+
+/// The pre-flat solver algorithm, kept verbatim as the bit-identity oracle:
+/// per-cell saturating dp (dp[w][p] = min_q satAdd(dp[w-1][q], trans(q,p))
+/// + own) and the backward smallest-q reconstruction scan. The flat kernels
+/// must reproduce its totals, node sequences, and tie-breaks exactly.
+LayeredPath referenceSolve(int numLayers, int numNodes,
+                           const std::function<Cost(int, int)>& nodeCost,
+                           const std::function<Cost(int, int)>& transCost) {
+  std::vector<std::vector<Cost>> dp(
+      static_cast<std::size_t>(numLayers),
+      std::vector<Cost>(static_cast<std::size_t>(numNodes)));
+  for (int p = 0; p < numNodes; ++p) {
+    dp[0][static_cast<std::size_t>(p)] = nodeCost(0, p);
+  }
+  for (int w = 1; w < numLayers; ++w) {
+    for (int p = 0; p < numNodes; ++p) {
+      Cost best = kInfiniteCost;
+      for (int q = 0; q < numNodes; ++q) {
+        best = std::min(
+            best, satAdd(dp[static_cast<std::size_t>(w - 1)]
+                           [static_cast<std::size_t>(q)],
+                         transCost(q, p)));
+      }
+      dp[static_cast<std::size_t>(w)][static_cast<std::size_t>(p)] =
+          satAdd(best, nodeCost(w, p));
+    }
+  }
+  LayeredPath out;
+  const auto& last = dp[static_cast<std::size_t>(numLayers - 1)];
+  const auto best = std::min_element(last.begin(), last.end());
+  out.total = *best;
+  if (out.total >= kInfiniteCost) return out;
+  out.nodes.assign(static_cast<std::size_t>(numLayers), 0);
+  int cur = static_cast<int>(best - last.begin());
+  out.nodes[static_cast<std::size_t>(numLayers - 1)] = cur;
+  for (int w = numLayers - 1; w > 0; --w) {
+    const Cost target =
+        dp[static_cast<std::size_t>(w)][static_cast<std::size_t>(cur)];
+    const Cost own = nodeCost(w, cur);
+    int prev = -1;
+    for (int q = 0; q < numNodes; ++q) {
+      if (satAdd(satAdd(dp[static_cast<std::size_t>(w - 1)]
+                          [static_cast<std::size_t>(q)],
+                        transCost(q, cur)),
+                 own) == target) {
+        prev = q;
+        break;
+      }
+    }
+    if (prev < 0) throw std::logic_error("referenceSolve: no predecessor");
+    cur = prev;
+    out.nodes[static_cast<std::size_t>(w - 1)] = cur;
+  }
+  return out;
+}
+
+/// Random node-cost table with forbidden (kInfiniteCost) entries mixed in.
+std::vector<Cost> randomNodeTable(testutil::Rng& rng, int layers, int nodes,
+                                  Cost maxCost = 40) {
+  std::vector<Cost> t(static_cast<std::size_t>(layers) *
+                      static_cast<std::size_t>(nodes));
+  for (Cost& c : t) {
+    c = rng.below(6) == 0 ? kInfiniteCost : rng.range(0, maxCost);
+  }
+  return t;
+}
 
 TEST(SatAdd, Saturates) {
   EXPECT_EQ(satAdd(1, 2), 3);
@@ -157,6 +225,140 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(5, 1, 5, 5), std::make_tuple(3, 4, 8, 6),
                       std::make_tuple(4, 4, 2, 7),
                       std::make_tuple(6, 3, 10, 8)));
+
+// Property: the flat table kernel is bit-identical — totals, node
+// sequences, tie-breaks — to the pre-flat saturating dp on random
+// instances, including asymmetric transition tables with forbidden edges
+// (the fault-aware regime, where trans(q,p) != trans(p,q)).
+TEST(FlatSolver, TableKernelMatchesReferenceOnRandomInstances) {
+  testutil::Rng rng(101);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int nodes = static_cast<int>(rng.range(1, 9));
+    const int layers = static_cast<int>(rng.range(1, 8));
+    const std::vector<Cost> nodeTable = randomNodeTable(rng, layers, nodes);
+    std::vector<Cost> trans(static_cast<std::size_t>(nodes) *
+                            static_cast<std::size_t>(nodes));
+    for (Cost& c : trans) {
+      c = rng.below(8) == 0 ? kInfiniteCost : rng.range(0, 20);
+    }
+    const auto nodeCost = [&](int w, int p) -> Cost {
+      return nodeTable[static_cast<std::size_t>(w) *
+                           static_cast<std::size_t>(nodes) +
+                       static_cast<std::size_t>(p)];
+    };
+    const auto transCost = [&](int q, int p) -> Cost {
+      return trans[static_cast<std::size_t>(q) *
+                       static_cast<std::size_t>(nodes) +
+                   static_cast<std::size_t>(p)];
+    };
+    const LayeredPath expect =
+        referenceSolve(layers, nodes, nodeCost, transCost);
+    const LayeredPath flat =
+        LayeredDagSolver::solveFlat(layers, nodes, nodeTable, trans);
+    ASSERT_EQ(flat.total, expect.total) << "trial " << trial;
+    ASSERT_EQ(flat.nodes, expect.nodes) << "trial " << trial;
+    // The std::function overload must stay a thin wrapper over the same
+    // kernel: identical output again.
+    const LayeredPath wrapped =
+        LayeredDagSolver::solve(layers, nodes, nodeCost, transCost);
+    ASSERT_EQ(wrapped.total, expect.total) << "trial " << trial;
+    ASSERT_EQ(wrapped.nodes, expect.nodes) << "trial " << trial;
+  }
+}
+
+// Property: the Manhattan flat kernel (branch-free chamfer sweeps +
+// division-free reconstruction scan) is bit-identical to the reference dp
+// with trans(q, p) = beta * manhattan(q, p) — the fault-free regime.
+TEST(FlatSolver, ManhattanKernelMatchesReferenceOnRandomInstances) {
+  testutil::Rng rng(202);
+  for (const auto& [rows, cols] : {std::pair{1, 1}, {1, 6}, {4, 4}, {3, 5}}) {
+    const Grid g(rows, cols);
+    for (const Cost beta : {Cost{0}, Cost{1}, Cost{3}}) {
+      for (int trial = 0; trial < 6; ++trial) {
+        const int layers = static_cast<int>(rng.range(1, 8));
+        const std::vector<Cost> nodeTable =
+            randomNodeTable(rng, layers, g.size());
+        const auto nodeCost = [&](int w, int p) -> Cost {
+          return nodeTable[static_cast<std::size_t>(w) *
+                               static_cast<std::size_t>(g.size()) +
+                           static_cast<std::size_t>(p)];
+        };
+        const auto transCost = [&](int q, int p) -> Cost {
+          return beta * g.manhattan(static_cast<ProcId>(q),
+                                    static_cast<ProcId>(p));
+        };
+        const LayeredPath expect =
+            referenceSolve(layers, g.size(), nodeCost, transCost);
+        const LayeredPath flat =
+            LayeredDagSolver::solveManhattanFlat(g, layers, nodeTable, beta);
+        ASSERT_EQ(flat.total, expect.total)
+            << rows << "x" << cols << " beta " << beta << " trial " << trial;
+        ASSERT_EQ(flat.nodes, expect.nodes)
+            << rows << "x" << cols << " beta " << beta << " trial " << trial;
+        const LayeredPath wrapped =
+            LayeredDagSolver::solveManhattan(g, layers, nodeCost, beta);
+        ASSERT_EQ(wrapped.total, expect.total);
+        ASSERT_EQ(wrapped.nodes, expect.nodes);
+      }
+    }
+  }
+}
+
+// A beta past the branch-free guard must take the saturating fallbacks
+// (sweeps and reconstruction scan) and still match the reference exactly.
+TEST(FlatSolver, HugeBetaFallbackMatchesReference) {
+  const Grid g(3, 3);
+  // Just above the overflow guard beta > (INT64_MAX - kInf) / (2(R+C)+2),
+  // yet small enough that beta * manhattan stays representable.
+  const Cost steps = 2 * Cost{3 + 3} + 2;
+  const Cost beta = (INT64_MAX - kInfiniteCost) / steps + 1;
+  testutil::Rng rng(303);
+  const std::vector<Cost> nodeTable = randomNodeTable(rng, 5, g.size());
+  const auto nodeCost = [&](int w, int p) -> Cost {
+    return nodeTable[static_cast<std::size_t>(w) *
+                         static_cast<std::size_t>(g.size()) +
+                     static_cast<std::size_t>(p)];
+  };
+  const auto transCost = [&](int q, int p) -> Cost {
+    return beta *
+           g.manhattan(static_cast<ProcId>(q), static_cast<ProcId>(p));
+  };
+  const LayeredPath expect =
+      referenceSolve(5, g.size(), nodeCost, transCost);
+  const LayeredPath flat =
+      LayeredDagSolver::solveManhattanFlat(g, 5, nodeTable, beta);
+  EXPECT_EQ(flat.total, expect.total);
+  EXPECT_EQ(flat.nodes, expect.nodes);
+}
+
+// The Into variant reuses caller scratch without reallocating between
+// calls and may alias input and output in manhattanMinPlusInto.
+TEST(FlatSolver, IntoVariantsReuseBuffersAndSupportAliasing) {
+  const Grid g(3, 4);
+  testutil::Rng rng(404);
+  std::vector<Cost> in;
+  for (int i = 0; i < g.size(); ++i) {
+    in.push_back(rng.below(5) == 0 ? kInfiniteCost : rng.range(0, 30));
+  }
+  const std::vector<Cost> expect = manhattanMinPlus(g, in, 2);
+
+  std::vector<Cost> out(in.size());
+  manhattanMinPlusInto(g, in, 2, out);
+  EXPECT_EQ(out, expect);
+
+  std::vector<Cost> aliased = in;
+  manhattanMinPlusInto(g, aliased, 2, aliased);  // in-place
+  EXPECT_EQ(aliased, expect);
+
+  LayeredDagScratch scratch;
+  LayeredPath path;
+  const std::vector<Cost> nodeTable = randomNodeTable(rng, 6, g.size());
+  LayeredDagSolver::solveManhattanFlatInto(g, 6, nodeTable, 1, scratch, path);
+  const LayeredPath once = path;
+  LayeredDagSolver::solveManhattanFlatInto(g, 6, nodeTable, 1, scratch, path);
+  EXPECT_EQ(path.total, once.total);
+  EXPECT_EQ(path.nodes, once.nodes);
+}
 
 }  // namespace
 }  // namespace pimsched

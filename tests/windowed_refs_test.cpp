@@ -120,5 +120,43 @@ TEST(WindowedRefs, MergedRefsRejectsBadRange) {
   EXPECT_THROW(refs.mergedRefs(0, 0, 3), std::invalid_argument);
 }
 
+TEST(WindowedRefs, RefsSignatureAgreesWithSameRefs) {
+  // Two data with identical per-window reference strings must share a
+  // signature and compare equal; the dedup layer in GOMCDS relies on both.
+  const Grid grid(2, 2);
+  ReferenceTrace t(DataSpace::singleSquare(2));
+  t.add(0, 0, 0, 3);
+  t.add(0, 0, 1, 3);  // datum 1 mirrors datum 0 in every window
+  t.add(1, 2, 0, 1);
+  t.add(1, 2, 1, 1);
+  t.add(1, 3, 2, 5);  // datum 2 differs
+  t.finalize();
+  const WindowedRefs refs(t, WindowPartition::evenCount(2, 2), grid);
+  EXPECT_EQ(refs.refsSignature(0), refs.refsSignature(1));
+  EXPECT_TRUE(refs.sameRefs(0, 1));
+  EXPECT_TRUE(refs.sameRefs(0, 0));
+  EXPECT_FALSE(refs.sameRefs(0, 2));
+  EXPECT_NE(refs.refsSignature(0), refs.refsSignature(2));
+}
+
+TEST(WindowedRefs, RefsSignatureSeparatesWeightAndProcessor) {
+  // Same processors with different weights, and same weights on different
+  // processors, must both change the signature (FNV mixes each field).
+  const Grid grid(1, 4);
+  ReferenceTrace t(DataSpace::singleSquare(2));
+  t.add(0, 1, 0, 2);
+  t.add(0, 1, 1, 7);  // weight differs from datum 0
+  t.add(0, 2, 2, 2);  // processor differs from datum 0
+  t.add(0, 1, 3, 2);  // identical to datum 0
+  t.finalize();
+  const WindowedRefs refs(t, WindowPartition::whole(1), grid);
+  EXPECT_FALSE(refs.sameRefs(0, 1));
+  EXPECT_FALSE(refs.sameRefs(0, 2));
+  EXPECT_TRUE(refs.sameRefs(0, 3));
+  EXPECT_NE(refs.refsSignature(0), refs.refsSignature(1));
+  EXPECT_NE(refs.refsSignature(0), refs.refsSignature(2));
+  EXPECT_EQ(refs.refsSignature(0), refs.refsSignature(3));
+}
+
 }  // namespace
 }  // namespace pimsched
