@@ -157,6 +157,14 @@ int main(int argc, char** argv) {
   SchedulerOptions opts{exp.capacity(), cfg.order};
 
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  // Single-core hosts cannot exercise real parallelism: speedups measured
+  // here are scheduling noise, not scaling. Flag the run instead of
+  // silently reporting numbers a dashboard would read as a regression.
+  const bool degraded = hw == 1;
+  if (degraded) {
+    std::cerr << "warning: hardware_concurrency == 1; speedup figures are "
+                 "not meaningful on this host (results flagged degraded)\n";
+  }
   std::vector<unsigned> threadCounts = {1, 2, 4, 8, 16};
   if (maxThreads > 0) {
     std::erase_if(threadCounts,
@@ -245,6 +253,7 @@ int main(int argc, char** argv) {
      << ", \"capacity\": " << exp.capacity() << ", \"smoke\": "
      << (smoke ? "true" : "false") << "},\n"
      << "  \"hardware_concurrency\": " << hw << ",\n"
+     << "  \"degraded\": " << (degraded ? "true" : "false") << ",\n"
      << "  \"total_cost\": " << seqCost << ",\n"
      << "  \"sweep\": [\n";
   for (std::size_t i = 0; i < sweep.size(); ++i) {

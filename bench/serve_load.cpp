@@ -1,0 +1,515 @@
+// serve_load — closed-loop load generator for the pimsched_served daemon.
+// Drives a mixed stream of scheduling jobs (different kernels, sizes,
+// methods, priorities and fault specs) from N concurrent persistent
+// connections against a LIVE daemon, then storms it with one identical
+// job from every client to prove in-flight coalescing collapses the storm
+// to a single pipeline run. Emits throughput and p50/p95/p99 latency to
+// results/bench_serve.json.
+//
+//   serve_load (--socket PATH | --tcp HOST:PORT) [--clients N]
+//              [--requests N] [--smoke] [--out FILE] [--no-storm]
+//
+// Closed loop: every client waits for its reply before sending the next
+// request, so offered load adapts to what the daemon sustains (the
+// classic closed-system model — throughput is the measurement, not the
+// input). --smoke shrinks the run to CI size; the JSON shape is
+// identical. Exit code 0 only when every request got an ok reply, the
+// run sustained nonzero throughput and (unless --no-storm) the storm
+// coalesced to exactly one pipeline run.
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "kernels/benchmarks.hpp"
+#include "pim/grid.hpp"
+#include "serve/json.hpp"
+#include "trace/trace_io.hpp"
+
+namespace {
+
+using namespace pimsched;
+using serve::Json;
+using Clock = std::chrono::steady_clock;
+
+struct Endpoint {
+  std::string socketPath;
+  std::string tcpHost;
+  int tcpPort = -1;
+};
+
+int connectEndpoint(const Endpoint& ep) {
+  if (!ep.socketPath.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (ep.socketPath.size() >= sizeof(addr.sun_path)) {
+      throw std::runtime_error("socket path too long: " + ep.socketPath);
+    }
+    std::memcpy(addr.sun_path, ep.socketPath.c_str(),
+                ep.socketPath.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+      throw std::runtime_error(std::string("socket(): ") +
+                               std::strerror(errno));
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      const std::string what = std::strerror(errno);
+      ::close(fd);
+      throw std::runtime_error("cannot connect to " + ep.socketPath + ": " +
+                               what);
+    }
+    return fd;
+  }
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* list = nullptr;
+  const int rc = ::getaddrinfo(ep.tcpHost.c_str(),
+                               std::to_string(ep.tcpPort).c_str(), &hints,
+                               &list);
+  if (rc != 0) {
+    throw std::runtime_error("cannot resolve " + ep.tcpHost + ": " +
+                             ::gai_strerror(rc));
+  }
+  int fd = -1;
+  std::string what = "no addresses";
+  for (const addrinfo* ai = list; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC,
+                  ai->ai_protocol);
+    if (fd < 0) {
+      what = std::strerror(errno);
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    what = std::strerror(errno);
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(list);
+  if (fd < 0) {
+    throw std::runtime_error("cannot connect to " + ep.tcpHost + ":" +
+                             std::to_string(ep.tcpPort) + ": " + what);
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+/// A persistent NDJSON connection: one request line out, one reply line
+/// back, reused across a whole client session.
+class Connection {
+ public:
+  explicit Connection(const Endpoint& ep) : fd_(connectEndpoint(ep)) {}
+  ~Connection() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  Json request(const std::string& line) {
+    std::string frame = line;
+    frame.push_back('\n');
+    std::size_t off = 0;
+    while (off < frame.size()) {
+      const ssize_t n =
+          ::write(fd_, frame.data() + off, frame.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw std::runtime_error(std::string("write failed: ") +
+                                 std::strerror(errno));
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    while (buffer_.find('\n') == std::string::npos) {
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw std::runtime_error(std::string("read failed: ") +
+                                 std::strerror(errno));
+      }
+      if (n == 0) throw std::runtime_error("daemon closed the connection");
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+    const std::size_t nl = buffer_.find('\n');
+    const std::string reply = buffer_.substr(0, nl);
+    buffer_.erase(0, nl + 1);
+    return Json::parse(reply);
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+/// One entry of the mixed workload: a fully-built submit request line.
+struct MixJob {
+  std::string name;
+  std::string line;
+};
+
+std::string traceText(PaperBenchmark kind, const Grid& grid, int n) {
+  const ReferenceTrace trace = makePaperBenchmark(kind, grid, n);
+  std::ostringstream os;
+  saveTrace(trace, os);
+  return std::move(os).str();
+}
+
+std::string submitLine(const std::string& traceStr, const std::string& grid,
+                       const std::string& method, int windows, int priority,
+                       const std::vector<std::string>& faults) {
+  Json request;
+  request.set("verb", "submit")
+      .set("trace", traceStr)
+      .set("grid", grid)
+      .set("method", method)
+      .set("windows", windows)
+      .set("priority", priority)
+      .set("wait", true);
+  if (!faults.empty()) {
+    Json::Array specs;
+    for (const std::string& f : faults) specs.push_back(Json(f));
+    request.set("faults", Json(std::move(specs)));
+  }
+  return request.dump();
+}
+
+/// The mixed-traffic job set: several kernels and sizes, a spread of
+/// methods from cheap baselines to full GOMCDS, two priority levels and a
+/// couple of faulted variants — roughly what a multi-tenant front end
+/// sees. Deterministic, so runs are comparable.
+std::vector<MixJob> buildMix(bool smoke) {
+  const Grid grid(4, 4);
+  const int small = smoke ? 8 : 12;
+  const int large = smoke ? 12 : 20;
+  std::vector<MixJob> mix;
+  const std::string matSmall =
+      traceText(PaperBenchmark::kMatSquare, grid, small);
+  const std::string matLarge =
+      traceText(PaperBenchmark::kMatSquare, grid, large);
+  const std::string lu = traceText(PaperBenchmark::kLu, grid, small);
+  const std::string irregular =
+      traceText(PaperBenchmark::kCodeRev, grid, small);
+
+  mix.push_back({"mat-small-gomcds",
+                 submitLine(matSmall, "4x4", "gomcds", 8, 0, {})});
+  mix.push_back({"mat-large-gomcds",
+                 submitLine(matLarge, "4x4", "gomcds", 8, 0, {})});
+  mix.push_back({"mat-small-scds",
+                 submitLine(matSmall, "4x4", "scds", 8, 1, {})});
+  mix.push_back({"lu-gomcds", submitLine(lu, "4x4", "gomcds", 8, 0, {})});
+  mix.push_back({"lu-lomcds", submitLine(lu, "4x4", "lomcds", 8, 2, {})});
+  mix.push_back({"irregular-gomcds",
+                 submitLine(irregular, "4x4", "gomcds", 8, 0, {})});
+  mix.push_back({"mat-small-rowwise",
+                 submitLine(matSmall, "4x4", "rowwise", 8, 0, {})});
+  mix.push_back({"mat-faulted-gomcds",
+                 submitLine(matSmall, "4x4", "gomcds", 8, 1,
+                            {"proc:5", "link:0-1"})});
+  mix.push_back({"lu-faulted-gomcds",
+                 submitLine(lu, "4x4", "gomcds", 8, 0, {"proc:10"})});
+  return mix;
+}
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double idx = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os.precision(4);
+  os << std::fixed << v;
+  return os.str();
+}
+
+std::int64_t statField(const Json& stats, const std::string& key) {
+  const Json* v = stats.find(key);
+  return v == nullptr ? 0 : v->asInt64();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Endpoint endpoint;
+  bool smoke = false;
+  bool storm = true;
+  int clients = 0;
+  int requestsPerClient = 0;
+  std::string outPath = "results/bench_serve.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--socket" && i + 1 < argc) {
+      endpoint.socketPath = argv[++i];
+    } else if (arg == "--tcp" && i + 1 < argc) {
+      const std::string ep = argv[++i];
+      const auto colon = ep.rfind(':');
+      if (colon == std::string::npos || colon == 0) {
+        std::cerr << "error: --tcp needs HOST:PORT\n";
+        return 2;
+      }
+      endpoint.tcpHost = ep.substr(0, colon);
+      endpoint.tcpPort = std::stoi(ep.substr(colon + 1));
+    } else if (arg == "--clients" && i + 1 < argc) {
+      clients = std::stoi(argv[++i]);
+    } else if (arg == "--requests" && i + 1 < argc) {
+      requestsPerClient = std::stoi(argv[++i]);
+    } else if (arg == "--out" && i + 1 < argc) {
+      outPath = argv[++i];
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--no-storm") {
+      storm = false;
+    } else {
+      std::cerr << "usage: serve_load (--socket PATH | --tcp HOST:PORT) "
+                   "[--clients N] [--requests N] [--smoke] [--out FILE] "
+                   "[--no-storm]\n";
+      return 2;
+    }
+  }
+  if (endpoint.socketPath.empty() && endpoint.tcpPort < 0) {
+    std::cerr << "error: need --socket PATH or --tcp HOST:PORT (a live "
+                 "pimsched_served daemon)\n";
+    return 2;
+  }
+  if (clients <= 0) clients = smoke ? 4 : 16;
+  if (requestsPerClient <= 0) requestsPerClient = smoke ? 6 : 25;
+
+  try {
+    // ---- Phase 1: mixed closed-loop traffic. -------------------------
+    const std::vector<MixJob> mix = buildMix(smoke);
+    std::vector<std::vector<double>> latencies(
+        static_cast<std::size_t>(clients));
+    std::vector<std::string> clientErrors(
+        static_cast<std::size_t>(clients));
+    std::atomic<int> okReplies{0};
+    std::atomic<int> cacheHits{0};
+
+    const Clock::time_point wallStart = Clock::now();
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      pool.emplace_back([&, c] {
+        try {
+          Connection conn(endpoint);
+          for (int r = 0; r < requestsPerClient; ++r) {
+            // Deterministic mixed pick, de-phased across clients so the
+            // daemon sees interleaved distinct and repeated jobs.
+            const MixJob& job =
+                mix[static_cast<std::size_t>(c * 7 + r * 3) % mix.size()];
+            const Clock::time_point t0 = Clock::now();
+            const Json reply = conn.request(job.line);
+            const double ms =
+                std::chrono::duration<double, std::milli>(Clock::now() -
+                                                          t0)
+                    .count();
+            const Json* ok = reply.find("ok");
+            if (ok == nullptr || !ok->isBool() || !ok->asBool()) {
+              throw std::runtime_error("request failed (" + job.name +
+                                       "): " + reply.dump());
+            }
+            latencies[static_cast<std::size_t>(c)].push_back(ms);
+            okReplies.fetch_add(1, std::memory_order_relaxed);
+            const Json* hit = reply.find("cache_hit");
+            if (hit != nullptr && hit->isBool() && hit->asBool()) {
+              cacheHits.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        } catch (const std::exception& e) {
+          clientErrors[static_cast<std::size_t>(c)] = e.what();
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    const double wallS =
+        std::chrono::duration<double>(Clock::now() - wallStart).count();
+
+    for (int c = 0; c < clients; ++c) {
+      if (!clientErrors[static_cast<std::size_t>(c)].empty()) {
+        std::cerr << "error: client " << c << ": "
+                  << clientErrors[static_cast<std::size_t>(c)] << "\n";
+        return 1;
+      }
+    }
+
+    std::vector<double> all;
+    for (const auto& perClient : latencies) {
+      all.insert(all.end(), perClient.begin(), perClient.end());
+    }
+    std::sort(all.begin(), all.end());
+    const int total = clients * requestsPerClient;
+    const double throughput = wallS > 0 ? total / wallS : 0.0;
+    double sum = 0;
+    for (const double v : all) sum += v;
+    const double p50 = percentile(all, 0.50);
+    const double p95 = percentile(all, 0.95);
+    const double p99 = percentile(all, 0.99);
+
+    std::cout << "mixed load: " << total << " jobs over " << clients
+              << " clients in " << fmt(wallS) << " s -> "
+              << fmt(throughput) << " jobs/s, p50 " << fmt(p50)
+              << " ms, p95 " << fmt(p95) << " ms, p99 " << fmt(p99)
+              << " ms, cache hits " << cacheHits.load() << "\n";
+
+    // ---- Phase 2: identical-job storm (coalescing proof). ------------
+    // Every client concurrently submits the SAME job, one the daemon has
+    // never seen (a weight nonce keeps the digest unique per run). If
+    // coalescing works, cache misses minus coalesced attachments leaves
+    // exactly one pipeline run for the whole storm.
+    std::int64_t stormCoalesced = 0, stormMisses = 0, stormHits = 0;
+    std::int64_t stormRuns = 0;
+    if (storm) {
+      const Grid grid(4, 4);
+      const int stormN = smoke ? 16 : 28;
+      ReferenceTrace stormTrace =
+          makePaperBenchmark(PaperBenchmark::kMatSquare, grid, stormN);
+      // Nonce the trace so re-running the bench against a warm daemon
+      // still measures coalescing, not the result cache.
+      const Cost nonce = static_cast<Cost>(::getpid() % 97 + 1);
+      ReferenceTrace unique(stormTrace.dataSpace());
+      for (const Access& ref : stormTrace.accesses()) {
+        unique.add(ref.step, ref.proc, ref.data,
+                   ref.weight + (ref.step == 0 ? nonce : 0));
+      }
+      unique.finalize();
+      std::ostringstream os;
+      saveTrace(unique, os);
+      const std::string stormLine = submitLine(
+          std::move(os).str(), "4x4", "gomcds",
+          static_cast<int>(unique.numSteps()), 0, {});
+
+      Connection statsConn(endpoint);
+      const Json before = statsConn.request(R"({"verb":"stats"})");
+
+      std::atomic<int> ready{0};
+      std::atomic<bool> go{false};
+      std::vector<std::string> stormErrors(
+          static_cast<std::size_t>(clients));
+      std::vector<std::int64_t> stormTotals(
+          static_cast<std::size_t>(clients), -1);
+      std::vector<std::thread> stormPool;
+      stormPool.reserve(static_cast<std::size_t>(clients));
+      for (int c = 0; c < clients; ++c) {
+        stormPool.emplace_back([&, c] {
+          try {
+            Connection conn(endpoint);
+            ready.fetch_add(1);
+            while (!go.load(std::memory_order_acquire)) {
+              std::this_thread::yield();
+            }
+            const Json reply = conn.request(stormLine);
+            const Json* ok = reply.find("ok");
+            if (ok == nullptr || !ok->isBool() || !ok->asBool()) {
+              throw std::runtime_error("storm submit failed: " +
+                                       reply.dump());
+            }
+            stormTotals[static_cast<std::size_t>(c)] =
+                reply.find("total")->asInt64();
+          } catch (const std::exception& e) {
+            stormErrors[static_cast<std::size_t>(c)] = e.what();
+          }
+        });
+      }
+      while (ready.load() < clients) std::this_thread::yield();
+      go.store(true, std::memory_order_release);
+      for (std::thread& t : stormPool) t.join();
+
+      for (int c = 0; c < clients; ++c) {
+        if (!stormErrors[static_cast<std::size_t>(c)].empty()) {
+          std::cerr << "error: storm client " << c << ": "
+                    << stormErrors[static_cast<std::size_t>(c)] << "\n";
+          return 1;
+        }
+        if (stormTotals[static_cast<std::size_t>(c)] != stormTotals[0]) {
+          std::cerr << "error: storm replies disagree on total cost\n";
+          return 1;
+        }
+      }
+
+      const Json after = statsConn.request(R"({"verb":"stats"})");
+      stormCoalesced =
+          statField(after, "coalesced") - statField(before, "coalesced");
+      stormMisses = statField(after, "cache_misses") -
+                    statField(before, "cache_misses");
+      stormHits =
+          statField(after, "cache_hits") - statField(before, "cache_hits");
+      // Every storm submit either coalesced, hit the cache (it landed
+      // after the leader finished) or started the one leader run.
+      stormRuns = stormMisses - stormCoalesced;
+      std::cout << "storm: " << clients << " identical submits -> "
+                << stormRuns << " pipeline run(s), " << stormCoalesced
+                << " coalesced, " << stormHits << " cache hits\n";
+    }
+
+    // ---- Emit JSON. --------------------------------------------------
+    const auto parent = std::filesystem::path(outPath).parent_path();
+    std::filesystem::create_directories(parent.empty() ? "." : parent);
+    std::ofstream out(outPath);
+    if (!out) {
+      std::cerr << "error: cannot open " << outPath << "\n";
+      return 1;
+    }
+    out << "{\n"
+        << "  \"endpoint\": \""
+        << (endpoint.socketPath.empty() ? "tcp" : "unix") << "\",\n"
+        << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+        << "  \"clients\": " << clients << ",\n"
+        << "  \"requests_per_client\": " << requestsPerClient << ",\n"
+        << "  \"distinct_jobs\": " << mix.size() << ",\n"
+        << "  \"total_requests\": " << total << ",\n"
+        << "  \"wall_s\": " << fmt(wallS) << ",\n"
+        << "  \"throughput_jobs_per_s\": " << fmt(throughput) << ",\n"
+        << "  \"latency_ms\": {\"p50\": " << fmt(p50) << ", \"p95\": "
+        << fmt(p95) << ", \"p99\": " << fmt(p99) << ", \"mean\": "
+        << fmt(all.empty() ? 0.0 : sum / static_cast<double>(all.size()))
+        << ", \"max\": " << fmt(all.empty() ? 0.0 : all.back())
+        << "},\n"
+        << "  \"cache_hits\": " << cacheHits.load() << ",\n";
+    if (storm) {
+      out << "  \"storm\": {\"clients\": " << clients
+          << ", \"pipeline_runs\": " << stormRuns << ", \"coalesced\": "
+          << stormCoalesced << ", \"cache_hits\": " << stormHits
+          << "},\n";
+    }
+    out << "  \"ok\": true\n}\n";
+    std::cout << "wrote " << outPath << "\n";
+
+    if (okReplies.load() != total || throughput <= 0.0) {
+      std::cerr << "error: load run incomplete (" << okReplies.load()
+                << "/" << total << " ok)\n";
+      return 1;
+    }
+    if (storm && stormRuns != 1) {
+      std::cerr << "error: storm expected exactly 1 pipeline run, got "
+                << stormRuns << "\n";
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,17 +1,30 @@
-// pimsched_served — the persistent scheduling daemon. Wraps one
-// SchedulingService (bounded priority queue + content-addressed result
-// cache over the shared thread pool) behind the NDJSON-over-Unix-socket
-// protocol, so repeated schedule requests reuse warm state instead of
-// paying a full pimsched_cli process start per trace. See docs/serving.md.
+// pimsched_served — the persistent scheduling daemon. Wraps a sharded
+// pool of scheduling services (bounded priority queues + content-addressed
+// LRU result caches over the shared thread pool, jobs routed to shards by
+// consistent hash of their content digest) behind the NDJSON protocol on a
+// Unix socket and/or a TCP listener, so repeated schedule requests reuse
+// warm state instead of paying a full pimsched_cli process start per
+// trace. See docs/serving.md.
 //
-//   pimsched_served --socket PATH [options]
-//     --queue N           queued-job bound; submissions past it are
-//                         rejected with a reason        (default 64)
-//     --concurrency N     jobs run at once on the shared pool (default 2)
-//     --cache-entries N   result-cache entry bound      (default 1024)
+//   pimsched_served [--socket PATH] [--tcp [HOST:]PORT] [options]
+//     --socket PATH       Unix socket to listen on
+//     --tcp [HOST:]PORT   TCP endpoint (default host 127.0.0.1; port 0
+//                         binds an ephemeral port, printed on startup)
+//     --shards N          worker shards; identical jobs always land on
+//                         the same shard               (default 4)
+//     --io-threads N      connection-handler pool size (default 8)
+//     --queue N           queued-job bound per shard; submissions past it
+//                         are rejected with a reason   (default 64)
+//     --concurrency N     jobs run at once per shard   (default 2)
+//     --cache-entries N   result-cache entries per shard (default 1024)
 //     --no-cache          disable the result cache
-//     --max-frame BYTES   per-request frame size bound  (default 4 MiB)
+//     --max-frame BYTES   per-request frame size bound (default 4 MiB)
 //     --no-trace-files    reject trace_file submissions (inline only)
+//
+// At least one of --socket / --tcp is required; both may be given, and
+// the two endpoints serve the same shard pool (a job submitted over TCP
+// is cache-hit and coalesce-visible to Unix-socket clients and vice
+// versa).
 //
 // SIGTERM / SIGINT (or a client `shutdown` verb) drain gracefully: every
 // accepted job finishes, waiting clients get their replies, and the
@@ -23,6 +36,7 @@
 #include <string>
 
 #include "serve/server.hpp"
+#include "serve/sharded.hpp"
 
 namespace {
 
@@ -33,7 +47,8 @@ void onSignal(int) {
 }
 
 void printUsage(std::ostream& os) {
-  os << "usage: pimsched_served --socket PATH [--queue N] "
+  os << "usage: pimsched_served [--socket PATH] [--tcp [HOST:]PORT]\n"
+        "       [--shards N] [--io-threads N] [--queue N] "
         "[--concurrency N]\n"
         "       [--cache-entries N] [--no-cache] [--max-frame BYTES] "
         "[--no-trace-files]\n";
@@ -44,7 +59,7 @@ void printUsage(std::ostream& os) {
 int main(int argc, char** argv) {
   using namespace pimsched::serve;
 
-  SchedulingService::Config serviceConfig;
+  ShardedService::Config serviceConfig;
   SocketServer::Options serverOptions;
   std::string parseError;
 
@@ -60,15 +75,33 @@ int main(int argc, char** argv) {
     try {
       if (arg == "--socket") {
         serverOptions.socketPath = value();
+      } else if (arg == "--tcp") {
+        const std::string endpoint = value();
+        const auto colon = endpoint.rfind(':');
+        if (colon == std::string::npos) {
+          serverOptions.tcpPort = std::stoi(endpoint);
+        } else {
+          serverOptions.tcpBindAddress = endpoint.substr(0, colon);
+          serverOptions.tcpPort = std::stoi(endpoint.substr(colon + 1));
+        }
+        if (serverOptions.tcpPort < 0 || serverOptions.tcpPort > 65535) {
+          parseError = "TCP port out of range";
+        }
+      } else if (arg == "--shards") {
+        serviceConfig.shards = static_cast<unsigned>(std::stoul(value()));
+        if (serviceConfig.shards == 0) serviceConfig.shards = 1;
+      } else if (arg == "--io-threads") {
+        serverOptions.ioThreads =
+            static_cast<unsigned>(std::stoul(value()));
       } else if (arg == "--queue") {
-        serviceConfig.maxQueueDepth = std::stoul(value());
+        serviceConfig.shard.maxQueueDepth = std::stoul(value());
       } else if (arg == "--concurrency") {
-        serviceConfig.concurrency =
+        serviceConfig.shard.concurrency =
             static_cast<unsigned>(std::stoul(value()));
       } else if (arg == "--cache-entries") {
-        serviceConfig.maxCacheEntries = std::stoul(value());
+        serviceConfig.shard.maxCacheEntries = std::stoul(value());
       } else if (arg == "--no-cache") {
-        serviceConfig.cacheEnabled = false;
+        serviceConfig.shard.cacheEnabled = false;
       } else if (arg == "--max-frame") {
         serverOptions.protocol.maxFrameBytes = std::stoul(value());
       } else if (arg == "--no-trace-files") {
@@ -80,8 +113,9 @@ int main(int argc, char** argv) {
       parseError = "invalid value for " + arg;
     }
   }
-  if (parseError.empty() && serverOptions.socketPath.empty()) {
-    parseError = "missing --socket PATH";
+  if (parseError.empty() && serverOptions.socketPath.empty() &&
+      serverOptions.tcpPort < 0) {
+    parseError = "need at least one of --socket PATH / --tcp PORT";
   }
   if (!parseError.empty()) {
     std::cerr << "error: " << parseError << "\n\n";
@@ -90,20 +124,29 @@ int main(int argc, char** argv) {
   }
 
   try {
-    pimsched::serve::SchedulingService service(serviceConfig);
-    pimsched::serve::SocketServer server(service, serverOptions);
+    ShardedService service(serviceConfig);
+    SocketServer server(service, serverOptions);
     server.start();
 
     gServer = &server;
     std::signal(SIGTERM, onSignal);
     std::signal(SIGINT, onSignal);
 
-    std::cout << "pimsched_served listening on " << server.socketPath()
-              << " (queue " << serviceConfig.maxQueueDepth
-              << ", concurrency " << serviceConfig.concurrency << ", cache "
-              << (serviceConfig.cacheEnabled
-                      ? std::to_string(serviceConfig.maxCacheEntries) +
-                            " entries"
+    std::cout << "pimsched_served listening on";
+    if (!server.socketPath().empty()) {
+      std::cout << " " << server.socketPath();
+    }
+    if (server.tcpPort() >= 0) {
+      std::cout << (server.socketPath().empty() ? " " : " and ")
+                << "tcp:" << serverOptions.tcpBindAddress << ":"
+                << server.tcpPort();
+    }
+    std::cout << " (shards " << service.shards() << ", queue "
+              << serviceConfig.shard.maxQueueDepth << "/shard, concurrency "
+              << serviceConfig.shard.concurrency << "/shard, cache "
+              << (serviceConfig.shard.cacheEnabled
+                      ? std::to_string(serviceConfig.shard.maxCacheEntries) +
+                            " entries/shard"
                       : std::string("off"))
               << ")" << std::endl;
     const int rc = server.run();

@@ -1,8 +1,10 @@
 // pimsched_submit — command-line client for the pimsched_served daemon.
-// Builds one NDJSON request, sends it over the Unix socket, prints the
-// daemon's JSON reply on stdout and exits 0 when the reply says ok.
+// Builds one NDJSON request, sends it over the daemon's Unix socket or
+// TCP endpoint, prints the daemon's JSON reply on stdout and exits 0 when
+// the reply says ok.
 //
-//   pimsched_submit --socket PATH [--retries N] [--backoff MS] VERB [args]
+//   pimsched_submit (--socket PATH | --tcp HOST:PORT)
+//                   [--retries N] [--backoff MS] VERB [args]
 //     submit TRACE_FILE [--grid RxC] [--method NAME] [--windows N]
 //                       [--capacity N|paper|unlimited] [--threads N]
 //                       [--priority N] [--deadline-ms N] [--fault SPEC]...
@@ -30,6 +32,10 @@
 // Exit codes: 0 = ok reply, 1 = error reply or transport failure,
 // 2 = bad usage.
 
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -53,8 +59,8 @@ namespace {
 using pimsched::serve::Json;
 
 void printUsage(std::ostream& os) {
-  os << "usage: pimsched_submit --socket PATH [--retries N] [--backoff MS] "
-        "VERB [args]\n"
+  os << "usage: pimsched_submit (--socket PATH | --tcp HOST:PORT)\n"
+        "       [--retries N] [--backoff MS] VERB [args]\n"
         "  submit TRACE_FILE [--grid RxC] [--method NAME] [--windows N]\n"
         "         [--capacity N|paper|unlimited] [--threads N] "
         "[--priority N]\n"
@@ -64,9 +70,14 @@ void printUsage(std::ostream& os) {
         "  stats | shutdown\n";
 }
 
-/// One round-trip: connect, send `request` + newline, read one reply line.
-std::string roundTrip(const std::string& socketPath,
-                      const std::string& request) {
+/// Where to reach the daemon: a Unix socket path or a TCP host:port.
+struct Endpoint {
+  std::string socketPath;  ///< non-empty for AF_UNIX
+  std::string tcpHost;     ///< non-empty for TCP
+  int tcpPort = -1;
+};
+
+int connectUnix(const std::string& socketPath) {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   if (socketPath.empty() || socketPath.size() >= sizeof(addr.sun_path)) {
@@ -86,6 +97,51 @@ std::string roundTrip(const std::string& socketPath,
     throw std::runtime_error("cannot connect to " + socketPath + ": " +
                              what);
   }
+  return fd;
+}
+
+int connectTcp(const std::string& host, int port) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* list = nullptr;
+  const int rc =
+      ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                    &list);
+  if (rc != 0) {
+    throw std::runtime_error("cannot resolve " + host + ": " +
+                             ::gai_strerror(rc));
+  }
+  int fd = -1;
+  std::string what = "no addresses";
+  for (const addrinfo* ai = list; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC,
+                  ai->ai_protocol);
+    if (fd < 0) {
+      what = std::strerror(errno);
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    what = std::strerror(errno);
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(list);
+  if (fd < 0) {
+    throw std::runtime_error("cannot connect to " + host + ":" +
+                             std::to_string(port) + ": " + what);
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+/// One round-trip: connect, send `request` + newline, read one reply line.
+std::string roundTrip(const Endpoint& endpoint,
+                      const std::string& request) {
+  const int fd = endpoint.socketPath.empty()
+                     ? connectTcp(endpoint.tcpHost, endpoint.tcpPort)
+                     : connectUnix(endpoint.socketPath);
 
   const std::string frame = request + "\n";
   std::size_t off = 0;
@@ -221,14 +277,29 @@ Json buildRequest(const std::string& verb, int argc, char** argv, int i) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string socketPath;
+  Endpoint endpoint;
   long retries = 0;
   long backoffMs = 100;
+  bool endpointError = false;
   int i = 1;
   while (i + 1 < argc) {
     const std::string arg = argv[i];
     if (arg == "--socket") {
-      socketPath = argv[i + 1];
+      endpoint.socketPath = argv[i + 1];
+    } else if (arg == "--tcp") {
+      const std::string ep = argv[i + 1];
+      const auto colon = ep.rfind(':');
+      if (colon == std::string::npos || colon == 0) {
+        endpointError = true;
+      } else {
+        endpoint.tcpHost = ep.substr(0, colon);
+        endpoint.tcpPort =
+            static_cast<int>(std::strtol(ep.c_str() + colon + 1, nullptr,
+                                         10));
+        if (endpoint.tcpPort <= 0 || endpoint.tcpPort > 65535) {
+          endpointError = true;
+        }
+      }
     } else if (arg == "--retries") {
       retries = std::strtol(argv[i + 1], nullptr, 10);
     } else if (arg == "--backoff") {
@@ -238,8 +309,12 @@ int main(int argc, char** argv) {
     }
     i += 2;
   }
-  if (socketPath.empty() || i >= argc || retries < 0 || backoffMs < 0) {
-    std::cerr << "error: expected --socket PATH and a verb\n\n";
+  const bool haveEndpoint =
+      !endpoint.socketPath.empty() || endpoint.tcpPort > 0;
+  if (endpointError || !haveEndpoint || i >= argc || retries < 0 ||
+      backoffMs < 0) {
+    std::cerr << "error: expected --socket PATH or --tcp HOST:PORT and a "
+                 "verb\n\n";
     printUsage(std::cerr);
     return 2;
   }
@@ -263,7 +338,7 @@ int main(int argc, char** argv) {
   const std::string wire = request.dump();
   for (long attempt = 0;; ++attempt) {
     try {
-      const std::string reply = roundTrip(socketPath, wire);
+      const std::string reply = roundTrip(endpoint, wire);
       std::cout << reply << '\n';
       const Json parsed = Json::parse(reply);
       const Json* ok = parsed.find("ok");

@@ -205,7 +205,7 @@ void fillResultFields(Json& reply, const JobStatus& status,
 
 }  // namespace
 
-ProtocolHandler::ProtocolHandler(SchedulingService& service,
+ProtocolHandler::ProtocolHandler(JobService& service,
                                  ProtocolOptions options)
     : service_(&service), options_(options) {}
 
@@ -309,7 +309,9 @@ std::string ProtocolHandler::handleLine(std::string_view line,
           .set("deadline_missed", s.expired)
           .set("cache_hits", s.cacheHits)
           .set("cache_misses", s.cacheMisses)
-          .set("cache_entries", static_cast<std::int64_t>(s.cacheEntries));
+          .set("coalesced", s.coalesced)
+          .set("cache_entries", static_cast<std::int64_t>(s.cacheEntries))
+          .set("shards", static_cast<std::int64_t>(s.shards));
       return reply.dump();
     }
 

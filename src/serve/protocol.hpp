@@ -39,7 +39,7 @@ struct ProtocolOptions {
 ///   cancel    id — replies {ok, cancelled}
 ///   stats     — replies {ok, queue_depth, running, accepted, rejected,
 ///             completed, failed, cancelled, deadline_missed, cache_hits,
-///             cache_misses, cache_entries}
+///             cache_misses, coalesced, cache_entries, shards}
 ///   shutdown  — replies {ok, draining:true}; the transport drains + exits
 ///
 /// Every failure — malformed JSON, oversized frame, unknown verb, missing
@@ -48,7 +48,7 @@ struct ProtocolOptions {
 /// daemon.
 class ProtocolHandler {
  public:
-  explicit ProtocolHandler(SchedulingService& service,
+  explicit ProtocolHandler(JobService& service,
                            ProtocolOptions options = {});
 
   /// Handles one request line (without the trailing newline) and returns
@@ -61,7 +61,7 @@ class ProtocolHandler {
   [[nodiscard]] const ProtocolOptions& options() const { return options_; }
 
  private:
-  SchedulingService* service_;
+  JobService* service_;
   ProtocolOptions options_;
 };
 

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -11,38 +13,55 @@
 
 namespace pimsched::serve {
 
-/// Unix-domain-socket transport for the NDJSON protocol: accepts stream
-/// connections on `socketPath`, runs one handler thread per connection,
-/// and feeds complete lines to a ProtocolHandler. The accept and read
-/// loops poll with a short timeout so requestStop() — safe to call from a
-/// signal handler, it only stores a lock-free atomic — is honoured
-/// promptly.
+/// Stream transport for the NDJSON protocol: accepts connections on a
+/// Unix-domain socket and/or a TCP listener behind one shared accept
+/// loop, and serves them from a fixed pool of connection-handler threads
+/// (`ioThreads`) fed by an accepted-connection queue — the daemon's live
+/// thread count is constant no matter how many connections come and go.
+/// The accept and read loops poll with a short timeout so requestStop() —
+/// safe to call from a signal handler, it only stores a lock-free atomic
+/// — is honoured promptly.
 ///
-/// Lifecycle: start() binds + listens (throwing on failure), run() blocks
-/// serving until a client `shutdown` verb or requestStop(), then closes
-/// the listen socket, drains the service (every accepted job finishes and
-/// in-flight `result` waits are answered), joins connection threads and
-/// unlinks the socket; it returns 0 on a clean drain. A connection whose
-/// unterminated line exceeds maxFrameBytes gets a structured error reply
-/// and is closed (the stream cannot be resynchronised); a truncated final
-/// line (EOF without newline) is handled as a request so the client still
-/// gets a structured reply where the transport allows it.
+/// Lifecycle: start() binds + listens on every configured endpoint
+/// (throwing on failure), run() blocks serving until a client `shutdown`
+/// verb or requestStop(), then closes the listeners, drains the service
+/// (every accepted job finishes and in-flight `result` waits are
+/// answered), stops the handler pool and unlinks the Unix socket; it
+/// returns 0 on a clean drain. A connection whose unterminated line
+/// exceeds maxFrameBytes gets a structured error reply and is closed (the
+/// stream cannot be resynchronised); a truncated final line (EOF without
+/// newline) is handled as a request so the client still gets a structured
+/// reply where the transport allows it.
 class SocketServer {
  public:
   struct Options {
+    /// Unix-domain socket path; empty disables the Unix endpoint.
     std::string socketPath;
+    /// TCP listen port: -1 disables the TCP endpoint, 0 binds an
+    /// ephemeral port (read it back with tcpPort() after start()).
+    int tcpPort = -1;
+    /// TCP bind address. Loopback by default: the protocol is
+    /// unauthenticated, so exposing it beyond the host is an explicit
+    /// operator decision.
+    std::string tcpBindAddress = "127.0.0.1";
     ProtocolOptions protocol;
-    int backlog = 16;
+    int backlog = 64;
+    /// Fixed connection-handler pool size. Each handler serves one
+    /// connection at a time, so this bounds concurrently-served
+    /// connections; accepted connections beyond it wait in the queue.
+    unsigned ioThreads = 8;
   };
 
-  SocketServer(SchedulingService& service, Options options);
+  SocketServer(JobService& service, Options options);
   ~SocketServer();
 
   SocketServer(const SocketServer&) = delete;
   SocketServer& operator=(const SocketServer&) = delete;
 
-  /// Binds and listens. Throws std::runtime_error on socket/bind failure
-  /// (e.g. path too long for sockaddr_un, or a live socket already bound).
+  /// Binds and listens on every configured endpoint. Throws
+  /// std::runtime_error when no endpoint is configured or on
+  /// socket/bind/listen failure (e.g. a path too long for sockaddr_un, a
+  /// live socket already bound, or a TCP port in use).
   void start();
 
   /// Serves until shutdown; drains; returns the process exit code (0 on a
@@ -56,17 +75,30 @@ class SocketServer {
     return options_.socketPath;
   }
 
+  /// The bound TCP port after start() (the actual port when an ephemeral
+  /// port 0 was requested); -1 when the TCP endpoint is disabled.
+  [[nodiscard]] int tcpPort() const { return boundTcpPort_; }
+
  private:
+  void startUnix();
+  void startTcp();
+  void handlerLoop();
   void handleConnection(int fd);
 
-  SchedulingService* service_;
+  JobService* service_;
   Options options_;
-  int listenFd_ = -1;
+  int listenFd_ = -1;     ///< Unix listener, -1 when disabled
+  int tcpListenFd_ = -1;  ///< TCP listener, -1 when disabled
+  int boundTcpPort_ = -1;
   std::atomic<bool> stop_{false};
-  /// Tells connection threads to close once their current request is done.
+  /// Tells connection handlers to close once their current request is
+  /// done.
   std::atomic<bool> closing_{false};
-  std::mutex threadsMutex_;
-  std::vector<std::thread> threads_;
+  std::mutex connMutex_;
+  std::condition_variable connCv_;
+  std::deque<int> connQueue_;  ///< accepted fds awaiting a handler
+  bool handlersExit_ = false;  ///< guarded by connMutex_
+  std::vector<std::thread> handlers_;
 };
 
 }  // namespace pimsched::serve

@@ -63,6 +63,12 @@ SchedulingService::~SchedulingService() { drain(); }
 SubmitOutcome SchedulingService::submit(JobRequest request) {
   if (!request.trace.finalized()) request.trace.finalize();
   const Digest digest = jobDigest(request);
+  return submitWithDigest(std::move(request), digest);
+}
+
+SubmitOutcome SchedulingService::submitWithDigest(JobRequest request,
+                                                  const Digest& digest) {
+  if (!request.trace.finalized()) request.trace.finalize();
 
   std::unique_lock<std::mutex> lock(mutex_);
   if (draining_) {
@@ -80,8 +86,11 @@ SubmitOutcome SchedulingService::submit(JobRequest request) {
       PIMSCHED_COUNTER_ADD("serve.cache.hit", 1);
       PIMSCHED_COUNTER_ADD("serve.jobs.accepted", 1);
       PIMSCHED_COUNTER_ADD("serve.jobs.completed", 1);
+      // A hit is a use: promote the entry to most-recently-used so hot
+      // digests survive eviction pressure.
+      cacheOrder_.splice(cacheOrder_.end(), cacheOrder_, it->second.order);
       // The cached JobResult is shared; re-stamp only the per-job fields.
-      auto served = std::make_shared<JobResult>(*it->second);
+      auto served = std::make_shared<JobResult>(*it->second.result);
       served->cacheHit = true;
       served->waitNs = 0;
       served->runNs = 0;
@@ -97,6 +106,34 @@ SubmitOutcome SchedulingService::submit(JobRequest request) {
     }
     ++statCacheMisses_;
     PIMSCHED_COUNTER_ADD("serve.cache.miss", 1);
+  }
+
+  // An identical job already queued or running: attach instead of solving
+  // twice. The follower never enters the queue; it resolves (with the
+  // exact same shared JobResult) when the leader reaches a terminal state.
+  if (const auto it = inflight_.find(digest.hex()); it != inflight_.end()) {
+    const std::shared_ptr<Job>& leader = it->second;
+    auto job = std::make_shared<Job>();
+    job->id = nextId_++;
+    job->digest = digest;
+    job->request.priority = request.priority;
+    job->submitNs = obs::nowNs();
+    job->coalescedWith = leader->id;
+    leader->followers.push_back(job);
+    jobs_.emplace(job->id, job);
+    ++statAccepted_;
+    ++statCoalesced_;
+    PIMSCHED_COUNTER_ADD("serve.jobs.accepted", 1);
+    PIMSCHED_COUNTER_ADD("serve.jobs.coalesced", 1);
+    // A hotter submission drags the whole group forward in the queue.
+    if (leader->state == JobState::kQueued &&
+        request.priority > leader->request.priority) {
+      queue_.erase(std::make_pair(-leader->request.priority, leader->id));
+      leader->request.priority = request.priority;
+      queue_.emplace(std::make_pair(-leader->request.priority, leader->id),
+                     leader);
+    }
+    return SubmitOutcome{true, job->id, "", false};
   }
 
   if (queue_.size() >= config_.maxQueueDepth) {
@@ -119,6 +156,7 @@ SubmitOutcome SchedulingService::submit(JobRequest request) {
   }
   jobs_.emplace(job->id, job);
   queue_.emplace(std::make_pair(-job->request.priority, job->id), job);
+  inflight_[digest.hex()] = job;
   ++statAccepted_;
   PIMSCHED_COUNTER_ADD("serve.jobs.accepted", 1);
   PIMSCHED_COUNTER_ADD("serve.queue.enqueued", 1);
@@ -164,6 +202,46 @@ void SchedulingService::finishLocked(Job& job, JobState state) {
       break;
     default: break;
   }
+  if (!job.followers.empty()) {
+    if (state == JobState::kDone || state == JobState::kFailed) {
+      // Fan the leader's outcome out to every coalesced follower: one
+      // solve, K identical results (the very same shared JobResult).
+      for (const std::shared_ptr<Job>& follower : job.followers) {
+        follower->result = job.result;
+        follower->error = job.error;
+        follower->errorKind = job.errorKind;
+        follower->attempts = job.attempts;
+        follower->coalescedWith = -1;
+        finishLocked(*follower, state);
+      }
+      job.followers.clear();
+    } else {
+      // The leader was cancelled or expired before running, but its
+      // followers still want the answer: promote the first follower to
+      // leader so the group is not silently dropped.
+      std::shared_ptr<Job> heir = job.followers.front();
+      job.followers.erase(job.followers.begin());
+      heir->followers = std::move(job.followers);
+      job.followers.clear();
+      for (const std::shared_ptr<Job>& follower : heir->followers) {
+        follower->coalescedWith = heir->id;
+      }
+      heir->coalescedWith = -1;
+      const int heirPriority = heir->request.priority;
+      heir->request = job.request;  // followers never stored the payload
+      heir->request.priority = heirPriority;
+      heir->request.deadlineMs = -1;  // followers carry no deadline
+      heir->deadlineNs = -1;
+      queue_.emplace(std::make_pair(-heir->request.priority, heir->id),
+                     heir);
+      inflight_[heir->digest.hex()] = heir;
+      PIMSCHED_COUNTER_ADD("serve.queue.enqueued", 1);
+    }
+  }
+  // Terminal jobs stop being a coalescing join point (unless a promoted
+  // heir has just taken the slot over).
+  const auto it = inflight_.find(job.digest.hex());
+  if (it != inflight_.end() && it->second.get() == &job) inflight_.erase(it);
   cv_.notify_all();
 }
 
@@ -171,12 +249,20 @@ void SchedulingService::cacheInsertLocked(
     const Digest& digest, std::shared_ptr<const JobResult> result) {
   if (!config_.cacheEnabled || config_.maxCacheEntries == 0) return;
   std::string key = digest.hex();
-  if (cache_.emplace(key, std::move(result)).second) {
-    cacheOrder_.push_back(std::move(key));
-    while (cacheOrder_.size() > config_.maxCacheEntries) {
-      cache_.erase(cacheOrder_.front());
-      cacheOrder_.pop_front();
-    }
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    // Re-insertion of a known digest refreshes the entry in place — no
+    // duplicate order node, just a promotion to most-recently-used.
+    it->second.result = std::move(result);
+    cacheOrder_.splice(cacheOrder_.end(), cacheOrder_, it->second.order);
+    return;
+  }
+  cacheOrder_.push_back(key);
+  CacheEntry entry{std::move(result), std::prev(cacheOrder_.end())};
+  cache_.emplace(std::move(key), std::move(entry));
+  while (cacheOrder_.size() > config_.maxCacheEntries) {
+    cache_.erase(cacheOrder_.front());
+    cacheOrder_.pop_front();
   }
 }
 
@@ -325,9 +411,29 @@ bool SchedulingService::cancel(JobId id) {
   if (it == jobs_.end()) return false;
   Job& job = *it->second;
   if (job.state != JobState::kQueued) return false;
+  if (job.coalescedWith >= 0) {
+    // A coalesced follower: detach it from its leader; the leader (and
+    // any other followers) are unaffected.
+    const auto leaderIt = jobs_.find(job.coalescedWith);
+    if (leaderIt != jobs_.end()) {
+      auto& followers = leaderIt->second->followers;
+      for (auto f = followers.begin(); f != followers.end(); ++f) {
+        if ((*f)->id == id) {
+          followers.erase(f);
+          break;
+        }
+      }
+    }
+    job.coalescedWith = -1;
+    finishLocked(job, JobState::kCancelled);
+    return true;
+  }
   queue_.erase(std::make_pair(-job.request.priority, job.id));
   PIMSCHED_COUNTER_ADD("serve.queue.dequeued", 1);
   finishLocked(job, JobState::kCancelled);
+  // Cancelling a leader promotes its first follower back into the queue;
+  // give it a worker if one is idle.
+  maybeDispatchLocked();
   return true;
 }
 
@@ -344,6 +450,7 @@ ServiceStats SchedulingService::stats() const {
   s.expired = statExpired_;
   s.cacheHits = statCacheHits_;
   s.cacheMisses = statCacheMisses_;
+  s.coalesced = statCoalesced_;
   s.cacheEntries = cache_.size();
   return s;
 }

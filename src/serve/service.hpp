@@ -2,8 +2,8 @@
 
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -99,7 +99,13 @@ struct ServiceStats {
   std::int64_t expired = 0;
   std::int64_t cacheHits = 0;
   std::int64_t cacheMisses = 0;
+  /// Submissions that attached to an identical job already queued or
+  /// running instead of enqueuing a second solve.
+  std::int64_t coalesced = 0;
   std::size_t cacheEntries = 0;
+  /// Worker shards behind these numbers (1 for a plain service; the
+  /// sharded front end reports its shard count and sums the rest).
+  std::size_t shards = 1;
 };
 
 /// Content address of a job: mixes traceDigest, configDigest, the grid
@@ -108,6 +114,25 @@ struct ServiceStats {
 /// entry) while any input that can change the answer changes it — a
 /// faulted job never aliases the healthy-mesh result.
 [[nodiscard]] Digest jobDigest(const JobRequest& request);
+
+/// The serving surface the protocol layer talks to. SchedulingService is
+/// the single-queue implementation; ShardedService (serve/sharded.hpp)
+/// fans the same interface out over a fixed pool of worker shards with
+/// consistent-hash job routing.
+class JobService {
+ public:
+  virtual ~JobService() = default;
+
+  virtual SubmitOutcome submit(JobRequest request) = 0;
+  [[nodiscard]] virtual std::optional<JobStatus> status(JobId id) const = 0;
+  [[nodiscard]] virtual std::shared_ptr<const JobResult> result(
+      JobId id, bool wait = true) = 0;
+  virtual bool cancel(JobId id) = 0;
+  [[nodiscard]] virtual ServiceStats stats() const = 0;
+  /// Stops accepting submissions and blocks until every accepted job has
+  /// reached a terminal state. Idempotent.
+  virtual void drain() = 0;
+};
 
 /// Persistent scheduling service: a bounded priority job queue feeding up
 /// to `concurrency` jobs concurrently onto the shared util/thread_pool,
@@ -119,11 +144,18 @@ struct ServiceStats {
 /// Backpressure: submissions beyond `maxQueueDepth` *queued* (not running)
 /// jobs are rejected with a reason instead of blocking the caller.
 ///
+/// Coalescing: a submission whose digest matches a job already queued or
+/// running does not enqueue a second solve — it attaches to the in-flight
+/// job and all attached submissions share one JobResult when it finishes
+/// (serve.jobs.coalesced counts the attachments). The result cache is a
+/// bounded true LRU: a hit promotes the entry to most-recently-used, an
+/// insert past the bound evicts the least-recently-used entry.
+///
 /// Counters (global obs registry): serve.jobs.{accepted,rejected,
-/// completed,failed,cancelled,deadline_missed}, serve.cache.{hit,miss},
-/// serve.queue.{enqueued,dequeued}, serve.job.retry; timers
-/// serve.job.wait / serve.job.run.
-class SchedulingService {
+/// completed,failed,cancelled,deadline_missed,coalesced},
+/// serve.cache.{hit,miss}, serve.queue.{enqueued,dequeued},
+/// serve.job.retry; timers serve.job.wait / serve.job.run.
+class SchedulingService : public JobService {
  public:
   struct Config {
     /// Queued-job bound; submissions past it are rejected with a reason.
@@ -145,34 +177,42 @@ class SchedulingService {
   SchedulingService();  ///< all Config defaults
   explicit SchedulingService(Config config);
   /// Drains: finishes every queued and running job before returning.
-  ~SchedulingService();
+  ~SchedulingService() override;
 
   SchedulingService(const SchedulingService&) = delete;
   SchedulingService& operator=(const SchedulingService&) = delete;
 
   /// Finalizes the trace if needed, content-addresses the job, and either
   /// answers from the result cache (accepted + cached, job born kDone),
-  /// enqueues it, or rejects it (queue full / draining).
-  SubmitOutcome submit(JobRequest request);
+  /// coalesces it onto an identical in-flight job, enqueues it, or
+  /// rejects it (queue full / draining).
+  SubmitOutcome submit(JobRequest request) override;
+
+  /// submit() with the content digest already computed — the sharded
+  /// front end hashes the job once for routing and passes it down here so
+  /// the trace is not digested twice.
+  SubmitOutcome submitWithDigest(JobRequest request, const Digest& digest);
 
   /// nullopt for an unknown id.
-  [[nodiscard]] std::optional<JobStatus> status(JobId id) const;
+  [[nodiscard]] std::optional<JobStatus> status(JobId id) const override;
 
   /// The job's result. wait == true blocks until the job reaches a
   /// terminal state. Returns nullptr for unknown ids, non-terminal jobs
   /// (when !wait) and jobs that ended kFailed/kCancelled/kExpired — use
   /// status() to distinguish.
-  [[nodiscard]] std::shared_ptr<const JobResult> result(JobId id,
-                                                        bool wait = true);
+  [[nodiscard]] std::shared_ptr<const JobResult> result(
+      JobId id, bool wait = true) override;
 
   /// Cancels a still-queued job; running or finished jobs return false.
-  bool cancel(JobId id);
+  /// Cancelling a job with coalesced followers promotes the first
+  /// follower to run in its place rather than failing the whole group.
+  bool cancel(JobId id) override;
 
-  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] ServiceStats stats() const override;
 
   /// Stops accepting submissions and blocks until every queued and
   /// running job has reached a terminal state. Idempotent.
-  void drain();
+  void drain() override;
 
  private:
   struct Job {
@@ -186,6 +226,17 @@ class SchedulingService {
     std::shared_ptr<const JobResult> result;
     std::int64_t submitNs = 0;
     std::int64_t deadlineNs = -1;  ///< absolute, -1 = none
+    /// Identical-digest submissions riding this (leader) job: they are
+    /// never queued themselves and resolve when the leader does.
+    std::vector<std::shared_ptr<Job>> followers;
+    /// Leader id when this job is a coalesced follower, -1 otherwise.
+    JobId coalescedWith = -1;
+  };
+
+  struct CacheEntry {
+    std::shared_ptr<const JobResult> result;
+    /// Position in cacheOrder_ (front = LRU, back = MRU).
+    std::list<std::string>::iterator order;
   };
 
   void maybeDispatchLocked();
@@ -203,11 +254,14 @@ class SchedulingService {
   std::map<JobId, std::shared_ptr<Job>> jobs_;
   /// Queued jobs ordered by (-priority, id): begin() is the next to run.
   std::map<std::pair<int, JobId>, std::shared_ptr<Job>> queue_;
-  std::unordered_map<std::string, std::shared_ptr<const JobResult>> cache_;
-  std::deque<std::string> cacheOrder_;  ///< insertion order for eviction
+  /// True-LRU result cache keyed by digest hex.
+  std::unordered_map<std::string, CacheEntry> cache_;
+  std::list<std::string> cacheOrder_;  ///< front = LRU, back = MRU
+  /// Non-terminal leader per digest hex, the coalescing join point.
+  std::unordered_map<std::string, std::shared_ptr<Job>> inflight_;
   std::int64_t statAccepted_ = 0, statRejected_ = 0, statCompleted_ = 0,
                statFailed_ = 0, statCancelled_ = 0, statExpired_ = 0,
-               statCacheHits_ = 0, statCacheMisses_ = 0;
+               statCacheHits_ = 0, statCacheMisses_ = 0, statCoalesced_ = 0;
 };
 
 }  // namespace pimsched::serve

@@ -1,0 +1,130 @@
+#include "serve/sharded.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/obs.hpp"
+
+namespace pimsched::serve {
+
+namespace {
+
+/// splitmix64: well-mixed 64-bit hash for the ring point positions.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ShardRing::ShardRing(unsigned shards, unsigned vnodesPerShard)
+    : shards_(shards == 0 ? 1 : shards) {
+  points_.reserve(static_cast<std::size_t>(shards_) * vnodesPerShard);
+  for (unsigned s = 0; s < shards_; ++s) {
+    for (unsigned v = 0; v < vnodesPerShard; ++v) {
+      const std::uint64_t seed =
+          (static_cast<std::uint64_t>(s) << 32) | v;
+      points_.emplace_back(mix64(seed), s);
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+unsigned ShardRing::shardFor(const Digest& digest) const {
+  if (shards_ == 1) return 0;
+  // Mix both digest words so similar jobs still spread over the ring.
+  const std::uint64_t key = mix64(digest.lo ^ mix64(digest.hi));
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(),
+      std::make_pair(key, 0u),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  return it == points_.end() ? points_.front().second : it->second;
+}
+
+ShardedService::ShardedService() : ShardedService(Config()) {}
+
+ShardedService::ShardedService(Config config)
+    : ring_(config.shards == 0 ? 1 : config.shards) {
+  shards_.reserve(ring_.shards());
+  for (unsigned s = 0; s < ring_.shards(); ++s) {
+    shards_.push_back(std::make_unique<SchedulingService>(config.shard));
+  }
+}
+
+ShardedService::~ShardedService() { drain(); }
+
+SubmitOutcome ShardedService::submit(JobRequest request) {
+  if (!request.trace.finalized()) request.trace.finalize();
+  const Digest digest = jobDigest(request);
+  const unsigned shard = ring_.shardFor(digest);
+  PIMSCHED_COUNTER_ADD("serve.shard." + std::to_string(shard) + ".jobs", 1);
+  SubmitOutcome outcome =
+      shards_[shard]->submitWithDigest(std::move(request), digest);
+  if (outcome.accepted) {
+    // Globalize the shard-local id: outer = inner * shards + shard.
+    outcome.id = outcome.id * static_cast<JobId>(ring_.shards()) +
+                 static_cast<JobId>(shard);
+  }
+  return outcome;
+}
+
+unsigned ShardedService::shardFor(const JobRequest& request) const {
+  JobRequest copy = request;
+  if (!copy.trace.finalized()) copy.trace.finalize();
+  return ring_.shardFor(jobDigest(copy));
+}
+
+SchedulingService* ShardedService::shardForId(JobId id, JobId* inner) const {
+  if (id < 0) return nullptr;
+  const JobId n = static_cast<JobId>(ring_.shards());
+  *inner = id / n;
+  return shards_[static_cast<std::size_t>(id % n)].get();
+}
+
+std::optional<JobStatus> ShardedService::status(JobId id) const {
+  JobId inner = -1;
+  SchedulingService* shard = shardForId(id, &inner);
+  return shard == nullptr ? std::nullopt : shard->status(inner);
+}
+
+std::shared_ptr<const JobResult> ShardedService::result(JobId id,
+                                                        bool wait) {
+  JobId inner = -1;
+  SchedulingService* shard = shardForId(id, &inner);
+  return shard == nullptr ? nullptr : shard->result(inner, wait);
+}
+
+bool ShardedService::cancel(JobId id) {
+  JobId inner = -1;
+  SchedulingService* shard = shardForId(id, &inner);
+  return shard != nullptr && shard->cancel(inner);
+}
+
+ServiceStats ShardedService::stats() const {
+  ServiceStats total;
+  total.shards = ring_.shards();
+  for (const auto& shard : shards_) {
+    const ServiceStats s = shard->stats();
+    total.queueDepth += s.queueDepth;
+    total.running += s.running;
+    total.accepted += s.accepted;
+    total.rejected += s.rejected;
+    total.completed += s.completed;
+    total.failed += s.failed;
+    total.cancelled += s.cancelled;
+    total.expired += s.expired;
+    total.cacheHits += s.cacheHits;
+    total.cacheMisses += s.cacheMisses;
+    total.coalesced += s.coalesced;
+    total.cacheEntries += s.cacheEntries;
+  }
+  return total;
+}
+
+void ShardedService::drain() {
+  for (const auto& shard : shards_) shard->drain();
+}
+
+}  // namespace pimsched::serve

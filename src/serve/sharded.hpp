@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "serve/service.hpp"
+
+namespace pimsched::serve {
+
+/// Consistent-hash ring over a fixed shard count: each shard owns
+/// `vnodesPerShard` pseudo-random points on the 64-bit ring and a key is
+/// routed to the shard owning the first point at or after it (wrapping).
+/// Identical digests always land on the same shard, and virtual nodes keep
+/// the key space evenly spread even for small shard counts. The ring is
+/// deterministic — the same (shards, vnodes) always produces the same
+/// routing — so clients, tests and restarted daemons agree on placement.
+class ShardRing {
+ public:
+  explicit ShardRing(unsigned shards, unsigned vnodesPerShard = 64);
+
+  [[nodiscard]] unsigned shardFor(const Digest& digest) const;
+  [[nodiscard]] unsigned shards() const { return shards_; }
+
+ private:
+  unsigned shards_;
+  /// (ring position, shard) sorted by position.
+  std::vector<std::pair<std::uint64_t, unsigned>> points_;
+};
+
+/// A fixed pool of SchedulingService worker shards behind the JobService
+/// interface. Jobs are content-addressed once (jobDigest) and routed by
+/// consistent hash, so identical jobs always land on the same shard —
+/// which makes both the result cache and in-flight coalescing globally
+/// effective while every shard keeps its own independent lock, queue and
+/// cache (no cross-shard contention on the hot submit path).
+///
+/// Job ids are globally unique and encode their shard:
+/// `outer = inner * shards + shardIndex`, so status/result/cancel route
+/// without any shared lookup table.
+///
+/// Backpressure and concurrency (`Config::shard`) are per shard: a pool of
+/// S shards with queue depth Q and concurrency C admits up to S*Q queued
+/// and S*C running jobs.
+///
+/// Counters: serve.shard.<i>.jobs counts submissions routed to shard i.
+class ShardedService : public JobService {
+ public:
+  struct Config {
+    unsigned shards = 4;
+    /// Per-shard service configuration (queue depth, concurrency, cache).
+    SchedulingService::Config shard;
+  };
+
+  ShardedService();  ///< all Config defaults
+  explicit ShardedService(Config config);
+  ~ShardedService() override;
+
+  ShardedService(const ShardedService&) = delete;
+  ShardedService& operator=(const ShardedService&) = delete;
+
+  SubmitOutcome submit(JobRequest request) override;
+  [[nodiscard]] std::optional<JobStatus> status(JobId id) const override;
+  [[nodiscard]] std::shared_ptr<const JobResult> result(
+      JobId id, bool wait = true) override;
+  bool cancel(JobId id) override;
+  /// Sums across shards; `shards` reports the pool size.
+  [[nodiscard]] ServiceStats stats() const override;
+  void drain() override;
+
+  [[nodiscard]] unsigned shards() const { return ring_.shards(); }
+  /// The shard a request would be routed to (deterministic).
+  [[nodiscard]] unsigned shardFor(const JobRequest& request) const;
+
+ private:
+  [[nodiscard]] SchedulingService* shardForId(JobId id,
+                                              JobId* inner) const;
+
+  ShardRing ring_;
+  std::vector<std::unique_ptr<SchedulingService>> shards_;
+};
+
+}  // namespace pimsched::serve

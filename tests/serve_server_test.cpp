@@ -1,6 +1,7 @@
 #include "serve/server.hpp"
 
 #include <gtest/gtest.h>
+#include <netinet/in.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -8,6 +9,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <sstream>
 #include <stdexcept>
@@ -35,20 +37,18 @@ class Client {
     std::memcpy(addr.sun_path, socketPath.c_str(), socketPath.size() + 1);
     fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd_ < 0) throw std::runtime_error("socket() failed");
-    // The server may still be between start() and the accept loop; retry
-    // briefly instead of flaking.
-    for (int attempt = 0;; ++attempt) {
-      if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
-                    sizeof(addr)) == 0) {
-        break;
-      }
-      if (attempt > 100) {
-        ::close(fd_);
-        throw std::runtime_error(std::string("connect() failed: ") +
-                                 std::strerror(errno));
-      }
-      std::this_thread::sleep_for(std::chrono::milliseconds(10));
-    }
+    connectWithRetry(reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  }
+
+  /// TCP variant: connects to 127.0.0.1:port.
+  explicit Client(int tcpPort) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(tcpPort));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) throw std::runtime_error("socket() failed");
+    connectWithRetry(reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
   }
   ~Client() {
     if (fd_ >= 0) ::close(fd_);
@@ -89,9 +89,33 @@ class Client {
   }
 
  private:
+  // The server may still be between start() and the accept loop; retry
+  // briefly instead of flaking.
+  void connectWithRetry(const sockaddr* addr, socklen_t len) {
+    for (int attempt = 0;; ++attempt) {
+      if (::connect(fd_, addr, len) == 0) return;
+      if (attempt > 100) {
+        ::close(fd_);
+        throw std::runtime_error(std::string("connect() failed: ") +
+                                 std::strerror(errno));
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+
   int fd_ = -1;
   std::string buffer_;
 };
+
+/// Live OS threads of this process, via /proc/self/task.
+int liveThreadCount() {
+  int count = 0;
+  for ([[maybe_unused]] const auto& entry :
+       std::filesystem::directory_iterator("/proc/self/task")) {
+    ++count;
+  }
+  return count;
+}
 
 std::string submitLine(int steps = 4) {
   ReferenceTrace trace(DataSpace::singleSquare(3));
@@ -114,10 +138,12 @@ std::string submitLine(int steps = 4) {
 class ServerFixture {
  public:
   explicit ServerFixture(const std::string& tag,
-                         ProtocolOptions protocol = {}) {
+                         ProtocolOptions protocol = {},
+                         bool withTcp = false) {
     SocketServer::Options options;
     options.socketPath = uniqueSocketPath(tag);
     options.protocol = protocol;
+    if (withTcp) options.tcpPort = 0;  // ephemeral
     server = std::make_unique<SocketServer>(service, options);
     server->start();
     runner = std::thread([this] { exitCode = server->run(); });
@@ -235,6 +261,71 @@ TEST(SocketServer, RefusesToStartOnALiveSocket) {
   SchedulingService other;
   SocketServer second(other, options);
   EXPECT_THROW(second.start(), std::runtime_error);
+}
+
+TEST(SocketServer, TcpAndUnixEndpointsServeTheSameService) {
+  ServerFixture fixture("dual", {}, /*withTcp=*/true);
+  ASSERT_GT(fixture.server->tcpPort(), 0);  // ephemeral port was bound
+  Client unixClient(fixture.server->socketPath());
+  Client tcpClient(fixture.server->tcpPort());
+
+  // Same request over both transports: byte-identical protocol, and one
+  // shared service behind them — the TCP submit is answered from the
+  // cache the Unix-socket submit warmed.
+  const Json viaUnix = unixClient.request(submitLine());
+  ASSERT_TRUE(viaUnix.find("ok")->asBool());
+  const Json viaTcp = tcpClient.request(submitLine());
+  ASSERT_TRUE(viaTcp.find("ok")->asBool());
+  EXPECT_EQ(viaTcp.find("digest")->asString(),
+            viaUnix.find("digest")->asString());
+  EXPECT_EQ(viaTcp.find("total")->asInt64(),
+            viaUnix.find("total")->asInt64());
+  EXPECT_EQ(viaTcp.find("state")->asString(),
+            viaUnix.find("state")->asString());
+  EXPECT_TRUE(viaTcp.find("cached")->asBool());
+
+  const Json stats = tcpClient.request(R"({"verb":"stats"})");
+  EXPECT_EQ(stats.find("cache_hits")->asInt64(), 1);
+  EXPECT_EQ(stats.find("completed")->asInt64(), 2);
+
+  // Malformed input over TCP gets the same structured error as Unix.
+  const Json bad = tcpClient.request("not json");
+  EXPECT_FALSE(bad.find("ok")->asBool());
+  EXPECT_FALSE(bad.find("error")->asString().empty());
+}
+
+TEST(SocketServer, TcpOnlyServerNeedsNoSocketFile) {
+  SchedulingService service;
+  SocketServer::Options options;
+  options.socketPath.clear();
+  options.tcpPort = 0;
+  SocketServer server(service, options);
+  server.start();
+  ASSERT_GT(server.tcpPort(), 0);
+  std::thread runner([&] { server.run(); });
+  Client client(server.tcpPort());
+  EXPECT_TRUE(client.request(R"({"verb":"stats"})").find("ok")->asBool());
+  server.requestStop();
+  runner.join();
+}
+
+TEST(SocketServer, SequentialConnectionsDoNotGrowTheThreadCount) {
+  // Regression for the unjoined thread-per-connection leak: the fixed
+  // handler pool means N connections never add a single live thread.
+  ServerFixture fixture("threads");
+  {
+    // Warm up: handler pool spawned, one connection served and closed.
+    Client warm(fixture.server->socketPath());
+    EXPECT_TRUE(warm.request(R"({"verb":"stats"})").find("ok")->asBool());
+  }
+  const int before = liveThreadCount();
+  ASSERT_GT(before, 0);
+  for (int i = 0; i < 20; ++i) {
+    Client client(fixture.server->socketPath());
+    EXPECT_TRUE(
+        client.request(R"({"verb":"stats"})").find("ok")->asBool());
+  }
+  EXPECT_LE(liveThreadCount(), before);
 }
 
 TEST(SocketServer, StartReplacesAStaleSocketFile) {

@@ -12,6 +12,7 @@
 
 #include "core/pipeline.hpp"
 #include "core/schedule_io.hpp"
+#include "obs/obs.hpp"
 #include "pim/grid.hpp"
 #include "util/thread_pool.hpp"
 
@@ -489,6 +490,187 @@ TEST(SchedulingService, HundredsOfConcurrentSubmissionsAllGetAnAnswer) {
   EXPECT_EQ(stats.completed + stats.failed, accepted);
   EXPECT_EQ(stats.failed, 0);
   service.drain();
+}
+
+TEST(SchedulingService, CacheHitPromotesEntryToMostRecentlyUsed) {
+  // True-LRU pin: a hit must save an entry from eviction. Under the old
+  // FIFO order, `a` would be the next victim regardless of the hit.
+  SchedulingService::Config config;
+  config.maxCacheEntries = 2;
+  SchedulingService service(config);
+  const JobRequest a = makeRequest(4, 5);
+  const JobRequest b = makeRequest(4, 6);
+  const JobRequest c = makeRequest(4, 7);
+  ASSERT_NE(service.result(service.submit(a).id), nullptr);
+  ASSERT_NE(service.result(service.submit(b).id), nullptr);  // order [a, b]
+  EXPECT_TRUE(service.submit(a).cached);  // hit promotes a -> [b, a]
+  ASSERT_NE(service.result(service.submit(c).id), nullptr);  // evicts b
+  EXPECT_EQ(service.stats().cacheEntries, 2u);
+  EXPECT_TRUE(service.submit(a).cached);   // the hit saved a
+  EXPECT_TRUE(service.submit(c).cached);
+  EXPECT_FALSE(service.submit(b).cached);  // b paid for a's survival
+}
+
+TEST(SchedulingService, RepeatedCacheHitsNeverDuplicateRecencyEntries) {
+  // If hits appended duplicate recency entries, the first eviction after
+  // five hits on `a` would pop a stale duplicate of `a` and drop it from
+  // the cache even though it is the most recently used key.
+  SchedulingService::Config config;
+  config.maxCacheEntries = 2;
+  SchedulingService service(config);
+  const JobRequest a = makeRequest(4, 5);
+  const JobRequest b = makeRequest(4, 6);
+  ASSERT_NE(service.result(service.submit(a).id), nullptr);
+  ASSERT_NE(service.result(service.submit(b).id), nullptr);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(service.submit(a).cached);
+    EXPECT_EQ(service.stats().cacheEntries, 2u);  // never grows past bound
+  }
+  const JobRequest c = makeRequest(4, 7);
+  ASSERT_NE(service.result(service.submit(c).id), nullptr);  // evicts b only
+  EXPECT_EQ(service.stats().cacheEntries, 2u);
+  EXPECT_TRUE(service.submit(a).cached);
+  EXPECT_TRUE(service.submit(c).cached);
+  EXPECT_FALSE(service.submit(b).cached);
+}
+
+TEST(SchedulingService, ConcurrentIdenticalSubmitsCoalesceToOneRun) {
+  // K identical submits while the first is still in flight: exactly one
+  // pipeline run, every waiter fanned the same result object.
+  std::atomic<int> runs{0};
+  SchedulingService::Config config;
+  config.concurrency = 1;
+  config.onJobAttempt = [&](int) { ++runs; };
+  SchedulingService service(config);
+#ifndef PIMSCHED_NO_OBS
+  const std::int64_t coalescedBefore =
+      obs::Registry::instance().counterValue("serve.jobs.coalesced");
+#endif
+
+  PoolGate gate;
+  const SubmitOutcome blocker = service.submit(makeRequest(4, 8));
+  ASSERT_TRUE(blocker.accepted);
+  const SubmitOutcome leader = service.submit(makeRequest());
+  ASSERT_TRUE(leader.accepted);
+  EXPECT_FALSE(leader.cached);
+  constexpr int kFollowers = 3;
+  std::vector<JobId> followers;
+  for (int i = 0; i < kFollowers; ++i) {
+    const SubmitOutcome out = service.submit(makeRequest());
+    ASSERT_TRUE(out.accepted);
+    EXPECT_FALSE(out.cached);  // attached to the in-flight leader instead
+    EXPECT_EQ(service.status(out.id)->state, JobState::kQueued);
+    followers.push_back(out.id);
+  }
+  // Followers never entered the queue: only blocker (running) + leader.
+  EXPECT_EQ(service.stats().queueDepth, 1u);
+  gate.release();
+
+  const auto leaderResult = service.result(leader.id);
+  ASSERT_NE(leaderResult, nullptr);
+  for (const JobId id : followers) {
+    const auto result = service.result(id);
+    ASSERT_NE(result, nullptr);
+    EXPECT_EQ(result.get(), leaderResult.get());  // the same object, shared
+    EXPECT_EQ(service.status(id)->state, JobState::kDone);
+  }
+  EXPECT_EQ(runs.load(), 2);  // blocker + leader; followers never ran
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.coalesced, kFollowers);
+  EXPECT_EQ(stats.completed, 2 + kFollowers);
+#ifndef PIMSCHED_NO_OBS
+  EXPECT_EQ(obs::Registry::instance().counterValue("serve.jobs.coalesced"),
+            coalescedBefore + kFollowers);
+#endif
+}
+
+TEST(SchedulingService, IdenticalSubmitStormRunsThePipelineOnce) {
+  // Races submit against completion from real threads: every submit either
+  // leads, coalesces, or hits the cache — the pipeline runs exactly once.
+  std::atomic<int> runs{0};
+  SchedulingService::Config config;
+  config.onJobAttempt = [&](int) { ++runs; };
+  SchedulingService service(config);
+
+  constexpr int kThreads = 8;
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<Cost> totals(kThreads, -1);
+  std::vector<std::thread> storm;
+  storm.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    storm.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      const SubmitOutcome out = service.submit(makeRequest());
+      ASSERT_TRUE(out.accepted);
+      const auto result = service.result(out.id);
+      ASSERT_NE(result, nullptr);
+      totals[static_cast<std::size_t>(t)] = result->eval.aggregate.total();
+    });
+  }
+  while (ready.load() < kThreads) std::this_thread::yield();
+  go.store(true, std::memory_order_release);
+  for (std::thread& s : storm) s.join();
+
+  EXPECT_EQ(runs.load(), 1);
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(totals[t], totals[0]);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed, kThreads);
+  // All K submits are accounted for: 1 leader + coalesced + late cache hits.
+  EXPECT_EQ(1 + stats.coalesced + stats.cacheHits, kThreads);
+}
+
+TEST(SchedulingService, CancelledLeaderPromotesAFollower) {
+  // Cancelling a queued leader must not strand its followers: the first
+  // follower is promoted to a queued job and still produces the result.
+  SchedulingService::Config config;
+  config.concurrency = 1;
+  config.cacheEnabled = false;
+  SchedulingService service(config);
+
+  PoolGate gate;
+  const SubmitOutcome blocker = service.submit(makeRequest(4, 8));
+  ASSERT_TRUE(blocker.accepted);
+  const SubmitOutcome leader = service.submit(makeRequest());
+  const SubmitOutcome follower = service.submit(makeRequest());
+  ASSERT_TRUE(leader.accepted);
+  ASSERT_TRUE(follower.accepted);
+
+  EXPECT_TRUE(service.cancel(leader.id));
+  EXPECT_EQ(service.status(leader.id)->state, JobState::kCancelled);
+  EXPECT_EQ(service.status(follower.id)->state, JobState::kQueued);
+  gate.release();
+
+  EXPECT_EQ(service.result(leader.id), nullptr);
+  const auto result = service.result(follower.id);
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(service.status(follower.id)->state, JobState::kDone);
+  EXPECT_EQ(service.stats().cancelled, 1);
+}
+
+TEST(SchedulingService, CancelDetachesAFollowerWithoutKillingTheLeader) {
+  SchedulingService::Config config;
+  config.concurrency = 1;
+  config.cacheEnabled = false;
+  SchedulingService service(config);
+
+  PoolGate gate;
+  const SubmitOutcome blocker = service.submit(makeRequest(4, 8));
+  ASSERT_TRUE(blocker.accepted);
+  const SubmitOutcome leader = service.submit(makeRequest());
+  const SubmitOutcome follower = service.submit(makeRequest());
+  ASSERT_TRUE(leader.accepted);
+  ASSERT_TRUE(follower.accepted);
+
+  EXPECT_TRUE(service.cancel(follower.id));
+  EXPECT_EQ(service.status(follower.id)->state, JobState::kCancelled);
+  EXPECT_EQ(service.status(leader.id)->state, JobState::kQueued);
+  gate.release();
+
+  EXPECT_EQ(service.result(follower.id), nullptr);
+  ASSERT_NE(service.result(leader.id), nullptr);
+  EXPECT_EQ(service.status(leader.id)->state, JobState::kDone);
 }
 
 }  // namespace

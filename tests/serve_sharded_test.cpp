@@ -1,0 +1,187 @@
+#include "serve/sharded.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "serve/service.hpp"
+
+namespace pimsched::serve {
+namespace {
+
+ReferenceTrace makeTrace(int n, int steps) {
+  ReferenceTrace trace(DataSpace::singleSquare(n));
+  const int numData = n * n;
+  for (int s = 0; s < steps; ++s) {
+    for (int d = 0; d < numData; ++d) {
+      trace.add(s, (d + s) % 16, d, 1 + (d + s) % 3);
+    }
+  }
+  trace.finalize();
+  return trace;
+}
+
+JobRequest makeRequest(int n = 4, int steps = 6) {
+  JobRequest request;
+  request.trace = makeTrace(n, steps);
+  request.config.numWindows = 3;
+  request.method = Method::kGomcds;
+  return request;
+}
+
+TEST(ShardRing, RoutingIsDeterministicAndInRange) {
+  const ShardRing ring(4);
+  const ShardRing again(4);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const Digest d{i * 0x9e3779b97f4a7c15ull, ~i};
+    const unsigned shard = ring.shardFor(d);
+    EXPECT_LT(shard, 4u);
+    EXPECT_EQ(again.shardFor(d), shard);  // same ring, same placement
+  }
+}
+
+TEST(ShardRing, VirtualNodesSpreadKeysAcrossAllShards) {
+  const ShardRing ring(4);
+  std::vector<int> perShard(4, 0);
+  for (std::uint64_t i = 0; i < 4096; ++i) {
+    const Digest d{i * 0x9e3779b97f4a7c15ull, i * 0xbf58476d1ce4e5b9ull};
+    ++perShard[ring.shardFor(d)];
+  }
+  for (int count : perShard) {
+    // A uniform split would be 1024 per shard; vnodes keep every shard
+    // within a loose factor of that (no empty and no dominant shard).
+    EXPECT_GT(count, 1024 / 4) << "starved shard";
+    EXPECT_LT(count, 1024 * 3) << "dominant shard";
+  }
+}
+
+TEST(ShardRing, SingleShardTakesEverything) {
+  const ShardRing ring(1);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(ring.shardFor(Digest{i, ~i}), 0u);
+  }
+}
+
+TEST(ShardedService, JobIdsRoundTripAcrossShards) {
+  ShardedService::Config config;
+  config.shards = 3;
+  ShardedService service(config);
+  // Distinct jobs land wherever the ring says; every returned global id
+  // must resolve back to the right job via status/result.
+  std::vector<JobId> ids;
+  std::set<JobId> unique;
+  for (int i = 0; i < 9; ++i) {
+    const SubmitOutcome out = service.submit(makeRequest(4, 4 + i));
+    ASSERT_TRUE(out.accepted) << out.reason;
+    ids.push_back(out.id);
+    unique.insert(out.id);
+  }
+  EXPECT_EQ(unique.size(), ids.size());  // globally unique ids
+  for (const JobId id : ids) {
+    ASSERT_NE(service.result(id), nullptr) << "id " << id;
+    const auto status = service.status(id);
+    ASSERT_TRUE(status.has_value());
+    EXPECT_EQ(status->state, JobState::kDone);
+  }
+  EXPECT_FALSE(service.status(999983).has_value());  // unknown id
+  EXPECT_FALSE(service.cancel(999983));
+}
+
+TEST(ShardedService, IdenticalJobsShareOneShardAndItsCache) {
+  ShardedService::Config config;
+  config.shards = 4;
+  ShardedService service(config);
+  const JobRequest request = makeRequest();
+  EXPECT_EQ(service.shardFor(request), service.shardFor(request));
+
+  const SubmitOutcome first = service.submit(request);
+  ASSERT_TRUE(first.accepted);
+  ASSERT_NE(service.result(first.id), nullptr);
+  const SubmitOutcome second = service.submit(request);
+  ASSERT_TRUE(second.accepted);
+  EXPECT_TRUE(second.cached);  // same shard, so the cache is effective
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.cacheHits, 1);
+  EXPECT_EQ(stats.cacheMisses, 1);
+}
+
+TEST(ShardedService, StatsAggregateAcrossShardsAndReportPoolSize) {
+  ShardedService::Config config;
+  config.shards = 4;
+  ShardedService service(config);
+  std::vector<JobId> ids;
+  for (int i = 0; i < 8; ++i) {
+    const SubmitOutcome out = service.submit(makeRequest(4, 4 + i));
+    ASSERT_TRUE(out.accepted);
+    ids.push_back(out.id);
+  }
+  for (const JobId id : ids) ASSERT_NE(service.result(id), nullptr);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.shards, 4u);
+  EXPECT_EQ(stats.accepted, 8);
+  EXPECT_EQ(stats.completed, 8);
+  EXPECT_EQ(stats.failed, 0);
+}
+
+TEST(ShardedService, CoalescingWorksThroughTheShardRouter) {
+  // Identical concurrent submits reach the same shard by construction, so
+  // sharding must not break in-flight coalescing.
+  ShardedService::Config config;
+  config.shards = 4;
+  ShardedService service(config);
+
+  constexpr int kThreads = 6;
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<Cost> totals(kThreads, -1);
+  std::vector<std::thread> storm;
+  storm.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    storm.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      const SubmitOutcome out = service.submit(makeRequest());
+      ASSERT_TRUE(out.accepted);
+      const auto result = service.result(out.id);
+      ASSERT_NE(result, nullptr);
+      totals[static_cast<std::size_t>(t)] = result->eval.aggregate.total();
+    });
+  }
+  while (ready.load() < kThreads) std::this_thread::yield();
+  go.store(true, std::memory_order_release);
+  for (std::thread& s : storm) s.join();
+
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(totals[t], totals[0]);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed, kThreads);
+  // One leader ran; everyone else coalesced or hit the cache.
+  EXPECT_EQ(stats.cacheMisses - stats.coalesced, 1);
+  EXPECT_EQ(1 + stats.coalesced + stats.cacheHits, kThreads);
+}
+
+TEST(ShardedService, DrainFinishesEveryShardThenRejects) {
+  ShardedService::Config config;
+  config.shards = 3;
+  ShardedService service(config);
+  std::vector<JobId> ids;
+  for (int i = 0; i < 6; ++i) {
+    const SubmitOutcome out = service.submit(makeRequest(4, 4 + i));
+    ASSERT_TRUE(out.accepted);
+    ids.push_back(out.id);
+  }
+  service.drain();
+  for (const JobId id : ids) {
+    EXPECT_EQ(service.status(id)->state, JobState::kDone) << "id " << id;
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.queueDepth, 0u);
+  EXPECT_EQ(stats.running, 0u);
+  const SubmitOutcome late = service.submit(makeRequest());
+  EXPECT_FALSE(late.accepted);
+  service.drain();  // idempotent
+}
+
+}  // namespace
+}  // namespace pimsched::serve
