@@ -28,8 +28,10 @@
 #include "core/pipeline.hpp"
 #include "cost/cost_cache.hpp"
 #include "graph/layered_dag.hpp"
+#include "graph/simd/simd_kernels.hpp"
 #include "kernels/benchmarks.hpp"
 #include "pim/memory.hpp"
+#include "util/aligned.hpp"
 
 namespace {
 
@@ -193,6 +195,7 @@ struct Point {
   std::int64_t capacity = 0;
   double callbackMs = 0;
   double flatMs = 0;
+  double flatScalarMs = 0;
   double flatDedupMs = 0;
   int dedupClasses = 0;
   bool match = false;
@@ -203,6 +206,104 @@ std::string fmt(double v) {
   os.precision(4);
   os << std::fixed << v;
   return os.str();
+}
+
+// --- kernel-level micro timings ----------------------------------------
+//
+// Times the solver's hot kernels in isolation — the chamfer min-plus sweep,
+// the full per-datum layered solve, and the elementwise relax/combine rows
+// — under the forced-scalar tier and the dispatched tier, on the same
+// 64-byte-aligned tables the solver uses. This is where the per-kernel
+// SIMD speedup is visible without scheduling bookkeeping on top.
+
+struct MicroRow {
+  int side = 0;
+  std::string kernel;
+  double scalarUs = 0;
+  double simdUs = 0;
+  [[nodiscard]] double speedup() const {
+    return simdUs > 0 ? scalarUs / simdUs : 0.0;
+  }
+};
+
+/// Median-of-repeat per-call microseconds of `fn` run `iters` times.
+double microUs(const std::function<void()>& fn, int iters, int repeat) {
+  benchtool::RepeatOptions rep;
+  rep.repeat = repeat;
+  rep.warmup = 1;
+  const double ms = benchtool::medianRunMs(
+      [&] {
+        for (int i = 0; i < iters; ++i) fn();
+      },
+      rep);
+  return ms * 1000.0 / iters;
+}
+
+std::vector<MicroRow> kernelMicro(int side, int repeat) {
+  const Grid grid(side, side);
+  const std::size_t n = static_cast<std::size_t>(grid.size());
+  const int layers = 8;
+  std::uint64_t state = 12345 + static_cast<std::uint64_t>(side);
+  const auto rnd = [&state]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  CostBuffer table(n * static_cast<std::size_t>(layers));
+  for (Cost& c : table) {
+    c = rnd() % 6 == 0 ? kInfiniteCost : static_cast<Cost>(rnd() % 40);
+  }
+  CostBuffer row(n);
+  CostBuffer acc(n);
+  CostBuffer out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    row[i] = static_cast<Cost>(rnd() % 1000);
+    acc[i] = static_cast<Cost>(rnd() % 1000);
+  }
+  const Cost beta = 2;
+  const int iters = side >= 64 ? 200 : 500;
+
+  LayeredDagScratch scratch;
+  LayeredPath path;
+  const std::span<const Cost> tableSpan(table.data(), table.size());
+
+  struct Probe {
+    const char* name;
+    std::function<void()> fn;
+  };
+  const std::vector<Probe> probes = {
+      {"chamfer_minplus",
+       [&] {
+         manhattanMinPlusInto(grid, std::span<const Cost>(acc.data(), n),
+                              beta, std::span<Cost>(out.data(), n));
+       }},
+      {"layered_solve",
+       [&] {
+         LayeredDagSolver::solveManhattanFlatInto(grid, layers, tableSpan,
+                                                  beta, scratch, path);
+       }},
+      {"min_plus_row",
+       [&] {
+         simd::active().minPlusRow(row.data(), beta, acc.data(), n);
+       }},
+      {"combine_layer",
+       [&] {
+         simd::active().combineLayer(row.data(), acc.data(), out.data(), n);
+       }},
+  };
+
+  std::vector<MicroRow> rows;
+  const simd::Tier dispatched = simd::activeTier();
+  for (const Probe& probe : probes) {
+    MicroRow r;
+    r.side = side;
+    r.kernel = probe.name;
+    simd::forceTier(simd::Tier::kScalar);
+    r.scalarUs = microUs(probe.fn, iters, repeat);
+    simd::forceTier(dispatched);
+    r.simdUs = microUs(probe.fn, iters, repeat);
+    rows.push_back(r);
+  }
+  return rows;
 }
 
 }  // namespace
@@ -253,14 +354,22 @@ int main(int argc, char** argv) {
     pt.capacity = exp.capacity();
     pt.dedupClasses = countDedupClasses(exp.refs());
 
-    // Correctness first: all three variants must agree bit-for-bit.
+    // Correctness first: all variants must agree bit-for-bit — including
+    // the flat solver with the SIMD dispatch forced to scalar, which pins
+    // down cross-tier schedule identity at full-pipeline granularity.
+    const simd::Tier dispatched = simd::activeTier();
     const DataSchedule base =
         scheduleCallback(exp.refs(), exp.costModel(), flatOpts);
     const DataSchedule flat =
         scheduleGomcds(exp.refs(), exp.costModel(), noDedupOpts);
     const DataSchedule dedup =
         scheduleGomcds(exp.refs(), exp.costModel(), flatOpts);
-    pt.match = sameSchedule(base, flat) && sameSchedule(base, dedup);
+    simd::forceTier(simd::Tier::kScalar);
+    const DataSchedule flatScalar =
+        scheduleGomcds(exp.refs(), exp.costModel(), noDedupOpts);
+    simd::forceTier(dispatched);
+    pt.match = sameSchedule(base, flat) && sameSchedule(base, dedup) &&
+               sameSchedule(base, flatScalar);
     allMatch = allMatch && pt.match;
 
     pt.callbackMs = benchtool::medianRunMs(
@@ -269,6 +378,11 @@ int main(int argc, char** argv) {
     pt.flatMs = benchtool::medianRunMs(
         [&] { (void)scheduleGomcds(exp.refs(), exp.costModel(), noDedupOpts); },
         rep);
+    simd::forceTier(simd::Tier::kScalar);
+    pt.flatScalarMs = benchtool::medianRunMs(
+        [&] { (void)scheduleGomcds(exp.refs(), exp.costModel(), noDedupOpts); },
+        rep);
+    simd::forceTier(dispatched);
     pt.flatDedupMs = benchtool::medianRunMs(
         [&] { (void)scheduleGomcds(exp.refs(), exp.costModel(), flatOpts); },
         rep);
@@ -277,9 +391,25 @@ int main(int argc, char** argv) {
     std::cout << "grid " << side << "x" << side << " (n=" << n << ", data="
               << pt.data << ", classes=" << pt.dedupClasses << "): callback "
               << fmt(pt.callbackMs) << " ms, flat " << fmt(pt.flatMs)
-              << " ms, flat+dedup " << fmt(pt.flatDedupMs) << " ms ("
+              << " ms (scalar " << fmt(pt.flatScalarMs) << " ms, simd "
+              << fmt(pt.flatMs > 0 ? pt.flatScalarMs / pt.flatMs : 0)
+              << "x), flat+dedup " << fmt(pt.flatDedupMs) << " ms ("
               << fmt(pt.flatDedupMs > 0 ? pt.callbackMs / pt.flatDedupMs : 0)
               << "x), schedules " << (pt.match ? "match" : "DIVERGE") << "\n";
+  }
+
+  // Kernel-level scalar-vs-SIMD micro timings at the large grid sizes
+  // (the smoke sweep stops earlier, so probe its largest side instead).
+  const std::vector<int> microSides =
+      smoke ? std::vector<int>{16} : std::vector<int>{32, 64};
+  std::vector<MicroRow> micro;
+  for (const int side : microSides) {
+    for (const MicroRow& r : kernelMicro(side, rep.repeat)) {
+      micro.push_back(r);
+      std::cout << "kernel " << r.kernel << " @" << r.side << "x" << r.side
+                << ": scalar " << fmt(r.scalarUs) << " us, simd "
+                << fmt(r.simdUs) << " us (" << fmt(r.speedup()) << "x)\n";
+    }
   }
 
   std::filesystem::create_directories(
@@ -296,6 +426,8 @@ int main(int argc, char** argv) {
      << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
      << "  \"repeat\": " << rep.repeat << ",\n"
      << "  \"warmup\": " << rep.warmup << ",\n"
+     << "  \"simd_tier\": \"" << simd::tierName(simd::activeTier())
+     << "\",\n"
      << "  \"sweep\": [\n";
   for (std::size_t i = 0; i < points.size(); ++i) {
     const Point& p = points[i];
@@ -303,15 +435,28 @@ int main(int argc, char** argv) {
        << p.n << ", \"data\": " << p.data << ", \"windows\": " << p.windows
        << ", \"capacity\": " << p.capacity << ", \"callback_ms\": "
        << fmt(p.callbackMs) << ", \"flat_ms\": " << fmt(p.flatMs)
+       << ", \"flat_scalar_ms\": " << fmt(p.flatScalarMs)
        << ", \"flat_dedup_ms\": " << fmt(p.flatDedupMs)
        << ", \"speedup_flat\": "
        << fmt(p.flatMs > 0 ? p.callbackMs / p.flatMs : 0)
+       << ", \"speedup_simd_vs_scalar\": "
+       << fmt(p.flatMs > 0 ? p.flatScalarMs / p.flatMs : 0)
        << ", \"speedup_flat_dedup\": "
        << fmt(p.flatDedupMs > 0 ? p.callbackMs / p.flatDedupMs : 0)
        << ", \"dedup_classes\": " << p.dedupClasses << ", \"dedup_data\": "
        << (static_cast<std::int64_t>(p.data) - p.dedupClasses)
        << ", \"schedules_match\": " << (p.match ? "true" : "false") << "}"
        << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n"
+     << "  \"kernel_micro\": [\n";
+  for (std::size_t i = 0; i < micro.size(); ++i) {
+    const MicroRow& r = micro[i];
+    os << "    {\"grid\": \"" << r.side << "x" << r.side
+       << "\", \"kernel\": \"" << r.kernel << "\", \"scalar_us\": "
+       << fmt(r.scalarUs) << ", \"simd_us\": " << fmt(r.simdUs)
+       << ", \"speedup\": " << fmt(r.speedup()) << "}"
+       << (i + 1 < micro.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
   std::cout << "wrote " << outPath << "\n";

@@ -209,8 +209,11 @@ int main(int argc, char** argv) {
 
   const double base = sweep.front().totalMs();
   double speedupAt4 = 0.0;
+  double bestSpeedup = 0.0;
   for (const SweepPoint& p : sweep) {
-    if (p.threads == 4 && p.totalMs() > 0) speedupAt4 = base / p.totalMs();
+    if (p.totalMs() <= 0) continue;
+    if (p.threads == 4) speedupAt4 = base / p.totalMs();
+    bestSpeedup = std::max(bestSpeedup, base / p.totalMs());
   }
 
   // Cache reuse per kernel family (sequential runs; rates are identical in
@@ -275,7 +278,24 @@ int main(int argc, char** argv) {
        << fmt(r.hitRate()) << "}" << (i + 1 < cacheRows.size() ? "," : "")
        << "\n";
   }
-  os << "  ]\n}\n";
+  os << "  ],\n"
+     << "  \"best_speedup\": " << fmt(bestSpeedup) << "\n"
+     << "}\n";
   std::cout << "wrote " << outPath << "\n";
+
+  // Scaling regression gate: a multi-core host that cannot reach 1.5x at
+  // ANY swept thread count means the parallel engine re-serialized (lock
+  // convoy, false sharing, barrier) — fail the run so CI goes red instead
+  // of archiving a quietly flat sweep. Single-core hosts stay warn-only:
+  // there is no parallelism to measure (results carry degraded: true).
+  constexpr double kMinBestSpeedup = 1.5;
+  const bool sweptMultiThread =
+      threadCounts.size() > 1 || threadCounts.front() > 1;
+  if (!degraded && sweptMultiThread && bestSpeedup < kMinBestSpeedup) {
+    std::cerr << "error: best parallel speedup " << fmt(bestSpeedup)
+              << "x is below the " << fmt(kMinBestSpeedup)
+              << "x floor on a " << hw << "-thread host\n";
+    return 1;
+  }
   return 0;
 }

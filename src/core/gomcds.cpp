@@ -13,8 +13,10 @@
 #include "cost/cost_cache.hpp"
 #include "fault/fault_map.hpp"
 #include "graph/layered_dag.hpp"
+#include "graph/simd/simd_kernels.hpp"
 #include "obs/obs.hpp"
 #include "pim/memory.hpp"
+#include "util/aligned.hpp"
 #include "util/thread_pool.hpp"
 
 namespace pimsched {
@@ -52,10 +54,9 @@ namespace {
 /// after the first datum on a thread the steady-state loop performs zero
 /// heap allocations per datum.
 struct GomcdsScratch {
-  LayeredDagScratch dag;    ///< dp + relaxed layers of the flat solver
-  LayeredPath path;         ///< reused per-datum solution
-  std::vector<Cost> serve;  ///< flat W x P node-cost table fed to the solver
-  std::vector<Cost> row;    ///< one serving-cost row from the cost cache
+  LayeredDagScratch dag;  ///< dp + relaxed layers of the flat solver
+  LayeredPath path;       ///< reused per-datum solution
+  CostBuffer serve;       ///< flat W x P node-cost table fed to the solver
 };
 
 /// True when the forbidden (window, processor) set cannot change while data
@@ -164,10 +165,10 @@ class ClassServeTables {
   std::span<const Cost> table(int cls, GomcdsScratch& scratch) {
     if (classes_->size[static_cast<std::size_t>(cls)] > 1) {
       std::vector<Cost>& t = tables_[static_cast<std::size_t>(cls)];
-      if (t.empty()) buildInto(cls, scratch.row, t);
+      if (t.empty()) buildInto(cls, t);
       return t;
     }
-    buildInto(cls, scratch.row, scratch.serve);
+    buildInto(cls, scratch.serve);
     return scratch.serve;
   }
 
@@ -181,21 +182,23 @@ class ClassServeTables {
     parallelFor(static_cast<std::int64_t>(shared.size()), threads,
                 [&](std::int64_t k) {
                   const int cls = shared[static_cast<std::size_t>(k)];
-                  buildInto(cls, workerScratch<GomcdsScratch>().row,
-                            tables_[static_cast<std::size_t>(cls)]);
+                  buildInto(cls, tables_[static_cast<std::size_t>(cls)]);
                 });
   }
 
  private:
-  void buildInto(int cls, std::vector<Cost>& row, std::vector<Cost>& out) {
+  /// Fills the flat W x P table, each window row written in place by the
+  /// cost cache (span overload) — no per-row staging copy.
+  template <typename Buffer>
+  void buildInto(int cls, Buffer& out) {
     const DataId d = classes_->rep[static_cast<std::size_t>(cls)];
     const int W = refs_->numWindows();
     const std::size_t p = static_cast<std::size_t>(refs_->numProcs());
     out.resize(static_cast<std::size_t>(W) * p);
     for (WindowId w = 0; w < W; ++w) {
-      cache_.costsInto(refs_->refs(d, w), row);
-      std::copy(row.begin(), row.end(),
-                out.begin() + static_cast<std::size_t>(w) * p);
+      cache_.costsInto(
+          refs_->refs(d, w),
+          std::span<Cost>(out.data() + static_cast<std::size_t>(w) * p, p));
     }
   }
 
@@ -206,16 +209,14 @@ class ClassServeTables {
 };
 
 /// Applies the forbidden mask to a class serve table: out = full ? inf :
-/// serve, elementwise over the flat W x P layout. Branch-free select.
+/// serve, elementwise over the flat W x P layout, through the dispatched
+/// SIMD mask kernel.
 void maskServe(std::span<const Cost> serve, const std::vector<char>& full,
-               std::vector<Cost>& out) {
+               CostBuffer& out) {
   out.resize(serve.size());
-  const Cost* s = serve.data();
-  const char* f = full.data();
-  Cost* o = out.data();
-  for (std::size_t i = 0; i < serve.size(); ++i) {
-    o[i] = f[i] ? kInfiniteCost : s[i];
-  }
+  std::copy(serve.begin(), serve.end(), out.begin());
+  simd::active().maskInf(reinterpret_cast<const unsigned char*>(full.data()),
+                         out.data(), out.size());
 }
 
 }  // namespace
@@ -298,10 +299,9 @@ DataSchedule scheduleGomcds(const WindowedRefs& refs, const CostModel& model,
       const std::span<const Cost> serve = tables.table(cls, scratch);
       if (serve.data() == scratch.serve.data()) {
         // Singleton table already lives in scratch — mask it in place.
-        Cost* s = scratch.serve.data();
-        for (std::size_t i = 0; i < full.size(); ++i) {
-          s[i] = full[i] ? kInfiniteCost : s[i];
-        }
+        simd::active().maskInf(
+            reinterpret_cast<const unsigned char*>(full.data()),
+            scratch.serve.data(), full.size());
       } else {
         maskServe(serve, full, scratch.serve);
       }
@@ -366,7 +366,9 @@ DataSchedule scheduleGomcdsParallel(const WindowedRefs& refs,
       LayeredDagSolver::solveFlatInto(W, P, nodeCosts, trans, scratch.dag,
                                       out);
     }
-    PIMSCHED_COUNTER_ADD("gomcds.flat.solves", 1);
+    // gomcds.flat.solves is accounted in bulk per fan-out below — a
+    // per-solve add here would have every worker hammering one counter
+    // cache line.
   };
 
   if (staticMask) {
@@ -381,6 +383,8 @@ DataSchedule scheduleGomcdsParallel(const WindowedRefs& refs,
                   solveInto(tables.table(static_cast<int>(k), scratch),
                             scratch, classPaths[static_cast<std::size_t>(k)]);
                 });
+    PIMSCHED_COUNTER_ADD("gomcds.flat.solves",
+                         static_cast<std::int64_t>(classes.rep.size()));
     for (std::size_t i = 0; i < n; ++i) {
       const DataId d = order[i];
       const LayeredPath& path =
@@ -450,16 +454,20 @@ DataSchedule scheduleGomcdsParallel(const WindowedRefs& refs,
           GomcdsScratch& scratch = workerScratch<GomcdsScratch>();
           const std::span<const Cost> serve = tables.table(cls, scratch);
           if (serve.data() == scratch.serve.data()) {
-            Cost* s = scratch.serve.data();
-            for (std::size_t j = 0; j < full.size(); ++j) {
-              s[j] = full[j] ? kInfiniteCost : s[j];
-            }
+            simd::active().maskInf(
+                reinterpret_cast<const unsigned char*>(full.data()),
+                scratch.serve.data(), full.size());
           } else {
             maskServe(serve, full, scratch.serve);
           }
           solveInto(scratch.serve, scratch, plans[i]);
-          planned[i] = 1;
         });
+    // Marking plans current happens after the barrier: workers writing
+    // adjacent planned[] bytes from different cores would false-share the
+    // line for no benefit — every datum in toSolve was solved regardless.
+    for (const std::size_t i : toSolve) planned[i] = 1;
+    PIMSCHED_COUNTER_ADD("gomcds.flat.solves",
+                         static_cast<std::int64_t>(toSolve.size()));
 
     // Commit phase: sequential, in visit order — the deterministic
     // tie-break that makes the result thread-count independent and equal

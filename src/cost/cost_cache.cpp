@@ -26,26 +26,56 @@ CenterCostCache::CenterCostCache(const CostModel& model,
                                  std::uint64_t hashMask)
     : model_(&model), hashMask_(hashMask) {}
 
-bool CenterCostCache::costsInto(std::span<const ProcWeight> refs,
-                                std::vector<Cost>& out) {
+const CenterCostCache::Entry& CenterCostCache::lookupOrInsert(
+    std::span<const ProcWeight> refs, bool& hit) {
   const std::uint64_t hash = referenceStringHash(refs) & hashMask_;
   Shard& shard = shards_[hash % kShards];
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  std::vector<Entry>& bucket = shard.buckets[hash];
-  for (const Entry& entry : bucket) {
-    if (entry.key.size() == refs.size() &&
-        std::equal(entry.key.begin(), entry.key.end(), refs.begin())) {
-      out = entry.costs;
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      PIMSCHED_COUNTER_ADD("cost.center_cache.hit", 1);
-      return true;
+  const Entry* found = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    std::vector<std::unique_ptr<Entry>>& bucket = shard.buckets[hash];
+    for (const std::unique_ptr<Entry>& entry : bucket) {
+      if (entry->key.size() == refs.size() &&
+          std::equal(entry->key.begin(), entry->key.end(), refs.begin())) {
+        found = entry.get();
+        break;
+      }
+    }
+    if (found == nullptr) {
+      // Computing under the shard lock deduplicates concurrent misses of
+      // the same string (the second worker waits, then hits).
+      auto fresh = std::make_unique<Entry>();
+      fresh->key.assign(refs.begin(), refs.end());
+      separableCenterCostsInto(*model_, refs, fresh->costs);
+      found = fresh.get();
+      bucket.push_back(std::move(fresh));
+      hit = false;
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      PIMSCHED_COUNTER_ADD("cost.center_cache.miss", 1);
+      return *found;
     }
   }
-  separableCenterCostsInto(*model_, refs, out);
-  bucket.push_back(Entry{{refs.begin(), refs.end()}, out});
-  misses_.fetch_add(1, std::memory_order_relaxed);
-  PIMSCHED_COUNTER_ADD("cost.center_cache.miss", 1);
-  return false;
+  hit = true;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  PIMSCHED_COUNTER_ADD("cost.center_cache.hit", 1);
+  return *found;
+}
+
+bool CenterCostCache::costsInto(std::span<const ProcWeight> refs,
+                                std::vector<Cost>& out) {
+  bool hit = false;
+  const Entry& entry = lookupOrInsert(refs, hit);
+  // Published entries never move or change, so the copy-out needs no lock.
+  out.assign(entry.costs.begin(), entry.costs.end());
+  return hit;
+}
+
+bool CenterCostCache::costsInto(std::span<const ProcWeight> refs,
+                                std::span<Cost> out) {
+  bool hit = false;
+  const Entry& entry = lookupOrInsert(refs, hit);
+  std::copy(entry.costs.begin(), entry.costs.end(), out.begin());
+  return hit;
 }
 
 std::size_t CenterCostCache::size() const {

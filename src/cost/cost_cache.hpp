@@ -3,6 +3,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <unordered_map>
@@ -28,7 +29,11 @@ namespace pimsched {
 /// lookup compares the strings — two distinct strings landing on the same
 /// hash both get correct tables. The cache is sharded 16 ways by hash;
 /// a miss computes while holding only its shard, which also deduplicates
-/// concurrent misses of the same string.
+/// concurrent misses of the same string. Entries are heap-stable and
+/// immutable once published, so the hit path copies the table out AFTER
+/// dropping the shard lock — concurrent hits on one shard no longer
+/// serialize on the memcpy. Shards are cache-line aligned so two shards'
+/// mutexes never share a line.
 ///
 /// Counters: `cost.center_cache.hit` / `cost.center_cache.miss` (global
 /// obs registry) plus per-instance hits()/misses() for the bench reports.
@@ -45,6 +50,11 @@ class CenterCostCache {
   /// computed (and was inserted).
   bool costsInto(std::span<const ProcWeight> refs, std::vector<Cost>& out);
 
+  /// Same, writing into caller-owned memory of exactly the grid size —
+  /// lets serve-table builders fill their rows in place with no staging
+  /// copy. out.size() must equal the grid's processor count.
+  bool costsInto(std::span<const ProcWeight> refs, std::span<Cost> out);
+
   [[nodiscard]] std::int64_t hits() const {
     return hits_.load(std::memory_order_relaxed);
   }
@@ -60,12 +70,20 @@ class CenterCostCache {
     std::vector<ProcWeight> key;
     std::vector<Cost> costs;
   };
-  struct Shard {
+  struct alignas(64) Shard {
     std::mutex mutex;
-    /// hash -> entries whose (masked) hash equals it; usually one.
-    std::unordered_map<std::uint64_t, std::vector<Entry>> buckets;
+    /// hash -> entries whose (masked) hash equals it; usually one. Held by
+    /// pointer so a published Entry never moves — lookups may read it
+    /// after releasing the shard lock.
+    std::unordered_map<std::uint64_t, std::vector<std::unique_ptr<Entry>>>
+        buckets;
   };
   static constexpr std::size_t kShards = 16;
+
+  /// Finds or computes-and-inserts the entry for `refs`; sets `hit` and
+  /// bumps the counters. The returned entry is immutable and outlives the
+  /// call (stable heap storage), so callers copy from it lock-free.
+  const Entry& lookupOrInsert(std::span<const ProcWeight> refs, bool& hit);
 
   const CostModel* model_;
   std::uint64_t hashMask_;

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "graph/simd/simd_kernels.hpp"
 #include "obs/obs.hpp"
 
 namespace pimsched {
@@ -51,38 +52,35 @@ void reconstructFlat(int numLayers, int numNodes, const Cost* dp,
   }
 }
 
-/// Combines one relaxed layer with that layer's own node costs, mirroring
-/// satAdd(relaxed, own) element-wise. `relaxed` entries may sit above
-/// kInfiniteCost (branch-free sweeps defer clamping); `own` follows the cost
-/// contract. Branch-free so it vectorizes.
-void combineLayer(const Cost* relaxed, const Cost* own, Cost* out,
-                  std::size_t n) {
-  for (std::size_t p = 0; p < n; ++p) {
-    const Cost a = relaxed[p] < kInfiniteCost ? relaxed[p] : kInfiniteCost;
-    const Cost b = own[p];
-    const Cost sum = a + (b < kInfiniteCost ? b : 0);
-    out[p] = (a >= kInfiniteCost || b >= kInfiniteCost) ? kInfiniteCost : sum;
-  }
-}
-
 /// The saturating per-step chamfer sweeps, kept as the fallback when beta is
 /// so large that the branch-free variant's deferred clamp could overflow.
+///
+/// Split per row like the branch-free variant: relax from the finished
+/// neighbouring row (vectorized satAddMinRow), then the serial in-row scan.
+/// Equivalent to the interleaved per-cell formulation: with F the
+/// interleaved forward value and G this one, both satisfy the identical
+/// recurrence min(v, F(r-1,c) saturating-plus beta, F(r,c-1) saturating-plus
+/// beta) by induction over (r, c), so every cell matches bit-for-bit. The
+/// in-row scans stay scalar on purpose — a log-step scan would collapse
+/// chains of satAdd into k*beta jumps, which differs once values approach
+/// kInfiniteCost.
 void minPlusSaturating(const Grid& grid, Cost beta, Cost* h) {
+  const auto& k = simd::active();
   const int R = grid.rows();
   const int C = grid.cols();
-  const auto at = [&](int r, int c) -> Cost& {
-    return h[static_cast<std::size_t>(grid.id(r, c))];
-  };
+  const std::size_t cs = static_cast<std::size_t>(C);
   for (int r = 0; r < R; ++r) {
-    for (int c = 0; c < C; ++c) {
-      if (c > 0) at(r, c) = std::min(at(r, c), satAdd(at(r, c - 1), beta));
-      if (r > 0) at(r, c) = std::min(at(r, c), satAdd(at(r - 1, c), beta));
+    Cost* row = h + static_cast<std::size_t>(r) * cs;
+    if (r > 0) k.satAddMinRow(row - cs, beta, row, cs);
+    for (int c = 1; c < C; ++c) {
+      row[c] = std::min(row[c], satAdd(row[c - 1], beta));
     }
   }
   for (int r = R - 1; r >= 0; --r) {
-    for (int c = C - 1; c >= 0; --c) {
-      if (c + 1 < C) at(r, c) = std::min(at(r, c), satAdd(at(r, c + 1), beta));
-      if (r + 1 < R) at(r, c) = std::min(at(r, c), satAdd(at(r + 1, c), beta));
+    Cost* row = h + static_cast<std::size_t>(r) * cs;
+    if (r + 1 < R) k.satAddMinRow(row + cs, beta, row, cs);
+    for (int c = C - 2; c >= 0; --c) {
+      row[c] = std::min(row[c], satAdd(row[c + 1], beta));
     }
   }
 }
@@ -110,43 +108,35 @@ void manhattanMinPlusInto(const Grid& grid, std::span<const Cost> in,
     return;
   }
 
-  // Forward: values flow right and down. Each row first relaxes from the
-  // (finished) row above — a vectorizable elementwise pass — then runs the
-  // serial left-to-right scan. Identical candidates, hence identical finite
-  // values, as the interleaved per-cell formulation.
-  for (int r = 0; r < R; ++r) {
-    Cost* row = h + static_cast<std::size_t>(r) * static_cast<std::size_t>(C);
-    if (r > 0) {
-      const Cost* up = row - C;
-      for (int c = 0; c < C; ++c) {
-        const Cost cand = up[c] + beta;
-        row[c] = cand < row[c] ? cand : row[c];
-      }
-    }
-    for (int c = 1; c < C; ++c) {
-      const Cost cand = row[c - 1] + beta;
-      row[c] = cand < row[c] ? cand : row[c];
-    }
+  // The L1 transform is separable — a vertical relax stage plus in-row
+  // scans — and runs strip by strip (4 rows at a time) so a strip is still
+  // cache-resident across both stages; the vector tiers additionally fuse
+  // the two stages into a single pass over the strip. Seeding a strip from
+  // the fully-swept row above (instead of the vertical-only value) only
+  // re-adds candidates v(r',c') + beta*(dr+dc) the row's own scan
+  // contributes anyway — every schedule here computes the min of the
+  // classic interleaved sweep's per-cell candidate set with exact sums,
+  // hence bit-identical values.
+  const auto& k = simd::active();
+  const std::size_t cs = static_cast<std::size_t>(C);
+  constexpr int kStrip = 4;
+  for (int rs = 0; rs < R; rs += kStrip) {
+    const int rn = std::min(kStrip, R - rs);
+    Cost* strip = h + static_cast<std::size_t>(rs) * cs;
+    k.chamferForwardStrip(strip, rs > 0 ? strip - cs : nullptr,
+                          static_cast<std::size_t>(rn), cs, beta, cs);
   }
-  // Backward: values flow left and up, mirrored.
-  for (int r = R - 1; r >= 0; --r) {
-    Cost* row = h + static_cast<std::size_t>(r) * static_cast<std::size_t>(C);
-    if (r + 1 < R) {
-      const Cost* down = row + C;
-      for (int c = 0; c < C; ++c) {
-        const Cost cand = down[c] + beta;
-        row[c] = cand < row[c] ? cand : row[c];
-      }
-    }
-    for (int c = C - 2; c >= 0; --c) {
-      const Cost cand = row[c + 1] + beta;
-      row[c] = cand < row[c] ? cand : row[c];
-    }
+  // Backward: values flow left and up, mirrored, strips bottom-up.
+  for (int rs = ((R - 1) / kStrip) * kStrip; rs >= 0; rs -= kStrip) {
+    const int rn = std::min(kStrip, R - rs);
+    Cost* strip = h + static_cast<std::size_t>(rs) * cs;
+    k.chamferBackwardStrip(
+        strip,
+        rs + rn < R ? strip + static_cast<std::size_t>(rn) * cs : nullptr,
+        static_cast<std::size_t>(rn), cs, beta, cs);
   }
   // Deferred clamp: anything at or above kInfiniteCost is unreachable.
-  for (std::size_t p = 0; p < n; ++p) {
-    h[p] = h[p] < kInfiniteCost ? h[p] : kInfiniteCost;
-  }
+  k.clampInf(h, n);
 }
 
 std::vector<Cost> manhattanMinPlus(const Grid& grid,
@@ -176,10 +166,14 @@ void LayeredDagSolver::solveFlatInto(int numLayers, int numNodes,
     throw std::invalid_argument(
         "LayeredDagSolver: transition table size mismatch");
   }
-  PIMSCHED_SCOPED_TIMER("solver.layered_dag");
+  // Counters only here — the per-solve scoped timer lives in the
+  // std::function wrappers. The flat kernels are called per datum from the
+  // parallel scheduler, where the timer's clock reads and shared atomic
+  // read-modify-writes measurably serialized the plan phase.
   PIMSCHED_COUNTER_ADD("solver.runs", 1);
   PIMSCHED_COUNTER_ADD("solver.relaxed_layers", numLayers - 1);
 
+  const auto& k = simd::active();
   scratch.dp.resize(ln);
   scratch.relaxed.resize(n);
   Cost* dp = scratch.dp.data();
@@ -191,20 +185,16 @@ void LayeredDagSolver::solveFlatInto(int numLayers, int numNodes,
   for (int w = 1; w < numLayers; ++w) {
     const Cost* prev = dp + static_cast<std::size_t>(w - 1) * n;
     // Min-plus against the full table. Sources run in the outer loop so the
-    // inner pass reads one contiguous table row and vectorizes; unreachable
-    // sums drift above kInfiniteCost and are clamped in combineLayer.
+    // inner pass reads one contiguous table row; unreachable sums drift
+    // above kInfiniteCost and are clamped in combineLayer.
     std::fill(relaxed, relaxed + n, kInfiniteCost);
     for (std::size_t q = 0; q < n; ++q) {
       const Cost dq = prev[q];
       if (dq >= kInfiniteCost) continue;
-      const Cost* row = trans + q * n;
-      for (std::size_t p = 0; p < n; ++p) {
-        const Cost cand = dq + row[p];
-        relaxed[p] = cand < relaxed[p] ? cand : relaxed[p];
-      }
+      k.minPlusRow(trans + q * n, dq, relaxed, n);
     }
-    combineLayer(relaxed, nc + static_cast<std::size_t>(w) * n,
-                 dp + static_cast<std::size_t>(w) * n, n);
+    k.combineLayer(relaxed, nc + static_cast<std::size_t>(w) * n,
+                   dp + static_cast<std::size_t>(w) * n, n);
   }
   // Table scan: trans entries follow the cost contract (finite values keep
   // partial sums below kInfiniteCost), so `prev + t` cannot overflow once
@@ -249,10 +239,12 @@ void LayeredDagSolver::solveManhattanFlatInto(const Grid& grid, int numLayers,
   if (nodeCosts.size() != ln) {
     throw std::invalid_argument("LayeredDagSolver: node-cost table size mismatch");
   }
-  PIMSCHED_SCOPED_TIMER("solver.layered_dag");
+  // Counters only; see solveFlatInto for why the scoped timer moved to the
+  // std::function wrappers.
   PIMSCHED_COUNTER_ADD("solver.runs", 1);
   PIMSCHED_COUNTER_ADD("solver.relaxed_layers", numLayers - 1);
 
+  const auto& k = simd::active();
   scratch.dp.resize(ln);
   scratch.relaxed.resize(n);
   Cost* dp = scratch.dp.data();
@@ -264,8 +256,8 @@ void LayeredDagSolver::solveManhattanFlatInto(const Grid& grid, int numLayers,
     const Cost* prev = dp + static_cast<std::size_t>(w - 1) * n;
     manhattanMinPlusInto(grid, std::span<const Cost>(prev, n), beta,
                          std::span<Cost>(relaxed, n));
-    combineLayer(relaxed, nc + static_cast<std::size_t>(w) * n,
-                 dp + static_cast<std::size_t>(w) * n, n);
+    k.combineLayer(relaxed, nc + static_cast<std::size_t>(w) * n,
+                   dp + static_cast<std::size_t>(w) * n, n);
   }
   // Chamfer scan, division-free: the layer's node splits into (row, col)
   // once, then every candidate's transition is two |delta| multiplies — no
@@ -278,26 +270,34 @@ void LayeredDagSolver::solveManhattanFlatInto(const Grid& grid, int numLayers,
   const int C = grid.cols();
   const Cost steps = 2 * static_cast<Cost>(R + C) + 2;
   if (beta == 0 || beta <= (INT64_MAX - kInfiniteCost) / steps) {
+    // Per candidate row, the whole-row transition part rowT is constant and
+    // the in-row part colT[qc] = beta * |qc - cc| depends only on cc, so it
+    // is staged once per reconstruction step (into `relaxed`, idle by now)
+    // and the scan becomes one findPredecessor per row with the rowT folded
+    // into the probe: pr[qc] + colT == need - rowT and colT < kInf - rowT
+    // are exact rearrangements of the original conditions (rowT and colT
+    // are each below INT64_MAX - kInfiniteCost here, so nothing wraps).
+    Cost* colT = relaxed;
     reconstructFlat(
         numLayers, numNodes, dp, nc,
         [&](const Cost* prevRow, int cur, Cost target, Cost own) -> int {
           const Cost need = target - own;
           const int cr = cur / C;
           const int cc = cur % C;
+          for (int qc = 0; qc < C; ++qc) {
+            colT[qc] = beta * static_cast<Cost>(qc > cc ? qc - cc : cc - qc);
+          }
           for (int qr = 0; qr < R; ++qr) {
             const Cost rowT =
                 beta * static_cast<Cost>(qr > cr ? qr - cr : cr - qr);
+            if (rowT >= kInfiniteCost) continue;
             const Cost* pr =
                 prevRow + static_cast<std::size_t>(qr) *
                               static_cast<std::size_t>(C);
-            for (int qc = 0; qc < C; ++qc) {
-              const Cost t =
-                  rowT + beta * static_cast<Cost>(qc > cc ? qc - cc : cc - qc);
-              if (pr[qc] < kInfiniteCost && t < kInfiniteCost &&
-                  pr[qc] + t == need) {
-                return qr * C + qc;
-              }
-            }
+            const std::ptrdiff_t qc =
+                k.findPredecessor(pr, colT, need - rowT, kInfiniteCost - rowT,
+                                  static_cast<std::size_t>(C));
+            if (qc >= 0) return qr * C + static_cast<int>(qc);
           }
           return -1;
         },
@@ -336,6 +336,7 @@ LayeredPath LayeredDagSolver::solve(int numLayers, int numNodes,
   if (numLayers < 1 || numNodes < 1) {
     throw std::invalid_argument("LayeredDagSolver: empty problem");
   }
+  PIMSCHED_SCOPED_TIMER("solver.layered_dag");
   const std::size_t n = static_cast<std::size_t>(numNodes);
   LayeredDagScratch scratch;
   scratch.nodeCosts.resize(static_cast<std::size_t>(numLayers) * n);
@@ -365,6 +366,7 @@ LayeredPath LayeredDagSolver::solveManhattan(const Grid& grid, int numLayers,
   if (numLayers < 1) {
     throw std::invalid_argument("LayeredDagSolver: empty problem");
   }
+  PIMSCHED_SCOPED_TIMER("solver.layered_dag");
   const std::size_t n = static_cast<std::size_t>(numNodes);
   LayeredDagScratch scratch;
   scratch.nodeCosts.resize(static_cast<std::size_t>(numLayers) * n);

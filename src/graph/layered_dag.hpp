@@ -6,6 +6,7 @@
 
 #include "pim/grid.hpp"
 #include "pim/types.hpp"
+#include "util/aligned.hpp"
 
 namespace pimsched {
 
@@ -27,12 +28,13 @@ struct LayeredPath {
 /// the dp table and one relaxed layer, plus staging room the std::function
 /// wrappers use to materialize their callbacks. Hand one instance per thread
 /// (see workerScratch in util/thread_pool.hpp) and steady-state solves make
-/// zero heap allocations.
+/// zero heap allocations. Buffers are CostBuffer (64-byte aligned, see
+/// util/aligned.hpp) so the SIMD sweeps start on cache-line boundaries.
 struct LayeredDagScratch {
-  std::vector<Cost> dp;         ///< numLayers x numNodes dp table
-  std::vector<Cost> relaxed;    ///< one min-plus-relaxed layer
-  std::vector<Cost> nodeCosts;  ///< staging for wrapper-materialized node costs
-  std::vector<Cost> trans;      ///< staging for wrapper-materialized transitions
+  CostBuffer dp;         ///< numLayers x numNodes dp table
+  CostBuffer relaxed;    ///< one min-plus-relaxed layer
+  CostBuffer nodeCosts;  ///< staging for wrapper-materialized node costs
+  CostBuffer trans;      ///< staging for wrapper-materialized transitions
 };
 
 /// Shortest path through a DAG of `numLayers` layers with `numNodes` nodes
@@ -110,8 +112,9 @@ class LayeredDagSolver {
 /// In-place variant: writes the transform of `in` into `out` (both of
 /// grid.size()). `out` may alias `in` exactly or not at all — partial
 /// overlap is undefined. The two sweeps are branch-free (raw adds with one
-/// final clamp to kInfiniteCost) so they auto-vectorize; inputs must follow
-/// the solver cost contract above.
+/// final clamp to kInfiniteCost) and run through the dispatched SIMD
+/// kernels (graph/simd/simd_kernels.hpp) — bit-identical across tiers;
+/// inputs must follow the solver cost contract above.
 void manhattanMinPlusInto(const Grid& grid, std::span<const Cost> in,
                           Cost beta, std::span<Cost> out);
 

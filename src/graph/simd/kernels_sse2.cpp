@@ -1,0 +1,220 @@
+#include "graph/simd/kernels_impl.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <emmintrin.h>
+
+#include <cstring>
+
+/// 128-bit tier built on the x86-64 SSE2 baseline only — 64-bit signed
+/// compare does not exist until SSE4.2, so it is emulated from 32-bit
+/// compares. All arithmetic is exact 64-bit adds over the same candidates
+/// as the scalar tier, so outputs are bit-identical. The in-row prefix /
+/// suffix scans stay scalar here: with two lanes the log-step scan saves
+/// nothing over the sequential recurrence.
+namespace pimsched::simd::detail {
+
+namespace {
+
+/// Signed 64-bit a > b per lane, SSE2 only: high halves compare signed;
+/// on high-half equality the low halves compare unsigned (bias by 2^31).
+inline __m128i cmpgt64(__m128i a, __m128i b) {
+  const __m128i bias = _mm_set1_epi32(INT32_MIN);
+  const __m128i hiGt = _mm_cmpgt_epi32(a, b);
+  const __m128i hiEq = _mm_cmpeq_epi32(a, b);
+  const __m128i loGt =
+      _mm_cmpgt_epi32(_mm_xor_si128(a, bias), _mm_xor_si128(b, bias));
+  // Lift each 64-bit lane's low-half verdict into its high-half slot, then
+  // combine and broadcast the high-half slots across the whole lane.
+  const __m128i gt = _mm_or_si128(
+      hiGt, _mm_and_si128(hiEq, _mm_shuffle_epi32(loGt, _MM_SHUFFLE(2, 2, 0, 0))));
+  return _mm_shuffle_epi32(gt, _MM_SHUFFLE(3, 3, 1, 1));
+}
+
+/// 64-bit equality per lane from two 32-bit equalities.
+inline __m128i cmpeq64(__m128i a, __m128i b) {
+  const __m128i eq = _mm_cmpeq_epi32(a, b);
+  return _mm_and_si128(eq, _mm_shuffle_epi32(eq, _MM_SHUFFLE(2, 3, 0, 1)));
+}
+
+/// min(a, b) per signed 64-bit lane: pick b where a > b.
+inline __m128i min64(__m128i a, __m128i b) {
+  const __m128i m = cmpgt64(a, b);
+  return _mm_or_si128(_mm_and_si128(m, b), _mm_andnot_si128(m, a));
+}
+
+/// select(mask, a, b): a where mask lanes are all-ones, else b.
+inline __m128i select(__m128i mask, __m128i a, __m128i b) {
+  return _mm_or_si128(_mm_and_si128(mask, a), _mm_andnot_si128(mask, b));
+}
+
+inline __m128i infVec() { return _mm_set1_epi64x(kInfiniteCost); }
+
+void minPlusRowSse2(const Cost* row, Cost add, Cost* acc, std::size_t n) {
+  const __m128i vAdd = _mm_set1_epi64x(add);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i r =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(row + i));
+    const __m128i a =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(acc + i));
+    const __m128i cand = _mm_add_epi64(r, vAdd);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(acc + i), min64(a, cand));
+  }
+  for (; i < n; ++i) {
+    const Cost cand = add + row[i];
+    acc[i] = cand < acc[i] ? cand : acc[i];
+  }
+}
+
+void addMinRowSse2(const Cost* src, Cost beta, Cost* dst, std::size_t n) {
+  const __m128i vBeta = _mm_set1_epi64x(beta);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i s =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i d =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i cand = _mm_add_epi64(s, vBeta);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), min64(d, cand));
+  }
+  for (; i < n; ++i) {
+    const Cost cand = src[i] + beta;
+    dst[i] = cand < dst[i] ? cand : dst[i];
+  }
+}
+
+void satAddMinRowSse2(const Cost* src, Cost beta, Cost* dst, std::size_t n) {
+  if (beta >= kInfiniteCost) {
+    // satAdd saturates every candidate to kInf; dst <= kInf by
+    // precondition, so the pass is the identity.
+    return;
+  }
+  const __m128i vBeta = _mm_set1_epi64x(beta);
+  const __m128i vInf = infVec();
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i s =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i d =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    // src <= kInf, so src + beta < 2*kInf never wraps; lanes with
+    // src == kInf are replaced by kInf.
+    const __m128i fin = cmpgt64(vInf, s);
+    const __m128i cand = select(fin, _mm_add_epi64(s, vBeta), vInf);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), min64(d, cand));
+  }
+  for (; i < n; ++i) {
+    const Cost cand = src[i] >= kInfiniteCost ? kInfiniteCost : src[i] + beta;
+    dst[i] = cand < dst[i] ? cand : dst[i];
+  }
+}
+
+void combineLayerSse2(const Cost* relaxed, const Cost* own, Cost* out,
+                      std::size_t n) {
+  const __m128i vInf = infVec();
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i r =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(relaxed + i));
+    const __m128i o =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(own + i));
+    const __m128i bothFin =
+        _mm_and_si128(cmpgt64(vInf, r), cmpgt64(vInf, o));
+    // Sum only meaningful where both operands are finite; elsewhere the
+    // (possibly wrapped) lanes are discarded by the select.
+    const __m128i sum = _mm_add_epi64(r, o);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     select(bothFin, sum, vInf));
+  }
+  for (; i < n; ++i) {
+    const Cost a = relaxed[i] < kInfiniteCost ? relaxed[i] : kInfiniteCost;
+    const Cost b = own[i];
+    const Cost sum = a + (b < kInfiniteCost ? b : 0);
+    out[i] = (a >= kInfiniteCost || b >= kInfiniteCost) ? kInfiniteCost : sum;
+  }
+}
+
+void clampInfSse2(Cost* v, std::size_t n) {
+  const __m128i vInf = infVec();
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i x =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(v + i), min64(x, vInf));
+  }
+  for (; i < n; ++i) v[i] = v[i] < kInfiniteCost ? v[i] : kInfiniteCost;
+}
+
+void maskInfSse2(const unsigned char* forbidden, Cost* v, std::size_t n) {
+  const __m128i vInf = infVec();
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    // Widen two mask bytes into the two 64-bit lanes.
+    const __m128i fb = _mm_set_epi64x(forbidden[i + 1], forbidden[i]);
+    const __m128i allowed = cmpeq64(fb, _mm_setzero_si128());
+    const __m128i x =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(v + i),
+                     select(allowed, x, vInf));
+  }
+  for (; i < n; ++i) v[i] = forbidden[i] ? kInfiniteCost : v[i];
+}
+
+std::ptrdiff_t findPredecessorSse2(const Cost* prev, const Cost* trans,
+                                   Cost need, Cost tMax, std::size_t n) {
+  const __m128i vInf = infVec();
+  const __m128i vMax = _mm_set1_epi64x(tMax);
+  const __m128i vNeed = _mm_set1_epi64x(need);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i p =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(prev + i));
+    const __m128i t =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(trans + i));
+    const __m128i hitLanes = _mm_and_si128(
+        _mm_and_si128(cmpgt64(vInf, p), cmpgt64(vMax, t)),
+        cmpeq64(_mm_add_epi64(p, t), vNeed));
+    const int mask = _mm_movemask_pd(_mm_castsi128_pd(hitLanes));
+    if (mask != 0) {
+      return static_cast<std::ptrdiff_t>(i) +
+             (mask & 1 ? 0 : 1);
+    }
+  }
+  for (; i < n; ++i) {
+    if (prev[i] < kInfiniteCost && trans[i] < tMax &&
+        prev[i] + trans[i] == need) {
+      return static_cast<std::ptrdiff_t>(i);
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+const Kernels* sse2Kernels() {
+  // The chamfer strips come from the scalar tier: with two lanes and an
+  // emulated 64-bit min, a transposed column scan loses to the plain
+  // four-chain interleave.
+  static const Kernels k = [] {
+    Kernels t{
+        minPlusRowSse2, addMinRowSse2, satAddMinRowSse2,
+        nullptr,        nullptr,       combineLayerSse2,
+        clampInfSse2,   maskInfSse2,   findPredecessorSse2,
+    };
+    t.chamferForwardStrip = scalarKernels().chamferForwardStrip;
+    t.chamferBackwardStrip = scalarKernels().chamferBackwardStrip;
+    return t;
+  }();
+  return &k;
+}
+
+}  // namespace pimsched::simd::detail
+
+#else  // non-x86
+
+namespace pimsched::simd::detail {
+const Kernels* sse2Kernels() { return nullptr; }
+}  // namespace pimsched::simd::detail
+
+#endif

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+#include "pim/types.hpp"
+
+namespace pimsched {
+
+/// Minimal over-aligning allocator: storage from operator new(align_val_t),
+/// so buffers start on an `Align`-byte boundary. Used for the solver cost
+/// tables so SIMD sweeps get cache-line-aligned unit-stride rows. Stateless,
+/// hence all instances compare equal.
+template <class T, std::size_t Align>
+struct AlignedAllocator {
+  static_assert(Align >= alignof(T), "Align must not under-align T");
+  static_assert((Align & (Align - 1)) == 0, "Align must be a power of two");
+
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Align}));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t{Align});
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+/// The alignment contract of the flat solver kernels (docs/performance.md):
+/// cost tables are allocated on 64-byte boundaries so vector loads of the
+/// leading lanes never split cache lines. Correctness never depends on it —
+/// every SIMD kernel uses unaligned loads, so arbitrary row offsets (odd
+/// grid widths, interior table rows) are handled identically.
+inline constexpr std::size_t kCostAlign = 64;
+
+/// A grow-only cost buffer whose storage is 64-byte aligned.
+using CostBuffer = std::vector<Cost, AlignedAllocator<Cost, kCostAlign>>;
+
+}  // namespace pimsched

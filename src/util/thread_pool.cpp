@@ -15,6 +15,18 @@ thread_local const ThreadPool* tlsWorkerOf = nullptr;
 }  // namespace
 
 ThreadPool::ThreadPool(unsigned workers) {
+#ifndef PIMSCHED_NO_OBS
+  // Workers bump pool.* counters on their idle paths, which also run while
+  // the destructor drains them during static teardown (the global pool is
+  // itself a function-local static). Resolving a counter here forces BOTH
+  // registry statics — Registry::instance() AND the lazily-built Impl that
+  // owns the metric storage — to finish construction before this
+  // constructor completes, so static teardown destroys them only after the
+  // workers are joined. Touching instance() alone is not enough: Impl is a
+  // separate function-local static, first built by counter()/timer().
+  obs::Registry::instance().counter("pool.contention.steal_fails");
+  obs::Registry::instance().counter("pool.contention.sleeps");
+#endif
   if (workers == 0) {
     const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
     workers = std::max(1u, hw - 1);
@@ -85,6 +97,9 @@ bool ThreadPool::tryPop(unsigned self, std::function<void()>& task) {
       return true;
     }
   }
+  // A full sweep over every sibling queue found nothing — the worker
+  // burned a lock acquisition per queue for no task.
+  PIMSCHED_COUNTER_ADD("pool.contention.steal_fails", 1);
   return false;
 }
 
@@ -100,6 +115,7 @@ void ThreadPool::workerLoop(unsigned self) {
     std::unique_lock<std::mutex> lock(sleepMutex_);
     if (stop_.load(std::memory_order_seq_cst)) break;
     if (pending_.load(std::memory_order_seq_cst) > 0) continue;
+    PIMSCHED_COUNTER_ADD("pool.contention.sleeps", 1);
     sleepCv_.wait(lock);
   }
   // Drain anything still queued so a submitted task is never dropped.
@@ -123,7 +139,9 @@ void parallelFor(std::int64_t n, unsigned threads,
   // next chunk of iterations, which is the work-stealing that balances
   // uneven per-item cost.
   struct Shared {
-    std::atomic<std::int64_t> next{0};
+    // The chunk dispenser is the one word every executor contends on;
+    // keep it off the line holding the cold failure/join state.
+    alignas(64) std::atomic<std::int64_t> next{0};
     std::atomic<bool> failed{false};
     std::exception_ptr error;
     std::mutex errorMutex;

@@ -48,7 +48,10 @@ class ThreadPool {
   [[nodiscard]] bool insidePool() const;
 
  private:
-  struct Queue {
+  /// Cache-line aligned so one worker hammering its queue mutex never
+  /// invalidates a sibling's line (queues are separate heap allocations,
+  /// but the allocator gives no spacing guarantee).
+  struct alignas(64) Queue {
     std::mutex mutex;
     std::deque<std::function<void()>> tasks;
   };
@@ -58,10 +61,13 @@ class ThreadPool {
 
   std::vector<std::unique_ptr<Queue>> queues_;
   std::vector<std::thread> threads_;
-  std::atomic<std::int64_t> pending_{0};
-  std::atomic<unsigned> nextQueue_{0};
-  std::atomic<bool> stop_{false};
-  std::mutex sleepMutex_;
+  // The hot cross-thread atomics each get a private cache line: pending_
+  // is written by every submit/pop, nextQueue_ only by submitters, stop_
+  // almost never — sharing a line would couple their traffic.
+  alignas(64) std::atomic<std::int64_t> pending_{0};
+  alignas(64) std::atomic<unsigned> nextQueue_{0};
+  alignas(64) std::atomic<bool> stop_{false};
+  alignas(64) std::mutex sleepMutex_;
   std::condition_variable sleepCv_;
 };
 

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <tuple>
 
+#include "graph/simd/simd_kernels.hpp"
 #include "test_util.hpp"
 
 namespace pimsched {
@@ -358,6 +359,130 @@ TEST(FlatSolver, IntoVariantsReuseBuffersAndSupportAliasing) {
   LayeredDagSolver::solveManhattanFlatInto(g, 6, nodeTable, 1, scratch, path);
   EXPECT_EQ(path.total, once.total);
   EXPECT_EQ(path.nodes, once.nodes);
+}
+
+// Restores the dispatched SIMD tier on scope exit so cross-tier tests
+// cannot leak a forced tier into later tests in this binary.
+class TierGuard {
+ public:
+  TierGuard() : saved_(simd::activeTier()) {}
+  ~TierGuard() { simd::forceTier(saved_); }
+  TierGuard(const TierGuard&) = delete;
+  TierGuard& operator=(const TierGuard&) = delete;
+
+ private:
+  simd::Tier saved_;
+};
+
+std::vector<simd::Tier> supportedTiers() {
+  std::vector<simd::Tier> out = {simd::Tier::kScalar};
+  for (const simd::Tier t : {simd::Tier::kSse2, simd::Tier::kAvx2}) {
+    if (simd::tierSupported(t)) out.push_back(t);
+  }
+  return out;
+}
+
+// The odd-shaped grids the SIMD tails must handle: degenerate single
+// row/column strips, a non-multiple-of-4 rectangle, and a 33x33 whose rows
+// are one past the AVX2 block width.
+const std::vector<std::pair<int, int>> kOddGrids = {
+    {1, 9}, {9, 1}, {5, 7}, {33, 33}};
+
+// Property: every supported SIMD tier produces bit-identical solver output
+// — totals, node sequences, tie-breaks — on odd grid shapes whose column
+// counts exercise the vector tails. The scalar tier is the oracle.
+TEST(SimdTierIdentity, ManhattanSolveBitIdenticalAcrossTiersOnOddGrids) {
+  const TierGuard guard;
+  testutil::Rng rng(505);
+  for (const auto& [rows, cols] : kOddGrids) {
+    const Grid g(rows, cols);
+    const int layers = 4;
+    const std::vector<Cost> nodeTable =
+        randomNodeTable(rng, layers, g.size());
+    for (const Cost beta : {Cost{0}, Cost{1}, Cost{3}}) {
+      simd::forceTier(simd::Tier::kScalar);
+      const LayeredPath expect =
+          LayeredDagSolver::solveManhattanFlat(g, layers, nodeTable, beta);
+      for (const simd::Tier t : supportedTiers()) {
+        simd::forceTier(t);
+        const LayeredPath got =
+            LayeredDagSolver::solveManhattanFlat(g, layers, nodeTable, beta);
+        ASSERT_EQ(got.total, expect.total)
+            << rows << "x" << cols << " beta " << beta << " tier "
+            << simd::tierName(t);
+        ASSERT_EQ(got.nodes, expect.nodes)
+            << rows << "x" << cols << " beta " << beta << " tier "
+            << simd::tierName(t);
+      }
+    }
+  }
+}
+
+// Same property through the generic flat solver with asymmetric faulted
+// transition tables — trans(q,p) != trans(p,q), forbidden edges mixed in —
+// the regime fault-aware scheduling feeds the solver.
+TEST(SimdTierIdentity, AsymmetricFaultedTablesBitIdenticalAcrossTiers) {
+  const TierGuard guard;
+  testutil::Rng rng(606);
+  for (const auto& [rows, cols] : kOddGrids) {
+    const Grid g(rows, cols);
+    const int nodes = g.size();
+    // 33x33 has 1089 nodes; a dense asymmetric table is ~1.2M entries,
+    // which the generic kernel sweeps fine but one trial suffices there.
+    const int trials = nodes > 256 ? 1 : 4;
+    for (int trial = 0; trial < trials; ++trial) {
+      const int layers = static_cast<int>(rng.range(2, 5));
+      const std::vector<Cost> nodeTable =
+          randomNodeTable(rng, layers, nodes);
+      std::vector<Cost> trans(static_cast<std::size_t>(nodes) *
+                              static_cast<std::size_t>(nodes));
+      for (Cost& c : trans) {
+        c = rng.below(7) == 0 ? kInfiniteCost : rng.range(0, 25);
+      }
+      simd::forceTier(simd::Tier::kScalar);
+      const LayeredPath expect =
+          LayeredDagSolver::solveFlat(layers, nodes, nodeTable, trans);
+      for (const simd::Tier t : supportedTiers()) {
+        simd::forceTier(t);
+        const LayeredPath got =
+            LayeredDagSolver::solveFlat(layers, nodes, nodeTable, trans);
+        ASSERT_EQ(got.total, expect.total)
+            << rows << "x" << cols << " trial " << trial << " tier "
+            << simd::tierName(t);
+        ASSERT_EQ(got.nodes, expect.nodes)
+            << rows << "x" << cols << " trial " << trial << " tier "
+            << simd::tierName(t);
+      }
+    }
+  }
+}
+
+// The saturating huge-beta fallback must also be tier-invariant: beta past
+// the branch-free overflow guard routes the sweep through satAddMinRow and
+// the saturating reconstruction on every tier.
+TEST(SimdTierIdentity, HugeBetaSaturatingPathBitIdenticalAcrossTiers) {
+  const TierGuard guard;
+  testutil::Rng rng(707);
+  for (const auto& [rows, cols] : kOddGrids) {
+    const Grid g(rows, cols);
+    const Cost steps = 2 * static_cast<Cost>(rows + cols) + 2;
+    const Cost beta = (INT64_MAX - kInfiniteCost) / steps + 1;
+    const int layers = 3;
+    const std::vector<Cost> nodeTable =
+        randomNodeTable(rng, layers, g.size());
+    simd::forceTier(simd::Tier::kScalar);
+    const LayeredPath expect =
+        LayeredDagSolver::solveManhattanFlat(g, layers, nodeTable, beta);
+    for (const simd::Tier t : supportedTiers()) {
+      simd::forceTier(t);
+      const LayeredPath got =
+          LayeredDagSolver::solveManhattanFlat(g, layers, nodeTable, beta);
+      ASSERT_EQ(got.total, expect.total)
+          << rows << "x" << cols << " tier " << simd::tierName(t);
+      ASSERT_EQ(got.nodes, expect.nodes)
+          << rows << "x" << cols << " tier " << simd::tierName(t);
+    }
+  }
 }
 
 }  // namespace
