@@ -8,6 +8,7 @@
 //
 //   serve_load (--socket PATH | --tcp HOST:PORT) [--clients N]
 //              [--requests N] [--smoke] [--out FILE] [--no-storm]
+//              [--tenants N] [--arrays N] [--starve-ms MS]
 //
 // Closed loop: every client waits for its reply before sending the next
 // request, so offered load adapts to what the daemon sustains (the
@@ -16,6 +17,16 @@
 // identical. Exit code 0 only when every request got an ok reply, the
 // run sustained nonzero throughput and (unless --no-storm) the storm
 // coalesced to exactly one pipeline run.
+//
+// Against a fleet daemon (pimsched_served --fleet, see docs/fleet.md):
+// --tenants N tags client c's submissions as tenant "t<c mod N>" so the
+// daemon's fair-share admission arbitrates between them, and the JSON
+// gains per-tenant p50/p95/p99 latency plus per-array utilization read
+// from the stats verb's "fleet" extras. --arrays N asserts the daemon
+// serves exactly N arrays. --starve-ms MS fails the run when any
+// request's latency exceeded MS (a starvation bound). The coalescing
+// storm is skipped automatically when --tenants/--arrays is given — the
+// fleet path trades coalescing for multi-array placement.
 
 #include <arpa/inet.h>
 #include <netdb.h>
@@ -259,6 +270,9 @@ int main(int argc, char** argv) {
   bool storm = true;
   int clients = 0;
   int requestsPerClient = 0;
+  int tenants = 0;
+  int expectArrays = 0;
+  double starveMs = 0;
   std::string outPath = "results/bench_serve.json";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -277,6 +291,12 @@ int main(int argc, char** argv) {
       clients = std::stoi(argv[++i]);
     } else if (arg == "--requests" && i + 1 < argc) {
       requestsPerClient = std::stoi(argv[++i]);
+    } else if (arg == "--tenants" && i + 1 < argc) {
+      tenants = std::stoi(argv[++i]);
+    } else if (arg == "--arrays" && i + 1 < argc) {
+      expectArrays = std::stoi(argv[++i]);
+    } else if (arg == "--starve-ms" && i + 1 < argc) {
+      starveMs = std::stod(argv[++i]);
     } else if (arg == "--out" && i + 1 < argc) {
       outPath = argv[++i];
     } else if (arg == "--smoke") {
@@ -286,10 +306,14 @@ int main(int argc, char** argv) {
     } else {
       std::cerr << "usage: serve_load (--socket PATH | --tcp HOST:PORT) "
                    "[--clients N] [--requests N] [--smoke] [--out FILE] "
-                   "[--no-storm]\n";
+                   "[--no-storm] [--tenants N] [--arrays N] "
+                   "[--starve-ms MS]\n";
       return 2;
     }
   }
+  // The fleet path has no cross-submission coalescing (placement spans
+  // arrays instead), so the storm's exactly-one-run gate does not apply.
+  if (tenants > 0 || expectArrays > 0) storm = false;
   if (endpoint.socketPath.empty() && endpoint.tcpPort < 0) {
     std::cerr << "error: need --socket PATH or --tcp HOST:PORT (a live "
                  "pimsched_served daemon)\n";
@@ -301,6 +325,22 @@ int main(int argc, char** argv) {
   try {
     // ---- Phase 1: mixed closed-loop traffic. -------------------------
     const std::vector<MixJob> mix = buildMix(smoke);
+    // Per-tenant variants of the mix: client c submits as tenant
+    // "t<c mod tenants>" so a fleet daemon's fair-share admission has
+    // competing queues to arbitrate.
+    std::vector<std::vector<std::string>> tenantLines;
+    for (int t = 0; t < tenants; ++t) {
+      std::string tenantName = "t";
+      tenantName += std::to_string(t);
+      std::vector<std::string> lines;
+      lines.reserve(mix.size());
+      for (const MixJob& job : mix) {
+        Json request = Json::parse(job.line);
+        request.set("tenant", tenantName);
+        lines.push_back(request.dump());
+      }
+      tenantLines.push_back(std::move(lines));
+    }
     std::vector<std::vector<double>> latencies(
         static_cast<std::size_t>(clients));
     std::vector<std::string> clientErrors(
@@ -318,10 +358,15 @@ int main(int argc, char** argv) {
           for (int r = 0; r < requestsPerClient; ++r) {
             // Deterministic mixed pick, de-phased across clients so the
             // daemon sees interleaved distinct and repeated jobs.
-            const MixJob& job =
-                mix[static_cast<std::size_t>(c * 7 + r * 3) % mix.size()];
+            const std::size_t pick =
+                static_cast<std::size_t>(c * 7 + r * 3) % mix.size();
+            const MixJob& job = mix[pick];
+            const std::string& line =
+                tenants > 0
+                    ? tenantLines[static_cast<std::size_t>(c % tenants)][pick]
+                    : job.line;
             const Clock::time_point t0 = Clock::now();
-            const Json reply = conn.request(job.line);
+            const Json reply = conn.request(line);
             const double ms =
                 std::chrono::duration<double, std::milli>(Clock::now() -
                                                           t0)
@@ -373,6 +418,85 @@ int main(int argc, char** argv) {
               << fmt(throughput) << " jobs/s, p50 " << fmt(p50)
               << " ms, p95 " << fmt(p95) << " ms, p99 " << fmt(p99)
               << " ms, cache hits " << cacheHits.load() << "\n";
+
+    // ---- Fleet extras: per-tenant latency, per-array utilization. ----
+    struct TenantRow {
+      std::string name;
+      std::size_t requests = 0;
+      double p50 = 0, p95 = 0, p99 = 0, max = 0;
+    };
+    struct ArrayRow {
+      std::string name;
+      std::int64_t dispatched = 0;
+      double share = 0;
+    };
+    std::vector<TenantRow> tenantRows;
+    std::vector<ArrayRow> arrayRows;
+    double slowestMs = all.empty() ? 0.0 : all.back();
+    if (tenants > 0) {
+      for (int t = 0; t < tenants; ++t) {
+        std::vector<double> mine;
+        for (int c = t; c < clients; c += tenants) {
+          const auto& perClient = latencies[static_cast<std::size_t>(c)];
+          mine.insert(mine.end(), perClient.begin(), perClient.end());
+        }
+        std::sort(mine.begin(), mine.end());
+        TenantRow row;
+        row.name = "t" + std::to_string(t);
+        row.requests = mine.size();
+        row.p50 = percentile(mine, 0.50);
+        row.p95 = percentile(mine, 0.95);
+        row.p99 = percentile(mine, 0.99);
+        row.max = mine.empty() ? 0.0 : mine.back();
+        std::cout << "tenant " << row.name << ": " << row.requests
+                  << " requests, p50 " << fmt(row.p50) << " ms, p95 "
+                  << fmt(row.p95) << " ms, p99 " << fmt(row.p99)
+                  << " ms\n";
+        tenantRows.push_back(std::move(row));
+      }
+    }
+    if (tenants > 0 || expectArrays > 0) {
+      Connection statsConn(endpoint);
+      const Json statsReply = statsConn.request(R"({"verb":"stats"})");
+      const Json* fleet = statsReply.find("fleet");
+      const Json* fleetArrays =
+          fleet != nullptr ? fleet->find("arrays") : nullptr;
+      if (fleetArrays == nullptr || !fleetArrays->isArray()) {
+        std::cerr << "error: daemon reports no fleet stats (start it with "
+                     "--fleet)\n";
+        return 1;
+      }
+      std::int64_t dispatchedTotal = 0;
+      for (const Json& row : fleetArrays->asArray()) {
+        ArrayRow out;
+        const Json* name = row.find("name");
+        const Json* dispatched = row.find("dispatched");
+        if (name != nullptr) out.name = name->asString();
+        if (dispatched != nullptr) out.dispatched = dispatched->asInt64();
+        dispatchedTotal += out.dispatched;
+        arrayRows.push_back(std::move(out));
+      }
+      for (ArrayRow& row : arrayRows) {
+        row.share = dispatchedTotal > 0
+                        ? static_cast<double>(row.dispatched) /
+                              static_cast<double>(dispatchedTotal)
+                        : 0.0;
+        std::cout << "array " << row.name << ": " << row.dispatched
+                  << " dispatched (" << fmt(row.share * 100) << "%)\n";
+      }
+      if (expectArrays > 0 &&
+          arrayRows.size() != static_cast<std::size_t>(expectArrays)) {
+        std::cerr << "error: expected " << expectArrays
+                  << " arrays, daemon reports " << arrayRows.size() << "\n";
+        return 1;
+      }
+    }
+    if (starveMs > 0 && slowestMs > starveMs) {
+      std::cerr << "error: slowest request took " << fmt(slowestMs)
+                << " ms, past the starvation bound " << fmt(starveMs)
+                << " ms\n";
+      return 1;
+    }
 
     // ---- Phase 2: identical-job storm (coalescing proof). ------------
     // Every client concurrently submits the SAME job, one the daemon has
@@ -488,6 +612,29 @@ int main(int argc, char** argv) {
         << ", \"max\": " << fmt(all.empty() ? 0.0 : all.back())
         << "},\n"
         << "  \"cache_hits\": " << cacheHits.load() << ",\n";
+    if (!tenantRows.empty()) {
+      out << "  \"tenants\": [\n";
+      for (std::size_t t = 0; t < tenantRows.size(); ++t) {
+        const TenantRow& row = tenantRows[t];
+        out << "    {\"name\": \"" << row.name << "\", \"requests\": "
+            << row.requests << ", \"latency_ms\": {\"p50\": "
+            << fmt(row.p50) << ", \"p95\": " << fmt(row.p95)
+            << ", \"p99\": " << fmt(row.p99) << ", \"max\": "
+            << fmt(row.max) << "}}"
+            << (t + 1 < tenantRows.size() ? "," : "") << "\n";
+      }
+      out << "  ],\n";
+    }
+    if (!arrayRows.empty()) {
+      out << "  \"array_utilization\": [\n";
+      for (std::size_t a = 0; a < arrayRows.size(); ++a) {
+        const ArrayRow& row = arrayRows[a];
+        out << "    {\"name\": \"" << row.name << "\", \"dispatched\": "
+            << row.dispatched << ", \"share\": " << fmt(row.share) << "}"
+            << (a + 1 < arrayRows.size() ? "," : "") << "\n";
+      }
+      out << "  ],\n";
+    }
     if (storm) {
       out << "  \"storm\": {\"clients\": " << clients
           << ", \"pipeline_runs\": " << stormRuns << ", \"coalesced\": "

@@ -21,6 +21,23 @@
 //     --max-frame BYTES   per-request frame size bound (default 4 MiB)
 //     --no-trace-files    reject trace_file submissions (inline only)
 //
+// Fleet mode (mutually exclusive with --shards) serves a set of PIM
+// arrays with tenant-aware fair admission — see docs/fleet.md:
+//     --fleet SPEC        fleet topology: ';'-separated
+//                         [NAME=]RxC[:FAULT[+FAULT...]] entries
+//     --fleet-policy P    array selector: cost | roundrobin | leastloaded
+//                         (default cost; PIMSCHED_FLEET_POLICY overrides)
+//     --tenant-weight T=W fair-share weight of tenant T (repeatable;
+//                         unlisted tenants get weight 1)
+//     --tenant-quota N    queued jobs allowed per tenant   (default 64)
+//     --aging-ms MS       one priority level gained per MS queued
+//                         (default 1000; 0 disables aging)
+//     --aging-limit N     aging boost cap in levels        (default 8)
+//     --drain-threshold N batch jobs start while the serve backlog is
+//                         <= N                             (default 0)
+// In fleet mode --queue bounds the fleet-wide queue and --concurrency is
+// per array.
+//
 // At least one of --socket / --tcp is required; both may be given, and
 // the two endpoints serve the same shard pool (a job submitted over TCP
 // is cache-hit and coalesce-visible to Unix-socket clients and vice
@@ -33,8 +50,10 @@
 #include <csignal>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 
+#include "fleet/fleet_service.hpp"
 #include "serve/server.hpp"
 #include "serve/sharded.hpp"
 
@@ -51,7 +70,10 @@ void printUsage(std::ostream& os) {
         "       [--shards N] [--io-threads N] [--queue N] "
         "[--concurrency N]\n"
         "       [--cache-entries N] [--no-cache] [--max-frame BYTES] "
-        "[--no-trace-files]\n";
+        "[--no-trace-files]\n"
+        "       [--fleet SPEC] [--fleet-policy cost|roundrobin|leastloaded]\n"
+        "       [--tenant-weight T=W]... [--tenant-quota N] [--aging-ms MS]\n"
+        "       [--aging-limit N] [--drain-threshold N]\n";
 }
 
 }  // namespace
@@ -60,6 +82,11 @@ int main(int argc, char** argv) {
   using namespace pimsched::serve;
 
   ShardedService::Config serviceConfig;
+  pimsched::fleet::FleetService::Config fleetConfig;
+  std::string fleetSpec;
+  bool shardsGiven = false;
+  bool queueGiven = false;
+  bool concurrencyGiven = false;
   SocketServer::Options serverOptions;
   std::string parseError;
 
@@ -90,18 +117,53 @@ int main(int argc, char** argv) {
       } else if (arg == "--shards") {
         serviceConfig.shards = static_cast<unsigned>(std::stoul(value()));
         if (serviceConfig.shards == 0) serviceConfig.shards = 1;
+        shardsGiven = true;
       } else if (arg == "--io-threads") {
         serverOptions.ioThreads =
             static_cast<unsigned>(std::stoul(value()));
       } else if (arg == "--queue") {
         serviceConfig.shard.maxQueueDepth = std::stoul(value());
+        queueGiven = true;
       } else if (arg == "--concurrency") {
         serviceConfig.shard.concurrency =
             static_cast<unsigned>(std::stoul(value()));
+        concurrencyGiven = true;
       } else if (arg == "--cache-entries") {
         serviceConfig.shard.maxCacheEntries = std::stoul(value());
+        fleetConfig.maxCacheEntries = serviceConfig.shard.maxCacheEntries;
       } else if (arg == "--no-cache") {
         serviceConfig.shard.cacheEnabled = false;
+        fleetConfig.cacheEnabled = false;
+      } else if (arg == "--fleet") {
+        fleetSpec = value();
+      } else if (arg == "--fleet-policy") {
+        const std::string name = value();
+        const auto policy = pimsched::fleet::fleetPolicyFromString(name);
+        if (policy.has_value()) {
+          fleetConfig.policy = *policy;
+        } else {
+          parseError = "unknown fleet policy '" + name + "'";
+        }
+      } else if (arg == "--tenant-weight") {
+        const std::string pair = value();
+        const std::size_t eq = pair.rfind('=');
+        double weight = 0;
+        if (eq != std::string::npos && eq > 0) {
+          weight = std::stod(pair.substr(eq + 1));
+        }
+        if (weight > 0) {
+          fleetConfig.tenantWeights[pair.substr(0, eq)] = weight;
+        } else {
+          parseError = "--tenant-weight expects NAME=W with W > 0";
+        }
+      } else if (arg == "--tenant-quota") {
+        fleetConfig.tenantQueueDepth = std::stoul(value());
+      } else if (arg == "--aging-ms") {
+        fleetConfig.agingMs = std::stoll(value());
+      } else if (arg == "--aging-limit") {
+        fleetConfig.agingLimit = std::stoi(value());
+      } else if (arg == "--drain-threshold") {
+        fleetConfig.drainThreshold = std::stoul(value());
       } else if (arg == "--max-frame") {
         serverOptions.protocol.maxFrameBytes = std::stoul(value());
       } else if (arg == "--no-trace-files") {
@@ -117,6 +179,9 @@ int main(int argc, char** argv) {
       serverOptions.tcpPort < 0) {
     parseError = "need at least one of --socket PATH / --tcp PORT";
   }
+  if (parseError.empty() && !fleetSpec.empty() && shardsGiven) {
+    parseError = "--fleet and --shards are mutually exclusive";
+  }
   if (!parseError.empty()) {
     std::cerr << "error: " << parseError << "\n\n";
     printUsage(std::cerr);
@@ -124,8 +189,23 @@ int main(int argc, char** argv) {
   }
 
   try {
-    ShardedService service(serviceConfig);
-    SocketServer server(service, serverOptions);
+    std::unique_ptr<JobService> service;
+    if (fleetSpec.empty()) {
+      service = std::make_unique<ShardedService>(serviceConfig);
+    } else {
+      fleetConfig.arrays = pimsched::fleet::parseFleetSpec(fleetSpec);
+      // --queue / --concurrency carry their sharded meanings over:
+      // fleet-wide queue bound, jobs in flight per array.
+      if (queueGiven) {
+        fleetConfig.maxQueueDepth = serviceConfig.shard.maxQueueDepth;
+      }
+      if (concurrencyGiven) {
+        fleetConfig.concurrencyPerArray = serviceConfig.shard.concurrency;
+      }
+      service = std::make_unique<pimsched::fleet::FleetService>(
+          std::move(fleetConfig));
+    }
+    SocketServer server(*service, serverOptions);
     server.start();
 
     gServer = &server;
@@ -141,14 +221,25 @@ int main(int argc, char** argv) {
                 << "tcp:" << serverOptions.tcpBindAddress << ":"
                 << server.tcpPort();
     }
-    std::cout << " (shards " << service.shards() << ", queue "
-              << serviceConfig.shard.maxQueueDepth << "/shard, concurrency "
-              << serviceConfig.shard.concurrency << "/shard, cache "
-              << (serviceConfig.shard.cacheEnabled
-                      ? std::to_string(serviceConfig.shard.maxCacheEntries) +
-                            " entries/shard"
-                      : std::string("off"))
-              << ")" << std::endl;
+    if (const auto* fleetService =
+            dynamic_cast<const pimsched::fleet::FleetService*>(
+                service.get())) {
+      std::cout << " (fleet of " << fleetService->fleet().size()
+                << " arrays, policy "
+                << pimsched::fleet::toString(fleetService->policy()) << ")"
+                << std::endl;
+    } else {
+      std::cout << " (shards " << service->stats().shards << ", queue "
+                << serviceConfig.shard.maxQueueDepth
+                << "/shard, concurrency "
+                << serviceConfig.shard.concurrency << "/shard, cache "
+                << (serviceConfig.shard.cacheEnabled
+                        ? std::to_string(
+                              serviceConfig.shard.maxCacheEntries) +
+                              " entries/shard"
+                        : std::string("off"))
+                << ")" << std::endl;
+    }
     const int rc = server.run();
     gServer = nullptr;
     std::cout << "pimsched_served drained, exiting" << std::endl;

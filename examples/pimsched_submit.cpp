@@ -8,7 +8,12 @@
 //     submit TRACE_FILE [--grid RxC] [--method NAME] [--windows N]
 //                       [--capacity N|paper|unlimited] [--threads N]
 //                       [--priority N] [--deadline-ms N] [--fault SPEC]...
+//                       [--tenant NAME] [--batch]
 //                       [--wait] [--schedule] [--inline]
+//         --tenant    submit as this tenant (fleet daemons apply weighted
+//                     fair shares and per-tenant quotas; see docs/fleet.md)
+//         --batch     mark as bulk work: a fleet daemon only starts it
+//                     while the latency-sensitive backlog is drained
 //         --fault     add one fault spec (proc:P, link:A-B, row:R, col:C,
 //                     region:R0,C0,R1,C1, cap:P=N, uniform-procs:N@SEED,
 //                     uniform-links:N@SEED); repeatable
@@ -64,8 +69,9 @@ void printUsage(std::ostream& os) {
         "  submit TRACE_FILE [--grid RxC] [--method NAME] [--windows N]\n"
         "         [--capacity N|paper|unlimited] [--threads N] "
         "[--priority N]\n"
-        "         [--deadline-ms N] [--fault SPEC]... [--wait] "
-        "[--schedule] [--inline]\n"
+        "         [--deadline-ms N] [--fault SPEC]... [--tenant NAME] "
+        "[--batch]\n"
+        "         [--wait] [--schedule] [--inline]\n"
         "  status ID | result ID [--no-wait] [--schedule] | cancel ID\n"
         "  stats | shutdown\n";
 }
@@ -222,6 +228,10 @@ Json buildRequest(const std::string& verb, int argc, char** argv, int i) {
         request.set("priority", parseInt(arg, needValue(arg)));
       } else if (arg == "--deadline-ms") {
         request.set("deadline_ms", parseInt(arg, needValue(arg)));
+      } else if (arg == "--tenant") {
+        request.set("tenant", needValue(arg));
+      } else if (arg == "--batch") {
+        request.set("batch", true);
       } else if (arg == "--fault") {
         faults.push_back(Json(needValue(arg)));
       } else if (arg == "--wait") {

@@ -54,6 +54,7 @@ void FaultMap::killProc(ProcId p) {
   if (dead == 0) {
     dead = 1;
     ++deadProcs_;
+    ++mutations_;
     PIMSCHED_COUNTER_ADD("fault.injected.procs", 1);
   }
 }
@@ -66,6 +67,7 @@ void FaultMap::killLink(ProcId from, ProcId to) {
   if (dead == 0) {
     dead = 1;
     ++deadLinks_;
+    ++mutations_;
     PIMSCHED_COUNTER_ADD("fault.injected.links", 1);
   }
 }
@@ -106,11 +108,13 @@ void FaultMap::limitCapacity(ProcId p, std::int64_t slots) {
   if (limit < 0 || slots < limit) {
     limit = slots;
     anyCapLimit_ = true;
+    ++mutations_;
     PIMSCHED_COUNTER_ADD("fault.injected.caps", 1);
   }
 }
 
 void FaultMap::clear() {
+  if (anyFaults()) ++mutations_;
   std::fill(deadProc_.begin(), deadProc_.end(), 0);
   std::fill(deadLink_.begin(), deadLink_.end(), 0);
   std::fill(capLimit_.begin(), capLimit_.end(), -1);

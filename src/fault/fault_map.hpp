@@ -73,6 +73,13 @@ class FaultMap {
 
   [[nodiscard]] int deadProcCount() const { return deadProcs_; }
   [[nodiscard]] int deadLinkCount() const { return deadLinks_; }
+  /// Monotonic count of state changes: bumps once per processor newly
+  /// killed, link newly killed, capacity bound newly tightened, and per
+  /// clear() that removed anything. A mutation call that leaves the map
+  /// unchanged (re-killing a dead processor, capping above the current
+  /// bound) does not bump it — applyFaultSpec uses this to detect
+  /// duplicate specs.
+  [[nodiscard]] std::int64_t mutations() const { return mutations_; }
   [[nodiscard]] int aliveProcCount() const { return grid_->size() - deadProcs_; }
   [[nodiscard]] bool anyFaults() const {
     return deadProcs_ > 0 || deadLinks_ > 0 || anyCapLimit_;
@@ -101,6 +108,7 @@ class FaultMap {
   int deadProcs_ = 0;
   int deadLinks_ = 0;
   bool anyCapLimit_ = false;
+  std::int64_t mutations_ = 0;
 };
 
 /// Applies a FaultMap's per-processor bounds to an occupancy map: dead

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace pimsched {
 
 namespace {
@@ -138,8 +140,14 @@ void applyParsed(FaultMap& map, const std::string& spec, const ParsedSpec& p) {
 
 }  // namespace
 
-void applyFaultSpec(FaultMap& map, const std::string& spec) {
+bool applyFaultSpec(FaultMap& map, const std::string& spec) {
+  const std::int64_t before = map.mutations();
   applyParsed(map, spec, parseSpec(spec));
+  if (map.mutations() == before) {
+    PIMSCHED_COUNTER_ADD("fault.spec.duplicates", 1);
+    return false;
+  }
+  return true;
 }
 
 FaultTrace::FaultTrace(std::vector<FaultEvent> events)

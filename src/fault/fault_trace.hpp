@@ -30,7 +30,13 @@ struct FaultEvent {
 /// Throws std::invalid_argument on malformed specs or out-of-grid
 /// targets. This is the grammar the serve protocol's "faults" job field
 /// and pimsched_submit's --fault flag use.
-void applyFaultSpec(FaultMap& map, const std::string& spec);
+///
+/// Returns true when the spec changed the map, false when it was a
+/// duplicate (every target already dead / capped at or below the
+/// requested bound). Duplicates are counted in `fault.spec.duplicates`,
+/// so fleet health descriptors built from spec lists stay canonical:
+/// dropping every false-returning spec reproduces the same map.
+bool applyFaultSpec(FaultMap& map, const std::string& spec);
 
 /// A time-ordered fault scenario: events sorted by step, replayable to
 /// the fault state as of any step. Text format ("# pimfault v1"):

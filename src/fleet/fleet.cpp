@@ -1,0 +1,219 @@
+#include "fleet/fleet.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "fault/fault_trace.hpp"
+#include "trace/trace_io.hpp"
+
+namespace pimsched::fleet {
+
+namespace {
+
+[[noreturn]] void badFleetSpec(const std::string& entry, const char* why) {
+  throw std::invalid_argument("fleet spec \"" + entry + "\": " + why);
+}
+
+bool validName(const std::string& name) {
+  if (name.empty()) return false;
+  const auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+  };
+  const auto tail = [&](char c) {
+    return head(c) || (c >= '0' && c <= '9') || c == '.' || c == '-';
+  };
+  if (!head(name.front())) return false;
+  return std::all_of(name.begin() + 1, name.end(), tail);
+}
+
+/// Parses "RxC" with the submit protocol's bounds.
+void parseShape(const std::string& entry, const std::string& shape,
+                int* rows, int* cols) {
+  const std::size_t x = shape.find('x');
+  if (x == std::string::npos) badFleetSpec(entry, "expected RxC shape");
+  try {
+    std::size_t used = 0;
+    *rows = std::stoi(shape.substr(0, x), &used);
+    if (used != x) throw std::invalid_argument(shape);
+    *cols = std::stoi(shape.substr(x + 1), &used);
+    if (used != shape.size() - x - 1) throw std::invalid_argument(shape);
+  } catch (const std::exception&) {
+    badFleetSpec(entry, "expected RxC shape");
+  }
+  if (*rows < 1 || *cols < 1) badFleetSpec(entry, "grid must be at least 1x1");
+  constexpr std::int64_t kMaxGridSide = 4096;
+  constexpr std::int64_t kMaxGridProcs = 1 << 20;
+  if (*rows > kMaxGridSide || *cols > kMaxGridSide ||
+      static_cast<std::int64_t>(*rows) * *cols > kMaxGridProcs) {
+    badFleetSpec(entry, "grid too large");
+  }
+}
+
+}  // namespace
+
+std::vector<ArraySpec> parseFleetSpec(const std::string& spec) {
+  std::vector<ArraySpec> out;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t end = spec.find(';', start);
+    const std::string entry =
+        spec.substr(start, end == std::string::npos ? end : end - start);
+    if (entry.empty()) badFleetSpec(spec, "empty array entry");
+
+    ArraySpec array;
+    // Head (before the first ':') is [NAME=]RxC; the tail is '+'-joined
+    // fault specs, which may themselves contain ':' / '=' / ','.
+    const std::size_t colon = entry.find(':');
+    std::string head = entry.substr(0, colon);
+    const std::size_t eq = head.find('=');
+    if (eq != std::string::npos) {
+      array.name = head.substr(0, eq);
+      if (!validName(array.name)) {
+        badFleetSpec(entry, "array name must match [A-Za-z_][A-Za-z0-9_.-]*");
+      }
+      head = head.substr(eq + 1);
+    } else {
+      array.name = "array" + std::to_string(out.size());
+    }
+    parseShape(entry, head, &array.rows, &array.cols);
+
+    if (colon != std::string::npos) {
+      const std::string tail = entry.substr(colon + 1);
+      if (tail.empty()) badFleetSpec(entry, "empty fault spec list");
+      std::size_t fs = 0;
+      while (fs <= tail.size()) {
+        const std::size_t fe = tail.find('+', fs);
+        const std::string one =
+            tail.substr(fs, fe == std::string::npos ? fe : fe - fs);
+        if (one.empty()) badFleetSpec(entry, "empty fault spec");
+        array.faults.push_back(one);
+        if (fe == std::string::npos) break;
+        fs = fe + 1;
+      }
+      // Validate every spec against the declared grid now so a bad fleet
+      // spec is a startup error, not a failed job later.
+      const Grid grid(array.rows, array.cols);
+      FaultMap probe(grid);
+      for (const std::string& one : array.faults) {
+        try {
+          applyFaultSpec(probe, one);
+        } catch (const std::exception& e) {
+          badFleetSpec(entry, e.what());
+        }
+      }
+    }
+    out.push_back(std::move(array));
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+  if (out.empty()) badFleetSpec(spec, "no arrays");
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    for (std::size_t j = i + 1; j < out.size(); ++j) {
+      if (out[i].name == out[j].name) {
+        badFleetSpec(spec, "duplicate array name");
+      }
+    }
+  }
+  return out;
+}
+
+ArrayState::ArrayState(ArraySpec spec) : spec_(std::move(spec)) {
+  grid_ = std::make_unique<Grid>(spec_.rows, spec_.cols);
+  faults_ = std::make_unique<FaultMap>(*grid_);
+  for (const std::string& one : spec_.faults) {
+    // Duplicate (no-op) specs are dropped from the canonical list: the
+    // kept specs reproduce the same map, so two spec lists with the same
+    // effect share one faultSignature (and one result-cache partition).
+    if (applyFaultSpec(*faults_, one)) canonical_.push_back(one);
+  }
+  if (faults_->anyFaults()) {
+    distances_ = std::make_unique<DistanceMap>(*grid_, *faults_);
+    model_ = std::make_unique<CostModel>(*grid_, *distances_);
+  } else {
+    // A spec list may be entirely no-ops in principle; an effectively
+    // healthy array must price and execute exactly like the non-fleet
+    // path, so it gets the plain Manhattan model.
+    canonical_.clear();
+    model_ = std::make_unique<CostModel>(*grid_);
+  }
+  cache_ = std::make_unique<CenterCostCache>(*model_);
+  if (!canonical_.empty()) {
+    DigestBuilder b;
+    b.str("pimfleet-array");
+    b.i64(spec_.rows);
+    b.i64(spec_.cols);
+    b.u64(canonical_.size());
+    for (const std::string& one : canonical_) b.str(one);
+    signature_ = b.digest().hex();
+  }
+}
+
+Cost ArrayState::estimateCost(std::span<const ProcWeight> refs,
+                              std::vector<Cost>& scratch) {
+  // Mirror the pipeline's fault semantics: references issued by dead
+  // processors are dropped, not served — pricing them would wrongly mark
+  // every faulted array infeasible for any trace touching a dead proc.
+  if (faults_->deadProcCount() > 0) {
+    refsScratch_.clear();
+    for (const ProcWeight& pw : refs) {
+      if (!faults_->procDead(pw.proc)) refsScratch_.push_back(pw);
+    }
+    refs = refsScratch_;
+  }
+  if (refs.empty()) return 0;
+  cache_->costsInto(refs, scratch);
+  Cost best = kInfiniteCost;
+  for (ProcId p = 0; p < grid_->size(); ++p) {
+    if (model_->centerForbidden(p)) continue;
+    best = std::min(best, scratch[static_cast<std::size_t>(p)]);
+  }
+  return best;
+}
+
+std::int64_t ArrayState::capacitySlots(std::int64_t perProc) const {
+  std::int64_t total = 0;
+  for (ProcId p = 0; p < grid_->size(); ++p) {
+    if (faults_->procDead(p)) continue;
+    const std::int64_t limit = faults_->capacityLimit(p);
+    total += limit >= 0 ? std::min(limit, perProc) : perProc;
+  }
+  return total;
+}
+
+ArrayFleet::ArrayFleet(const std::vector<ArraySpec>& specs) {
+  if (specs.empty()) {
+    throw std::invalid_argument("ArrayFleet: at least one array required");
+  }
+  arrays_.reserve(specs.size());
+  for (const ArraySpec& spec : specs) {
+    if (!validName(spec.name)) {
+      throw std::invalid_argument("ArrayFleet: bad array name \"" +
+                                  spec.name + "\"");
+    }
+    if (find(spec.name) >= 0) {
+      throw std::invalid_argument("ArrayFleet: duplicate array name \"" +
+                                  spec.name + "\"");
+    }
+    arrays_.push_back(std::make_unique<ArrayState>(spec));
+  }
+}
+
+int ArrayFleet::find(const std::string& name) const {
+  for (std::size_t i = 0; i < arrays_.size(); ++i) {
+    if (arrays_[i]->name() == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<std::size_t> ArrayFleet::eligibleFor(int rows, int cols) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < arrays_.size(); ++i) {
+    const ArrayState& a = *arrays_[i];
+    if (a.rows() == rows && a.cols() == cols && a.aliveProcs() > 0) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+}  // namespace pimsched::fleet

@@ -1,0 +1,143 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cost/cost_cache.hpp"
+#include "cost/cost_model.hpp"
+#include "fault/distance_map.hpp"
+#include "fault/fault_map.hpp"
+#include "pim/grid.hpp"
+#include "pim/types.hpp"
+
+namespace pimsched::fleet {
+
+/// Declarative description of one PIM array in a fleet: a name, the grid
+/// shape, and the standing fault specs (fault_trace.hpp grammar) that
+/// describe its current health. This is what the `--fleet` daemon flag
+/// parses and what FleetService is configured with.
+struct ArraySpec {
+  std::string name;
+  int rows = 4;
+  int cols = 4;
+  /// Standing faults of this array, applied in order. Jobs placed on the
+  /// array run with these merged in front of their own fault specs.
+  std::vector<std::string> faults;
+};
+
+/// Parses a fleet spec string: arrays separated by ';', each
+///
+///   [NAME=]RxC[:SPEC[+SPEC...]]
+///
+/// e.g. "a0=4x4;a1=4x4:proc:5+link:0-1;8x8". Fault specs are joined by
+/// '+' because the spec grammar itself uses ',', '=' and ':'. Unnamed
+/// arrays are auto-named "array<i>" by position. Names must match
+/// [A-Za-z_][A-Za-z0-9_.-]* and be unique; grids are bounded like the
+/// submit protocol (sides <= 4096, <= 2^20 processors); every fault spec
+/// is validated against its grid. Throws std::invalid_argument on any
+/// violation.
+[[nodiscard]] std::vector<ArraySpec> parseFleetSpec(const std::string& spec);
+
+/// The live state of one array: its grid, fault map, fault-aware cost
+/// model and a serving-cost cache for selector estimates. Built once from
+/// an ArraySpec; the members are heap-allocated so the self-referencing
+/// Grid/FaultMap/DistanceMap/CostModel chain stays valid if the
+/// ArrayState is moved.
+class ArrayState {
+ public:
+  explicit ArrayState(ArraySpec spec);
+
+  [[nodiscard]] const ArraySpec& spec() const { return spec_; }
+  [[nodiscard]] const std::string& name() const { return spec_.name; }
+  [[nodiscard]] int rows() const { return spec_.rows; }
+  [[nodiscard]] int cols() const { return spec_.cols; }
+  [[nodiscard]] const Grid& grid() const { return *grid_; }
+  [[nodiscard]] const FaultMap& faults() const { return *faults_; }
+  /// Fault-aware when the array has any effective fault, plain Manhattan
+  /// otherwise — matching what executeJobRequest builds for jobs placed
+  /// here.
+  [[nodiscard]] const CostModel& model() const { return *model_; }
+
+  [[nodiscard]] bool healthy() const { return canonical_.empty(); }
+  [[nodiscard]] int aliveProcs() const { return faults_->aliveProcCount(); }
+  [[nodiscard]] int deadProcs() const { return faults_->deadProcCount(); }
+  [[nodiscard]] int deadLinks() const { return faults_->deadLinkCount(); }
+  /// True when the alive sub-mesh is partitioned (some alive pair cannot
+  /// communicate) — such an array can still serve jobs whose references
+  /// stay inside one component, but the selector deprioritizes it.
+  [[nodiscard]] bool partitioned() const {
+    return distances_ != nullptr && distances_->partitioned();
+  }
+
+  /// The spec's fault list with duplicate (no-op) specs dropped — the
+  /// canonical health descriptor (see applyFaultSpec). Jobs run with
+  /// exactly this list merged in front of their own specs.
+  [[nodiscard]] const std::vector<std::string>& canonicalFaults() const {
+    return canonical_;
+  }
+  /// Content signature of the canonical fault list: "" for a healthy
+  /// array (so all healthy arrays of one shape share result-cache
+  /// entries), a digest hex otherwise. FleetService keys its result cache
+  /// by jobDigest|signature.
+  [[nodiscard]] const std::string& faultSignature() const {
+    return signature_;
+  }
+
+  /// Estimated serving cost of an aggregated whole-trace reference string
+  /// on this array: the cheapest alive center, priced by the array's
+  /// (fault-aware) cost model through a per-array CenterCostCache.
+  /// References issued by this array's dead processors are dropped first,
+  /// mirroring the pipeline's fault semantics. kInfiniteCost when no
+  /// alive center can reach every surviving referenced processor.
+  /// `scratch` is caller-owned reusable storage.
+  [[nodiscard]] Cost estimateCost(std::span<const ProcWeight> refs,
+                                  std::vector<Cost>& scratch);
+
+  /// Total data slots under an explicit per-processor capacity `perProc`
+  /// (>= 0), honouring dead processors and fault capacity limits. Used by
+  /// the selector's residual-capacity check.
+  [[nodiscard]] std::int64_t capacitySlots(std::int64_t perProc) const;
+
+ private:
+  ArraySpec spec_;
+  std::unique_ptr<Grid> grid_;
+  std::unique_ptr<FaultMap> faults_;
+  std::unique_ptr<DistanceMap> distances_;  ///< null when healthy
+  std::unique_ptr<CostModel> model_;
+  std::unique_ptr<CenterCostCache> cache_;
+  std::vector<std::string> canonical_;
+  std::string signature_;
+  /// Reusable buffer for dead-proc-filtered reference strings.
+  std::vector<ProcWeight> refsScratch_;
+};
+
+/// The fleet registry: a fixed set of ArrayStates built from specs, with
+/// name lookup and shape-based eligibility. Immutable topology after
+/// construction (arrays never come or go mid-run); per-array load lives
+/// in FleetService.
+class ArrayFleet {
+ public:
+  explicit ArrayFleet(const std::vector<ArraySpec>& specs);
+
+  [[nodiscard]] std::size_t size() const { return arrays_.size(); }
+  [[nodiscard]] ArrayState& at(std::size_t i) { return *arrays_[i]; }
+  [[nodiscard]] const ArrayState& at(std::size_t i) const {
+    return *arrays_[i];
+  }
+
+  /// Index of the named array, -1 when absent.
+  [[nodiscard]] int find(const std::string& name) const;
+
+  /// Indices of arrays that can host a rows x cols job: exact shape match
+  /// with at least one alive processor. Deterministic (ascending index).
+  [[nodiscard]] std::vector<std::size_t> eligibleFor(int rows,
+                                                     int cols) const;
+
+ private:
+  std::vector<std::unique_ptr<ArrayState>> arrays_;
+};
+
+}  // namespace pimsched::fleet

@@ -1,0 +1,696 @@
+#include "fleet/fleet_service.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <limits>
+#include <utility>
+
+#include "serve/json.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pimsched::fleet {
+
+using serve::JobId;
+using serve::JobRequest;
+using serve::JobResult;
+using serve::JobState;
+using serve::JobStatus;
+using serve::ServiceStats;
+using serve::SubmitOutcome;
+
+namespace {
+
+/// Admission identity of a request: the empty tenant is the "default"
+/// tenant for fair-share accounting (the digest still folds the raw
+/// string, so protocol-level identity is untouched).
+std::string tenantKey(const JobRequest& request) {
+  return request.tenant.empty() ? std::string("default") : request.tenant;
+}
+
+}  // namespace
+
+std::vector<ProcWeight> aggregateTraceRefs(const ReferenceTrace& trace) {
+  ProcId maxProc = -1;
+  for (const Access& a : trace.accesses()) maxProc = std::max(maxProc, a.proc);
+  std::vector<Cost> weight(static_cast<std::size_t>(maxProc + 1), 0);
+  for (const Access& a : trace.accesses()) {
+    weight[static_cast<std::size_t>(a.proc)] += a.weight;
+  }
+  std::vector<ProcWeight> out;
+  for (ProcId p = 0; p <= maxProc; ++p) {
+    if (weight[static_cast<std::size_t>(p)] > 0) {
+      out.push_back(ProcWeight{p, weight[static_cast<std::size_t>(p)]});
+    }
+  }
+  return out;
+}
+
+FleetService::FleetService(Config config)
+    : config_(std::move(config)),
+      fleet_(config_.arrays),
+      selector_(fleet_, config_.policyFromEnv
+                            ? fleetPolicyFromEnv(config_.policy)
+                            : config_.policy) {
+  if (config_.concurrencyPerArray == 0) config_.concurrencyPerArray = 1;
+  if (config_.defaultTenantWeight <= 0) config_.defaultTenantWeight = 1.0;
+  loads_.resize(fleet_.size());
+  arrayDispatched_.assign(fleet_.size(), 0);
+  arrayCompleted_.assign(fleet_.size(), 0);
+  arrayFailed_.assign(fleet_.size(), 0);
+  modeEnterNs_ = obs::nowNs();
+}
+
+FleetService::~FleetService() { drain(); }
+
+FleetService::Tenant& FleetService::tenantLocked(const std::string& name) {
+  const auto it = tenants_.find(name);
+  if (it != tenants_.end()) return it->second;
+  Tenant t;
+  t.name = name;
+  const auto w = config_.tenantWeights.find(name);
+  t.weight = w != config_.tenantWeights.end() && w->second > 0
+                 ? w->second
+                 : config_.defaultTenantWeight;
+#ifndef PIMSCHED_NO_OBS
+  auto& reg = obs::Registry::instance();
+  const std::string prefix = "tenant." + name;
+  t.cSubmitted = &reg.counter(prefix + ".submitted");
+  t.cDispatched = &reg.counter(prefix + ".dispatched");
+  t.cCompleted = &reg.counter(prefix + ".completed");
+  t.cContended = &reg.counter(prefix + ".contended");
+#endif
+  return tenants_.emplace(name, std::move(t)).first->second;
+}
+
+SubmitOutcome FleetService::submit(JobRequest request) {
+  if (!request.trace.finalized()) request.trace.finalize();
+  const Digest digest = serve::jobDigest(request);
+  return submitWithDigest(std::move(request), digest);
+}
+
+SubmitOutcome FleetService::submitWithDigest(JobRequest request,
+                                             const Digest& digest) {
+  if (!request.trace.finalized()) request.trace.finalize();
+  // Selector input, computed outside the lock like the digest.
+  std::vector<ProcWeight> aggRefs = aggregateTraceRefs(request.trace);
+  const std::string tenantName = tenantKey(request);
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (draining_) {
+    ++statRejected_;
+    PIMSCHED_COUNTER_ADD("fleet.jobs.rejected", 1);
+    return SubmitOutcome{false, -1, "service is draining", false};
+  }
+
+  const std::vector<std::size_t> eligible =
+      fleet_.eligibleFor(request.gridRows, request.gridCols);
+  if (eligible.empty()) {
+    ++statRejected_;
+    PIMSCHED_COUNTER_ADD("fleet.jobs.rejected", 1);
+    return SubmitOutcome{
+        false, -1,
+        "no array in the fleet matches grid " +
+            std::to_string(request.gridRows) + "x" +
+            std::to_string(request.gridCols),
+        false};
+  }
+
+  Tenant& tenant = tenantLocked(tenantName);
+
+  if (config_.cacheEnabled) {
+    // Probe the fault signatures of the currently eligible arrays,
+    // healthy ("") first: a hit under signature S is the exact answer the
+    // fleet would produce by running the job on an array in state S.
+    std::vector<const std::string*> sigs;
+    for (const std::size_t i : eligible) {
+      const std::string& sig = fleet_.at(i).faultSignature();
+      const bool seen =
+          std::any_of(sigs.begin(), sigs.end(),
+                      [&](const std::string* s) { return *s == sig; });
+      if (seen) continue;
+      if (sig.empty()) {
+        sigs.insert(sigs.begin(), &sig);
+      } else {
+        sigs.push_back(&sig);
+      }
+    }
+    for (const std::string* sig : sigs) {
+      const auto it = cache_.find(digest.hex() + "|" + *sig);
+      if (it == cache_.end()) continue;
+      ++statCacheHits_;
+      ++statAccepted_;
+      ++statCompleted_;
+      ++tenant.submitted;
+      ++tenant.completed;
+      if (tenant.cSubmitted != nullptr) tenant.cSubmitted->add(1);
+      if (tenant.cCompleted != nullptr) tenant.cCompleted->add(1);
+      PIMSCHED_COUNTER_ADD("fleet.cache.hit", 1);
+      PIMSCHED_COUNTER_ADD("fleet.jobs.accepted", 1);
+      PIMSCHED_COUNTER_ADD("fleet.jobs.completed", 1);
+      cacheOrder_.splice(cacheOrder_.end(), cacheOrder_, it->second.order);
+      auto served = std::make_shared<JobResult>(*it->second.result);
+      served->cacheHit = true;
+      served->waitNs = 0;
+      served->runNs = 0;
+      auto job = std::make_shared<Job>();
+      job->id = nextId_++;
+      job->state = JobState::kDone;
+      job->digest = digest;
+      job->result = std::move(served);
+      job->request.priority = request.priority;
+      job->request.tenant = request.tenant;
+      jobs_.emplace(job->id, job);
+      cv_.notify_all();
+      return SubmitOutcome{true, job->id, "", true};
+    }
+    ++statCacheMisses_;
+    PIMSCHED_COUNTER_ADD("fleet.cache.miss", 1);
+  }
+
+  if (queuedServe_ + queuedBatch_ >= config_.maxQueueDepth) {
+    ++statRejected_;
+    ++tenant.rejected;
+    PIMSCHED_COUNTER_ADD("fleet.jobs.rejected", 1);
+    return SubmitOutcome{
+        false, -1,
+        "queue full (" + std::to_string(queuedServe_ + queuedBatch_) +
+            " jobs queued, limit " + std::to_string(config_.maxQueueDepth) +
+            ")",
+        false};
+  }
+  if (tenant.queue.size() >= config_.tenantQueueDepth) {
+    ++statRejected_;
+    ++tenant.rejected;
+    PIMSCHED_COUNTER_ADD("fleet.jobs.rejected", 1);
+    return SubmitOutcome{
+        false, -1,
+        "tenant quota exceeded (tenant '" + tenantName + "' has " +
+            std::to_string(tenant.queue.size()) + " jobs queued, quota " +
+            std::to_string(config_.tenantQueueDepth) + ")",
+        false};
+  }
+
+  // An idle tenant re-activates at the current minimum virtual work:
+  // catching up is allowed, banking idle credit to later monopolize the
+  // fleet is not (standard stride-scheduling re-entry).
+  if (tenant.queue.empty() && tenant.running == 0) {
+    double minActive = std::numeric_limits<double>::infinity();
+    for (const auto& [name, other] : tenants_) {
+      if (name == tenantName) continue;
+      if (!other.queue.empty() || other.running > 0) {
+        minActive = std::min(minActive, other.virtualWork);
+      }
+    }
+    if (minActive != std::numeric_limits<double>::infinity()) {
+      tenant.virtualWork = std::max(tenant.virtualWork, minActive);
+    }
+  }
+
+  auto job = std::make_shared<Job>();
+  job->id = nextId_++;
+  job->request = std::move(request);
+  job->digest = digest;
+  job->submitNs = obs::nowNs();
+  job->aggRefs = std::move(aggRefs);
+  if (job->request.deadlineMs >= 0) {
+    job->deadlineNs = job->submitNs + job->request.deadlineMs * 1'000'000;
+  }
+  jobs_.emplace(job->id, job);
+  tenant.queue.emplace(std::make_pair(-job->request.priority, job->id), job);
+  if (job->request.batch) {
+    ++queuedBatch_;
+  } else {
+    ++queuedServe_;
+  }
+  ++statAccepted_;
+  ++tenant.submitted;
+  if (tenant.cSubmitted != nullptr) tenant.cSubmitted->add(1);
+  PIMSCHED_COUNTER_ADD("fleet.jobs.accepted", 1);
+  PIMSCHED_COUNTER_ADD("fleet.queue.enqueued", 1);
+  dispatchLocked();
+  return SubmitOutcome{true, job->id, "", false};
+}
+
+int FleetService::effectivePriorityLocked(const Job& job,
+                                          std::int64_t nowNs) const {
+  int boost = 0;
+  if (config_.agingMs > 0 && config_.agingLimit > 0) {
+    const std::int64_t waitedMs = (nowNs - job.submitNs) / 1'000'000;
+    boost = static_cast<int>(
+        std::min<std::int64_t>(config_.agingLimit, waitedMs / config_.agingMs));
+  }
+  return job.request.priority + boost;
+}
+
+std::shared_ptr<FleetService::Job> FleetService::bestCandidateLocked(
+    const Tenant& tenant, bool batch, std::int64_t nowNs,
+    int* effPriority) const {
+  std::shared_ptr<Job> best;
+  int bestEff = 0;
+  int lastPriority = 0;
+  bool firstLevel = true;
+  for (const auto& [key, job] : tenant.queue) {
+    const int basePriority = -key.first;
+    if (!firstLevel && basePriority == lastPriority) continue;
+    // Only the first (oldest) queued job of each class per base-priority
+    // level can be the level's best: within a level age decides.
+    if (best != nullptr && basePriority + config_.agingLimit < bestEff) {
+      break;  // keys descend in priority; nothing below can win
+    }
+    if (job->request.batch != batch) continue;
+    firstLevel = false;
+    lastPriority = basePriority;
+    const int eff = effectivePriorityLocked(*job, nowNs);
+    if (best == nullptr || eff > bestEff) {
+      best = job;
+      bestEff = eff;
+    }
+  }
+  if (best != nullptr && effPriority != nullptr) *effPriority = bestEff;
+  return best;
+}
+
+void FleetService::removeFromQueueLocked(const std::shared_ptr<Job>& job) {
+  Tenant& tenant = tenantLocked(tenantKey(job->request));
+  tenant.queue.erase(std::make_pair(-job->request.priority, job->id));
+  if (job->request.batch) {
+    --queuedBatch_;
+  } else {
+    --queuedServe_;
+  }
+  PIMSCHED_COUNTER_ADD("fleet.queue.dequeued", 1);
+}
+
+void FleetService::expireOverdueLocked(std::int64_t nowNs) {
+  std::vector<std::shared_ptr<Job>> overdue;
+  for (const auto& [name, tenant] : tenants_) {
+    for (const auto& [key, job] : tenant.queue) {
+      if (job->deadlineNs >= 0 && nowNs > job->deadlineNs) {
+        overdue.push_back(job);
+      }
+    }
+  }
+  for (const std::shared_ptr<Job>& job : overdue) {
+    removeFromQueueLocked(job);
+    finishLocked(*job, JobState::kExpired);
+  }
+}
+
+std::size_t FleetService::freeSlotsLocked() const {
+  std::size_t free = 0;
+  for (const ArrayLoad& load : loads_) {
+    if (load.running < config_.concurrencyPerArray) {
+      free += config_.concurrencyPerArray - load.running;
+    }
+  }
+  return free;
+}
+
+void FleetService::switchModeLocked(bool toBatch) {
+  if (batchMode_ == toBatch) return;
+  const std::int64_t now = obs::nowNs();
+#ifndef PIMSCHED_NO_OBS
+  auto& reg = obs::Registry::instance();
+  reg.counter(batchMode_ ? "fleet.mode.batch_ns" : "fleet.mode.serve_ns")
+      .add(now - modeEnterNs_);
+#endif
+  batchMode_ = toBatch;
+  modeEnterNs_ = now;
+  ++modeSwitches_;
+  PIMSCHED_COUNTER_ADD("fleet.mode.switches", 1);
+}
+
+bool FleetService::dispatchClassLocked(bool batch, std::int64_t nowNs) {
+  struct Candidate {
+    int effPriority = 0;
+    Tenant* tenant = nullptr;
+    std::shared_ptr<Job> job;
+  };
+  std::vector<Candidate> candidates;
+  for (auto& [name, tenant] : tenants_) {
+    int eff = 0;
+    std::shared_ptr<Job> job = bestCandidateLocked(tenant, batch, nowNs, &eff);
+    if (job != nullptr) {
+      candidates.push_back(Candidate{eff, &tenant, std::move(job)});
+    }
+  }
+  if (candidates.empty()) return false;
+  const bool contended = candidates.size() >= 2;
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.effPriority != b.effPriority) {
+                return a.effPriority > b.effPriority;
+              }
+              if (a.tenant->virtualWork != b.tenant->virtualWork) {
+                return a.tenant->virtualWork < b.tenant->virtualWork;
+              }
+              return a.tenant->name < b.tenant->name;
+            });
+
+  for (Candidate& candidate : candidates) {
+    const std::shared_ptr<Job>& job = candidate.job;
+    std::vector<std::size_t> eligible =
+        fleet_.eligibleFor(job->request.gridRows, job->request.gridCols);
+    eligible.erase(
+        std::remove_if(eligible.begin(), eligible.end(),
+                       [&](std::size_t i) {
+                         return loads_[i].running >=
+                                config_.concurrencyPerArray;
+                       }),
+        eligible.end());
+    if (eligible.empty()) continue;  // all shape-matching arrays busy
+
+    const std::int64_t explicitCap =
+        job->request.config.capacity >= 0 ? job->request.config.capacity : -1;
+    Cost est = 0;
+    int idx = selector_.select(job->aggRefs, job->request.trace.numData(),
+                               explicitCap, eligible, loads_, &est);
+    if (idx < 0) {
+      // No array can feasibly serve it (kCost): run it anyway on the
+      // first free array so it fails with the structured unreachable /
+      // infeasible error instead of waiting forever.
+      idx = static_cast<int>(eligible.front());
+      est = 0;
+    }
+
+    removeFromQueueLocked(job);
+    job->state = JobState::kRunning;
+    ++job->attempts;
+    job->arrayIndex = idx;
+    job->estCost = est;
+    loads_[static_cast<std::size_t>(idx)].running += 1;
+    loads_[static_cast<std::size_t>(idx)].outstandingWork +=
+        static_cast<double>(est);
+    ++arrayDispatched_[static_cast<std::size_t>(idx)];
+    Tenant& tenant = *candidate.tenant;
+    tenant.running += 1;
+    tenant.virtualWork += 1.0 / tenant.weight;
+    ++tenant.dispatched;
+    if (tenant.cDispatched != nullptr) tenant.cDispatched->add(1);
+    if (contended) {
+      ++tenant.contended;
+      if (tenant.cContended != nullptr) tenant.cContended->add(1);
+    }
+    if (batch) {
+      ++batchDispatches_;
+      PIMSCHED_COUNTER_ADD("fleet.dispatch.batch", 1);
+    } else {
+      ++serveDispatches_;
+      PIMSCHED_COUNTER_ADD("fleet.dispatch.serve", 1);
+    }
+    if (config_.onDispatch) {
+      config_.onDispatch(job->id, fleet_.at(static_cast<std::size_t>(idx)).name(),
+                         tenant.name);
+    }
+    std::shared_ptr<Job> launched = job;
+    ThreadPool::global().submit([this, launched] { runJob(launched); });
+    return true;
+  }
+  return false;
+}
+
+void FleetService::dispatchLocked() {
+  const std::int64_t nowNs = obs::nowNs();
+  expireOverdueLocked(nowNs);
+  while (freeSlotsLocked() > 0 && queuedServe_ + queuedBatch_ > 0) {
+    // Drain-threshold mode switch: batch work is preferred only while the
+    // latency-sensitive backlog is at or below the threshold.
+    const bool preferBatch =
+        queuedBatch_ > 0 && queuedServe_ <= config_.drainThreshold;
+    switchModeLocked(preferBatch);
+    // The mode sets preference, not exclusivity: a free slot never idles
+    // while any dispatchable job of either class exists.
+    if (!dispatchClassLocked(batchMode_, nowNs) &&
+        !dispatchClassLocked(!batchMode_, nowNs)) {
+      break;
+    }
+  }
+}
+
+void FleetService::cacheInsertLocked(
+    const std::string& key, std::shared_ptr<const JobResult> result) {
+  if (!config_.cacheEnabled || config_.maxCacheEntries == 0) return;
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    it->second.result = std::move(result);
+    cacheOrder_.splice(cacheOrder_.end(), cacheOrder_, it->second.order);
+    return;
+  }
+  cacheOrder_.push_back(key);
+  CacheEntry entry{std::move(result), std::prev(cacheOrder_.end())};
+  cache_.emplace(key, std::move(entry));
+  while (cacheOrder_.size() > config_.maxCacheEntries) {
+    cache_.erase(cacheOrder_.front());
+    cacheOrder_.pop_front();
+  }
+}
+
+void FleetService::finishLocked(Job& job, JobState state) {
+  job.state = state;
+  Tenant& tenant = tenantLocked(tenantKey(job.request));
+  switch (state) {
+    case JobState::kDone:
+      ++statCompleted_;
+      ++tenant.completed;
+      if (tenant.cCompleted != nullptr) tenant.cCompleted->add(1);
+      PIMSCHED_COUNTER_ADD("fleet.jobs.completed", 1);
+      break;
+    case JobState::kFailed:
+      ++statFailed_;
+      ++tenant.failed;
+      PIMSCHED_COUNTER_ADD("fleet.jobs.failed", 1);
+      break;
+    case JobState::kCancelled:
+      ++statCancelled_;
+      PIMSCHED_COUNTER_ADD("fleet.jobs.cancelled", 1);
+      break;
+    case JobState::kExpired:
+      ++statExpired_;
+      PIMSCHED_COUNTER_ADD("fleet.jobs.deadline_missed", 1);
+      break;
+    default: break;
+  }
+  cv_.notify_all();
+}
+
+void FleetService::runJob(const std::shared_ptr<Job>& job) {
+  const std::int64_t startNs = obs::nowNs();
+  const int attempt = job->attempts - 1;
+  const auto idx = static_cast<std::size_t>(job->arrayIndex);
+  std::shared_ptr<JobResult> result;
+  serve::JobError error;
+  try {
+    PIMSCHED_SCOPED_TIMER("fleet.job.run");
+    if (config_.onJobAttempt) config_.onJobAttempt(attempt);
+    result = executeJobRequest(job->request,
+                               fleet_.at(idx).canonicalFaults());
+    result->digest = job->digest;
+  } catch (...) {
+    error = serve::classifyJobError(std::current_exception());
+    result.reset();
+  }
+  const std::int64_t endNs = obs::nowNs();
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  loads_[idx].running -= 1;
+  loads_[idx].outstandingWork -= static_cast<double>(job->estCost);
+  if (loads_[idx].outstandingWork < 0) loads_[idx].outstandingWork = 0;
+  Tenant& tenant = tenantLocked(tenantKey(job->request));
+  tenant.running -= 1;
+  if (result != nullptr) {
+    result->waitNs = startNs - job->submitNs;
+    result->runNs = endNs - startNs;
+#ifndef PIMSCHED_NO_OBS
+    obs::Registry::instance().timer("fleet.job.wait").record(result->waitNs);
+#endif
+    tenant.maxWaitNs = std::max(tenant.maxWaitNs, result->waitNs);
+    ++arrayCompleted_[idx];
+    job->result = result;
+    cacheInsertLocked(
+        job->digest.hex() + "|" + fleet_.at(idx).faultSignature(), result);
+    finishLocked(*job, JobState::kDone);
+  } else if (error.transient && attempt == 0 && !draining_) {
+    PIMSCHED_COUNTER_ADD("fleet.job.retry", 1);
+    PIMSCHED_COUNTER_ADD("fleet.queue.enqueued", 1);
+    job->state = JobState::kQueued;
+    job->arrayIndex = -1;
+    job->estCost = 0;
+    tenant.queue.emplace(std::make_pair(-job->request.priority, job->id),
+                         job);
+    if (job->request.batch) {
+      ++queuedBatch_;
+    } else {
+      ++queuedServe_;
+    }
+  } else {
+    ++arrayFailed_[idx];
+    job->error = std::move(error.message);
+    job->errorKind = std::move(error.kind);
+    finishLocked(*job, JobState::kFailed);
+  }
+  dispatchLocked();
+  cv_.notify_all();
+}
+
+std::optional<JobStatus> FleetService::status(JobId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  const Job& job = *it->second;
+  JobStatus s;
+  s.state = job.state;
+  s.priority = job.request.priority;
+  s.digest = job.digest;
+  s.error = job.error;
+  s.errorKind = job.errorKind;
+  s.attempts = job.attempts;
+  return s;
+}
+
+std::shared_ptr<const JobResult> FleetService::result(JobId id, bool wait) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return nullptr;
+  const std::shared_ptr<Job> job = it->second;
+  if (wait) {
+    cv_.wait(lock, [&] { return serve::isTerminal(job->state); });
+  }
+  return serve::isTerminal(job->state) ? job->result : nullptr;
+}
+
+bool FleetService::cancel(JobId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  const std::shared_ptr<Job>& job = it->second;
+  if (job->state != JobState::kQueued) return false;
+  removeFromQueueLocked(job);
+  finishLocked(*job, JobState::kCancelled);
+  return true;
+}
+
+ServiceStats FleetService::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ServiceStats s;
+  s.queueDepth = queuedServe_ + queuedBatch_;
+  std::size_t running = 0;
+  for (const ArrayLoad& load : loads_) running += load.running;
+  s.running = running;
+  s.accepted = statAccepted_;
+  s.rejected = statRejected_;
+  s.completed = statCompleted_;
+  s.failed = statFailed_;
+  s.cancelled = statCancelled_;
+  s.expired = statExpired_;
+  s.cacheHits = statCacheHits_;
+  s.cacheMisses = statCacheMisses_;
+  s.cacheEntries = cache_.size();
+  s.shards = 1;
+  return s;
+}
+
+FleetService::FleetStats FleetService::fleetStats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FleetStats out;
+  out.policy = selector_.policy();
+  out.batchMode = batchMode_;
+  out.modeSwitches = modeSwitches_;
+  out.serveDispatches = serveDispatches_;
+  out.batchDispatches = batchDispatches_;
+  out.arrays.reserve(fleet_.size());
+  for (std::size_t i = 0; i < fleet_.size(); ++i) {
+    const ArrayState& a = fleet_.at(i);
+    ArrayStatsRow row;
+    row.name = a.name();
+    row.rows = a.rows();
+    row.cols = a.cols();
+    row.aliveProcs = a.aliveProcs();
+    row.deadProcs = a.deadProcs();
+    row.deadLinks = a.deadLinks();
+    row.healthy = a.healthy();
+    row.running = loads_[i].running;
+    row.dispatched = arrayDispatched_[i];
+    row.completed = arrayCompleted_[i];
+    row.failed = arrayFailed_[i];
+    row.outstandingWork = loads_[i].outstandingWork;
+    out.arrays.push_back(std::move(row));
+  }
+  out.tenants.reserve(tenants_.size());
+  for (const auto& [name, t] : tenants_) {
+    TenantStatsRow row;
+    row.name = name;
+    row.weight = t.weight;
+    row.queued = t.queue.size();
+    row.running = t.running;
+    row.submitted = t.submitted;
+    row.dispatched = t.dispatched;
+    row.contended = t.contended;
+    row.completed = t.completed;
+    row.failed = t.failed;
+    row.rejected = t.rejected;
+    row.maxWaitNs = t.maxWaitNs;
+    out.tenants.push_back(std::move(row));
+  }
+  return out;
+}
+
+void FleetService::statsExtra(serve::Json& reply) const {
+  const FleetStats s = fleetStats();
+  serve::Json::Object fleetObj;
+  fleetObj.emplace("policy", serve::Json(toString(s.policy)));
+  fleetObj.emplace("mode", serve::Json(s.batchMode ? "batch" : "serve"));
+  fleetObj.emplace("mode_switches", serve::Json(s.modeSwitches));
+  fleetObj.emplace("serve_dispatches", serve::Json(s.serveDispatches));
+  fleetObj.emplace("batch_dispatches", serve::Json(s.batchDispatches));
+  serve::Json::Array arrays;
+  for (const ArrayStatsRow& a : s.arrays) {
+    serve::Json::Object row;
+    row.emplace("name", serve::Json(a.name));
+    row.emplace("grid", serve::Json(std::to_string(a.rows) + "x" +
+                                    std::to_string(a.cols)));
+    row.emplace("alive_procs", serve::Json(a.aliveProcs));
+    row.emplace("dead_procs", serve::Json(a.deadProcs));
+    row.emplace("dead_links", serve::Json(a.deadLinks));
+    row.emplace("healthy", serve::Json(a.healthy));
+    row.emplace("running", serve::Json(static_cast<std::int64_t>(a.running)));
+    row.emplace("dispatched", serve::Json(a.dispatched));
+    row.emplace("completed", serve::Json(a.completed));
+    row.emplace("failed", serve::Json(a.failed));
+    row.emplace("outstanding_work", serve::Json(a.outstandingWork));
+    arrays.push_back(serve::Json(std::move(row)));
+  }
+  fleetObj.emplace("arrays", serve::Json(std::move(arrays)));
+  serve::Json::Array tenants;
+  for (const TenantStatsRow& t : s.tenants) {
+    serve::Json::Object row;
+    row.emplace("name", serve::Json(t.name));
+    row.emplace("weight", serve::Json(t.weight));
+    row.emplace("queued", serve::Json(static_cast<std::int64_t>(t.queued)));
+    row.emplace("running", serve::Json(static_cast<std::int64_t>(t.running)));
+    row.emplace("submitted", serve::Json(t.submitted));
+    row.emplace("dispatched", serve::Json(t.dispatched));
+    row.emplace("contended", serve::Json(t.contended));
+    row.emplace("completed", serve::Json(t.completed));
+    row.emplace("failed", serve::Json(t.failed));
+    row.emplace("rejected", serve::Json(t.rejected));
+    row.emplace("max_wait_ms",
+                serve::Json(static_cast<double>(t.maxWaitNs) / 1e6));
+    tenants.push_back(serve::Json(std::move(row)));
+  }
+  fleetObj.emplace("tenants", serve::Json(std::move(tenants)));
+  reply.set("fleet", serve::Json(std::move(fleetObj)));
+}
+
+void FleetService::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  draining_ = true;
+  cv_.wait(lock, [&] {
+    if (queuedServe_ + queuedBatch_ > 0) return false;
+    for (const ArrayLoad& load : loads_) {
+      if (load.running > 0) return false;
+    }
+    return true;
+  });
+}
+
+}  // namespace pimsched::fleet

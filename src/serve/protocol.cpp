@@ -181,6 +181,23 @@ JobRequest parseSubmit(const Json& request, const ProtocolOptions& options) {
   if (threads < 0) throw RequestError("field 'threads' must be >= 0");
   job.config.threads = static_cast<unsigned>(threads);
 
+  job.tenant = stringField(request, "tenant", "");
+  constexpr std::size_t kMaxTenantLen = 64;
+  if (job.tenant.size() > kMaxTenantLen) {
+    throw RequestError("field 'tenant' too long (limit " +
+                       std::to_string(kMaxTenantLen) + " characters)");
+  }
+  for (const char c : job.tenant) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-' ||
+                    c == '.';
+    if (!ok) {
+      throw RequestError(
+          "field 'tenant' may only contain [A-Za-z0-9_.-]");
+    }
+  }
+  job.batch = boolField(request, "batch", false);
+
   job.priority = static_cast<int>(intField(request, "priority", 0));
   job.deadlineMs = intField(request, "deadline_ms", -1);
   return job;
@@ -312,6 +329,9 @@ std::string ProtocolHandler::handleLine(std::string_view line,
           .set("coalesced", s.coalesced)
           .set("cache_entries", static_cast<std::int64_t>(s.cacheEntries))
           .set("shards", static_cast<std::int64_t>(s.shards));
+      // Implementation-specific breakdowns: per-shard queue depths from
+      // the sharded front end, per-array/per-tenant detail from the fleet.
+      service_->statsExtra(reply);
       return reply.dump();
     }
 

@@ -12,6 +12,7 @@
 #include "fault/fault_trace.hpp"
 #include "obs/obs.hpp"
 #include "pim/grid.hpp"
+#include "serve/json.hpp"
 #include "util/thread_pool.hpp"
 
 namespace pimsched::serve {
@@ -48,8 +49,13 @@ Digest jobDigest(const JobRequest& request) {
   // length-prefixed so spec lists cannot collide by concatenation.
   b.u64(static_cast<std::uint64_t>(request.faults.size()));
   for (const std::string& spec : request.faults) b.str(spec);
+  // The tenant is an isolation boundary, not an input to the solve:
+  // length-prefixed like the specs above so it cannot collide with them.
+  b.str(request.tenant);
   return b.digest();
 }
+
+void JobService::statsExtra(Json&) const {}
 
 SchedulingService::SchedulingService() : SchedulingService(Config()) {}
 
@@ -266,18 +272,7 @@ void SchedulingService::cacheInsertLocked(
   }
 }
 
-namespace {
-
-/// Failure taxonomy of a job run. Transient failures ("internal") are
-/// retried once; everything else is a property of the request and fails
-/// immediately with a structured kind.
-struct ClassifiedError {
-  std::string message;
-  std::string kind;  ///< "unreachable" | "infeasible" | "invalid" | "internal"
-  bool transient = false;
-};
-
-ClassifiedError classifyJobError(const std::exception_ptr& ep) {
+JobError classifyJobError(const std::exception_ptr& ep) {
   try {
     std::rethrow_exception(ep);
   } catch (const UnreachableError& e) {
@@ -297,51 +292,57 @@ ClassifiedError classifyJobError(const std::exception_ptr& ep) {
   }
 }
 
-}  // namespace
+std::shared_ptr<JobResult> executeJobRequest(
+    const JobRequest& req, const std::vector<std::string>& arrayFaults) {
+  const Grid grid(req.gridRows, req.gridCols);
+  std::optional<FaultMap> faults;
+  if (!arrayFaults.empty() || !req.faults.empty()) {
+    faults.emplace(grid);
+    for (const std::string& spec : arrayFaults) {
+      applyFaultSpec(*faults, spec);
+    }
+    for (const std::string& spec : req.faults) {
+      applyFaultSpec(*faults, spec);
+    }
+  }
+  std::optional<Experiment> exp;
+  if (faults.has_value()) {
+    exp.emplace(req.trace, grid, *faults, req.config);
+  } else {
+    exp.emplace(req.trace, grid, req.config);
+  }
+  DataSchedule schedule = exp->schedule(req.method);
+  if (faults.has_value()) {
+    // Fault-oblivious methods (the baselines) can legally return here
+    // with data on dead processors; refuse to serve such a schedule.
+    const VerifyReport report =
+        verifyScheduleFaults(schedule, exp->refs(), exp->costModel());
+    if (!report.ok()) {
+      throw UnreachableError(
+          "schedule violates the fault state (" +
+          std::to_string(report.issues.size()) + " issue(s), first: " +
+          report.issues.front().detail + ")");
+    }
+  }
+  auto result = std::make_shared<JobResult>();
+  result->eval = evaluateSchedule(schedule, exp->refs(), exp->costModel(),
+                                  req.config.threads);
+  std::ostringstream os;
+  saveSchedule(schedule, os);
+  result->scheduleText = std::move(os).str();
+  return result;
+}
 
 void SchedulingService::runJob(const std::shared_ptr<Job>& job) {
   const std::int64_t startNs = obs::nowNs();
   // attempts was bumped under the lock at dispatch; stable while running.
   const int attempt = job->attempts - 1;
   std::shared_ptr<JobResult> result;
-  ClassifiedError error;
+  JobError error;
   try {
     PIMSCHED_SCOPED_TIMER("serve.job.run");
     if (config_.onJobAttempt) config_.onJobAttempt(attempt);
-    const JobRequest& req = job->request;
-    const Grid grid(req.gridRows, req.gridCols);
-    std::optional<FaultMap> faults;
-    if (!req.faults.empty()) {
-      faults.emplace(grid);
-      for (const std::string& spec : req.faults) {
-        applyFaultSpec(*faults, spec);
-      }
-    }
-    std::optional<Experiment> exp;
-    if (faults.has_value()) {
-      exp.emplace(req.trace, grid, *faults, req.config);
-    } else {
-      exp.emplace(req.trace, grid, req.config);
-    }
-    DataSchedule schedule = exp->schedule(req.method);
-    if (faults.has_value()) {
-      // Fault-oblivious methods (the baselines) can legally return here
-      // with data on dead processors; refuse to serve such a schedule.
-      const VerifyReport report =
-          verifyScheduleFaults(schedule, exp->refs(), exp->costModel());
-      if (!report.ok()) {
-        throw UnreachableError(
-            "schedule violates the fault state (" +
-            std::to_string(report.issues.size()) + " issue(s), first: " +
-            report.issues.front().detail + ")");
-      }
-    }
-    result = std::make_shared<JobResult>();
-    result->eval = evaluateSchedule(schedule, exp->refs(), exp->costModel(),
-                                    req.config.threads);
-    std::ostringstream os;
-    saveSchedule(schedule, os);
-    result->scheduleText = std::move(os).str();
+    result = executeJobRequest(job->request);
     result->digest = job->digest;
   } catch (...) {
     error = classifyJobError(std::current_exception());

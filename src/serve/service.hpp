@@ -37,6 +37,20 @@ struct JobRequest {
   /// verified against the fault state before completing.
   std::vector<std::string> faults;
 
+  /// Owning tenant for multi-tenant admission (fleet layer). Folded into
+  /// the job digest (length-prefixed, like faults), so two tenants
+  /// submitting byte-identical work keep separate result-cache entries
+  /// and never coalesce across the tenant boundary. Empty = the default
+  /// tenant; single-tenant deployments never set it.
+  std::string tenant;
+
+  /// Marks bulk (throughput) work for the fleet's batch/serve mode
+  /// switch: batch jobs only dispatch while the latency-sensitive serve
+  /// backlog is drained below the configured threshold. Not part of the
+  /// digest — batching is a dispatch policy, not a different answer.
+  /// Ignored outside FleetService.
+  bool batch = false;
+
   /// Higher runs first; FIFO within a priority level.
   int priority = 0;
   /// Milliseconds from submission after which a still-queued job is
@@ -109,11 +123,40 @@ struct ServiceStats {
 };
 
 /// Content address of a job: mixes traceDigest, configDigest, the grid
-/// shape, the method and the fault specs, so two submissions that must
-/// produce identical schedules share one digest (and one result-cache
-/// entry) while any input that can change the answer changes it — a
-/// faulted job never aliases the healthy-mesh result.
+/// shape, the method, the fault specs and the tenant, so two submissions
+/// that must produce identical schedules share one digest (and one
+/// result-cache entry) while any input that can change the answer — or
+/// cross a tenant isolation boundary — changes it; a faulted job never
+/// aliases the healthy-mesh result.
 [[nodiscard]] Digest jobDigest(const JobRequest& request);
+
+/// Failure taxonomy of a job run. Transient failures ("internal") are
+/// retried once by the services; everything else is a property of the
+/// request and fails immediately with a structured kind.
+struct JobError {
+  std::string message;
+  std::string kind;  ///< "unreachable" | "infeasible" | "invalid" | "internal"
+  bool transient = false;
+};
+
+/// Classifies the in-flight exception of a failed job run. Shared by
+/// SchedulingService and FleetService so both report the same error_kind
+/// vocabulary and retry policy.
+[[nodiscard]] JobError classifyJobError(const std::exception_ptr& ep);
+
+/// The scheduling pipeline of one job, shared by every service: build the
+/// grid, apply `arrayFaults` (the hosting array's standing faults, fleet
+/// path only) then the request's own fault specs, schedule, verify against
+/// the fault state when any fault is present, evaluate, serialize. Throws
+/// on failure (classify with classifyJobError). With empty `arrayFaults`
+/// this is byte-for-byte the non-fleet execution path, which is what makes
+/// a single-healthy-array fleet bit-identical to SchedulingService.
+/// Fills eval/scheduleText; digest/wait/run stamps are the caller's.
+[[nodiscard]] std::shared_ptr<JobResult> executeJobRequest(
+    const JobRequest& request,
+    const std::vector<std::string>& arrayFaults = {});
+
+class Json;
 
 /// The serving surface the protocol layer talks to. SchedulingService is
 /// the single-queue implementation; ShardedService (serve/sharded.hpp)
@@ -129,6 +172,10 @@ class JobService {
       JobId id, bool wait = true) = 0;
   virtual bool cancel(JobId id) = 0;
   [[nodiscard]] virtual ServiceStats stats() const = 0;
+  /// Appends implementation-specific fields to a protocol stats reply —
+  /// per-shard queue depths for the sharded front end, per-array and
+  /// per-tenant breakdowns for the fleet. Default adds nothing.
+  virtual void statsExtra(Json& reply) const;
   /// Stops accepting submissions and blocks until every accepted job has
   /// reached a terminal state. Idempotent.
   virtual void drain() = 0;

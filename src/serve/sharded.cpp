@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/obs.hpp"
+#include "serve/json.hpp"
 
 namespace pimsched::serve {
 
@@ -46,10 +47,18 @@ unsigned ShardRing::shardFor(const Digest& digest) const {
 ShardedService::ShardedService() : ShardedService(Config()) {}
 
 ShardedService::ShardedService(Config config)
-    : ring_(config.shards == 0 ? 1 : config.shards) {
+    : ring_(config.shards == 0 ? 1 : config.shards),
+      lastQueued_(ring_.shards()) {
   shards_.reserve(ring_.shards());
   for (unsigned s = 0; s < ring_.shards(); ++s) {
     shards_.push_back(std::make_unique<SchedulingService>(config.shard));
+#ifndef PIMSCHED_NO_OBS
+    const std::string prefix = "serve.shard." + std::to_string(s);
+    jobsCounters_.push_back(
+        &obs::Registry::instance().counter(prefix + ".jobs"));
+    queuedCounters_.push_back(
+        &obs::Registry::instance().counter(prefix + ".queued"));
+#endif
   }
 }
 
@@ -59,7 +68,10 @@ SubmitOutcome ShardedService::submit(JobRequest request) {
   if (!request.trace.finalized()) request.trace.finalize();
   const Digest digest = jobDigest(request);
   const unsigned shard = ring_.shardFor(digest);
-  PIMSCHED_COUNTER_ADD("serve.shard." + std::to_string(shard) + ".jobs", 1);
+  // Per-shard handle resolved at construction: the PIMSCHED_COUNTER_ADD
+  // macro caches one static handle per call site, which with a dynamic
+  // name would credit every submission to the first shard seen.
+  if (!jobsCounters_.empty()) jobsCounters_[shard]->add(1);
   SubmitOutcome outcome =
       shards_[shard]->submitWithDigest(std::move(request), digest);
   if (outcome.accepted) {
@@ -102,11 +114,26 @@ bool ShardedService::cancel(JobId id) {
   return shard != nullptr && shard->cancel(inner);
 }
 
+void ShardedService::refreshQueuedGauges(
+    const std::vector<ServiceStats>& perShard) const {
+  if (queuedCounters_.empty()) return;
+  for (std::size_t i = 0; i < perShard.size(); ++i) {
+    const auto depth = static_cast<std::int64_t>(perShard[i].queueDepth);
+    // Exchange-then-delta keeps concurrent refreshes telescoping to the
+    // latest observed depth instead of double-counting.
+    const std::int64_t prev = lastQueued_[i].exchange(depth);
+    if (depth != prev) queuedCounters_[i]->add(depth - prev);
+  }
+}
+
 ServiceStats ShardedService::stats() const {
+  std::vector<ServiceStats> perShard;
+  perShard.reserve(shards_.size());
+  for (const auto& shard : shards_) perShard.push_back(shard->stats());
+  refreshQueuedGauges(perShard);
   ServiceStats total;
   total.shards = ring_.shards();
-  for (const auto& shard : shards_) {
-    const ServiceStats s = shard->stats();
+  for (const ServiceStats& s : perShard) {
     total.queueDepth += s.queueDepth;
     total.running += s.running;
     total.accepted += s.accepted;
@@ -121,6 +148,25 @@ ServiceStats ShardedService::stats() const {
     total.cacheEntries += s.cacheEntries;
   }
   return total;
+}
+
+void ShardedService::statsExtra(Json& reply) const {
+  std::vector<ServiceStats> perShard;
+  perShard.reserve(shards_.size());
+  for (const auto& shard : shards_) perShard.push_back(shard->stats());
+  refreshQueuedGauges(perShard);
+  Json::Array detail;
+  for (std::size_t i = 0; i < perShard.size(); ++i) {
+    const ServiceStats& s = perShard[i];
+    Json::Object row;
+    row.emplace("shard", Json(static_cast<std::int64_t>(i)));
+    row.emplace("queued", Json(static_cast<std::int64_t>(s.queueDepth)));
+    row.emplace("running", Json(static_cast<std::int64_t>(s.running)));
+    row.emplace("accepted", Json(s.accepted));
+    row.emplace("completed", Json(s.completed));
+    detail.push_back(Json(std::move(row)));
+  }
+  reply.set("shard_detail", Json(std::move(detail)));
 }
 
 void ShardedService::drain() {

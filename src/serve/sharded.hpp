@@ -1,9 +1,11 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "serve/service.hpp"
 
 namespace pimsched::serve {
@@ -43,7 +45,12 @@ class ShardRing {
 /// S shards with queue depth Q and concurrency C admits up to S*Q queued
 /// and S*C running jobs.
 ///
-/// Counters: serve.shard.<i>.jobs counts submissions routed to shard i.
+/// Counters: serve.shard.<i>.jobs counts submissions routed to shard i;
+/// serve.shard.<i>.queued is a gauge tracking shard i's queue depth as of
+/// the last stats() call, so fleet rebalancing and the load harness can
+/// observe imbalance. The handles are resolved once per shard at
+/// construction (the macro's per-call-site static cannot carry a dynamic
+/// name).
 class ShardedService : public JobService {
  public:
   struct Config {
@@ -66,6 +73,10 @@ class ShardedService : public JobService {
   bool cancel(JobId id) override;
   /// Sums across shards; `shards` reports the pool size.
   [[nodiscard]] ServiceStats stats() const override;
+  /// Adds a "shard_detail" array (per-shard queued/running/accepted/
+  /// completed) to a protocol stats reply and refreshes the
+  /// serve.shard.<i>.queued gauges.
+  void statsExtra(Json& reply) const override;
   void drain() override;
 
   [[nodiscard]] unsigned shards() const { return ring_.shards(); }
@@ -76,8 +87,19 @@ class ShardedService : public JobService {
   [[nodiscard]] SchedulingService* shardForId(JobId id,
                                               JobId* inner) const;
 
+  /// Refreshes the serve.shard.<i>.queued gauges from fresh per-shard
+  /// stats (no-op under PIMSCHED_NO_OBS).
+  void refreshQueuedGauges(const std::vector<ServiceStats>& perShard) const;
+
   ShardRing ring_;
   std::vector<std::unique_ptr<SchedulingService>> shards_;
+  /// Per-shard obs handles, resolved once at construction (empty under
+  /// PIMSCHED_NO_OBS).
+  std::vector<obs::Counter*> jobsCounters_;
+  std::vector<obs::Counter*> queuedCounters_;
+  /// Last queue depth pushed into each queued gauge; exchanged atomically
+  /// so concurrent stats() calls apply telescoping deltas.
+  mutable std::vector<std::atomic<std::int64_t>> lastQueued_;
 };
 
 }  // namespace pimsched::serve

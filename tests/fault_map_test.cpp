@@ -7,6 +7,7 @@
 
 #include "fault/distance_map.hpp"
 #include "fault/fault_trace.hpp"
+#include "obs/obs.hpp"
 #include "pim/memory.hpp"
 
 namespace pimsched {
@@ -205,6 +206,61 @@ TEST(FaultSpec, EveryFormApplies) {
   EXPECT_EQ(u.deadProcCount(), 3);
   applyFaultSpec(u, "uniform-links:2@7");
   EXPECT_EQ(u.deadLinkCount(), 2);
+}
+
+TEST(FaultMap, MutationsBumpOnlyOnEffectiveChanges) {
+  const Grid g(4, 4);
+  FaultMap f(g);
+  EXPECT_EQ(f.mutations(), 0);
+  f.killProc(5);
+  EXPECT_EQ(f.mutations(), 1);
+  f.killProc(5);  // already dead: no state change
+  EXPECT_EQ(f.mutations(), 1);
+  f.killLink(0, 1);
+  EXPECT_EQ(f.mutations(), 2);
+  f.killLink(0, 1);
+  EXPECT_EQ(f.mutations(), 2);
+  f.limitCapacity(7, 3);
+  EXPECT_EQ(f.mutations(), 3);
+  f.limitCapacity(7, 5);  // looser than the current bound: ignored
+  EXPECT_EQ(f.mutations(), 3);
+  f.limitCapacity(7, 1);  // tighter: counts
+  EXPECT_EQ(f.mutations(), 4);
+  f.clear();
+  EXPECT_EQ(f.mutations(), 5);
+  f.clear();  // nothing left to remove
+  EXPECT_EQ(f.mutations(), 5);
+}
+
+TEST(FaultSpec, DuplicateSpecsReturnFalseAndAreCounted) {
+  const Grid g(4, 4);
+  FaultMap f(g);
+#ifndef PIMSCHED_NO_OBS
+  const std::int64_t before =
+      obs::Registry::instance().counterValue("fault.spec.duplicates");
+#endif
+  EXPECT_TRUE(applyFaultSpec(f, "proc:5"));
+  EXPECT_FALSE(applyFaultSpec(f, "proc:5"));  // no-op: proc 5 already dead
+  EXPECT_TRUE(applyFaultSpec(f, "row:1"));
+  // row:1 killed procs 4..7, so this region adds nothing new.
+  EXPECT_FALSE(applyFaultSpec(f, "region:1,0,1,3"));
+  EXPECT_TRUE(applyFaultSpec(f, "cap:0=2"));
+  EXPECT_FALSE(applyFaultSpec(f, "cap:0=3"));  // looser bound: no-op
+  EXPECT_TRUE(applyFaultSpec(f, "cap:0=1"));
+#ifndef PIMSCHED_NO_OBS
+  const std::int64_t after =
+      obs::Registry::instance().counterValue("fault.spec.duplicates");
+  EXPECT_EQ(after - before, 3);
+#endif
+}
+
+TEST(FaultSpec, PartialOverlapStillCountsAsAChange) {
+  const Grid g(4, 4);
+  FaultMap f(g);
+  EXPECT_TRUE(applyFaultSpec(f, "proc:5"));
+  // region 1,1..2,2 covers the dead proc 5 plus three live ones: the spec
+  // changes the map, so it is not a duplicate.
+  EXPECT_TRUE(applyFaultSpec(f, "region:1,1,2,2"));
 }
 
 TEST(FaultSpec, MalformedSpecsThrow) {

@@ -287,6 +287,68 @@ TEST(Protocol, SubmitValidationNamesTheBadField) {
   (void)trace;
 }
 
+TEST(Protocol, TenantFieldIsValidatedAndFoldedIntoTheDigest) {
+  SchedulingService service;
+  ProtocolHandler handler(service);
+
+  Json plain = submitRequest();
+  const Json anonymous = call(handler, plain.dump());
+  EXPECT_TRUE(anonymous.find("ok")->asBool());
+
+  Json tenantA = submitRequest();
+  tenantA.set("tenant", "team-a.prod_1");
+  const Json a = call(handler, tenantA.dump());
+  EXPECT_TRUE(a.find("ok")->asBool());
+  // Same work, different tenant: the digest differs, so neither the
+  // anonymous nor the other tenant's cache entry is served.
+  EXPECT_FALSE(a.find("cached")->asBool());
+  EXPECT_NE(a.find("digest")->asString(),
+            anonymous.find("digest")->asString());
+
+  Json tenantARepeat = submitRequest();
+  tenantARepeat.set("tenant", "team-a.prod_1");
+  const Json repeat = call(handler, tenantARepeat.dump());
+  EXPECT_TRUE(repeat.find("cached")->asBool());
+  EXPECT_EQ(repeat.find("digest")->asString(), a.find("digest")->asString());
+
+  Json badChars = submitRequest();
+  badChars.set("tenant", "team a");
+  EXPECT_NE(expectError(handler, badChars.dump()).find("tenant"),
+            std::string::npos);
+  Json tooLong = submitRequest();
+  tooLong.set("tenant", std::string(65, 'x'));
+  EXPECT_NE(expectError(handler, tooLong.dump()).find("tenant"),
+            std::string::npos);
+  Json numericTenant = submitRequest();
+  numericTenant.set("tenant", 7);
+  EXPECT_NE(expectError(handler, numericTenant.dump()).find("tenant"),
+            std::string::npos);
+}
+
+TEST(Protocol, BatchFlagIsAcceptedAndDoesNotChangeTheDigest) {
+  SchedulingService service;
+  ProtocolHandler handler(service);
+
+  Json plain = submitRequest();
+  const Json first = call(handler, plain.dump());
+  EXPECT_TRUE(first.find("ok")->asBool());
+
+  // Batch marks a dispatch class, not different work: outside a fleet the
+  // flag is inert and the cached answer still matches.
+  Json batched = submitRequest();
+  batched.set("batch", true);
+  const Json second = call(handler, batched.dump());
+  EXPECT_TRUE(second.find("ok")->asBool());
+  EXPECT_TRUE(second.find("cached")->asBool());
+  EXPECT_EQ(second.find("digest")->asString(),
+            first.find("digest")->asString());
+
+  Json badBatch = submitRequest();
+  badBatch.set("batch", "yes");
+  EXPECT_NE(expectError(handler, badBatch.dump()).find("batch"),
+            std::string::npos);
+}
+
 TEST(Protocol, OversizedGridsAreAProtocolErrorNotAnAllocation) {
   SchedulingService service;
   ProtocolHandler handler(service);

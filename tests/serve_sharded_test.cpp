@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <future>
 #include <set>
 #include <thread>
 #include <vector>
 
+#include "obs/obs.hpp"
+#include "serve/json.hpp"
 #include "serve/service.hpp"
 
 namespace pimsched::serve {
@@ -159,6 +162,50 @@ TEST(ShardedService, CoalescingWorksThroughTheShardRouter) {
   // One leader ran; everyone else coalesced or hit the cache.
   EXPECT_EQ(stats.cacheMisses - stats.coalesced, 1);
   EXPECT_EQ(1 + stats.coalesced + stats.cacheHits, kThreads);
+}
+
+TEST(ShardedService, StatsExtraReportsPerShardQueueDepths) {
+  // Park the single worker of the single shard so queued depth is exact.
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  ShardedService::Config config;
+  config.shards = 1;
+  config.shard.concurrency = 1;
+  config.shard.onJobAttempt = [released](int) { released.wait(); };
+  ShardedService service(config);
+
+#ifndef PIMSCHED_NO_OBS
+  const std::int64_t base =
+      obs::Registry::instance().counterValue("serve.shard.0.queued");
+#endif
+  ASSERT_TRUE(service.submit(makeRequest(4, 4)).accepted);  // runs, parked
+  ASSERT_TRUE(service.submit(makeRequest(4, 5)).accepted);
+  ASSERT_TRUE(service.submit(makeRequest(4, 6)).accepted);
+
+  Json reply = Json(Json::Object{});
+  service.statsExtra(reply);
+  const Json* detail = reply.find("shard_detail");
+  ASSERT_NE(detail, nullptr);
+  ASSERT_EQ(detail->asArray().size(), 1u);
+  const Json& row = detail->asArray()[0];
+  EXPECT_EQ(row.find("shard")->asInt64(), 0);
+  EXPECT_EQ(row.find("queued")->asInt64(), 2);
+  EXPECT_EQ(row.find("running")->asInt64(), 1);
+  EXPECT_EQ(row.find("accepted")->asInt64(), 3);
+#ifndef PIMSCHED_NO_OBS
+  // The gauge tracks the depth observed by the refresh, as a delta over
+  // whatever a previous service instance left behind.
+  EXPECT_EQ(obs::Registry::instance().counterValue("serve.shard.0.queued"),
+            base + 2);
+#endif
+
+  release.set_value();
+  service.drain();
+  (void)service.stats();  // refresh after drain telescopes the gauge back down
+#ifndef PIMSCHED_NO_OBS
+  EXPECT_EQ(obs::Registry::instance().counterValue("serve.shard.0.queued"),
+            base);
+#endif
 }
 
 TEST(ShardedService, DrainFinishesEveryShardThenRejects) {
