@@ -9,6 +9,7 @@
 //   serve_load (--socket PATH | --tcp HOST:PORT) [--clients N]
 //              [--requests N] [--smoke] [--out FILE] [--no-storm]
 //              [--tenants N] [--arrays N] [--starve-ms MS]
+//              [--chaos] [--chaos-seed N]
 //
 // Closed loop: every client waits for its reply before sending the next
 // request, so offered load adapts to what the daemon sustains (the
@@ -27,6 +28,20 @@
 // request's latency exceeded MS (a starvation bound). The coalescing
 // storm is skipped automatically when --tenants/--arrays is given — the
 // fleet path trades coalescing for multi-array placement.
+//
+// --chaos (fleet daemons only) turns the run into a live fault-drift
+// drill. A seeded injector thread flips interior-processor faults on and
+// off every array except the first (the safe harbor that keeps the fleet
+// placeable) WHILE the mixed load runs; every reply must still say
+// state "done". After the load, a migration drill queues a burst of
+// distinct async jobs, partitions one array (row:1 quarantines it), and
+// then result-waits every burst job: queued plans must migrate and
+// in-flight work must reconcile or requeue — zero lost jobs. The run
+// exits nonzero unless every job completed, the daemon counted zero
+// stale-served results, at least one drift event landed and the
+// rebalancer did nonzero work. Chaos output defaults to
+// results/bench_chaos.json; --chaos-seed makes the schedule reproducible
+// (default 20260809).
 
 #include <arpa/inet.h>
 #include <netdb.h>
@@ -40,6 +55,7 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <cstdint>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -207,8 +223,11 @@ std::string submitLine(const std::string& traceStr, const std::string& grid,
 /// The mixed-traffic job set: several kernels and sizes, a spread of
 /// methods from cheap baselines to full GOMCDS, two priority levels and a
 /// couple of faulted variants — roughly what a multi-tenant front end
-/// sees. Deterministic, so runs are comparable.
-std::vector<MixJob> buildMix(bool smoke) {
+/// sees. Deterministic, so runs are comparable. `faultAwareOnly` drops
+/// the fault-oblivious baselines (scds, rowwise): under live drift those
+/// are correctly REFUSED on a faulted array — a different guarantee than
+/// the zero-lost-jobs one the chaos run measures.
+std::vector<MixJob> buildMix(bool smoke, bool faultAwareOnly) {
   const Grid grid(4, 4);
   const int small = smoke ? 8 : 12;
   const int large = smoke ? 12 : 20;
@@ -225,14 +244,18 @@ std::vector<MixJob> buildMix(bool smoke) {
                  submitLine(matSmall, "4x4", "gomcds", 8, 0, {})});
   mix.push_back({"mat-large-gomcds",
                  submitLine(matLarge, "4x4", "gomcds", 8, 0, {})});
-  mix.push_back({"mat-small-scds",
-                 submitLine(matSmall, "4x4", "scds", 8, 1, {})});
+  if (!faultAwareOnly) {
+    mix.push_back({"mat-small-scds",
+                   submitLine(matSmall, "4x4", "scds", 8, 1, {})});
+  }
   mix.push_back({"lu-gomcds", submitLine(lu, "4x4", "gomcds", 8, 0, {})});
   mix.push_back({"lu-lomcds", submitLine(lu, "4x4", "lomcds", 8, 2, {})});
   mix.push_back({"irregular-gomcds",
                  submitLine(irregular, "4x4", "gomcds", 8, 0, {})});
-  mix.push_back({"mat-small-rowwise",
-                 submitLine(matSmall, "4x4", "rowwise", 8, 0, {})});
+  if (!faultAwareOnly) {
+    mix.push_back({"mat-small-rowwise",
+                   submitLine(matSmall, "4x4", "rowwise", 8, 0, {})});
+  }
   mix.push_back({"mat-faulted-gomcds",
                  submitLine(matSmall, "4x4", "gomcds", 8, 1,
                             {"proc:5", "link:0-1"})});
@@ -262,6 +285,28 @@ std::int64_t statField(const Json& stats, const std::string& key) {
   return v == nullptr ? 0 : v->asInt64();
 }
 
+/// Sends a fault-inject (or, with no specs, a heal) for `array` and
+/// throws on a rejected reply — a failed drift RPC fails the chaos run.
+Json driftRpc(Connection& conn, const std::string& array,
+              const std::vector<std::string>& faults) {
+  Json request;
+  request.set("verb", faults.empty() ? "heal" : "fault-inject")
+      .set("array", array);
+  if (!faults.empty()) {
+    Json::Array specs;
+    for (const std::string& f : faults) specs.push_back(Json(f));
+    request.set("faults", Json(std::move(specs)));
+  }
+  const Json reply = conn.request(request.dump());
+  const Json* ok = reply.find("ok");
+  if (ok == nullptr || !ok->isBool() || !ok->asBool()) {
+    throw std::runtime_error(std::string(faults.empty() ? "heal"
+                                                        : "fault-inject") +
+                             " rejected on " + array + ": " + reply.dump());
+  }
+  return reply;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -273,6 +318,10 @@ int main(int argc, char** argv) {
   int tenants = 0;
   int expectArrays = 0;
   double starveMs = 0;
+  bool chaos = false;
+  std::uint64_t chaosSeed = 20260809;
+  std::int64_t chaosSettleMs = 2500;
+  bool outGiven = false;
   std::string outPath = "results/bench_serve.json";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -299,6 +348,13 @@ int main(int argc, char** argv) {
       starveMs = std::stod(argv[++i]);
     } else if (arg == "--out" && i + 1 < argc) {
       outPath = argv[++i];
+      outGiven = true;
+    } else if (arg == "--chaos") {
+      chaos = true;
+    } else if (arg == "--chaos-seed" && i + 1 < argc) {
+      chaosSeed = std::stoull(argv[++i]);
+    } else if (arg == "--chaos-settle-ms" && i + 1 < argc) {
+      chaosSettleMs = std::stoll(argv[++i]);
     } else if (arg == "--smoke") {
       smoke = true;
     } else if (arg == "--no-storm") {
@@ -307,13 +363,15 @@ int main(int argc, char** argv) {
       std::cerr << "usage: serve_load (--socket PATH | --tcp HOST:PORT) "
                    "[--clients N] [--requests N] [--smoke] [--out FILE] "
                    "[--no-storm] [--tenants N] [--arrays N] "
-                   "[--starve-ms MS]\n";
+                   "[--starve-ms MS] [--chaos] [--chaos-seed N] "
+                   "[--chaos-settle-ms MS]\n";
       return 2;
     }
   }
   // The fleet path has no cross-submission coalescing (placement spans
   // arrays instead), so the storm's exactly-one-run gate does not apply.
-  if (tenants > 0 || expectArrays > 0) storm = false;
+  if (tenants > 0 || expectArrays > 0 || chaos) storm = false;
+  if (chaos && !outGiven) outPath = "results/bench_chaos.json";
   if (endpoint.socketPath.empty() && endpoint.tcpPort < 0) {
     std::cerr << "error: need --socket PATH or --tcp HOST:PORT (a live "
                  "pimsched_served daemon)\n";
@@ -323,8 +381,38 @@ int main(int argc, char** argv) {
   if (requestsPerClient <= 0) requestsPerClient = smoke ? 6 : 25;
 
   try {
+    // ---- Chaos pre-flight: learn the fleet topology. -----------------
+    // The first array the daemon lists is the safe harbor — never
+    // injected, so the fleet always has somewhere admissible to place
+    // work while the others drift.
+    std::vector<std::string> chaosTargets;
+    if (chaos) {
+      Connection conn(endpoint);
+      const Json statsReply = conn.request(R"({"verb":"stats"})");
+      const Json* fleet = statsReply.find("fleet");
+      const Json* fleetArrays =
+          fleet != nullptr ? fleet->find("arrays") : nullptr;
+      if (fleetArrays == nullptr || !fleetArrays->isArray() ||
+          fleetArrays->asArray().size() < 2) {
+        std::cerr << "error: --chaos needs a fleet daemon with at least "
+                     "2 arrays (start it with --fleet "
+                     "\"a0=4x4;a1=4x4;a2=4x4\")\n";
+        return 1;
+      }
+      bool first = true;
+      for (const Json& row : fleetArrays->asArray()) {
+        const Json* name = row.find("name");
+        if (name == nullptr) continue;
+        if (first) {
+          first = false;
+          continue;
+        }
+        chaosTargets.push_back(name->asString());
+      }
+    }
+
     // ---- Phase 1: mixed closed-loop traffic. -------------------------
-    const std::vector<MixJob> mix = buildMix(smoke);
+    const std::vector<MixJob> mix = buildMix(smoke, chaos);
     // Per-tenant variants of the mix: client c submits as tenant
     // "t<c mod tenants>" so a fleet daemon's fair-share admission has
     // competing queues to arbitrate.
@@ -347,6 +435,46 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(clients));
     std::atomic<int> okReplies{0};
     std::atomic<int> cacheHits{0};
+
+    // ---- Chaos injector: flips faults WHILE the load runs. -----------
+    std::atomic<bool> chaosStop{false};
+    std::atomic<std::int64_t> chaosInjects{0};
+    std::atomic<std::int64_t> chaosHeals{0};
+    std::string chaosThreadError;
+    std::thread chaosThread;
+    if (chaos) {
+      chaosThread = std::thread([&] {
+        try {
+          Connection conn(endpoint);
+          std::uint64_t lcg = chaosSeed;
+          const auto rnd = [&lcg](std::uint64_t mod) -> std::uint64_t {
+            lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+            return (lcg >> 33) % mod;
+          };
+          // Interior processors of a 4x4: killing any single one cannot
+          // partition the mesh even combined with the mix's own fault
+          // specs, so mid-run drift degrades arrays without stranding
+          // whatever is running on them.
+          const int interior[] = {5, 6, 9, 10};
+          while (!chaosStop.load(std::memory_order_acquire)) {
+            const std::string& victim =
+                chaosTargets[rnd(chaosTargets.size())];
+            const std::string spec =
+                "proc:" + std::to_string(interior[rnd(4)]);
+            driftRpc(conn, victim, {spec});
+            chaosInjects.fetch_add(1, std::memory_order_relaxed);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20 + rnd(40)));
+            driftRpc(conn, victim, {});
+            chaosHeals.fetch_add(1, std::memory_order_relaxed);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10 + rnd(30)));
+          }
+        } catch (const std::exception& e) {
+          chaosThreadError = e.what();
+        }
+      });
+    }
 
     const Clock::time_point wallStart = Clock::now();
     std::vector<std::thread> pool;
@@ -376,6 +504,16 @@ int main(int argc, char** argv) {
               throw std::runtime_error("request failed (" + job.name +
                                        "): " + reply.dump());
             }
+            if (chaos) {
+              // A failed job still replies ok:true with state "failed";
+              // under drift "no protocol errors" is not enough — every
+              // job must actually complete.
+              const Json* state = reply.find("state");
+              if (state == nullptr || state->asString() != "done") {
+                throw std::runtime_error("job not done under chaos (" +
+                                         job.name + "): " + reply.dump());
+              }
+            }
             latencies[static_cast<std::size_t>(c)].push_back(ms);
             okReplies.fetch_add(1, std::memory_order_relaxed);
             const Json* hit = reply.find("cache_hit");
@@ -391,6 +529,24 @@ int main(int argc, char** argv) {
     for (std::thread& t : pool) t.join();
     const double wallS =
         std::chrono::duration<double>(Clock::now() - wallStart).count();
+
+    if (chaosThread.joinable()) {
+      chaosStop.store(true, std::memory_order_release);
+      chaosThread.join();
+    }
+    if (chaos) {
+      // Leave the fleet healthy for the drill, wherever the injector's
+      // inject/heal cycle happened to stop (healing a healthy array is a
+      // no-op).
+      Connection conn(endpoint);
+      for (const std::string& target : chaosTargets) {
+        driftRpc(conn, target, {});
+      }
+      if (!chaosThreadError.empty()) {
+        std::cerr << "error: chaos injector: " << chaosThreadError << "\n";
+        return 1;
+      }
+    }
 
     for (int c = 0; c < clients; ++c) {
       if (!clientErrors[static_cast<std::size_t>(c)].empty()) {
@@ -498,6 +654,145 @@ int main(int argc, char** argv) {
       return 1;
     }
 
+    // ---- Chaos migration drill: partition an array under load. -------
+    // Queue a burst of distinct async jobs, then partition one target
+    // array. Its queued plans must migrate and its in-flight work must
+    // reconcile or requeue; every burst job must still reach "done".
+    // This is the zero-lost-jobs proof.
+    std::int64_t drillJobs = 0;
+    std::int64_t drillRequeued = 0, drillInvalidated = 0;
+    std::size_t drillBurst = 0;
+    if (chaos) {
+      Connection conn(endpoint);
+      // Plug jobs are big enough to pin every execution slot for tens of
+      // milliseconds, so the burst queued behind them is still planned —
+      // not yet running — when the partition lands. A unique loose
+      // capacity fault per job keeps every digest fresh, so nothing
+      // short-circuits via the cache.
+      const Grid grid(4, 4);
+      const std::string plugTrace =
+          traceText(PaperBenchmark::kMatSquare, grid, 32);
+      const std::string drillTrace =
+          traceText(PaperBenchmark::kMatSquare, grid, smoke ? 16 : 24);
+      const auto rebalanceActivity = [&conn]() -> std::int64_t {
+        const Json statsReply = conn.request(R"({"verb":"stats"})");
+        const Json* fleet = statsReply.find("fleet");
+        const Json* reb =
+            fleet != nullptr ? fleet->find("rebalance") : nullptr;
+        if (reb == nullptr) return 0;
+        return statField(*reb, "requeued") + statField(*reb, "kept") +
+               statField(*reb, "repaired") + statField(*reb, "resolved");
+      };
+      const std::int64_t activityBefore = rebalanceActivity();
+      const int burst = std::max(clients * 3, 12);
+      // Submit-then-partition races against a fast fleet draining the
+      // burst first; fresh digests per attempt let the drill just retry.
+      for (int attempt = 0; attempt < 3; ++attempt) {
+        // Let the mid-run injector's degradations expire (health
+        // re-admission is hysteretic — default cooldown 2 s; match the
+        // daemon's --health-cooldown-ms here), so the burst spreads over
+        // the whole fleet again instead of piling onto the safe harbor.
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(chaosSettleMs));
+        // Fan the submissions out over parallel connections: sequential
+        // submits would hand the fleet one job per RPC round-trip —
+        // frame parsing dominates with these trace sizes — and it would
+        // drain each one before the next arrives, leaving nothing
+        // queued for the partition to displace.
+        const int plugs = std::max(clients * 2, 8);
+        const int jobs = plugs + burst;
+        std::vector<std::int64_t> submitted(
+            static_cast<std::size_t>(jobs), -1);
+        std::vector<std::thread> submitters;
+        submitters.reserve(static_cast<std::size_t>(jobs));
+        for (int b = 0; b < jobs; ++b) {
+          submitters.emplace_back([&, b] {
+            try {
+              Json request = Json::parse(submitLine(
+                  b < plugs ? plugTrace : drillTrace, "4x4", "gomcds", 8,
+                  0, {"cap:3=" + std::to_string(64 + attempt * 100 + b)}));
+              request.set("wait", false);
+              if (tenants > 0) {
+                request.set("tenant", "t" + std::to_string(b % tenants));
+              }
+              Connection subConn(endpoint);
+              const Json reply = subConn.request(request.dump());
+              const Json* ok = reply.find("ok");
+              const Json* id = reply.find("id");
+              // A rejected submit is backpressure, not loss — skip it.
+              if (ok != nullptr && ok->isBool() && ok->asBool() &&
+                  id != nullptr) {
+                submitted[static_cast<std::size_t>(b)] = id->asInt64();
+              }
+            } catch (const std::exception&) {
+              // Dropped submission: nothing to wait for, nothing lost.
+            }
+          });
+        }
+        // Give the fan-out a moment to land real work, then partition
+        // whichever target currently holds the most planned and running
+        // jobs — the array whose work must migrate — while submissions
+        // are still in flight.
+        std::this_thread::sleep_for(std::chrono::milliseconds(40));
+        std::string target = chaosTargets[0];
+        {
+          const Json statsReply = conn.request(R"({"verb":"stats"})");
+          const Json* fleet = statsReply.find("fleet");
+          const Json* arrays =
+              fleet != nullptr ? fleet->find("arrays") : nullptr;
+          std::int64_t best = -1;
+          if (arrays != nullptr && arrays->isArray()) {
+            for (const Json& row : arrays->asArray()) {
+              const Json* name = row.find("name");
+              if (name == nullptr) continue;
+              const auto it = std::find(chaosTargets.begin(),
+                                        chaosTargets.end(),
+                                        name->asString());
+              if (it == chaosTargets.end()) continue;
+              const std::int64_t work =
+                  statField(row, "planned") + statField(row, "running");
+              if (work > best) {
+                best = work;
+                target = *it;
+              }
+            }
+          }
+        }
+        // row:1 severs row 0 from rows 2-3 of a 4x4: the array
+        // partitions and quarantines instantly, forcing the
+        // rebalancer's hand.
+        const Json inject = driftRpc(conn, target, {"row:1"});
+        drillRequeued += statField(inject, "requeued");
+        for (std::thread& t : submitters) t.join();
+        std::vector<std::int64_t> ids;
+        for (const std::int64_t id : submitted) {
+          if (id >= 0) ids.push_back(id);
+        }
+        drillBurst += ids.size();
+        drillInvalidated += statField(inject, "cache_invalidated");
+        for (const std::int64_t id : ids) {
+          Json wait;
+          wait.set("verb", "result").set("id", id).set("wait", true);
+          const Json reply = conn.request(wait.dump());
+          const Json* ok = reply.find("ok");
+          const Json* state = reply.find("state");
+          if (ok == nullptr || !ok->asBool() || state == nullptr ||
+              state->asString() != "done") {
+            std::cerr << "error: chaos drill lost job " << id << ": "
+                      << reply.dump() << "\n";
+            return 1;
+          }
+          ++drillJobs;
+        }
+        driftRpc(conn, target, {});
+        if (rebalanceActivity() > activityBefore) break;
+      }
+      std::cout << "chaos drill: " << drillJobs << "/" << drillBurst
+                << " burst jobs completed across the partition ("
+                << drillRequeued << " plans migrated, " << drillInvalidated
+                << " cache entries invalidated)\n";
+    }
+
     // ---- Phase 2: identical-job storm (coalescing proof). ------------
     // Every client concurrently submits the SAME job, one the daemon has
     // never seen (a weight nonce keeps the digest unique per run). If
@@ -588,6 +883,36 @@ int main(int argc, char** argv) {
                 << " coalesced, " << stormHits << " cache hits\n";
     }
 
+    // ---- Chaos verdict: daemon-side drift and rebalance counters. ----
+    std::int64_t driftEvents = 0, rebRequeued = 0, rebKept = 0,
+                 rebRepaired = 0, rebResolved = 0, rebInvalidated = 0,
+                 rebDrainRequeued = 0, rebStale = 0;
+    if (chaos) {
+      Connection conn(endpoint);
+      const Json statsReply = conn.request(R"({"verb":"stats"})");
+      const Json* fleet = statsReply.find("fleet");
+      const Json* reb =
+          fleet != nullptr ? fleet->find("rebalance") : nullptr;
+      if (reb == nullptr) {
+        std::cerr << "error: daemon reports no fleet rebalance stats\n";
+        return 1;
+      }
+      driftEvents = statField(*reb, "drift_events");
+      rebRequeued = statField(*reb, "requeued");
+      rebKept = statField(*reb, "kept");
+      rebRepaired = statField(*reb, "repaired");
+      rebResolved = statField(*reb, "resolved");
+      rebInvalidated = statField(*reb, "cache_invalidated");
+      rebDrainRequeued = statField(*reb, "drain_requeued");
+      rebStale = statField(*reb, "stale_served");
+      std::cout << "chaos: " << chaosInjects.load() << " injects, "
+                << chaosHeals.load() << " heals -> " << driftEvents
+                << " drift events, " << rebRequeued << " plans requeued, "
+                << rebKept << " kept, " << rebRepaired << " repaired, "
+                << rebResolved << " re-solved, " << rebStale
+                << " stale served\n";
+    }
+
     // ---- Emit JSON. --------------------------------------------------
     const auto parent = std::filesystem::path(outPath).parent_path();
     std::filesystem::create_directories(parent.empty() ? "." : parent);
@@ -641,6 +966,18 @@ int main(int argc, char** argv) {
           << stormCoalesced << ", \"cache_hits\": " << stormHits
           << "},\n";
     }
+    if (chaos) {
+      out << "  \"chaos\": {\"seed\": " << chaosSeed << ", \"injects\": "
+          << chaosInjects.load() << ", \"heals\": " << chaosHeals.load()
+          << ", \"drill_jobs\": " << drillJobs << ", \"drill_requeued\": "
+          << drillRequeued << ", \"drift_events\": " << driftEvents
+          << ", \"requeued\": " << rebRequeued << ", \"kept\": " << rebKept
+          << ", \"repaired\": " << rebRepaired << ", \"resolved\": "
+          << rebResolved << ", \"cache_invalidated\": " << rebInvalidated
+          << ", \"drain_requeued\": " << rebDrainRequeued
+          << ", \"stale_served\": " << rebStale
+          << ", \"lost_jobs\": 0},\n";
+    }
     out << "  \"ok\": true\n}\n";
     std::cout << "wrote " << outPath << "\n";
 
@@ -653,6 +990,24 @@ int main(int argc, char** argv) {
       std::cerr << "error: storm expected exactly 1 pipeline run, got "
                 << stormRuns << "\n";
       return 1;
+    }
+    if (chaos) {
+      if (chaosInjects.load() == 0 || driftEvents <= 0) {
+        std::cerr << "error: chaos run saw no drift (injects "
+                  << chaosInjects.load() << ", drift_events "
+                  << driftEvents << ")\n";
+        return 1;
+      }
+      if (rebStale != 0) {
+        std::cerr << "error: daemon served " << rebStale
+                  << " stale result(s) under drift\n";
+        return 1;
+      }
+      if (rebRequeued + rebKept + rebRepaired + rebResolved == 0) {
+        std::cerr << "error: chaos run exercised no rebalancing (nothing "
+                     "requeued, kept, repaired or re-solved)\n";
+        return 1;
+      }
     }
     return 0;
   } catch (const std::exception& e) {

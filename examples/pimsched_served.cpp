@@ -35,8 +35,16 @@
 //     --aging-limit N     aging boost cap in levels        (default 8)
 //     --drain-threshold N batch jobs start while the serve backlog is
 //                         <= N                             (default 0)
+//     --health-cooldown-ms MS
+//                         a quarantined array is re-admitted only after
+//                         MS of quiet with acceptable facts (default
+//                         2000; hysteresis against flapping arrays)
+//     --no-fault-inject   reject the fault-inject / heal admin verbs
 // In fleet mode --queue bounds the fleet-wide queue and --concurrency is
-// per array.
+// per array. Live fault drift: the fault-inject and heal verbs change an
+// array's fault state at runtime; the fleet migrates queued work,
+// reconciles in-flight results and invalidates stale cache entries — see
+// docs/fault-tolerance.md.
 //
 // At least one of --socket / --tcp is required; both may be given, and
 // the two endpoints serve the same shard pool (a job submitted over TCP
@@ -73,7 +81,8 @@ void printUsage(std::ostream& os) {
         "[--no-trace-files]\n"
         "       [--fleet SPEC] [--fleet-policy cost|roundrobin|leastloaded]\n"
         "       [--tenant-weight T=W]... [--tenant-quota N] [--aging-ms MS]\n"
-        "       [--aging-limit N] [--drain-threshold N]\n";
+        "       [--aging-limit N] [--drain-threshold N]\n"
+        "       [--health-cooldown-ms MS] [--no-fault-inject]\n";
 }
 
 }  // namespace
@@ -164,10 +173,14 @@ int main(int argc, char** argv) {
         fleetConfig.agingLimit = std::stoi(value());
       } else if (arg == "--drain-threshold") {
         fleetConfig.drainThreshold = std::stoul(value());
+      } else if (arg == "--health-cooldown-ms") {
+        fleetConfig.health.cooldownNs = std::stoll(value()) * 1'000'000;
       } else if (arg == "--max-frame") {
         serverOptions.protocol.maxFrameBytes = std::stoul(value());
       } else if (arg == "--no-trace-files") {
         serverOptions.protocol.allowTraceFiles = false;
+      } else if (arg == "--no-fault-inject") {
+        serverOptions.protocol.allowFaultInject = false;
       } else {
         parseError = "unknown option " + arg;
       }

@@ -27,6 +27,14 @@
 //     cancel ID
 //     stats
 //     shutdown
+//     inject ARRAY --fault SPEC [--fault SPEC]...
+//         live fault drift: injects the specs into the named array of a
+//         fleet daemon (wire verb "fault-inject"; "--inject" also
+//         accepted). The daemon migrates queued work, reconciles in-
+//         flight results and invalidates stale cache entries atomically.
+//     heal ARRAY
+//         rebuilds the named array from its boot spec, clearing every
+//         injected fault ("--heal" also accepted)
 //
 // --retries N retries transport failures (connect/read/write, e.g. the
 // daemon is still starting) up to N times with exponential backoff
@@ -73,7 +81,8 @@ void printUsage(std::ostream& os) {
         "[--batch]\n"
         "         [--wait] [--schedule] [--inline]\n"
         "  status ID | result ID [--no-wait] [--schedule] | cancel ID\n"
-        "  stats | shutdown\n";
+        "  stats | shutdown\n"
+        "  inject ARRAY --fault SPEC [--fault SPEC]... | heal ARRAY\n";
 }
 
 /// Where to reach the daemon: a Unix socket path or a TCP host:port.
@@ -281,6 +290,30 @@ Json buildRequest(const std::string& verb, int argc, char** argv, int i) {
     return request;
   }
 
+  if (verb == "fault-inject" || verb == "heal") {
+    if (i >= argc) {
+      throw std::invalid_argument(verb + " needs an ARRAY name");
+    }
+    request.set("array", std::string(argv[i++]));
+    Json::Array faults;
+    for (; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (verb == "fault-inject" && arg == "--fault") {
+        faults.push_back(Json(needValue(arg)));
+      } else {
+        throw std::invalid_argument("unknown option " + arg);
+      }
+    }
+    if (verb == "fault-inject") {
+      if (faults.empty()) {
+        throw std::invalid_argument(
+            "fault-inject needs at least one --fault SPEC");
+      }
+      request.set("faults", Json(std::move(faults)));
+    }
+    return request;
+  }
+
   throw std::invalid_argument("unknown verb '" + verb + "'");
 }
 
@@ -328,7 +361,11 @@ int main(int argc, char** argv) {
     printUsage(std::cerr);
     return 2;
   }
-  const std::string verb = argv[i++];
+  std::string verb = argv[i++];
+  // CLI conveniences for the drift verbs: `inject` and the flag-style
+  // spellings map onto the wire verbs.
+  if (verb == "inject" || verb == "--inject") verb = "fault-inject";
+  if (verb == "--heal") verb = "heal";
 
   Json request;
   try {

@@ -22,40 +22,61 @@ struct ParsedSpec {
   throw std::invalid_argument("fault spec \"" + spec + "\": " + why);
 }
 
-std::int64_t parseInt(const std::string& spec, const std::string& tok) {
+/// Like badSpec, but points at the token that failed and where it sits in
+/// the spec, so a client staring at "region:0,0,x,3" learns which of the
+/// four operands is bad without counting commas.
+[[noreturn]] void badSpecAt(const std::string& spec, const char* why,
+                            const std::string& tok, std::size_t offset) {
+  throw std::invalid_argument("fault spec \"" + spec + "\": " + why +
+                              " at \"" + tok + "\" (offset " +
+                              std::to_string(offset) + ")");
+}
+
+/// `offset` is the token's character position inside `spec` (for error
+/// reporting only).
+std::int64_t parseInt(const std::string& spec, const std::string& tok,
+                      std::size_t offset) {
   try {
     std::size_t used = 0;
     const long long v = std::stoll(tok, &used);
-    if (used != tok.size()) badSpec(spec, "trailing characters in number");
+    if (used != tok.size()) {
+      badSpecAt(spec, "trailing characters in number", tok, offset);
+    }
     return static_cast<std::int64_t>(v);
   } catch (const std::invalid_argument&) {
-    badSpec(spec, "expected a number");
+    badSpecAt(spec, "expected a number", tok, offset);
   } catch (const std::out_of_range&) {
-    badSpec(spec, "number out of range");
+    badSpecAt(spec, "number out of range", tok, offset);
   }
 }
 
-std::uint64_t parseSeed(const std::string& spec, const std::string& tok) {
+std::uint64_t parseSeed(const std::string& spec, const std::string& tok,
+                        std::size_t offset) {
   try {
     std::size_t used = 0;
     const unsigned long long v = std::stoull(tok, &used);
-    if (used != tok.size()) badSpec(spec, "trailing characters in seed");
+    if (used != tok.size()) {
+      badSpecAt(spec, "trailing characters in seed", tok, offset);
+    }
     return static_cast<std::uint64_t>(v);
   } catch (const std::invalid_argument&) {
-    badSpec(spec, "expected a seed");
+    badSpecAt(spec, "expected a seed", tok, offset);
   } catch (const std::out_of_range&) {
-    badSpec(spec, "seed out of range");
+    badSpecAt(spec, "seed out of range", tok, offset);
   }
 }
 
-/// Splits `body` on `sep`, parsing each piece as an integer.
+/// Splits `body` on `sep`, parsing each piece as an integer. `baseOffset`
+/// is where `body` starts inside the full spec.
 std::vector<std::int64_t> parseIntList(const std::string& spec,
-                                       const std::string& body, char sep) {
+                                       const std::string& body, char sep,
+                                       std::size_t baseOffset) {
   std::vector<std::int64_t> out;
   std::size_t start = 0;
   while (true) {
     const std::size_t end = body.find(sep, start);
-    out.push_back(parseInt(spec, body.substr(start, end - start)));
+    out.push_back(parseInt(spec, body.substr(start, end - start),
+                           baseOffset + start));
     if (end == std::string::npos) break;
     start = end + 1;
   }
@@ -75,29 +96,30 @@ ParsedSpec parseSpec(const std::string& spec) {
   ParsedSpec p;
   p.verb = spec.substr(0, colon);
   const std::string body = spec.substr(colon + 1);
+  const std::size_t bodyAt = colon + 1;
 
   if (p.verb == "proc" || p.verb == "row" || p.verb == "col") {
-    p.args = parseIntList(spec, body, ',');
+    p.args = parseIntList(spec, body, ',', bodyAt);
     expectArgs(spec, p, 1);
   } else if (p.verb == "link") {
-    p.args = parseIntList(spec, body, '-');
+    p.args = parseIntList(spec, body, '-', bodyAt);
     expectArgs(spec, p, 2);
   } else if (p.verb == "region") {
-    p.args = parseIntList(spec, body, ',');
+    p.args = parseIntList(spec, body, ',', bodyAt);
     expectArgs(spec, p, 4);
   } else if (p.verb == "cap") {
     const std::size_t eq = body.find('=');
     if (eq == std::string::npos) badSpec(spec, "expected cap:P=N");
-    p.args.push_back(parseInt(spec, body.substr(0, eq)));
-    p.args.push_back(parseInt(spec, body.substr(eq + 1)));
+    p.args.push_back(parseInt(spec, body.substr(0, eq), bodyAt));
+    p.args.push_back(parseInt(spec, body.substr(eq + 1), bodyAt + eq + 1));
   } else if (p.verb == "uniform-procs" || p.verb == "uniform-links") {
     const std::size_t at = body.find('@');
     if (at == std::string::npos) badSpec(spec, "expected N@SEED");
-    p.args.push_back(parseInt(spec, body.substr(0, at)));
-    p.seed = parseSeed(spec, body.substr(at + 1));
+    p.args.push_back(parseInt(spec, body.substr(0, at), bodyAt));
+    p.seed = parseSeed(spec, body.substr(at + 1), bodyAt + at + 1);
     p.hasSeed = true;
   } else {
-    badSpec(spec, "unknown fault verb");
+    badSpecAt(spec, "unknown fault verb", p.verb, 0);
   }
   return p;
 }
@@ -193,7 +215,7 @@ FaultTrace FaultTrace::parse(std::istream& in) {
     }
     FaultEvent ev;
     try {
-      ev.step = checkedInt(words[1], parseInt(words[1], words[1]));
+      ev.step = checkedInt(words[1], parseInt(words[1], words[1], 0));
     } catch (const std::invalid_argument&) {
       fail("step must be a number");
     }

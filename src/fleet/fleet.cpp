@@ -117,13 +117,17 @@ std::vector<ArraySpec> parseFleetSpec(const std::string& spec) {
   return out;
 }
 
-ArrayState::ArrayState(ArraySpec spec) : spec_(std::move(spec)) {
+ArrayState::ArrayState(ArraySpec spec, std::vector<std::string> injected)
+    : spec_(std::move(spec)), injected_(std::move(injected)) {
   grid_ = std::make_unique<Grid>(spec_.rows, spec_.cols);
   faults_ = std::make_unique<FaultMap>(*grid_);
   for (const std::string& one : spec_.faults) {
     // Duplicate (no-op) specs are dropped from the canonical list: the
     // kept specs reproduce the same map, so two spec lists with the same
     // effect share one faultSignature (and one result-cache partition).
+    if (applyFaultSpec(*faults_, one)) canonical_.push_back(one);
+  }
+  for (const std::string& one : injected_) {
     if (applyFaultSpec(*faults_, one)) canonical_.push_back(one);
   }
   if (faults_->anyFaults()) {
@@ -203,6 +207,14 @@ int ArrayFleet::find(const std::string& name) const {
     if (arrays_[i]->name() == name) return static_cast<int>(i);
   }
   return -1;
+}
+
+void ArrayFleet::drift(std::size_t i, std::vector<std::string> injected) {
+  // Build the replacement first: a bad spec throws out of the ArrayState
+  // constructor and the live state is never touched.
+  ArraySpec spec = arrays_[i]->spec();
+  arrays_[i] = std::make_unique<ArrayState>(std::move(spec),
+                                            std::move(injected));
 }
 
 std::vector<std::size_t> ArrayFleet::eligibleFor(int rows, int cols) const {

@@ -42,13 +42,20 @@ struct ArraySpec {
 [[nodiscard]] std::vector<ArraySpec> parseFleetSpec(const std::string& spec);
 
 /// The live state of one array: its grid, fault map, fault-aware cost
-/// model and a serving-cost cache for selector estimates. Built once from
-/// an ArraySpec; the members are heap-allocated so the self-referencing
+/// model and a serving-cost cache for selector estimates. Built from an
+/// ArraySpec plus the faults injected at runtime (live drift); the
+/// members are heap-allocated so the self-referencing
 /// Grid/FaultMap/DistanceMap/CostModel chain stays valid if the
-/// ArrayState is moved.
+/// ArrayState is moved. An ArrayState is immutable once built — drift
+/// replaces the whole state atomically (ArrayFleet::drift).
 class ArrayState {
  public:
-  explicit ArrayState(ArraySpec spec);
+  /// `injected` are live-drift fault specs layered on top of the boot
+  /// spec's standing faults; healing an array rebuilds it with an empty
+  /// injected list. Every spec must parse (applyFaultSpec throws
+  /// otherwise).
+  explicit ArrayState(ArraySpec spec,
+                      std::vector<std::string> injected = {});
 
   [[nodiscard]] const ArraySpec& spec() const { return spec_; }
   [[nodiscard]] const std::string& name() const { return spec_.name; }
@@ -72,11 +79,18 @@ class ArrayState {
     return distances_ != nullptr && distances_->partitioned();
   }
 
-  /// The spec's fault list with duplicate (no-op) specs dropped — the
-  /// canonical health descriptor (see applyFaultSpec). Jobs run with
-  /// exactly this list merged in front of their own specs.
+  /// The boot faults followed by the injected faults, with duplicate
+  /// (no-op) specs dropped — the canonical health descriptor (see
+  /// applyFaultSpec). Jobs run with exactly this list merged in front of
+  /// their own specs.
   [[nodiscard]] const std::vector<std::string>& canonicalFaults() const {
     return canonical_;
+  }
+  /// The live-drift fault specs this state was built with (in arrival
+  /// order, duplicates included) — what an inject extends and a heal
+  /// clears. The boot faults stay in spec().faults.
+  [[nodiscard]] const std::vector<std::string>& injectedFaults() const {
+    return injected_;
   }
   /// Content signature of the canonical fault list: "" for a healthy
   /// array (so all healthy arrays of one shape share result-cache
@@ -103,6 +117,7 @@ class ArrayState {
 
  private:
   ArraySpec spec_;
+  std::vector<std::string> injected_;
   std::unique_ptr<Grid> grid_;
   std::unique_ptr<FaultMap> faults_;
   std::unique_ptr<DistanceMap> distances_;  ///< null when healthy
@@ -115,9 +130,11 @@ class ArrayState {
 };
 
 /// The fleet registry: a fixed set of ArrayStates built from specs, with
-/// name lookup and shape-based eligibility. Immutable topology after
-/// construction (arrays never come or go mid-run); per-array load lives
-/// in FleetService.
+/// name lookup and shape-based eligibility. The *topology* is immutable
+/// after construction (arrays never come or go mid-run, names and shapes
+/// are fixed), but an array's fault state can drift while the daemon
+/// runs: drift() swaps in a freshly built ArrayState under the caller's
+/// lock. Per-array load lives in FleetService.
 class ArrayFleet {
  public:
   explicit ArrayFleet(const std::vector<ArraySpec>& specs);
@@ -135,6 +152,16 @@ class ArrayFleet {
   /// with at least one alive processor. Deterministic (ascending index).
   [[nodiscard]] std::vector<std::size_t> eligibleFor(int rows,
                                                      int cols) const;
+
+  /// Live fault drift: rebuilds array `i` from its boot spec plus
+  /// `injected` fault specs and swaps the new state in (an empty list
+  /// heals the array back to its boot state). The swap invalidates any
+  /// ArrayState reference previously taken for `i` — FleetService
+  /// serialises all fleet access under its lock and copies the canonical
+  /// fault list into each dispatched job, so nothing dangles. Throws
+  /// std::invalid_argument (and leaves the array untouched) when a spec
+  /// does not parse against the array's grid.
+  void drift(std::size_t i, std::vector<std::string> injected);
 
  private:
   std::vector<std::unique_ptr<ArrayState>> arrays_;

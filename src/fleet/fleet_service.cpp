@@ -5,6 +5,10 @@
 #include <limits>
 #include <utility>
 
+#include "fault/fault_map.hpp"
+#include "fault/fault_trace.hpp"
+#include "fleet/rebalance.hpp"
+#include "pim/grid.hpp"
 #include "serve/json.hpp"
 #include "util/thread_pool.hpp"
 
@@ -26,6 +30,20 @@ namespace {
 std::string tenantKey(const JobRequest& request) {
   return request.tenant.empty() ? std::string("default") : request.tenant;
 }
+
+/// What the HealthMonitor observes about an array.
+ArrayFacts factsOf(const ArrayState& a) {
+  ArrayFacts facts;
+  facts.aliveProcs = a.aliveProcs();
+  facts.totalProcs = a.rows() * a.cols();
+  facts.partitioned = a.partitioned();
+  facts.anyFaults = !a.healthy();
+  return facts;
+}
+
+/// Dispatch attempts a job may burn before a drift-broken run is allowed
+/// to fail for good (first run + requeues onto other arrays).
+constexpr int kMaxDriftAttempts = 4;
 
 }  // namespace
 
@@ -57,7 +75,15 @@ FleetService::FleetService(Config config)
   arrayDispatched_.assign(fleet_.size(), 0);
   arrayCompleted_.assign(fleet_.size(), 0);
   arrayFailed_.assign(fleet_.size(), 0);
+  faultEpoch_.assign(fleet_.size(), 0);
   modeEnterNs_ = obs::nowNs();
+  health_.reset(fleet_.size(), config_.health);
+  // Standing faults from the fleet spec are configuration, not drift:
+  // they seed health states (a badly degraded boot spec starts
+  // quarantined) without counting as flap events.
+  for (std::size_t i = 0; i < fleet_.size(); ++i) {
+    health_.observe(i, factsOf(fleet_.at(i)), modeEnterNs_);
+  }
 }
 
 FleetService::~FleetService() { drain(); }
@@ -117,12 +143,22 @@ SubmitOutcome FleetService::submitWithDigest(JobRequest request,
 
   Tenant& tenant = tenantLocked(tenantName);
 
+  // Health gate: placements and cache probes consider only admissible
+  // arrays (quarantined ones are withheld until their cooldown passes),
+  // falling back to the full eligible set when nothing is admissible so
+  // an all-quarantined fleet degrades instead of deadlocking.
+  const std::vector<std::size_t> admissible = admissibleEligibleLocked(
+      request.gridRows, request.gridCols, obs::nowNs());
+
   if (config_.cacheEnabled) {
-    // Probe the fault signatures of the currently eligible arrays,
+    // Probe the fault signatures of the currently admissible arrays,
     // healthy ("") first: a hit under signature S is the exact answer the
     // fleet would produce by running the job on an array in state S.
+    // Signatures of quarantined arrays are deliberately not probed — the
+    // fleet would not place the job there, so their cached answers no
+    // longer represent what it would compute.
     std::vector<const std::string*> sigs;
-    for (const std::size_t i : eligible) {
+    for (const std::size_t i : admissible) {
       const std::string& sig = fleet_.at(i).faultSignature();
       const bool seen =
           std::any_of(sigs.begin(), sigs.end(),
@@ -222,6 +258,7 @@ SubmitOutcome FleetService::submitWithDigest(JobRequest request,
   } else {
     ++queuedServe_;
   }
+  planJobLocked(job);
   ++statAccepted_;
   ++tenant.submitted;
   if (tenant.cSubmitted != nullptr) tenant.cSubmitted->add(1);
@@ -278,7 +315,120 @@ void FleetService::removeFromQueueLocked(const std::shared_ptr<Job>& job) {
   } else {
     --queuedServe_;
   }
+  unplanLocked(job);
   PIMSCHED_COUNTER_ADD("fleet.queue.dequeued", 1);
+}
+
+std::vector<std::size_t> FleetService::admissibleEligibleLocked(
+    int rows, int cols, std::int64_t nowNs) {
+  const std::vector<std::size_t> eligible = fleet_.eligibleFor(rows, cols);
+  std::vector<std::size_t> admissible;
+  admissible.reserve(eligible.size());
+  for (const std::size_t i : eligible) {
+    const HealthState before = health_.state(i);
+    if (health_.admissible(i, nowNs)) {
+      if (before == HealthState::kQuarantined) {
+        // Lazy hysteretic promotion out of quarantine happened just now.
+        PIMSCHED_COUNTER_ADD("fleet.health.readmitted", 1);
+      }
+      admissible.push_back(i);
+    }
+  }
+  return admissible.empty() ? eligible : admissible;
+}
+
+void FleetService::planJobLocked(const std::shared_ptr<Job>& job) {
+  const std::vector<std::size_t> candidates = admissibleEligibleLocked(
+      job->request.gridRows, job->request.gridCols, obs::nowNs());
+  if (candidates.empty()) return;  // shape mismatch was rejected at submit
+  const std::int64_t explicitCap =
+      job->request.config.capacity >= 0 ? job->request.config.capacity : -1;
+  Cost est = 0;
+  int idx = selector_.select(job->aggRefs, job->request.trace.numData(),
+                             explicitCap, candidates, loads_, &est);
+  if (idx < 0) {
+    idx = static_cast<int>(candidates.front());
+    est = 0;
+  }
+  job->plannedArray = idx;
+  job->estCost = est;
+  loads_[static_cast<std::size_t>(idx)].queued += 1;
+  loads_[static_cast<std::size_t>(idx)].outstandingWork +=
+      static_cast<double>(est);
+}
+
+void FleetService::unplanLocked(const std::shared_ptr<Job>& job) {
+  if (job->plannedArray < 0) return;
+  const auto idx = static_cast<std::size_t>(job->plannedArray);
+  if (loads_[idx].queued > 0) loads_[idx].queued -= 1;
+  loads_[idx].outstandingWork -= static_cast<double>(job->estCost);
+  if (loads_[idx].outstandingWork < 0) loads_[idx].outstandingWork = 0;
+  job->plannedArray = -1;
+}
+
+std::int64_t FleetService::replanQueuedLocked() {
+  std::int64_t moved = 0;
+  for (auto& [name, tenant] : tenants_) {
+    for (auto& [key, job] : tenant.queue) {
+      const int before = job->plannedArray;
+      unplanLocked(job);
+      job->estCost = 0;
+      planJobLocked(job);
+      if (job->plannedArray != before) ++moved;
+    }
+  }
+  if (moved > 0) {
+    rebalance_.requeued += moved;
+    PIMSCHED_COUNTER_ADD("fleet.rebalance.requeued", moved);
+  }
+  return moved;
+}
+
+std::int64_t FleetService::invalidateStaleCacheLocked() {
+  if (cache_.empty()) return 0;
+  std::vector<std::string> live;
+  live.reserve(fleet_.size());
+  for (std::size_t i = 0; i < fleet_.size(); ++i) {
+    live.push_back(fleet_.at(i).faultSignature());
+  }
+  std::int64_t dropped = 0;
+  for (auto it = cacheOrder_.begin(); it != cacheOrder_.end();) {
+    const std::size_t bar = it->find('|');
+    const std::string sig =
+        bar == std::string::npos ? std::string() : it->substr(bar + 1);
+    if (std::find(live.begin(), live.end(), sig) != live.end()) {
+      ++it;
+      continue;
+    }
+    cache_.erase(*it);
+    it = cacheOrder_.erase(it);
+    ++dropped;
+  }
+  if (dropped > 0) {
+    rebalance_.cacheInvalidated += dropped;
+    PIMSCHED_COUNTER_ADD("fleet.rebalance.cache_invalidated", dropped);
+  }
+  return dropped;
+}
+
+void FleetService::requeueLocked(const std::shared_ptr<Job>& job,
+                                 Tenant& tenant) {
+  job->state = JobState::kQueued;
+  job->arrayIndex = -1;
+  job->estCost = 0;
+  job->arrayFaults.clear();
+  tenant.queue.emplace(std::make_pair(-job->request.priority, job->id), job);
+  if (job->request.batch) {
+    ++queuedBatch_;
+  } else {
+    ++queuedServe_;
+  }
+  planJobLocked(job);
+  PIMSCHED_COUNTER_ADD("fleet.queue.enqueued", 1);
+  if (draining_) {
+    ++rebalance_.drainRequeued;
+    PIMSCHED_COUNTER_ADD("serve.drain.requeued", 1);
+  }
 }
 
 void FleetService::expireOverdueLocked(std::int64_t nowNs) {
@@ -349,8 +499,8 @@ bool FleetService::dispatchClassLocked(bool batch, std::int64_t nowNs) {
 
   for (Candidate& candidate : candidates) {
     const std::shared_ptr<Job>& job = candidate.job;
-    std::vector<std::size_t> eligible =
-        fleet_.eligibleFor(job->request.gridRows, job->request.gridCols);
+    std::vector<std::size_t> eligible = admissibleEligibleLocked(
+        job->request.gridRows, job->request.gridCols, nowNs);
     eligible.erase(
         std::remove_if(eligible.begin(), eligible.end(),
                        [&](std::size_t i) {
@@ -358,19 +508,32 @@ bool FleetService::dispatchClassLocked(bool batch, std::int64_t nowNs) {
                                 config_.concurrencyPerArray;
                        }),
         eligible.end());
-    if (eligible.empty()) continue;  // all shape-matching arrays busy
+    if (eligible.empty()) continue;  // all placeable arrays busy
 
-    const std::int64_t explicitCap =
-        job->request.config.capacity >= 0 ? job->request.config.capacity : -1;
-    Cost est = 0;
-    int idx = selector_.select(job->aggRefs, job->request.trace.numData(),
-                               explicitCap, eligible, loads_, &est);
-    if (idx < 0) {
-      // No array can feasibly serve it (kCost): run it anyway on the
-      // first free array so it fails with the structured unreachable /
-      // infeasible error instead of waiting forever.
-      idx = static_cast<int>(eligible.front());
-      est = 0;
+    // Honour the job's planned placement when the plan is still viable —
+    // the plan already carries the selector's estimate and keeps dispatch
+    // consistent with the backlog accounting the plan charged. A stale
+    // plan (array busy, quarantined, or drifted away) re-selects.
+    const int planned = job->plannedArray;
+    Cost est = job->estCost;
+    int idx = -1;
+    if (planned >= 0 &&
+        std::find(eligible.begin(), eligible.end(),
+                  static_cast<std::size_t>(planned)) != eligible.end()) {
+      idx = planned;
+    } else {
+      const std::int64_t explicitCap = job->request.config.capacity >= 0
+                                           ? job->request.config.capacity
+                                           : -1;
+      idx = selector_.select(job->aggRefs, job->request.trace.numData(),
+                             explicitCap, eligible, loads_, &est);
+      if (idx < 0) {
+        // No array can feasibly serve it (kCost): run it anyway on the
+        // first free array so it fails with the structured unreachable /
+        // infeasible error instead of waiting forever.
+        idx = static_cast<int>(eligible.front());
+        est = 0;
+      }
     }
 
     removeFromQueueLocked(job);
@@ -378,6 +541,12 @@ bool FleetService::dispatchClassLocked(bool batch, std::int64_t nowNs) {
     ++job->attempts;
     job->arrayIndex = idx;
     job->estCost = est;
+    // Snapshot the hosting array's fault state: the run must never read
+    // fleet state without the lock (a drift swaps the ArrayState), and a
+    // completion whose epoch no longer matches must reconcile.
+    job->arrayFaults =
+        fleet_.at(static_cast<std::size_t>(idx)).canonicalFaults();
+    job->faultEpoch = faultEpoch_[static_cast<std::size_t>(idx)];
     loads_[static_cast<std::size_t>(idx)].running += 1;
     loads_[static_cast<std::size_t>(idx)].outstandingWork +=
         static_cast<double>(est);
@@ -482,8 +651,7 @@ void FleetService::runJob(const std::shared_ptr<Job>& job) {
   try {
     PIMSCHED_SCOPED_TIMER("fleet.job.run");
     if (config_.onJobAttempt) config_.onJobAttempt(attempt);
-    result = executeJobRequest(job->request,
-                               fleet_.at(idx).canonicalFaults());
+    result = executeJobRequest(job->request, job->arrayFaults);
     result->digest = job->digest;
   } catch (...) {
     error = serve::classifyJobError(std::current_exception());
@@ -492,6 +660,59 @@ void FleetService::runJob(const std::shared_ptr<Job>& job) {
   const std::int64_t endNs = obs::nowNs();
 
   std::unique_lock<std::mutex> lock(mutex_);
+
+  // Mid-run drift reconciliation. The solve above ran against the fault
+  // state captured at dispatch; if the array drifted since, the result no
+  // longer answers "what would this job cost on that array". Loop until
+  // the captured epoch matches the live one (the array may drift again
+  // while we reconcile unlocked). The job's running slot stays charged
+  // throughout, so drain() and the dispatcher both see it as in flight.
+  bool cacheable = true;
+  bool driftBroken = false;
+  while (result != nullptr && job->faultEpoch != faultEpoch_[idx]) {
+    const std::vector<std::string> newFaults =
+        fleet_.at(idx).canonicalFaults();
+    const std::int64_t newEpoch = faultEpoch_[idx];
+    const std::shared_ptr<JobResult> stale = result;
+    lock.unlock();
+    ReconcileOutcome outcome;
+    bool failed = false;
+    serve::JobError reconcileError;
+    try {
+      outcome = Rebalancer::reconcile(job->request, *stale, newFaults);
+    } catch (...) {
+      reconcileError = serve::classifyJobError(std::current_exception());
+      failed = true;
+    }
+    lock.lock();
+    if (failed) {
+      // The new fault state makes the job infeasible *on this array*;
+      // another array may still serve it (see driftBroken below).
+      result.reset();
+      error = std::move(reconcileError);
+      driftBroken = true;
+      break;
+    }
+    job->faultEpoch = newEpoch;
+    job->arrayFaults = newFaults;
+    result = outcome.result;
+    result->digest = job->digest;
+    switch (outcome.action) {
+      case ReconcileOutcome::Action::kKept:
+        ++rebalance_.kept;
+        cacheable = false;  // valid answer, but not what a fresh solve
+        break;              // under the new signature would produce
+      case ReconcileOutcome::Action::kRepaired:
+        ++rebalance_.repaired;
+        cacheable = false;
+        break;
+      case ReconcileOutcome::Action::kResolved:
+        ++rebalance_.resolved;
+        cacheable = true;  // bit-identical to a fresh submit
+        break;
+    }
+  }
+
   loads_[idx].running -= 1;
   loads_[idx].outstandingWork -= static_cast<double>(job->estCost);
   if (loads_[idx].outstandingWork < 0) loads_[idx].outstandingWork = 0;
@@ -506,24 +727,35 @@ void FleetService::runJob(const std::shared_ptr<Job>& job) {
     tenant.maxWaitNs = std::max(tenant.maxWaitNs, result->waitNs);
     ++arrayCompleted_[idx];
     job->result = result;
-    cacheInsertLocked(
-        job->digest.hex() + "|" + fleet_.at(idx).faultSignature(), result);
+    if (job->faultEpoch != faultEpoch_[idx]) {
+      // Structurally unreachable — the loop above runs until the epochs
+      // match and the lock has been held since. Kept as the closed-loop
+      // tripwire the chaos bench gates on.
+      ++rebalance_.staleServed;
+      PIMSCHED_COUNTER_ADD("fleet.health.stale_served", 1);
+    }
+    if (cacheable) {
+      cacheInsertLocked(
+          job->digest.hex() + "|" + fleet_.at(idx).faultSignature(), result);
+    }
+    health_.onJobSuccess(idx);
     finishLocked(*job, JobState::kDone);
+  } else if (driftBroken && job->attempts < kMaxDriftAttempts) {
+    // The job did nothing wrong — the mesh changed under it. Requeue so
+    // the dispatcher places it elsewhere, even mid-drain: a SIGTERM
+    // drain must not strand work the drift displaced.
+    PIMSCHED_COUNTER_ADD("fleet.job.retry", 1);
+    requeueLocked(job, tenant);
   } else if (error.transient && attempt == 0 && !draining_) {
     PIMSCHED_COUNTER_ADD("fleet.job.retry", 1);
-    PIMSCHED_COUNTER_ADD("fleet.queue.enqueued", 1);
-    job->state = JobState::kQueued;
-    job->arrayIndex = -1;
-    job->estCost = 0;
-    tenant.queue.emplace(std::make_pair(-job->request.priority, job->id),
-                         job);
-    if (job->request.batch) {
-      ++queuedBatch_;
-    } else {
-      ++queuedServe_;
-    }
+    requeueLocked(job, tenant);
   } else {
     ++arrayFailed_[idx];
+    if (error.kind == "unreachable" || error.kind == "internal") {
+      // Errors that indict the mesh (not the request's own inputs) feed
+      // the failure-streak quarantine.
+      health_.onJobFailure(idx, obs::nowNs());
+    }
     job->error = std::move(error.message);
     job->errorKind = std::move(error.kind);
     finishLocked(*job, JobState::kFailed);
@@ -608,7 +840,10 @@ FleetService::FleetStats FleetService::fleetStats() const {
     row.deadProcs = a.deadProcs();
     row.deadLinks = a.deadLinks();
     row.healthy = a.healthy();
+    row.health = toString(health_.state(i));
+    row.driftEpoch = faultEpoch_[i];
     row.running = loads_[i].running;
+    row.planned = loads_[i].queued;
     row.dispatched = arrayDispatched_[i];
     row.completed = arrayCompleted_[i];
     row.failed = arrayFailed_[i];
@@ -631,6 +866,7 @@ FleetService::FleetStats FleetService::fleetStats() const {
     row.maxWaitNs = t.maxWaitNs;
     out.tenants.push_back(std::move(row));
   }
+  out.rebalance = rebalance_;
   return out;
 }
 
@@ -652,7 +888,10 @@ void FleetService::statsExtra(serve::Json& reply) const {
     row.emplace("dead_procs", serve::Json(a.deadProcs));
     row.emplace("dead_links", serve::Json(a.deadLinks));
     row.emplace("healthy", serve::Json(a.healthy));
+    row.emplace("health", serve::Json(a.health));
+    row.emplace("drift_epoch", serve::Json(a.driftEpoch));
     row.emplace("running", serve::Json(static_cast<std::int64_t>(a.running)));
+    row.emplace("planned", serve::Json(static_cast<std::int64_t>(a.planned)));
     row.emplace("dispatched", serve::Json(a.dispatched));
     row.emplace("completed", serve::Json(a.completed));
     row.emplace("failed", serve::Json(a.failed));
@@ -678,6 +917,17 @@ void FleetService::statsExtra(serve::Json& reply) const {
     tenants.push_back(serve::Json(std::move(row)));
   }
   fleetObj.emplace("tenants", serve::Json(std::move(tenants)));
+  serve::Json::Object rebalance;
+  rebalance.emplace("drift_events", serve::Json(s.rebalance.driftEvents));
+  rebalance.emplace("requeued", serve::Json(s.rebalance.requeued));
+  rebalance.emplace("kept", serve::Json(s.rebalance.kept));
+  rebalance.emplace("repaired", serve::Json(s.rebalance.repaired));
+  rebalance.emplace("resolved", serve::Json(s.rebalance.resolved));
+  rebalance.emplace("cache_invalidated",
+                    serve::Json(s.rebalance.cacheInvalidated));
+  rebalance.emplace("drain_requeued", serve::Json(s.rebalance.drainRequeued));
+  rebalance.emplace("stale_served", serve::Json(s.rebalance.staleServed));
+  fleetObj.emplace("rebalance", serve::Json(std::move(rebalance)));
   reply.set("fleet", serve::Json(std::move(fleetObj)));
 }
 
@@ -691,6 +941,95 @@ void FleetService::drain() {
     }
     return true;
   });
+}
+
+serve::DriftOutcome FleetService::applyDrift(
+    const std::string& array, const std::vector<std::string>& specs,
+    bool heal) {
+  serve::DriftOutcome out;
+  out.array = array;
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  int found = -1;
+  for (std::size_t i = 0; i < fleet_.size(); ++i) {
+    if (fleet_.at(i).name() == array) {
+      found = static_cast<int>(i);
+      break;
+    }
+  }
+  if (found < 0) {
+    out.error = "no array named '" + array + "' in the fleet";
+    return out;
+  }
+  const auto idx = static_cast<std::size_t>(found);
+  const ArrayState& state = fleet_.at(idx);
+
+  // Validate the request and detect no-ops on a probe map before touching
+  // anything: a drift that would not change the fault state (heal of an
+  // uninjected array, all-duplicate specs) must not bump the epoch — the
+  // single-healthy-array path stays bit-identical to SchedulingService.
+  std::vector<std::string> injected = state.injectedFaults();
+  bool changed = false;
+  if (heal) {
+    changed = !injected.empty();
+    injected.clear();
+  } else {
+    const Grid grid(state.rows(), state.cols());
+    FaultMap probe(grid);
+    for (const std::string& spec : state.canonicalFaults()) {
+      applyFaultSpec(probe, spec);
+    }
+    for (const std::string& spec : specs) {
+      try {
+        if (applyFaultSpec(probe, spec)) {
+          changed = true;
+          injected.push_back(spec);
+        }
+      } catch (const std::exception& e) {
+        out.error = e.what();
+        return out;
+      }
+    }
+  }
+  if (!changed) {
+    out.ok = true;
+    out.faultSignature = state.faultSignature();
+    out.health = toString(health_.state(idx));
+    out.aliveProcs = state.aliveProcs();
+    out.deadProcs = state.deadProcs();
+    return out;
+  }
+
+  fleet_.drift(idx, std::move(injected));
+  ++faultEpoch_[idx];
+  ++rebalance_.driftEvents;
+  PIMSCHED_COUNTER_ADD("fleet.health.drift_events", 1);
+
+  const ArrayState& fresh = fleet_.at(idx);
+  const HealthState before = health_.state(idx);
+  const HealthState after =
+      health_.onDrift(idx, factsOf(fresh), obs::nowNs());
+  if (after != before) {
+    if (after == HealthState::kDegraded) {
+      PIMSCHED_COUNTER_ADD("fleet.health.degraded", 1);
+    } else if (after == HealthState::kQuarantined) {
+      PIMSCHED_COUNTER_ADD("fleet.health.quarantined", 1);
+    }
+    if (before == HealthState::kQuarantined) {
+      PIMSCHED_COUNTER_ADD("fleet.health.readmitted", 1);
+    }
+  }
+
+  out.cacheInvalidated = invalidateStaleCacheLocked();
+  out.requeued = replanQueuedLocked();
+  out.ok = true;
+  out.faultSignature = fresh.faultSignature();
+  out.health = toString(after);
+  out.aliveProcs = fresh.aliveProcs();
+  out.deadProcs = fresh.deadProcs();
+  dispatchLocked();
+  cv_.notify_all();
+  return out;
 }
 
 }  // namespace pimsched::fleet

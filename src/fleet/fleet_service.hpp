@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "fleet/fleet.hpp"
+#include "fleet/health.hpp"
 #include "fleet/selector.hpp"
 #include "obs/obs.hpp"
 #include "serve/service.hpp"
@@ -58,11 +59,30 @@ namespace pimsched::fleet {
 /// the healthy answer. A submit probes the signatures of the arrays
 /// currently eligible for its shape, healthy first.
 ///
+/// Live fault drift (applyDrift / the fault-inject and heal protocol
+/// verbs): an array's fault state can change while the daemon runs. Each
+/// drift event atomically swaps the array's state (new fault signature),
+/// bumps the array's fault epoch, lets the HealthMonitor reclassify it
+/// (healthy / degraded / quarantined with re-admission hysteresis),
+/// re-plans every queued job through the selector, and invalidates
+/// result-cache entries whose signature no longer matches any live
+/// array. Placement avoids quarantined arrays whenever an admissible
+/// alternative exists, queued jobs carry a *planned* array (what the
+/// rebalancer migrates), and a job whose array drifted mid-run is
+/// reconciled before its result is served: kept if still valid, patched
+/// via core/repair, or fully re-solved — never served stale. Drift-broken
+/// runs requeue onto another array instead of failing, even while
+/// draining (counted serve.drain.requeued), so a SIGTERM drain cannot
+/// strand migrated work.
+///
 /// Counters: fleet.jobs.{accepted,rejected,completed,failed,cancelled,
 /// deadline_missed}, fleet.cache.{hit,miss}, fleet.queue.{enqueued,
 /// dequeued}, fleet.job.retry, fleet.mode.{switches,serve_ns,batch_ns},
-/// fleet.dispatch.{serve,batch}, per-tenant tenant.<id>.{submitted,
-/// dispatched,completed,contended}; timers fleet.job.wait / fleet.job.run.
+/// fleet.dispatch.{serve,batch}, fleet.health.{drift_events,degraded,
+/// quarantined,readmitted,stale_served}, fleet.rebalance.{requeued,kept,
+/// repaired,resolved,cache_invalidated}, serve.drain.requeued, per-tenant
+/// tenant.<id>.{submitted,dispatched,completed,contended}; timers
+/// fleet.job.wait / fleet.job.run.
 class FleetService final : public serve::JobService {
  public:
   struct Config {
@@ -91,6 +111,8 @@ class FleetService final : public serve::JobService {
     int agingLimit = 8;
     /// Batch jobs may start while the serve backlog is <= drainThreshold.
     std::size_t drainThreshold = 0;
+    /// Health-state thresholds for live fault drift (see health.hpp).
+    HealthPolicy health;
     /// Test hook, as in SchedulingService::Config.
     std::function<void(int attempt)> onJobAttempt;
     /// Test/telemetry hook invoked (under the service lock — it must not
@@ -107,11 +129,28 @@ class FleetService final : public serve::JobService {
     int rows = 0, cols = 0;
     int aliveProcs = 0, deadProcs = 0, deadLinks = 0;
     bool healthy = true;
+    std::string health;  ///< HealthMonitor verdict name
+    std::int64_t driftEpoch = 0;
     std::size_t running = 0;
+    std::size_t planned = 0;  ///< queued jobs currently planned here
     std::int64_t dispatched = 0;
     std::int64_t completed = 0;
     std::int64_t failed = 0;
     double outstandingWork = 0;
+  };
+  /// Live-drift and rebalancing accounting (fleetStats / statsExtra).
+  struct RebalanceStatsRow {
+    std::int64_t driftEvents = 0;
+    std::int64_t requeued = 0;  ///< queued jobs whose plan was migrated
+    std::int64_t kept = 0;      ///< drifted results still valid as-is
+    std::int64_t repaired = 0;  ///< drifted results patched by core/repair
+    std::int64_t resolved = 0;  ///< drifted results fully re-solved
+    std::int64_t cacheInvalidated = 0;
+    std::int64_t drainRequeued = 0;  ///< requeues that happened mid-drain
+    /// Results served without reconciliation against the live fault
+    /// epoch. Structurally zero — the closed-loop tripwire the chaos
+    /// bench gates on.
+    std::int64_t staleServed = 0;
   };
   struct TenantStatsRow {
     std::string name;
@@ -137,6 +176,7 @@ class FleetService final : public serve::JobService {
     std::int64_t batchDispatches = 0;
     std::vector<ArrayStatsRow> arrays;
     std::vector<TenantStatsRow> tenants;  ///< sorted by name
+    RebalanceStatsRow rebalance;
   };
 
   explicit FleetService(Config config);
@@ -159,6 +199,16 @@ class FleetService final : public serve::JobService {
   /// breakdowns) to a protocol stats reply.
   void statsExtra(serve::Json& reply) const override;
   void drain() override;
+  /// Live fault drift: validates `specs` against the named array's grid,
+  /// swaps in the new array state (heal == rebuild from the boot spec),
+  /// bumps the fault epoch, reclassifies health, re-plans queued jobs and
+  /// invalidates orphaned result-cache entries — all atomically under the
+  /// service lock. A request that would not change the fault state (heal
+  /// of an uninjected array, all-duplicate specs) is an ok no-op that
+  /// bumps nothing.
+  serve::DriftOutcome applyDrift(const std::string& array,
+                                 const std::vector<std::string>& specs,
+                                 bool heal) override;
 
   [[nodiscard]] FleetStats fleetStats() const;
   [[nodiscard]] const ArrayFleet& fleet() const { return fleet_; }
@@ -178,8 +228,17 @@ class FleetService final : public serve::JobService {
     std::int64_t deadlineNs = -1;
     /// Whole-trace per-processor reference weights, the selector input.
     std::vector<ProcWeight> aggRefs;
-    int arrayIndex = -1;  ///< hosting array while running
-    Cost estCost = 0;     ///< selector estimate charged to the array
+    int arrayIndex = -1;    ///< hosting array while running
+    int plannedArray = -1;  ///< selector's plan while queued (rebalanced
+                            ///< on drift); backlog is charged to it
+    Cost estCost = 0;       ///< selector estimate charged to the array
+    /// Canonical faults of the hosting array, copied at dispatch so the
+    /// run never reads fleet state without the lock (drift swaps it).
+    std::vector<std::string> arrayFaults;
+    /// The hosting array's fault epoch at dispatch; a mismatch at
+    /// completion means the array drifted mid-run and the result must be
+    /// reconciled before it is served.
+    std::int64_t faultEpoch = 0;
   };
 
   struct Tenant {
@@ -216,6 +275,24 @@ class FleetService final : public serve::JobService {
       const Tenant& tenant, bool batch, std::int64_t nowNs,
       int* effPriority) const;
   void expireOverdueLocked(std::int64_t nowNs);
+  /// Plans a queued job onto an array (admissible arrays preferred,
+  /// selector policy) and charges the backlog to it.
+  void planJobLocked(const std::shared_ptr<Job>& job);
+  /// Reverses planJobLocked's load accounting.
+  void unplanLocked(const std::shared_ptr<Job>& job);
+  /// Eligible arrays of a shape restricted to health-admissible ones;
+  /// falls back to the unrestricted set when nothing is admissible so a
+  /// job is never stranded by an all-quarantined fleet.
+  [[nodiscard]] std::vector<std::size_t> admissibleEligibleLocked(
+      int rows, int cols, std::int64_t nowNs);
+  /// Re-plans every queued job (drift reaction); returns how many moved.
+  std::int64_t replanQueuedLocked();
+  /// Drops result-cache entries whose fault signature no live array
+  /// carries any more; returns how many were invalidated.
+  std::int64_t invalidateStaleCacheLocked();
+  /// Puts a job whose run was broken by drift back into its tenant queue
+  /// with a fresh plan (allowed mid-drain — see serve.drain.requeued).
+  void requeueLocked(const std::shared_ptr<Job>& job, Tenant& tenant);
   void dispatchLocked();
   /// Dispatches the best job of the given class; returns false when no
   /// job of the class could be placed on a free array.
@@ -231,6 +308,7 @@ class FleetService final : public serve::JobService {
   Config config_;
   ArrayFleet fleet_;
   ArraySelector selector_;
+  HealthMonitor health_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool draining_ = false;
@@ -246,6 +324,9 @@ class FleetService final : public serve::JobService {
   std::vector<ArrayLoad> loads_;
   std::vector<std::int64_t> arrayDispatched_, arrayCompleted_,
       arrayFailed_;
+  /// Monotonic per-array drift counter; a running job whose captured
+  /// epoch no longer matches must reconcile its result (see runJob).
+  std::vector<std::int64_t> faultEpoch_;
   /// True-LRU result cache keyed by digest hex + "|" + array fault
   /// signature.
   std::unordered_map<std::string, CacheEntry> cache_;
@@ -253,6 +334,7 @@ class FleetService final : public serve::JobService {
   std::int64_t statAccepted_ = 0, statRejected_ = 0, statCompleted_ = 0,
                statFailed_ = 0, statCancelled_ = 0, statExpired_ = 0,
                statCacheHits_ = 0, statCacheMisses_ = 0;
+  RebalanceStatsRow rebalance_;
 };
 
 /// Aggregates a finalized trace into its whole-trace per-processor

@@ -1,0 +1,92 @@
+#include "fleet/rebalance.hpp"
+
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "core/pipeline.hpp"
+#include "core/repair.hpp"
+#include "core/schedule_io.hpp"
+#include "core/verify.hpp"
+#include "fault/fault_map.hpp"
+#include "fault/fault_trace.hpp"
+#include "obs/obs.hpp"
+#include "pim/grid.hpp"
+
+namespace pimsched::fleet {
+
+ReconcileOutcome Rebalancer::reconcile(
+    const serve::JobRequest& request, const serve::JobResult& stale,
+    const std::vector<std::string>& arrayFaults) {
+  const Grid grid(request.gridRows, request.gridCols);
+  std::optional<FaultMap> faults;
+  if (!arrayFaults.empty() || !request.faults.empty()) {
+    faults.emplace(grid);
+    for (const std::string& spec : arrayFaults) applyFaultSpec(*faults, spec);
+    for (const std::string& spec : request.faults) {
+      applyFaultSpec(*faults, spec);
+    }
+  }
+  std::optional<Experiment> exp;
+  if (faults.has_value()) {
+    exp.emplace(request.trace, grid, *faults, request.config);
+  } else {
+    exp.emplace(request.trace, grid, request.config);
+  }
+
+  // Keep or repair the computed schedule when possible; any failure on
+  // this path (unparsable schedule text, repair infeasibility) falls
+  // through to the full re-solve below.
+  try {
+    std::istringstream is(stale.scheduleText);
+    const DataSchedule schedule = loadSchedule(is, grid.size());
+
+    VerifyReport report =
+        verifyScheduleFaults(schedule, exp->refs(), exp->costModel());
+    if (report.ok()) {
+      report = verifySchedule(schedule, grid, exp->capacity());
+    }
+    if (report.ok()) {
+      // Placements survive the drift; only the costs need recomputing so
+      // the served numbers reflect the mesh the schedule will actually
+      // run on.
+      auto result = std::make_shared<serve::JobResult>();
+      result->eval = evaluateSchedule(schedule, exp->refs(),
+                                      exp->costModel(),
+                                      request.config.threads);
+      result->scheduleText = stale.scheduleText;
+      result->digest = stale.digest;
+      PIMSCHED_COUNTER_ADD("fleet.rebalance.kept", 1);
+      return ReconcileOutcome{ReconcileOutcome::Action::kKept,
+                              std::move(result), 0};
+    }
+
+    RepairOptions options;
+    options.faultWindow = 0;  // nothing has executed; repair everything
+    options.capacity = exp->capacity();
+    RepairResult repaired =
+        repairSchedule(schedule, exp->refs(), exp->costModel(), options);
+    auto result = std::make_shared<serve::JobResult>();
+    result->eval = evaluateSchedule(repaired.schedule, exp->refs(),
+                                    exp->costModel(),
+                                    request.config.threads);
+    std::ostringstream os;
+    saveSchedule(repaired.schedule, os);
+    result->scheduleText = std::move(os).str();
+    result->digest = stale.digest;
+    result->repaired = true;
+    PIMSCHED_COUNTER_ADD("fleet.rebalance.repaired", 1);
+    return ReconcileOutcome{ReconcileOutcome::Action::kRepaired,
+                            std::move(result), repaired.cellsRepaired};
+  } catch (...) {
+    // fall through: re-solve from scratch against the new fault state
+  }
+
+  auto result = serve::executeJobRequest(request, arrayFaults);
+  result->digest = stale.digest;
+  PIMSCHED_COUNTER_ADD("fleet.rebalance.resolved", 1);
+  return ReconcileOutcome{ReconcileOutcome::Action::kResolved,
+                          std::move(result), 0};
+}
+
+}  // namespace pimsched::fleet

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/service.hpp"
+
+namespace pimsched::fleet {
+
+/// What reconcile() did to a result whose hosting array drifted mid-run.
+struct ReconcileOutcome {
+  enum class Action {
+    kKept,      ///< schedule still valid; costs re-evaluated under the
+                ///< new fault state
+    kRepaired,  ///< core/repair re-centered the broken placements
+    kResolved,  ///< repair infeasible (or the result unusable); full
+                ///< re-solve, bit-identical to a fresh submit
+  };
+  Action action = Action::kKept;
+  std::shared_ptr<serve::JobResult> result;
+  /// (datum, window) cells the repair changed (kRepaired only).
+  std::int64_t cellsRepaired = 0;
+};
+
+/// The drift-reaction logic of the fleet, kept free of FleetService state
+/// so it is unit-testable: given a job whose result was computed under a
+/// fault list that has since changed, produce a result that is correct
+/// under `arrayFaults` (the hosting array's *current* canonical faults).
+///
+/// Order of preference — the whole point is to keep as much of the
+/// already-computed answer as possible:
+///   1. keep: the schedule still verifies against the new fault state;
+///      only the evaluation is redone so served costs match reality.
+///   2. repair: core/repair::repairSchedule re-centers exactly the broken
+///      placements (cheapest surviving feasible center each).
+///   3. resolve: full re-solve via executeJobRequest — the same path a
+///      fresh submit takes, so the answer is bit-identical to one.
+///
+/// Kept and repaired results answer the job correctly but are not what a
+/// fresh solve would produce, so callers must not insert them into the
+/// digest|signature result cache; resolved results are cache-safe.
+/// Throws (classifyJobError taxonomy) when even the re-solve is
+/// infeasible under the new fault state.
+class Rebalancer {
+ public:
+  [[nodiscard]] static ReconcileOutcome reconcile(
+      const serve::JobRequest& request, const serve::JobResult& stale,
+      const std::vector<std::string>& arrayFaults);
+};
+
+}  // namespace pimsched::fleet

@@ -36,7 +36,7 @@ enum class FleetPolicy {
 
 /// Per-array load snapshot the dispatcher feeds the selector.
 struct ArrayLoad {
-  std::size_t queued = 0;   ///< jobs assigned but not yet running (unused today)
+  std::size_t queued = 0;   ///< queued jobs planned onto the array
   std::size_t running = 0;  ///< jobs currently executing on the array
   /// Sum of the cost estimates of this array's in-flight jobs (kCost
   /// policy accounting; 0 under other policies).

@@ -18,9 +18,13 @@ class RequestError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-std::string errorReply(const std::string& message) {
+/// `kind` mirrors the job-level error taxonomy on protocol errors:
+/// "invalid" means the request itself is wrong (retrying it verbatim
+/// cannot succeed), "internal" means the server misbehaved.
+std::string errorReply(const std::string& message,
+                       const std::string& kind = "invalid") {
   Json reply;
-  reply.set("ok", false).set("error", message);
+  reply.set("ok", false).set("error", message).set("error_kind", kind);
   return reply.dump();
 }
 
@@ -345,11 +349,50 @@ std::string ProtocolHandler::handleLine(std::string_view line,
       return reply.dump();
     }
 
+    if (verb == "fault-inject" || verb == "heal") {
+      if (!options_.allowFaultInject) {
+        throw RequestError("fault drift verbs are disabled on this server");
+      }
+      const std::string array = stringField(request, "array", "");
+      if (array.empty()) throw RequestError("missing field 'array'");
+      const bool heal = verb == "heal";
+      std::vector<std::string> specs;
+      if (!heal) {
+        const Json* faults = request.find("faults");
+        if (faults == nullptr || !faults->isArray() ||
+            faults->asArray().empty()) {
+          throw RequestError(
+              "fault-inject needs 'faults', a non-empty array of spec "
+              "strings");
+        }
+        for (const Json& item : faults->asArray()) {
+          if (!item.isString()) {
+            throw RequestError(
+                "field 'faults' must be an array of spec strings");
+          }
+          specs.push_back(item.asString());
+        }
+      }
+      const DriftOutcome out = service_->applyDrift(array, specs, heal);
+      if (!out.ok) return errorReply(out.error);
+      Json reply;
+      reply.set("ok", true)
+          .set("array", out.array)
+          .set("fault_signature", out.faultSignature)
+          .set("health", out.health)
+          .set("alive_procs", out.aliveProcs)
+          .set("dead_procs", out.deadProcs)
+          .set("requeued", out.requeued)
+          .set("cache_invalidated", out.cacheInvalidated);
+      return reply.dump();
+    }
+
     throw RequestError("unknown verb '" + verb + "'");
   } catch (const RequestError& e) {
     return errorReply(e.what());
   } catch (const std::exception& e) {
-    return errorReply(std::string("internal error: ") + e.what());
+    return errorReply(std::string("internal error: ") + e.what(),
+                      "internal");
   }
 }
 

@@ -19,6 +19,10 @@ struct ProtocolOptions {
   bool allowTraceFiles = true;
   /// Permit the `shutdown` verb.
   bool allowShutdown = true;
+  /// Permit the `fault-inject` / `heal` admin verbs (live fault drift).
+  /// Only fleet services act on them; everything else reports drift as
+  /// unsupported.
+  bool allowFaultInject = true;
 };
 
 /// The serving wire protocol: newline-delimited JSON request objects, one
@@ -41,11 +45,19 @@ struct ProtocolOptions {
 ///             completed, failed, cancelled, deadline_missed, cache_hits,
 ///             cache_misses, coalesced, cache_entries, shards}
 ///   shutdown  — replies {ok, draining:true}; the transport drains + exits
+///   fault-inject  array, faults (non-empty array of spec strings) —
+///             injects live faults into the named fleet array; replies
+///             {ok, array, fault_signature, health, alive_procs,
+///             dead_procs, requeued, cache_invalidated}
+///   heal      array — rebuilds the named fleet array from its boot spec
+///             (clears injected faults); same reply shape as fault-inject
 ///
 /// Every failure — malformed JSON, oversized frame, unknown verb, missing
 /// or ill-typed fields, unreadable traces — produces {ok:false, error:
-/// "..."} and never throws, so one bad client request can never wedge the
-/// daemon.
+/// "...", error_kind: "invalid" | "internal"} and never throws, so one
+/// bad client request can never wedge the daemon ("invalid" = the request
+/// itself is wrong and retrying it verbatim cannot succeed; "internal" =
+/// the server misbehaved).
 class ProtocolHandler {
  public:
   explicit ProtocolHandler(JobService& service,

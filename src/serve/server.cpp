@@ -212,7 +212,10 @@ int SocketServer::run() {
 
   // Graceful drain: stop accepting, finish every accepted job (this also
   // releases connections blocked in result-waits), then let connection
-  // handlers close out and stop the pool.
+  // handlers close out and stop the pool. A fleet service keeps
+  // dispatching while draining, so jobs a mid-drain fault drift requeued
+  // onto another array (serve.drain.requeued) still complete instead of
+  // being stranded by the shutdown.
   if (listenFd_ >= 0) {
     ::close(listenFd_);
     listenFd_ = -1;

@@ -57,6 +57,14 @@ Digest jobDigest(const JobRequest& request) {
 
 void JobService::statsExtra(Json&) const {}
 
+DriftOutcome JobService::applyDrift(const std::string& array,
+                                    const std::vector<std::string>&, bool) {
+  DriftOutcome out;
+  out.array = array;
+  out.error = "fault drift requires a fleet service (start with --fleet)";
+  return out;
+}
+
 SchedulingService::SchedulingService() : SchedulingService(Config()) {}
 
 SchedulingService::SchedulingService(Config config)

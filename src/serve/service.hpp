@@ -79,6 +79,11 @@ struct JobResult {
   std::string scheduleText;
   Digest digest;
   bool cacheHit = false;
+  /// The schedule was patched by core/repair after the hosting array's
+  /// fault state drifted mid-run, instead of a full re-solve (fleet path
+  /// only). Repaired results are correct under the new fault state but
+  /// are not what a fresh solve would produce, so they are never cached.
+  bool repaired = false;
   std::int64_t waitNs = 0;
   std::int64_t runNs = 0;
 };
@@ -158,6 +163,25 @@ struct JobError {
 
 class Json;
 
+/// Result of a live fault-drift request (`fault-inject` / `heal`) against
+/// a named array. Only fleet services support drift; everything else
+/// returns ok == false with a reason.
+struct DriftOutcome {
+  bool ok = false;
+  std::string error;        ///< why !ok (unknown array, bad spec, ...)
+  std::string array;        ///< echoed array name
+  std::string faultSignature;  ///< the array's new fault signature
+  std::string health;       ///< health state name after the event
+  int aliveProcs = 0;
+  int deadProcs = 0;
+  /// Queued jobs whose planned placement was migrated off/onto arrays by
+  /// the rebalancer as a consequence of this event.
+  std::int64_t requeued = 0;
+  /// Result-cache entries invalidated because no live array carries
+  /// their fault signature any more.
+  std::int64_t cacheInvalidated = 0;
+};
+
 /// The serving surface the protocol layer talks to. SchedulingService is
 /// the single-queue implementation; ShardedService (serve/sharded.hpp)
 /// fans the same interface out over a fixed pool of worker shards with
@@ -176,6 +200,13 @@ class JobService {
   /// per-shard queue depths for the sharded front end, per-array and
   /// per-tenant breakdowns for the fleet. Default adds nothing.
   virtual void statsExtra(Json& reply) const;
+  /// Live fault drift against a named array: `heal` rebuilds the array
+  /// from its boot spec, otherwise `specs` are injected on top of its
+  /// current fault state. The fleet service overrides this; the default
+  /// reports drift as unsupported.
+  virtual DriftOutcome applyDrift(const std::string& array,
+                                  const std::vector<std::string>& specs,
+                                  bool heal);
   /// Stops accepting submissions and blocks until every accepted job has
   /// reached a terminal state. Idempotent.
   virtual void drain() = 0;

@@ -551,5 +551,66 @@ TEST(FleetService, UnknownIdsAreDistinguishable) {
   EXPECT_FALSE(fleetService.cancel(999));
 }
 
+// ---------------------------------------------------------------------------
+// Live fault drift against the cache and the bit-identity invariant.
+// ---------------------------------------------------------------------------
+
+TEST(FleetCache, DriftInvalidatesEntriesNoLiveArrayCanServe) {
+  FleetService fleetService(healthySingleArray());
+
+  // Warm the cache with the healthy-mesh answer.
+  const SubmitOutcome first = fleetService.submit(makeRequest());
+  ASSERT_TRUE(first.accepted);
+  const auto healthyResult = fleetService.result(first.id);
+  ASSERT_NE(healthyResult, nullptr);
+  ASSERT_TRUE(fleetService.submit(makeRequest()).cached);
+
+  // Injecting a fault retires the healthy signature: the cached entry
+  // must not answer for the now-degraded array.
+  const serve::DriftOutcome drift =
+      fleetService.applyDrift("only", {"proc:5"}, false);
+  ASSERT_TRUE(drift.ok) << drift.error;
+  EXPECT_GE(drift.cacheInvalidated, 1);
+
+  const SubmitOutcome faulted = fleetService.submit(makeRequest());
+  ASSERT_TRUE(faulted.accepted);
+  EXPECT_FALSE(faulted.cached);
+  const auto faultedResult = fleetService.result(faulted.id);
+  ASSERT_NE(faultedResult, nullptr);
+  // The recomputed answer is the fault-aware solve, not the stale one.
+  const auto expected = serve::executeJobRequest(makeRequest(), {"proc:5"});
+  EXPECT_EQ(faultedResult->scheduleText, expected->scheduleText);
+
+  // Healing retires the faulted signature in turn.
+  const serve::DriftOutcome heal = fleetService.applyDrift("only", {}, true);
+  ASSERT_TRUE(heal.ok) << heal.error;
+  EXPECT_GE(heal.cacheInvalidated, 1);
+  EXPECT_EQ(fleetService.fleetStats().rebalance.cacheInvalidated,
+            drift.cacheInvalidated + heal.cacheInvalidated);
+}
+
+TEST(FleetIdentity, InjectHealCycleRestoresBitIdenticalResults) {
+  FleetService fleetService(healthySingleArray());
+  serve::SchedulingService plain;
+
+  ASSERT_TRUE(fleetService.applyDrift("only", {"proc:5"}, false).ok);
+  ASSERT_TRUE(fleetService.applyDrift("only", {}, true).ok);
+
+  // After a full inject/heal round trip the fleet is indistinguishable
+  // from a service that never drifted.
+  const SubmitOutcome viaFleet = fleetService.submit(makeRequest());
+  const SubmitOutcome viaPlain = plain.submit(makeRequest());
+  ASSERT_TRUE(viaFleet.accepted);
+  ASSERT_TRUE(viaPlain.accepted);
+  const auto fleetResult = fleetService.result(viaFleet.id);
+  const auto plainResult = plain.result(viaPlain.id);
+  ASSERT_NE(fleetResult, nullptr);
+  ASSERT_NE(plainResult, nullptr);
+  EXPECT_EQ(fleetResult->digest.hex(), plainResult->digest.hex());
+  EXPECT_EQ(fleetResult->scheduleText, plainResult->scheduleText);
+  EXPECT_EQ(fleetResult->eval.aggregate.total(),
+            plainResult->eval.aggregate.total());
+}
+
 }  // namespace
 }  // namespace pimsched::fleet

@@ -424,6 +424,80 @@ TEST(Protocol, UnreachableJobsReportTheErrorKind) {
   EXPECT_EQ(status.find("attempts")->asInt64(), 1);
 }
 
+TEST(Protocol, BadFaultSpecsPointAtTheOffendingToken) {
+  SchedulingService service;
+  ProtocolHandler handler(service);
+  // The parse error names the bad token and its character offset, so a
+  // client staring at a long spec learns which operand is wrong.
+  Json bad = submitRequest();
+  bad.set("faults", Json(Json::Array{Json("region:0,0,x,3")}));
+  const std::string error = expectError(handler, bad.dump());
+  EXPECT_NE(error.find("\"x\""), std::string::npos) << error;
+  EXPECT_NE(error.find("offset 11"), std::string::npos) << error;
+  // Unknown verbs point at offset 0, where the verb sits.
+  Json badVerb = submitRequest();
+  badVerb.set("faults", Json(Json::Array{Json("banana:1")}));
+  const std::string verbError = expectError(handler, badVerb.dump());
+  EXPECT_NE(verbError.find("unknown fault verb"), std::string::npos);
+  EXPECT_NE(verbError.find("offset 0"), std::string::npos) << verbError;
+}
+
+TEST(Protocol, FaultDriftVerbsValidateTheirFields) {
+  SchedulingService service;
+  ProtocolHandler handler(service);
+
+  Json noArray;
+  noArray.set("verb", "fault-inject");
+  EXPECT_NE(expectError(handler, noArray.dump()).find("array"),
+            std::string::npos);
+
+  Json noFaults;
+  noFaults.set("verb", "fault-inject").set("array", "a0");
+  EXPECT_NE(expectError(handler, noFaults.dump()).find("faults"),
+            std::string::npos);
+
+  Json notStrings;
+  notStrings.set("verb", "fault-inject")
+      .set("array", "a0")
+      .set("faults", Json(Json::Array{Json(7)}));
+  EXPECT_NE(expectError(handler, notStrings.dump()).find("spec strings"),
+            std::string::npos);
+
+  // A non-fleet service reports drift as unsupported — structured, not a
+  // crash, and retrying verbatim cannot succeed.
+  Json inject;
+  inject.set("verb", "fault-inject")
+      .set("array", "a0")
+      .set("faults", Json(Json::Array{Json("proc:0")}));
+  Json reply = call(handler, inject.dump());
+  EXPECT_FALSE(reply.find("ok")->asBool());
+  EXPECT_EQ(reply.find("error_kind")->asString(), "invalid");
+  EXPECT_NE(reply.find("error")->asString().find("fleet"),
+            std::string::npos);
+  Json healRequest;
+  healRequest.set("verb", "heal").set("array", "a0");
+  reply = call(handler, healRequest.dump());
+  EXPECT_FALSE(reply.find("ok")->asBool());
+  EXPECT_EQ(reply.find("error_kind")->asString(), "invalid");
+}
+
+TEST(Protocol, FaultDriftVerbsCanBeDisabled) {
+  SchedulingService service;
+  ProtocolOptions options;
+  options.allowFaultInject = false;
+  ProtocolHandler handler(service, options);
+  Json inject;
+  inject.set("verb", "fault-inject")
+      .set("array", "a0")
+      .set("faults", Json(Json::Array{Json("proc:0")}));
+  EXPECT_NE(expectError(handler, inject.dump()).find("disabled"),
+            std::string::npos);
+  Json healRequest;
+  healRequest.set("verb", "heal").set("array", "a0");
+  EXPECT_NE(expectError(handler, healRequest.dump()).find("disabled"),
+            std::string::npos);
+}
+
 TEST(Protocol, TraceFileSubmissionsCanBeDisabled) {
   SchedulingService service;
   ProtocolOptions options;
