@@ -256,6 +256,7 @@ int main(int argc, char** argv) {
      << ", \"capacity\": " << exp.capacity() << ", \"smoke\": "
      << (smoke ? "true" : "false") << "},\n"
      << "  \"hardware_concurrency\": " << hw << ",\n"
+     << "  \"cpu_count\": " << hw << ",\n"
      << "  \"degraded\": " << (degraded ? "true" : "false") << ",\n"
      << "  \"total_cost\": " << seqCost << ",\n"
      << "  \"sweep\": [\n";
@@ -291,11 +292,18 @@ int main(int argc, char** argv) {
   constexpr double kMinBestSpeedup = 1.5;
   const bool sweptMultiThread =
       threadCounts.size() > 1 || threadCounts.front() > 1;
-  if (!degraded && sweptMultiThread && bestSpeedup < kMinBestSpeedup) {
-    std::cerr << "error: best parallel speedup " << fmt(bestSpeedup)
-              << "x is below the " << fmt(kMinBestSpeedup)
-              << "x floor on a " << hw << "-thread host\n";
-    return 1;
+  if (sweptMultiThread && bestSpeedup < kMinBestSpeedup) {
+    if (degraded) {
+      std::cerr << "warning: best parallel speedup " << fmt(bestSpeedup)
+                << "x is below the " << fmt(kMinBestSpeedup)
+                << "x floor, but the host is single-core (degraded run, "
+                   "not failing)\n";
+    } else {
+      std::cerr << "error: best parallel speedup " << fmt(bestSpeedup)
+                << "x is below the " << fmt(kMinBestSpeedup)
+                << "x floor on a " << hw << "-thread host\n";
+      return 1;
+    }
   }
   return 0;
 }

@@ -35,6 +35,18 @@
 //     heal ARRAY
 //         rebuilds the named array from its boot spec, clearing every
 //         injected fault ("--heal" also accepted)
+//     stream FILE --session NAME [--grid RxC] [--method NAME]
+//                 [--windows N] [--capacity N|paper|unlimited]
+//                 [--threads N] [--fault SPEC]... [--tenant NAME]
+//                 [--schedule] [--close]
+//         replays an NDJSON window file over ONE persistent connection
+//         using the submit-stream verb ("--stream" also accepted): each
+//         line of FILE is a JSON object holding this window's "trace"
+//         (inline pimtrace text) or "trace_file" (server-side path), plus
+//         optional per-window overrides of any submit field. Session-level
+//         options from the command line form the base request each line is
+//         merged over. One reply is printed per window; --close sends
+//         stream-close at the end. Exits 0 only when every reply was ok.
 //
 // --retries N retries transport failures (connect/read/write, e.g. the
 // daemon is still starting) up to N times with exponential backoff
@@ -82,7 +94,12 @@ void printUsage(std::ostream& os) {
         "         [--wait] [--schedule] [--inline]\n"
         "  status ID | result ID [--no-wait] [--schedule] | cancel ID\n"
         "  stats | shutdown\n"
-        "  inject ARRAY --fault SPEC [--fault SPEC]... | heal ARRAY\n";
+        "  inject ARRAY --fault SPEC [--fault SPEC]... | heal ARRAY\n"
+        "  stream FILE --session NAME [--grid RxC] [--method NAME]\n"
+        "         [--windows N] [--capacity N|paper|unlimited] "
+        "[--threads N]\n"
+        "         [--fault SPEC]... [--tenant NAME] [--schedule] "
+        "[--close]\n";
 }
 
 /// Where to reach the daemon: a Unix socket path or a TCP host:port.
@@ -190,6 +207,170 @@ std::string roundTrip(const Endpoint& endpoint,
     throw std::runtime_error("daemon closed the connection without a reply");
   }
   return nl == std::string::npos ? reply : reply.substr(0, nl);
+}
+
+/// Sends one already-framed line over an open connection.
+void sendLine(int fd, const std::string& request) {
+  const std::string frame = request + "\n";
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n = ::write(fd, frame.data() + off, frame.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("write failed: ") +
+                               std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+/// Reads the next reply line from an open connection, buffering any bytes
+/// of the following reply in `buffer` between calls.
+std::string readLine(int fd, std::string& buffer) {
+  char chunk[4096];
+  std::size_t nl;
+  while ((nl = buffer.find('\n')) == std::string::npos) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("read failed: ") +
+                               std::strerror(errno));
+    }
+    if (n == 0) {
+      throw std::runtime_error("daemon closed the connection mid-stream");
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  std::string line = buffer.substr(0, nl);
+  buffer.erase(0, nl + 1);
+  return line;
+}
+
+/// The `stream` verb: replays an NDJSON window file over one persistent
+/// connection. Throws std::invalid_argument on usage errors (exit 2);
+/// returns the process exit code otherwise.
+int runStream(const Endpoint& endpoint, int argc, char** argv, int i) {
+  if (i >= argc || argv[i][0] == '-') {
+    throw std::invalid_argument("stream needs a window FILE");
+  }
+  const std::string windowFile = argv[i++];
+
+  Json base;
+  base.set("verb", "submit-stream");
+  Json::Array faults;
+  std::string session;
+  bool closeAtEnd = false;
+  const auto needValue = [&](const std::string& arg) -> std::string {
+    if (i + 1 >= argc) {
+      throw std::invalid_argument("missing value for " + arg);
+    }
+    return argv[++i];
+  };
+  const auto parseInt = [](const std::string& arg,
+                           const std::string& v) -> std::int64_t {
+    try {
+      std::size_t parsed = 0;
+      const std::int64_t out = std::stoll(v, &parsed);
+      if (parsed != v.size()) throw std::invalid_argument(v);
+      return out;
+    } catch (const std::exception&) {
+      throw std::invalid_argument("invalid integer for " + arg);
+    }
+  };
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--session") session = needValue(arg);
+    else if (arg == "--grid") base.set("grid", needValue(arg));
+    else if (arg == "--method") base.set("method", needValue(arg));
+    else if (arg == "--windows") {
+      base.set("windows", parseInt(arg, needValue(arg)));
+    } else if (arg == "--capacity") {
+      const std::string v = needValue(arg);
+      if (v == "paper" || v == "unlimited") base.set("capacity", v);
+      else base.set("capacity", parseInt(arg, v));
+    } else if (arg == "--threads") {
+      base.set("threads", parseInt(arg, needValue(arg)));
+    } else if (arg == "--tenant") {
+      base.set("tenant", needValue(arg));
+    } else if (arg == "--fault") {
+      faults.push_back(Json(needValue(arg)));
+    } else if (arg == "--schedule") {
+      base.set("schedule", true);
+    } else if (arg == "--close") {
+      closeAtEnd = true;
+    } else {
+      throw std::invalid_argument("unknown option " + arg);
+    }
+  }
+  if (session.empty()) {
+    throw std::invalid_argument("stream needs --session NAME");
+  }
+  base.set("session", session);
+  if (!faults.empty()) base.set("faults", Json(std::move(faults)));
+
+  std::ifstream is(windowFile);
+  if (!is) {
+    std::cerr << "error: cannot open window file " << windowFile << '\n';
+    return 1;
+  }
+
+  // One connection for the whole replay: windows of a session must run
+  // back to back against the shard/array holding the warm solver state.
+  const int fd = endpoint.socketPath.empty()
+                     ? connectTcp(endpoint.tcpHost, endpoint.tcpPort)
+                     : connectUnix(endpoint.socketPath);
+  bool allOk = true;
+  std::string buffer;
+  std::string line;
+  long lineNo = 0;
+  try {
+    while (std::getline(is, line)) {
+      ++lineNo;
+      if (line.empty()) continue;
+      Json window;
+      try {
+        window = Json::parse(line);
+      } catch (const std::exception& e) {
+        std::cerr << "error: " << windowFile << ":" << lineNo
+                  << ": bad JSON: " << e.what() << '\n';
+        ::close(fd);
+        return 1;
+      }
+      if (!window.isObject()) {
+        std::cerr << "error: " << windowFile << ":" << lineNo
+                  << ": window must be a JSON object\n";
+        ::close(fd);
+        return 1;
+      }
+      // Per-window fields override the session-level base request.
+      Json request = base;
+      for (const auto& [key, value] : window.asObject()) {
+        request.set(key, value);
+      }
+      sendLine(fd, request.dump());
+      const std::string reply = readLine(fd, buffer);
+      std::cout << reply << '\n';
+      const Json parsed = Json::parse(reply);
+      const Json* ok = parsed.find("ok");
+      if (ok == nullptr || !ok->isBool() || !ok->asBool()) allOk = false;
+    }
+    if (closeAtEnd) {
+      Json closeReq;
+      closeReq.set("verb", "stream-close").set("session", session);
+      sendLine(fd, closeReq.dump());
+      const std::string reply = readLine(fd, buffer);
+      std::cout << reply << '\n';
+      const Json parsed = Json::parse(reply);
+      const Json* ok = parsed.find("ok");
+      if (ok == nullptr || !ok->isBool() || !ok->asBool()) allOk = false;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    ::close(fd);
+    return 1;
+  }
+  ::close(fd);
+  return allOk ? 0 : 1;
 }
 
 /// Builds the request object from the verb-specific arguments; throws
@@ -366,6 +547,22 @@ int main(int argc, char** argv) {
   // spellings map onto the wire verbs.
   if (verb == "inject" || verb == "--inject") verb = "fault-inject";
   if (verb == "--heal") verb = "heal";
+
+  // Streaming replays a whole file of windows over one connection, so it
+  // bypasses the single-request round-trip (and its retry loop: retrying
+  // mid-session would replay windows against already-advanced warm state).
+  if (verb == "stream" || verb == "--stream") {
+    try {
+      return runStream(endpoint, argc, argv, i);
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "error: " << e.what() << "\n\n";
+      printUsage(std::cerr);
+      return 2;
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << '\n';
+      return 1;
+    }
+  }
 
   Json request;
   try {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/data_order.hpp"
+#include "core/gomcds_detail.hpp"
 #include "cost/cost_cache.hpp"
 #include "fault/fault_map.hpp"
 #include "graph/layered_dag.hpp"
@@ -21,9 +22,9 @@
 
 namespace pimsched {
 
-namespace {
+namespace detail {
 
-[[noreturn]] void throwInfeasible(const CostModel& model) {
+void throwGomcdsInfeasible(const CostModel& model) {
   // On a faulted mesh an infeasible cost-graph usually means the faults
   // severed every placement path (dead mesh, partition), which callers
   // handle differently from running out of slots.
@@ -38,8 +39,8 @@ namespace {
       "scheduleGomcds: capacity infeasible (no placement path)");
 }
 
-[[noreturn]] void throwSlotDisagreement(DataId d, ProcId p, WindowId w,
-                                        const OccupancyMap& occ) {
+void throwGomcdsSlotDisagreement(DataId d, ProcId p, WindowId w,
+                                 const OccupancyMap& occ) {
   // nodeCost returned kInfiniteCost for full processors, so a path through
   // one means the solver and the occupancy maps disagree — fail loudly
   // instead of corrupting the capacity accounting.
@@ -50,20 +51,6 @@ namespace {
       std::to_string(occ.capacity()) + ")");
 }
 
-/// Per-thread arena for the flat solve path: every buffer is grow-only, so
-/// after the first datum on a thread the steady-state loop performs zero
-/// heap allocations per datum.
-struct GomcdsScratch {
-  LayeredDagScratch dag;  ///< dp + relaxed layers of the flat solver
-  LayeredPath path;       ///< reused per-datum solution
-  CostBuffer serve;       ///< flat W x P node-cost table fed to the solver
-};
-
-/// True when the forbidden (window, processor) set cannot change while data
-/// are placed: capacity is unlimited and no *alive* processor carries a
-/// fault capacity limit (dead processors are already forbidden through
-/// their infinite serving cost). With a static forbidden set, data of the
-/// same equivalence class share one solved path, not just cost tables.
 bool staticForbiddenSet(const CostModel& model,
                         const SchedulerOptions& options) {
   if (options.capacity >= 0) return false;
@@ -76,22 +63,11 @@ bool staticForbiddenSet(const CostModel& model,
   return true;
 }
 
-/// Equivalence classes of data whose windowed reference strings are
-/// byte-identical — they pose the same per-datum DAG subproblem, so the
-/// serving-cost tables (and, under a static forbidden set, the solved
-/// path) are computed once per class. With dedup disabled every datum is
-/// its own (singleton) class.
-struct DedupClasses {
-  std::vector<int> classOf;  ///< datum -> class index
-  std::vector<DataId> rep;   ///< class -> representative (lowest-id) datum
-  std::vector<int> size;     ///< class -> member count
-};
-
 DedupClasses computeDedupClasses(const WindowedRefs& refs, bool enabled) {
-  DedupClasses out;
   const DataId n = refs.numData();
-  out.classOf.resize(static_cast<std::size_t>(n));
   if (!enabled) {
+    DedupClasses out;
+    out.classOf.resize(static_cast<std::size_t>(n));
     out.rep.resize(static_cast<std::size_t>(n));
     out.size.assign(static_cast<std::size_t>(n), 1);
     for (DataId d = 0; d < n; ++d) {
@@ -102,26 +78,9 @@ DedupClasses computeDedupClasses(const WindowedRefs& refs, bool enabled) {
   }
   // Signature buckets pre-screen; full row comparison against the class
   // representative confirms, so hash collisions cannot merge classes.
-  std::unordered_map<std::uint64_t, std::vector<int>> bySig;
-  for (DataId d = 0; d < n; ++d) {
-    const std::uint64_t sig = refs.refsSignature(d);
-    std::vector<int>& bucket = bySig[sig];
-    int cls = -1;
-    for (const int c : bucket) {
-      if (refs.sameRefs(out.rep[static_cast<std::size_t>(c)], d)) {
-        cls = c;
-        break;
-      }
-    }
-    if (cls < 0) {
-      cls = static_cast<int>(out.rep.size());
-      out.rep.push_back(d);
-      out.size.push_back(0);
-      bucket.push_back(cls);
-    }
-    out.classOf[static_cast<std::size_t>(d)] = cls;
-    ++out.size[static_cast<std::size_t>(cls)];
-  }
+  DedupClasses out = buildEquivalenceClasses(
+      n, [&](DataId d) { return refs.refsSignature(d); },
+      [&](DataId rep, DataId d) { return refs.sameRefs(rep, d); });
   PIMSCHED_COUNTER_ADD("gomcds.dedup.classes",
                        static_cast<std::int64_t>(out.rep.size()));
   PIMSCHED_COUNTER_ADD("gomcds.dedup.data",
@@ -130,10 +89,6 @@ DedupClasses computeDedupClasses(const WindowedRefs& refs, bool enabled) {
   return out;
 }
 
-/// The shared beta * distance transition table of the faulted / naive
-/// engines: trans[q * P + p] = model.moveCost(q, p), built once per
-/// scheduling call and reused by every datum (fault distances can be
-/// asymmetric, so rows are indexed by source).
 void buildTransTable(const CostModel& model, std::vector<Cost>& trans) {
   const int m = model.grid().size();
   trans.resize(static_cast<std::size_t>(m) * static_cast<std::size_t>(m));
@@ -145,6 +100,25 @@ void buildTransTable(const CostModel& model, std::vector<Cost>& trans) {
     }
   }
   PIMSCHED_COUNTER_ADD("gomcds.trans_table.builds", 1);
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::DedupClasses;
+using detail::GomcdsScratch;
+using detail::buildTransTable;
+using detail::computeDedupClasses;
+using detail::staticForbiddenSet;
+
+[[noreturn]] void throwInfeasible(const CostModel& model) {
+  detail::throwGomcdsInfeasible(model);
+}
+
+[[noreturn]] void throwSlotDisagreement(DataId d, ProcId p, WindowId w,
+                                        const OccupancyMap& occ) {
+  detail::throwGomcdsSlotDisagreement(d, p, w, occ);
 }
 
 /// Flat W x P serving-cost tables per equivalence class. Tables of shared

@@ -1,7 +1,10 @@
 #include "core/pipeline.hpp"
 
 #include <stdexcept>
+#include <utility>
 
+#include "fault/fault_trace.hpp"
+#include "obs/obs.hpp"
 #include "pim/memory.hpp"
 
 namespace pimsched {
@@ -169,6 +172,129 @@ DataSchedule Experiment::schedule(Method m) const {
 
 EvalResult Experiment::evaluate(Method m) const {
   return evaluateSchedule(schedule(m), refs_, model_, config_.threads);
+}
+
+StreamSession::StreamSession(int gridRows, int gridCols,
+                             PipelineConfig config, Method method,
+                             const std::vector<std::string>& faultSpecs)
+    : grid_(gridRows, gridCols),
+      config_(config),
+      method_(method),
+      faults_(grid_) {
+  if (!faultSpecs.empty()) {
+    for (const std::string& spec : faultSpecs) {
+      if (!applyFaultSpec(faults_, spec)) {
+        throw std::invalid_argument("StreamSession: bad fault spec \"" +
+                                    spec + "\"");
+      }
+    }
+    faultAware_ = true;
+    distances_.emplace(grid_, faults_);
+  }
+}
+
+StreamStepResult StreamSession::step(const ReferenceTrace& trace) {
+  PIMSCHED_SCOPED_TIMER("stream.step");
+  if (trace.numSteps() == 0) {
+    throw std::invalid_argument(
+        "StreamSession: trace has no steps (nothing to schedule)");
+  }
+  if (faultAware_ && faults_.aliveProcCount() == 0) {
+    throw UnreachableError("StreamSession: every processor is dead (" +
+                           faults_.summary() + ")");
+  }
+  const WindowPartition windows =
+      config_.explicitWindows.has_value()
+          ? *config_.explicitWindows
+          : WindowPartition::evenCount(trace.numSteps(), config_.numWindows);
+  WindowedRefs baseRefs(trace, windows, grid_);
+  const WindowedRefs refs =
+      faultAware_ ? baseRefs.withProcsMasked(faults_.deadProcMask())
+                  : baseRefs;
+  const CostModel model =
+      faultAware_ ? CostModel(grid_, *distances_, config_.costParams)
+                  : CostModel(grid_, config_.costParams);
+  std::int64_t capacity = config_.capacity;
+  resolveCapacity(capacity, trace.numData(),
+                  faultAware_ ? faults_.aliveProcCount() : grid_.size());
+
+  const bool warmPath = method_ == Method::kGomcds;
+  DataSchedule schedule = [&]() -> DataSchedule {
+    if (warmPath) {
+      // The warm path: identical to scheduleGomcds on every step, reusing
+      // every dp row before the first changed window of each class.
+      const SchedulerOptions opts{capacity, config_.order};
+      return solver_.solve(refs, model, opts);
+    }
+    // Any other method is supported but never warm: one cold Experiment
+    // per revision.
+    PipelineConfig stepConfig = config_;
+    stepConfig.capacity = capacity;
+    return faultAware_
+               ? Experiment(trace, grid_, faults_, stepConfig).schedule(method_)
+               : Experiment(trace, grid_, stepConfig).schedule(method_);
+  }();
+  EvalResult eval = evaluateSchedule(schedule, refs, model, config_.threads);
+  StreamStepResult out{std::move(schedule), std::move(eval)};
+  if (warmPath) {
+    const IncrementalSolver::Stats& stats = solver_.lastStats();
+    out.incremental = !stats.cold;
+    out.reusedLayers = stats.reusedLayers;
+    out.relaxedLayers = stats.relaxedLayers;
+  }
+
+  lastSchedule_ = out.schedule;
+  lastBaseRefs_ = std::move(baseRefs);
+  lastCapacity_ = capacity;
+  ++steps_;
+  PIMSCHED_COUNTER_ADD("stream.steps", 1);
+  if (out.incremental) PIMSCHED_COUNTER_ADD("stream.warm_steps", 1);
+  return out;
+}
+
+void StreamSession::applyDrift(const std::vector<std::string>& specs,
+                               bool heal) {
+  if (heal) faults_.clear();
+  for (const std::string& spec : specs) {
+    if (!applyFaultSpec(faults_, spec)) {
+      throw std::invalid_argument("StreamSession: bad fault spec \"" + spec +
+                                  "\"");
+    }
+  }
+  faultAware_ = true;
+  distances_.emplace(grid_, faults_);
+  // One epoch invalidation covers both the solver's warm state and any
+  // caller-side warm assumptions (the fingerprint would catch the model
+  // change anyway; dropping state now frees the memory immediately).
+  solver_.invalidate();
+  ++driftEpoch_;
+  PIMSCHED_COUNTER_ADD("stream.drift", 1);
+}
+
+StreamRepairResult StreamSession::repairLast(WindowId faultWindow) {
+  if (!lastSchedule_.has_value() || !lastBaseRefs_.has_value()) {
+    throw std::logic_error("StreamSession: no schedule to repair yet");
+  }
+  if (!faultAware_) {
+    // Repair under a fault-oblivious model is the identity; normalize
+    // through an (empty) fault-aware model so the RepairResult fields are
+    // meaningful either way.
+    faultAware_ = true;
+    distances_.emplace(grid_, faults_);
+  }
+  const WindowedRefs refs =
+      lastBaseRefs_->withProcsMasked(faults_.deadProcMask());
+  const CostModel model(grid_, *distances_, config_.costParams);
+  RepairOptions options;
+  options.faultWindow = faultWindow;
+  options.capacity = lastCapacity_;
+  StreamRepairResult out{repairSchedule(*lastSchedule_, refs, model, options),
+                         {}};
+  out.eval = evaluateSchedule(out.repair.schedule, refs, model,
+                              config_.threads);
+  lastSchedule_ = out.repair.schedule;
+  PIMSCHED_COUNTER_ADD("stream.repairs", 1);
+  return out;
 }
 
 double improvementPct(Cost base, Cost cost) {

@@ -1,13 +1,17 @@
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/baselines.hpp"
 #include "core/evaluator.hpp"
 #include "core/gomcds.hpp"
 #include "core/grouping.hpp"
+#include "core/incremental.hpp"
 #include "core/lomcds.hpp"
+#include "core/repair.hpp"
 #include "core/scds.hpp"
 #include "fault/distance_map.hpp"
 #include "fault/fault_map.hpp"
@@ -124,6 +128,104 @@ class Experiment {
   WindowedRefs refs_;
   CostModel model_;  ///< points at distances_ when fault-aware
   std::int64_t capacity_;
+};
+
+/// Result of one StreamSession step: the schedule of the submitted trace
+/// revision, its evaluation, and how much solver state the warm path
+/// reused.
+struct StreamStepResult {
+  DataSchedule schedule;
+  EvalResult eval;
+  bool incremental = false;        ///< warm-start path reused retained state
+  std::int64_t reusedLayers = 0;   ///< per-class dp rows reused verbatim
+  std::int64_t relaxedLayers = 0;  ///< per-class dp rows re-relaxed
+};
+
+/// Result of StreamSession::repairLast: the repaired previous schedule plus
+/// its evaluation under the post-drift model.
+struct StreamRepairResult {
+  RepairResult repair;
+  EvalResult eval;
+};
+
+/// A long-lived scheduling session over an evolving trace — the streaming
+/// window API of the pipeline. Where an Experiment binds one immutable
+/// trace, a StreamSession persists the grid, fault state, distance map,
+/// and an IncrementalSolver across successive trace revisions: each step()
+/// re-solves the full problem, but the solver reuses every per-class dp
+/// row up to the first changed window, so steady-state steps whose traces
+/// evolve only at the tail cost a fraction of a cold solve. Results are
+/// bit-identical to a fresh Experiment::schedule on every step.
+///
+/// Fault drift and trace drift flow through the same entry point:
+/// applyDrift mutates the session's fault state, rebuilds distances,
+/// and epoch-invalidates the warm solver state (the next step runs cold
+/// under the new model); repairLast additionally runs core/repair over the
+/// last emitted schedule so serving callers can hand back a prefix-
+/// preserving repaired schedule without waiting for the next trace
+/// revision.
+///
+/// Not thread-safe: one StreamSession per stream, externally serialized.
+class StreamSession {
+ public:
+  /// `faultSpecs` seed the session's fault state (applyFaultSpec syntax);
+  /// an empty list starts a fault-oblivious session, which turns fault-
+  /// aware on the first applyDrift.
+  StreamSession(int gridRows, int gridCols, PipelineConfig config = {},
+                Method method = Method::kGomcds,
+                const std::vector<std::string>& faultSpecs = {});
+
+  StreamSession(const StreamSession&) = delete;
+  StreamSession& operator=(const StreamSession&) = delete;
+
+  /// Schedules the next revision of the evolving trace. Method kGomcds
+  /// runs through the retained IncrementalSolver; every other method cold-
+  /// solves via a per-step Experiment (supported, never warm).
+  [[nodiscard]] StreamStepResult step(const ReferenceTrace& trace);
+
+  /// Applies fault drift: `heal` first resets the fault state, then every
+  /// spec is applied in order (applyFaultSpec syntax; throws
+  /// std::invalid_argument on a bad spec, leaving already-applied specs in
+  /// place like the fleet's drift path). Rebuilds distances, marks the
+  /// session fault-aware, and epoch-invalidates all warm solver state.
+  void applyDrift(const std::vector<std::string>& specs, bool heal);
+
+  /// True once step() has produced a schedule repairLast can start from.
+  [[nodiscard]] bool hasSchedule() const { return lastSchedule_.has_value(); }
+
+  /// Repairs the last emitted schedule under the current (post-drift)
+  /// fault state: windows before `faultWindow` are preserved bit-identical,
+  /// later cells are re-centered only where faults broke them. The repaired
+  /// schedule replaces the retained one. Throws std::logic_error when no
+  /// schedule has been emitted yet.
+  [[nodiscard]] StreamRepairResult repairLast(WindowId faultWindow = 0);
+
+  [[nodiscard]] const Grid& grid() const { return grid_; }
+  [[nodiscard]] const FaultMap& faults() const { return faults_; }
+  [[nodiscard]] bool faultAware() const { return faultAware_; }
+  [[nodiscard]] Method method() const { return method_; }
+  [[nodiscard]] std::int64_t steps() const { return steps_; }
+  /// Bumped by every applyDrift — serving layers surface this so clients
+  /// can see warm state was invalidated.
+  [[nodiscard]] std::uint64_t driftEpoch() const { return driftEpoch_; }
+  /// Bytes of warm solver state retained between steps.
+  [[nodiscard]] std::size_t retainedBytes() const {
+    return solver_.retainedBytes();
+  }
+
+ private:
+  Grid grid_;
+  PipelineConfig config_;
+  Method method_;
+  FaultMap faults_;  ///< built over grid_; empty until specs/drift arrive
+  bool faultAware_ = false;
+  std::optional<DistanceMap> distances_;  ///< rebuilt on every drift
+  IncrementalSolver solver_;
+  std::optional<DataSchedule> lastSchedule_;
+  std::optional<WindowedRefs> lastBaseRefs_;  ///< unmasked refs of last step
+  std::int64_t lastCapacity_ = -1;
+  std::int64_t steps_ = 0;
+  std::uint64_t driftEpoch_ = 0;
 };
 
 /// Percentage improvement of `cost` over `base` (the paper's "%"

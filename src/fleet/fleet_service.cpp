@@ -114,6 +114,48 @@ SubmitOutcome FleetService::submit(JobRequest request) {
   return submitWithDigest(std::move(request), digest);
 }
 
+serve::StreamOutcome FleetService::submitStream(serve::StreamRequest request) {
+  if (!request.job.trace.finalized()) request.job.trace.finalize();
+  serve::StreamPin pin;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (draining_) {
+      serve::StreamOutcome out;
+      out.session = std::move(request.session);
+      out.error = "service is draining";
+      out.errorKind = "invalid";
+      return out;
+    }
+    const std::vector<std::size_t> admissible = admissibleEligibleLocked(
+        request.job.gridRows, request.job.gridCols, obs::nowNs());
+    if (admissible.empty()) {
+      serve::StreamOutcome out;
+      out.session = std::move(request.session);
+      out.error = "no array in the fleet matches grid " +
+                  std::to_string(request.job.gridRows) + "x" +
+                  std::to_string(request.job.gridCols);
+      out.errorKind = "invalid";
+      return out;
+    }
+    // Deterministic pin: spread sessions over the admissible arrays by
+    // session name. The pin only takes effect when the session is created
+    // or reset — an existing session stays on its array until drift there
+    // invalidates it (warm state is useless anywhere else).
+    DigestBuilder b;
+    b.str("pimstream-pin");
+    b.str(request.session);
+    const std::size_t idx =
+        admissible[b.digest().lo % admissible.size()];
+    pin.tag = fleet_.at(idx).name();
+    pin.arrayFaults = fleet_.at(idx).canonicalFaults();
+  }
+  return streams_.submit(std::move(request), pin);
+}
+
+bool FleetService::closeStream(const std::string& session) {
+  return streams_.close(session);
+}
+
 SubmitOutcome FleetService::submitWithDigest(JobRequest request,
                                              const Digest& digest) {
   if (!request.trace.finalized()) request.trace.finalize();
@@ -1029,6 +1071,12 @@ serve::DriftOutcome FleetService::applyDrift(
   out.deadProcs = fresh.deadProcs();
   dispatchLocked();
   cv_.notify_all();
+  lock.unlock();
+  // Warm streaming state pinned to the drifted array is stale under the
+  // new fault state: drop exactly those sessions (their next window
+  // re-pins and solves cold). Outside the lock — the manager has its own
+  // locking and may wait for an in-flight window to finish.
+  streams_.invalidateByTag(array);
   return out;
 }
 

@@ -17,6 +17,7 @@
 #include "fleet/selector.hpp"
 #include "obs/obs.hpp"
 #include "serve/service.hpp"
+#include "serve/stream.hpp"
 
 namespace pimsched::fleet {
 
@@ -189,6 +190,14 @@ class FleetService final : public serve::JobService {
   /// submit() with the digest precomputed (sharded composition).
   serve::SubmitOutcome submitWithDigest(serve::JobRequest request,
                                         const Digest& digest);
+  /// Streaming sessions pin to a hosting array when created (chosen
+  /// deterministically by session name among the health-admissible arrays
+  /// of the window's shape) and run every window with that array's
+  /// canonical standing faults merged in front of the request's specs.
+  /// Fault drift on an array invalidates exactly the sessions pinned to
+  /// it — their next window re-pins and solves cold under the new state.
+  serve::StreamOutcome submitStream(serve::StreamRequest request) override;
+  bool closeStream(const std::string& session) override;
   [[nodiscard]] std::optional<serve::JobStatus> status(
       serve::JobId id) const override;
   [[nodiscard]] std::shared_ptr<const serve::JobResult> result(
@@ -309,6 +318,9 @@ class FleetService final : public serve::JobService {
   ArrayFleet fleet_;
   ArraySelector selector_;
   HealthMonitor health_;
+  /// Warm streaming-session state, tagged by hosting array name (owns its
+  /// own locking; never touched while mutex_ is held — see applyDrift).
+  serve::StreamSessionManager streams_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool draining_ = false;

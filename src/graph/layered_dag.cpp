@@ -25,10 +25,16 @@ namespace {
 /// exactly. Since target < kInfiniteCost here, own is finite too, and the
 /// condition reduces to: both terms finite and prevRow[q] + trans == target
 /// - own — a single add per candidate instead of two saturating adds.
+///
+/// `parents`, when non-null, memoizes the scans: a cached entry >= 0 is
+/// used verbatim (it is the pure-function result of an earlier scan over
+/// the same dp rows — the resume entry points invalidate entries whose
+/// rows changed), and every fresh scan is stored back. Since the scan is
+/// deterministic, cache hits and misses pick identical predecessors.
 template <class ScanFn>
 void reconstructFlat(int numLayers, int numNodes, const Cost* dp,
                      const Cost* nodeCosts, const ScanFn& scanPrev,
-                     LayeredPath& out) {
+                     std::int32_t* parents, LayeredPath& out) {
   const std::size_t n = static_cast<std::size_t>(numNodes);
   const Cost* last = dp + static_cast<std::size_t>(numLayers - 1) * n;
   const Cost* best = std::min_element(last, last + n);
@@ -41,11 +47,18 @@ void reconstructFlat(int numLayers, int numNodes, const Cost* dp,
   out.nodes[static_cast<std::size_t>(numLayers - 1)] = cur;
   for (int w = numLayers - 1; w > 0; --w) {
     const std::size_t row = static_cast<std::size_t>(w) * n;
-    const Cost target = dp[row + static_cast<std::size_t>(cur)];
-    const Cost own = nodeCosts[row + static_cast<std::size_t>(cur)];
-    const int prev = scanPrev(dp + row - n, cur, target, own);
+    int prev = parents ? parents[row + static_cast<std::size_t>(cur)] : -1;
     if (prev < 0) {
-      throw std::logic_error("LayeredDagSolver: path reconstruction failed");
+      const Cost target = dp[row + static_cast<std::size_t>(cur)];
+      const Cost own = nodeCosts[row + static_cast<std::size_t>(cur)];
+      prev = scanPrev(dp + row - n, cur, target, own);
+      if (prev < 0) {
+        throw std::logic_error("LayeredDagSolver: path reconstruction failed");
+      }
+      if (parents) {
+        parents[row + static_cast<std::size_t>(cur)] =
+            static_cast<std::int32_t>(prev);
+      }
     }
     cur = prev;
     out.nodes[static_cast<std::size_t>(w - 1)] = cur;
@@ -83,6 +96,27 @@ void minPlusSaturating(const Grid& grid, Cost beta, Cost* h) {
       row[c] = std::min(row[c], satAdd(row[c + 1], beta));
     }
   }
+}
+
+/// Prepares a predecessor cache for a resume solve: entries for the
+/// re-relaxed layers [fromLayer, numLayers) are dropped (their dp/node-cost
+/// rows are about to change); a wrong-sized cache is rebuilt empty, which
+/// is always safe since every entry is recomputed on demand. Returns the
+/// raw table, or nullptr when no cache was supplied.
+std::int32_t* resetParentCache(LayeredParentCache* parents, int fromLayer,
+                               int numLayers, std::size_t n) {
+  if (parents == nullptr) return nullptr;
+  const std::size_t ln = static_cast<std::size_t>(numLayers) * n;
+  if (parents->size() != ln) {
+    parents->assign(ln, -1);
+  } else {
+    // Layer-0 entries are never read; start at row 1 like the relaxation.
+    const std::size_t first = std::min(
+        static_cast<std::size_t>(std::max(fromLayer, 1)) * n, ln);
+    std::fill(parents->begin() + static_cast<std::ptrdiff_t>(first),
+              parents->end(), -1);
+  }
+  return parents->data();
 }
 
 }  // namespace
@@ -154,8 +188,20 @@ void LayeredDagSolver::solveFlatInto(int numLayers, int numNodes,
                                      std::span<const Cost> transCosts,
                                      LayeredDagScratch& scratch,
                                      LayeredPath& out) {
+  solveFlatResumeInto(numLayers, numNodes, nodeCosts, transCosts, 0,
+                      scratch.dp, scratch, out);
+}
+
+void LayeredDagSolver::solveFlatResumeInto(
+    int numLayers, int numNodes, std::span<const Cost> nodeCosts,
+    std::span<const Cost> transCosts, int fromLayer, CostBuffer& dpBuf,
+    LayeredDagScratch& scratch, LayeredPath& out,
+    LayeredParentCache* parents) {
   if (numLayers < 1 || numNodes < 1) {
     throw std::invalid_argument("LayeredDagSolver: empty problem");
+  }
+  if (fromLayer < 0 || fromLayer > numLayers) {
+    throw std::invalid_argument("LayeredDagSolver: fromLayer out of range");
   }
   const std::size_t n = static_cast<std::size_t>(numNodes);
   const std::size_t ln = static_cast<std::size_t>(numLayers) * n;
@@ -166,23 +212,29 @@ void LayeredDagSolver::solveFlatInto(int numLayers, int numNodes,
     throw std::invalid_argument(
         "LayeredDagSolver: transition table size mismatch");
   }
+  if (fromLayer > 0 && dpBuf.size() < ln) {
+    throw std::invalid_argument(
+        "LayeredDagSolver: retained dp table too small for resume");
+  }
   // Counters only here — the per-solve scoped timer lives in the
   // std::function wrappers. The flat kernels are called per datum from the
   // parallel scheduler, where the timer's clock reads and shared atomic
   // read-modify-writes measurably serialized the plan phase.
   PIMSCHED_COUNTER_ADD("solver.runs", 1);
-  PIMSCHED_COUNTER_ADD("solver.relaxed_layers", numLayers - 1);
+  PIMSCHED_COUNTER_ADD("solver.relaxed_layers",
+                       numLayers - std::max(fromLayer, 1));
 
   const auto& k = simd::active();
-  scratch.dp.resize(ln);
+  dpBuf.resize(ln);
   scratch.relaxed.resize(n);
-  Cost* dp = scratch.dp.data();
+  Cost* dp = dpBuf.data();
   Cost* relaxed = scratch.relaxed.data();
   const Cost* nc = nodeCosts.data();
   const Cost* trans = transCosts.data();
+  std::int32_t* par = resetParentCache(parents, fromLayer, numLayers, n);
 
-  std::copy(nc, nc + n, dp);
-  for (int w = 1; w < numLayers; ++w) {
+  if (fromLayer == 0) std::copy(nc, nc + n, dp);
+  for (int w = std::max(fromLayer, 1); w < numLayers; ++w) {
     const Cost* prev = dp + static_cast<std::size_t>(w - 1) * n;
     // Min-plus against the full table. Sources run in the outer loop so the
     // inner pass reads one contiguous table row; unreachable sums drift
@@ -213,7 +265,7 @@ void LayeredDagSolver::solveFlatInto(int numLayers, int numNodes,
         }
         return -1;
       },
-      out);
+      par, out);
 }
 
 LayeredPath LayeredDagSolver::solveFlat(int numLayers, int numNodes,
@@ -230,29 +282,46 @@ void LayeredDagSolver::solveManhattanFlatInto(const Grid& grid, int numLayers,
                                               Cost beta,
                                               LayeredDagScratch& scratch,
                                               LayeredPath& out) {
+  solveManhattanFlatResumeInto(grid, numLayers, nodeCosts, beta, 0, scratch.dp,
+                               scratch, out);
+}
+
+void LayeredDagSolver::solveManhattanFlatResumeInto(
+    const Grid& grid, int numLayers, std::span<const Cost> nodeCosts,
+    Cost beta, int fromLayer, CostBuffer& dpBuf, LayeredDagScratch& scratch,
+    LayeredPath& out, LayeredParentCache* parents) {
   const int numNodes = grid.size();
   if (numLayers < 1) {
     throw std::invalid_argument("LayeredDagSolver: empty problem");
+  }
+  if (fromLayer < 0 || fromLayer > numLayers) {
+    throw std::invalid_argument("LayeredDagSolver: fromLayer out of range");
   }
   const std::size_t n = static_cast<std::size_t>(numNodes);
   const std::size_t ln = static_cast<std::size_t>(numLayers) * n;
   if (nodeCosts.size() != ln) {
     throw std::invalid_argument("LayeredDagSolver: node-cost table size mismatch");
   }
+  if (fromLayer > 0 && dpBuf.size() < ln) {
+    throw std::invalid_argument(
+        "LayeredDagSolver: retained dp table too small for resume");
+  }
   // Counters only; see solveFlatInto for why the scoped timer moved to the
   // std::function wrappers.
   PIMSCHED_COUNTER_ADD("solver.runs", 1);
-  PIMSCHED_COUNTER_ADD("solver.relaxed_layers", numLayers - 1);
+  PIMSCHED_COUNTER_ADD("solver.relaxed_layers",
+                       numLayers - std::max(fromLayer, 1));
 
   const auto& k = simd::active();
-  scratch.dp.resize(ln);
+  dpBuf.resize(ln);
   scratch.relaxed.resize(n);
-  Cost* dp = scratch.dp.data();
+  Cost* dp = dpBuf.data();
   Cost* relaxed = scratch.relaxed.data();
   const Cost* nc = nodeCosts.data();
+  std::int32_t* par = resetParentCache(parents, fromLayer, numLayers, n);
 
-  std::copy(nc, nc + n, dp);
-  for (int w = 1; w < numLayers; ++w) {
+  if (fromLayer == 0) std::copy(nc, nc + n, dp);
+  for (int w = std::max(fromLayer, 1); w < numLayers; ++w) {
     const Cost* prev = dp + static_cast<std::size_t>(w - 1) * n;
     manhattanMinPlusInto(grid, std::span<const Cost>(prev, n), beta,
                          std::span<Cost>(relaxed, n));
@@ -301,7 +370,7 @@ void LayeredDagSolver::solveManhattanFlatInto(const Grid& grid, int numLayers,
           }
           return -1;
         },
-        out);
+        par, out);
   } else {
     reconstructFlat(
         numLayers, numNodes, dp, nc,
@@ -317,7 +386,7 @@ void LayeredDagSolver::solveManhattanFlatInto(const Grid& grid, int numLayers,
           }
           return -1;
         },
-        out);
+        par, out);
   }
 }
 

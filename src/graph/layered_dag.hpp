@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <span>
 #include <vector>
@@ -36,6 +37,20 @@ struct LayeredDagScratch {
   CostBuffer nodeCosts;  ///< staging for wrapper-materialized node costs
   CostBuffer trans;      ///< staging for wrapper-materialized transitions
 };
+
+/// Memoized predecessor cache for the warm-start (resume) solvers: a
+/// numLayers x numNodes table where entry [w * N + p] is the predecessor
+/// the backward argmin scan resolved for node p in layer w, or -1 when
+/// that (layer, node) has never been scanned against the current dp rows.
+/// The predecessor of (w, p) is a pure function of dp row w-1, the node
+/// cost row w, and the transition costs, so cached entries stay valid
+/// exactly as long as the retained dp rows they were scanned against —
+/// the resume solvers invalidate rows [fromLayer, numLayers) on entry and
+/// fill entries lazily during reconstruction. Over a stream of warm
+/// solves the unchanged-prefix entries accumulate, and reconstruction
+/// collapses from one argmin scan per layer to a pointer walk wherever a
+/// previously scanned chain is rejoined.
+using LayeredParentCache = std::vector<std::int32_t>;
 
 /// Shortest path through a DAG of `numLayers` layers with `numNodes` nodes
 /// per layer — the structure of the paper's GOMCDS cost-graph (pseudo
@@ -91,6 +106,31 @@ class LayeredDagSolver {
                             std::span<const Cost> transCosts,
                             LayeredDagScratch& scratch, LayeredPath& out);
 
+  /// Warm-start variant for streaming re-solves: `dp` is the caller-retained
+  /// numLayers x numNodes dp table of a previous solve. Rows [0, fromLayer)
+  /// must still be valid — i.e. the node-cost rows [0, fromLayer) and the
+  /// transition table are byte-identical to that previous solve — and only
+  /// layers [fromLayer, numLayers) are re-relaxed. fromLayer == 0 recomputes
+  /// the whole table (exactly solveFlatInto against `dp`); fromLayer ==
+  /// numLayers re-runs only the reconstruction. The resulting dp table and
+  /// path are bit-identical to a cold solve of the full node-cost table,
+  /// including tie-breaks.
+  ///
+  /// `parents`, when non-null, is a caller-retained LayeredParentCache for
+  /// this dp table: entries for layers [fromLayer, numLayers) are
+  /// invalidated on entry (a wrong-sized cache is reset wholesale, which
+  /// is always safe — every entry is recomputed on demand), entries below
+  /// fromLayer are trusted under the same contract as the retained dp
+  /// rows, and reconstruction consults the cache before scanning and
+  /// stores every predecessor it does scan. Cached or scanned, the chosen
+  /// predecessors — and therefore the path — are bit-identical.
+  static void solveFlatResumeInto(int numLayers, int numNodes,
+                                  std::span<const Cost> nodeCosts,
+                                  std::span<const Cost> transCosts,
+                                  int fromLayer, CostBuffer& dp,
+                                  LayeredDagScratch& scratch, LayeredPath& out,
+                                  LayeredParentCache* parents = nullptr);
+
   /// Chamfer flat solve for transition cost beta * manhattan(prev, node).
   [[nodiscard]] static LayeredPath solveManhattanFlat(
       const Grid& grid, int numLayers, std::span<const Cost> nodeCosts,
@@ -101,6 +141,19 @@ class LayeredDagSolver {
                                      std::span<const Cost> nodeCosts,
                                      Cost beta, LayeredDagScratch& scratch,
                                      LayeredPath& out);
+
+  /// Warm-start chamfer variant; same contract as solveFlatResumeInto
+  /// (including the optional predecessor cache) with the implicit beta *
+  /// manhattan transition (which depends only on the grid and beta, so
+  /// retained dp rows stay valid across solves as long as grid, beta, and
+  /// the node-cost prefix are unchanged).
+  static void solveManhattanFlatResumeInto(const Grid& grid, int numLayers,
+                                           std::span<const Cost> nodeCosts,
+                                           Cost beta, int fromLayer,
+                                           CostBuffer& dp,
+                                           LayeredDagScratch& scratch,
+                                           LayeredPath& out,
+                                           LayeredParentCache* parents = nullptr);
 };
 
 /// The L1 (chamfer) min-plus convolution used by solveManhattan, exposed for

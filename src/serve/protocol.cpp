@@ -7,6 +7,7 @@
 #include "fault/fault_trace.hpp"
 #include "pim/grid.hpp"
 #include "serve/json.hpp"
+#include "serve/stream.hpp"
 
 namespace pimsched::serve {
 
@@ -269,6 +270,55 @@ std::string ProtocolHandler::handleLine(std::string_view line,
         const auto status = service_->status(outcome.id);
         fillResultFields(reply, *status, result.get(), includeSchedule);
       }
+      return reply.dump();
+    }
+
+    if (verb == "submit-stream") {
+      const std::string session = stringField(request, "session", "");
+      if (session.empty()) {
+        throw RequestError("submit-stream needs a 'session' name");
+      }
+      if (!validSessionName(session)) {
+        throw RequestError(
+            "field 'session' must be 1..64 characters of [A-Za-z0-9_.-]");
+      }
+      const bool includeSchedule = boolField(request, "schedule", false);
+      StreamRequest stream;
+      stream.session = session;
+      stream.job = parseSubmit(request, options_);
+      const StreamOutcome out = service_->submitStream(std::move(stream));
+      if (!out.ok) {
+        return errorReply(out.error, out.errorKind.empty() ? "invalid"
+                                                           : out.errorKind);
+      }
+      Json reply;
+      reply.set("ok", true)
+          .set("session", out.session)
+          .set("window", out.window)
+          .set("incremental", out.incremental)
+          .set("reused_layers", out.reusedLayers)
+          .set("relaxed_layers", out.relaxedLayers)
+          .set("reset", out.reset);
+      if (out.result != nullptr) {
+        reply.set("serve", out.result->eval.aggregate.serve)
+            .set("move", out.result->eval.aggregate.move)
+            .set("total", out.result->eval.aggregate.total())
+            .set("digest", out.result->digest.hex())
+            .set("run_ns", out.result->runNs);
+        if (includeSchedule) reply.set("schedule", out.result->scheduleText);
+      }
+      return reply.dump();
+    }
+
+    if (verb == "stream-close") {
+      const std::string session = stringField(request, "session", "");
+      if (session.empty()) {
+        throw RequestError("stream-close needs a 'session' name");
+      }
+      Json reply;
+      reply.set("ok", true)
+          .set("session", session)
+          .set("closed", service_->closeStream(session));
       return reply.dump();
     }
 

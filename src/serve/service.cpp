@@ -13,6 +13,7 @@
 #include "obs/obs.hpp"
 #include "pim/grid.hpp"
 #include "serve/json.hpp"
+#include "serve/stream.hpp"
 #include "util/thread_pool.hpp"
 
 namespace pimsched::serve {
@@ -65,11 +66,31 @@ DriftOutcome JobService::applyDrift(const std::string& array,
   return out;
 }
 
+StreamOutcome JobService::submitStream(StreamRequest request) {
+  StreamOutcome out;
+  out.session = std::move(request.session);
+  out.error = "streaming is not supported by this service";
+  out.errorKind = "invalid";
+  return out;
+}
+
+bool JobService::closeStream(const std::string&) { return false; }
+
 SchedulingService::SchedulingService() : SchedulingService(Config()) {}
 
 SchedulingService::SchedulingService(Config config)
-    : config_(config) {
+    : config_(config),
+      streams_(std::make_unique<StreamSessionManager>(
+          config.maxStreamSessions)) {
   if (config_.concurrency == 0) config_.concurrency = 1;
+}
+
+StreamOutcome SchedulingService::submitStream(StreamRequest request) {
+  return streams_->submit(std::move(request));
+}
+
+bool SchedulingService::closeStream(const std::string& session) {
+  return streams_->close(session);
 }
 
 SchedulingService::~SchedulingService() { drain(); }

@@ -107,6 +107,36 @@ struct SubmitOutcome {
   bool cached = false;  ///< job completed instantly from the result cache
 };
 
+/// One window of a streaming session: the session name plus a complete
+/// JobRequest whose trace is the *full evolving trace revision* as of this
+/// window. Identical window prefixes across successive revisions are what
+/// the warm solver exploits; everything except the trace must stay fixed
+/// for the life of the session — a change resets the warm state (the reply
+/// flags it) rather than serving a wrong-config answer.
+struct StreamRequest {
+  std::string session;
+  JobRequest job;
+};
+
+/// Outcome of one streamed window. Unlike queued submissions the window is
+/// solved synchronously in the caller's thread (warm state is only useful
+/// when windows of one session run back to back), so the result is
+/// delivered inline instead of via a job id.
+struct StreamOutcome {
+  bool ok = false;
+  std::string error;      ///< why !ok
+  std::string errorKind;  ///< job-error taxonomy ("invalid", "unreachable", ...)
+  std::string session;    ///< echoed session name
+  std::int64_t window = -1;  ///< 0-based window index within the session
+  bool incremental = false;  ///< warm solver state was reused for this window
+  std::int64_t reusedLayers = 0;   ///< per-class dp rows reused verbatim
+  std::int64_t relaxedLayers = 0;  ///< per-class dp rows re-relaxed
+  /// Warm state was (re)initialised for this window: first window of a
+  /// session, a config change, an eviction, or a drift invalidation.
+  bool reset = false;
+  std::shared_ptr<const JobResult> result;
+};
+
 struct ServiceStats {
   std::size_t queueDepth = 0;
   std::size_t running = 0;
@@ -207,10 +237,20 @@ class JobService {
   virtual DriftOutcome applyDrift(const std::string& array,
                                   const std::vector<std::string>& specs,
                                   bool heal);
+  /// Streaming submission: solves one window of a long-lived session
+  /// synchronously in the caller's thread, with warm solver state keyed by
+  /// the session name (serve/stream.hpp). The default reports streaming as
+  /// unsupported.
+  virtual StreamOutcome submitStream(StreamRequest request);
+  /// Closes a streaming session and drops its warm state; returns whether
+  /// the session existed. Default: false.
+  virtual bool closeStream(const std::string& session);
   /// Stops accepting submissions and blocks until every accepted job has
   /// reached a terminal state. Idempotent.
   virtual void drain() = 0;
 };
+
+class StreamSessionManager;
 
 /// Persistent scheduling service: a bounded priority job queue feeding up
 /// to `concurrency` jobs concurrently onto the shared util/thread_pool,
@@ -245,6 +285,9 @@ class SchedulingService : public JobService {
     bool cacheEnabled = true;
     /// Result-cache entry bound; the oldest entry is evicted past it.
     std::size_t maxCacheEntries = 1024;
+    /// Streaming-session bound: warm per-session solver state beyond this
+    /// is evicted least-recently-used (serve.session.evicted).
+    std::size_t maxStreamSessions = 64;
     /// Test-only hook invoked at the start of every job run with the
     /// attempt number (0 on the first run, 1 on the retry). Exceptions it
     /// throws are classified exactly like pipeline errors — tests use it
@@ -270,6 +313,11 @@ class SchedulingService : public JobService {
   /// front end hashes the job once for routing and passes it down here so
   /// the trace is not digested twice.
   SubmitOutcome submitWithDigest(JobRequest request, const Digest& digest);
+
+  /// One streamed window, solved synchronously with warm per-session
+  /// solver state (serve/stream.hpp; bound by Config::maxStreamSessions).
+  StreamOutcome submitStream(StreamRequest request) override;
+  bool closeStream(const std::string& session) override;
 
   /// nullopt for an unknown id.
   [[nodiscard]] std::optional<JobStatus> status(JobId id) const override;
@@ -324,6 +372,9 @@ class SchedulingService : public JobService {
                          std::shared_ptr<const JobResult> result);
 
   Config config_;
+  /// Warm streaming-session state (owns its own locking; constructed in
+  /// the .cpp so this header does not pull in serve/stream.hpp).
+  std::unique_ptr<StreamSessionManager> streams_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool draining_ = false;

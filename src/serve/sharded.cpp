@@ -82,6 +82,25 @@ SubmitOutcome ShardedService::submit(JobRequest request) {
   return outcome;
 }
 
+StreamOutcome ShardedService::submitStream(StreamRequest request) {
+  // Sticky routing by session *name*: every window of one session must
+  // land where the warm solver state lives, regardless of how the trace
+  // (and therefore the job digest) evolves between windows.
+  DigestBuilder b;
+  b.str("pimstream-route");
+  b.str(request.session);
+  const unsigned shard = ring_.shardFor(b.digest());
+  if (!jobsCounters_.empty()) jobsCounters_[shard]->add(1);
+  return shards_[shard]->submitStream(std::move(request));
+}
+
+bool ShardedService::closeStream(const std::string& session) {
+  DigestBuilder b;
+  b.str("pimstream-route");
+  b.str(session);
+  return shards_[ring_.shardFor(b.digest())]->closeStream(session);
+}
+
 unsigned ShardedService::shardFor(const JobRequest& request) const {
   JobRequest copy = request;
   if (!copy.trace.finalized()) copy.trace.finalize();

@@ -67,6 +67,10 @@ class ShardedService : public JobService {
   ShardedService& operator=(const ShardedService&) = delete;
 
   SubmitOutcome submit(JobRequest request) override;
+  /// Streaming sessions route by session name (not job content), so every
+  /// window of one session lands on the shard holding its warm state.
+  StreamOutcome submitStream(StreamRequest request) override;
+  bool closeStream(const std::string& session) override;
   [[nodiscard]] std::optional<JobStatus> status(JobId id) const override;
   [[nodiscard]] std::shared_ptr<const JobResult> result(
       JobId id, bool wait = true) override;

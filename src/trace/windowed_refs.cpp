@@ -108,25 +108,38 @@ Cost WindowedRefs::dataWeight(DataId d) const {
   return dataWeight_[static_cast<std::size_t>(d)];
 }
 
-std::uint64_t WindowedRefs::refsSignature(DataId d) const {
-  // FNV-1a, mixed byte-wise (the same scheme as the cost-cache reference
-  // hash). Each window contributes its row length before its entries so
-  // that window boundaries are part of the digest.
-  std::uint64_t h = 1469598103934665603ull;
+namespace {
+
+// FNV-1a, mixed byte-wise (the same scheme as the cost-cache reference
+// hash). A row contributes its length before its entries so that window
+// boundaries are part of the digest.
+void mixRow(std::uint64_t& h, std::span<const ProcWeight> row) {
   const auto mix = [&h](std::uint64_t v) {
     for (int i = 0; i < 8; ++i) {
       h ^= (v >> (8 * i)) & 0xffu;
       h *= 1099511628211ull;
     }
   };
-  for (WindowId w = 0; w < numWindows_; ++w) {
-    const std::span<const ProcWeight> row = refs(d, w);
-    mix(static_cast<std::uint64_t>(row.size()));
-    for (const ProcWeight& pw : row) {
-      mix(static_cast<std::uint64_t>(pw.proc));
-      mix(static_cast<std::uint64_t>(pw.weight));
-    }
+  mix(static_cast<std::uint64_t>(row.size()));
+  for (const ProcWeight& pw : row) {
+    mix(static_cast<std::uint64_t>(pw.proc));
+    mix(static_cast<std::uint64_t>(pw.weight));
   }
+}
+
+}  // namespace
+
+std::uint64_t WindowedRefs::refsSignature(DataId d) const {
+  std::uint64_t h = 1469598103934665603ull;
+  for (WindowId w = 0; w < numWindows_; ++w) {
+    mixRow(h, refs(d, w));
+  }
+  return h;
+}
+
+std::uint64_t WindowedRefs::refsSignature(DataId d, WindowId w) const {
+  std::uint64_t h = 1469598103934665603ull;
+  mixRow(h, refs(d, w));
   return h;
 }
 
@@ -138,6 +151,14 @@ bool WindowedRefs::sameRefs(DataId a, DataId b) const {
     if (!std::equal(ra.begin(), ra.end(), rb.begin())) return false;
   }
   return true;
+}
+
+bool WindowedRefs::sameRefsAs(const WindowedRefs& other, DataId d, WindowId w,
+                              DataId od, WindowId ow) const {
+  const std::span<const ProcWeight> ra = refs(d, w);
+  const std::span<const ProcWeight> rb = other.refs(od, ow);
+  if (ra.size() != rb.size()) return false;
+  return std::equal(ra.begin(), ra.end(), rb.begin());
 }
 
 std::vector<ProcWeight> WindowedRefs::mergedRefs(DataId d, WindowId wBegin,

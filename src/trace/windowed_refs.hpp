@@ -65,9 +65,24 @@ class WindowedRefs {
   /// scheduling-equivalence class; confirm with sameRefs before merging.
   [[nodiscard]] std::uint64_t refsSignature(DataId d) const;
 
+  /// FNV-1a digest over the single reference string of datum d in window w,
+  /// using the same mixing scheme as the whole-datum signature (row length
+  /// first, then each (proc, weight) pair). The incremental solver compares
+  /// these per-window signatures across consecutive stream steps to locate
+  /// the first changed layer; equal signatures are only *candidates* for
+  /// equality — confirm with sameRefsAs before reusing solver state.
+  [[nodiscard]] std::uint64_t refsSignature(DataId d, WindowId w) const;
+
   /// True if data a and b have byte-identical reference strings in every
   /// window — they pose the exact same per-datum scheduling subproblem.
   [[nodiscard]] bool sameRefs(DataId a, DataId b) const;
+
+  /// True if datum d's reference string in window w is byte-identical to
+  /// datum od's string in window ow of `other`. Cross-object variant of
+  /// sameRefs used by the incremental change detector (signature prescreen,
+  /// full compare on match to rule out FNV collisions).
+  [[nodiscard]] bool sameRefsAs(const WindowedRefs& other, DataId d,
+                                WindowId w, DataId od, WindowId ow) const;
 
   /// A copy with every reference issued by a masked processor dropped
   /// (deadMask[p] != 0 masks processor p; size must equal numProcs).
